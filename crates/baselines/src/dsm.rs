@@ -1,0 +1,258 @@
+//! Featuretools / Deep Feature Synthesis (DSM) baseline.
+//!
+//! Exhaustive primitive application, exactly as the paper configures it:
+//! `add_numeric`, `multiply_numeric` over every numeric pair, and
+//! `agg_primitives` (group-by mean) over every (categorical, numeric)
+//! pair. Followed by Featuretools' stock selection: remove single-value,
+//! highly-null, and highly-correlated features. No context is consulted —
+//! the defining contrast with SMARTFEAT's operator selector.
+
+use std::time::{Duration, Instant};
+
+use smartfeat_frame::ops::{binary_op, groupby_transform, AggFunc, BinaryOp};
+use smartfeat_frame::stats::column_pearson;
+use smartfeat_frame::{Column, DataFrame};
+
+use crate::method::{AfeMethod, MethodOutput};
+
+/// The Featuretools-style exhaustive baseline.
+#[derive(Debug, Clone)]
+pub struct Featuretools {
+    /// Drop one of each pair of features whose |Pearson r| exceeds this.
+    pub correlation_threshold: f64,
+    /// Drop features with a null fraction above this.
+    pub max_null_fraction: f64,
+    /// Cap on generated features (guards quadratic blow-up on wide data).
+    pub max_generated: usize,
+}
+
+impl Default for Featuretools {
+    fn default() -> Self {
+        Featuretools {
+            correlation_threshold: 0.95,
+            max_null_fraction: 0.5,
+            max_generated: 400,
+        }
+    }
+}
+
+impl AfeMethod for Featuretools {
+    fn name(&self) -> &'static str {
+        "Featuretools"
+    }
+
+    fn run(
+        &self,
+        df: &DataFrame,
+        target: &str,
+        categorical: &[String],
+        deadline: Duration,
+    ) -> MethodOutput {
+        let start = Instant::now();
+        // The paper's pipeline factorizes categoricals *before* feature
+        // engineering; Featuretools' add/multiply primitives then see the
+        // integer codes as ordinary numerics and happily combine them —
+        // a major source of its meaningless features.
+        let numeric: Vec<&Column> = df
+            .columns()
+            .iter()
+            .filter(|c| c.name() != target && c.is_numeric())
+            .collect();
+        let cats: Vec<&str> = categorical
+            .iter()
+            .map(String::as_str)
+            .filter(|c| *c != target && df.has_column(c))
+            .collect();
+
+        let mut generated: Vec<Column> = Vec::new();
+        let mut timed_out = false;
+        'gen: {
+            // add_numeric + multiply_numeric over every pair, in column order.
+            for i in 0..numeric.len() {
+                for j in (i + 1)..numeric.len() {
+                    if start.elapsed() > deadline {
+                        timed_out = true;
+                        break 'gen;
+                    }
+                    if generated.len() >= self.max_generated {
+                        break 'gen;
+                    }
+                    let (a, b) = (numeric[i], numeric[j]);
+                    if let Ok(c) = binary_op(
+                        a,
+                        b,
+                        BinaryOp::Add,
+                        &format!("{} + {}", a.name(), b.name()),
+                    ) {
+                        generated.push(c);
+                    }
+                    if let Ok(c) = binary_op(
+                        a,
+                        b,
+                        BinaryOp::Mul,
+                        &format!("{} * {}", a.name(), b.name()),
+                    ) {
+                        generated.push(c);
+                    }
+                }
+            }
+            // agg_primitives: Featuretools' default aggregation set over
+            // every (categorical, numeric) pair — exhaustive by design.
+            const AGGS: [AggFunc; 6] = [
+                AggFunc::Mean,
+                AggFunc::Sum,
+                AggFunc::Std,
+                AggFunc::Max,
+                AggFunc::Min,
+                AggFunc::Count,
+            ];
+            for g in &cats {
+                for v in &numeric {
+                    for func in AGGS {
+                        if start.elapsed() > deadline {
+                            timed_out = true;
+                            break 'gen;
+                        }
+                        if generated.len() >= self.max_generated {
+                            break 'gen;
+                        }
+                        if let Ok(c) = groupby_transform(
+                            df,
+                            &[g],
+                            v.name(),
+                            func,
+                            &format!(
+                                "{}({} by {})",
+                                func.name().to_uppercase(),
+                                v.name(),
+                                g
+                            ),
+                        ) {
+                            generated.push(c);
+                        }
+                    }
+                }
+            }
+        }
+        generated.truncate(self.max_generated);
+        let generated_count = generated.len();
+
+        // Featuretools' selection: single-value, highly-null, correlated.
+        let mut out_frame = df.clone();
+        let mut kept: Vec<String> = Vec::new();
+        for col in generated {
+            if start.elapsed() > deadline {
+                timed_out = true;
+                break;
+            }
+            if col.is_constant() || col.null_fraction() > self.max_null_fraction {
+                continue;
+            }
+            if out_frame.has_column(col.name()) {
+                continue;
+            }
+            let correlated = out_frame.columns().iter().any(|existing| {
+                existing.is_numeric()
+                    && column_pearson(&col, existing)
+                        .is_some_and(|r| r.abs() > self.correlation_threshold)
+            });
+            if correlated {
+                continue;
+            }
+            kept.push(col.name().to_string());
+            out_frame.add_column(col).expect("unique name");
+        }
+
+        MethodOutput {
+            frame: out_frame,
+            selected_count: kept.len(),
+            new_features: kept,
+            generated_count,
+            timed_out,
+            failure: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame() -> DataFrame {
+        let n = 60;
+        DataFrame::from_columns(vec![
+            Column::from_f64("x", (0..n).map(|i| i as f64).collect()),
+            Column::from_f64("y", (0..n).map(|i| ((i * 7) % 13) as f64).collect()),
+            Column::from_f64("z", (0..n).map(|i| ((i * 3) % 5) as f64).collect()),
+            Column::from_strs(
+                "g",
+                (0..n).map(|i| Some(format!("g{}", i % 4))).collect(),
+            ),
+            Column::from_i64("label", (0..n).map(|i| (i % 2) as i64).collect()),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn generates_pairwise_and_agg_features() {
+        let ft = Featuretools::default();
+        let out = ft.run(
+            &frame(),
+            "label",
+            &["g".to_string()],
+            Duration::from_secs(30),
+        );
+        assert!(!out.timed_out);
+        // 3 numeric → 3 pairs × 2 ops = 6 transforms, plus 3 numerics ×
+        // 6 default agg functions over "g" = 18 aggregates ⇒ 24 generated.
+        assert_eq!(out.generated_count, 24);
+        // Some generated features survive selection; "x + y" itself is
+        // correctly pruned for being almost perfectly correlated with x.
+        assert!(out.selected_count > 0);
+        assert!(out.selected_count <= out.generated_count);
+        assert!(out.frame.has_column("MEAN(x by g)"));
+    }
+
+    #[test]
+    fn correlated_features_pruned() {
+        // y2 == 2*y ⇒ "y + y2" is perfectly correlated with y; pruned.
+        let mut df = frame();
+        let doubled: Vec<f64> = df
+            .column("y")
+            .unwrap()
+            .to_f64()
+            .into_iter()
+            .map(|v| v.unwrap() * 2.0)
+            .collect();
+        df.add_column(Column::from_f64("y2", doubled)).unwrap();
+        let ft = Featuretools::default();
+        let out = ft.run(&df, "label", &[], Duration::from_secs(30));
+        assert!(!out.new_features.iter().any(|f| f == "y + y2"));
+    }
+
+    #[test]
+    fn deadline_sets_timeout_flag() {
+        let ft = Featuretools::default();
+        let out = ft.run(&frame(), "label", &[], Duration::ZERO);
+        assert!(out.timed_out);
+    }
+
+    #[test]
+    fn target_not_used_as_input() {
+        let ft = Featuretools::default();
+        let out = ft.run(&frame(), "label", &[], Duration::from_secs(30));
+        for f in &out.new_features {
+            assert!(!f.contains("label"), "{f}");
+        }
+    }
+
+    #[test]
+    fn max_generated_cap_respected() {
+        let ft = Featuretools {
+            max_generated: 3,
+            ..Featuretools::default()
+        };
+        let out = ft.run(&frame(), "label", &[], Duration::from_secs(30));
+        assert!(out.generated_count <= 3);
+    }
+}

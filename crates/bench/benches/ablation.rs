@@ -1,0 +1,38 @@
+//! Table 7 microbenchmark: SMARTFEAT engineering cost per operator family
+//! on Tennis. Shows where the FM-call budget goes: unary (one proposal per
+//! attribute), the sampled families (budgeted), and the full pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smartfeat::config::{OperatorFamily, OperatorMask};
+use smartfeat::SmartFeatConfig;
+use smartfeat_bench::methods::run_smartfeat;
+use smartfeat_bench::prep::prepare;
+
+fn bench_ablation(c: &mut Criterion) {
+    let ds = smartfeat_datasets::by_name("Tennis", 300, 3).expect("tennis exists");
+    let prep = prepare(&ds);
+    let masks: Vec<(&str, OperatorMask)> = vec![
+        ("unary", OperatorMask::only(OperatorFamily::Unary)),
+        ("binary", OperatorMask::only(OperatorFamily::Binary)),
+        ("high_order", OperatorMask::only(OperatorFamily::HighOrder)),
+        ("extractor", OperatorMask::only(OperatorFamily::Extractor)),
+        ("all", OperatorMask::all()),
+    ];
+    let mut group = c.benchmark_group("smartfeat_operators");
+    group.sample_size(10);
+    for (label, mask) in masks {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &mask, |b, &m| {
+            b.iter(|| {
+                let config = SmartFeatConfig {
+                    operators: m,
+                    ..SmartFeatConfig::default()
+                };
+                run_smartfeat(&prep.frame, &ds, config, false, 5).selected_count
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Figure 1 microbenchmark: row-level vs feature-level FM interaction.
+//!
+//! The criterion series show wall-clock of the *driver* (simulated FM, so
+//! microseconds per call); the accounted token/dollar/latency figures are
+//! printed by `repro fig1`. The shape to look for: `row_level/*` grows
+//! linearly with rows; `feature_level/*` is flat.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smartfeat::prompts;
+use smartfeat::{SmartFeat, SmartFeatConfig};
+use smartfeat_datasets::insurance;
+use smartfeat_fm::{FoundationModel, SimulatedFm};
+
+fn bench_row_level(c: &mut Criterion) {
+    let mut group = c.benchmark_group("row_level");
+    for &rows in &[50usize, 200, 800] {
+        let ds = insurance::generate(rows, 1);
+        let feature_cols: Vec<String> = ds
+            .frame
+            .column_names()
+            .into_iter()
+            .filter(|n| *n != ds.target)
+            .map(str::to_string)
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, _| {
+            b.iter(|| {
+                let fm = SimulatedFm::gpt35(1);
+                for i in 0..ds.frame.n_rows() {
+                    let fields: Vec<(String, String)> = feature_cols
+                        .iter()
+                        .map(|col| {
+                            (
+                                col.clone(),
+                                ds.frame.column(col).expect("exists").get(i).render(),
+                            )
+                        })
+                        .collect();
+                    let prompt = prompts::row_completion(&fields, "City_population_density");
+                    fm.complete(&prompt).expect("unbudgeted");
+                }
+                fm.meter().snapshot().calls
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_feature_level(c: &mut Criterion) {
+    let mut group = c.benchmark_group("feature_level");
+    group.sample_size(10);
+    for &rows in &[50usize, 200, 800] {
+        let ds = insurance::generate(rows, 1);
+        let agenda = ds.agenda("RF");
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, _| {
+            b.iter(|| {
+                let sel = SimulatedFm::gpt4(1);
+                let gen = SimulatedFm::gpt35(2);
+                let tool = SmartFeat::new(&sel, &gen, SmartFeatConfig::default());
+                let report = tool.run(&ds.frame, &agenda).expect("runs");
+                report.total_usage().calls
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_row_level, bench_feature_level);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! §4.2 efficiency microbenchmark: feature-engineering wall-clock of every
+//! method on a fixed small Tennis and Adult instance. The paper's ordering
+//! to look for: SMARTFEAT and Featuretools fast, CAAFE slower (validation
+//! refits), AutoFeat slowest (thousands of materialized candidates).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smartfeat_bench::methods::{run_method, MethodName};
+use smartfeat_bench::prep::prepare;
+use smartfeat_ml::ModelKind;
+
+fn bench_methods(c: &mut Criterion) {
+    for dataset in ["Tennis", "Adult"] {
+        let rows = if dataset == "Tennis" { 300 } else { 500 };
+        let ds = smartfeat_datasets::by_name(dataset, rows, 3).expect("dataset exists");
+        let prep = prepare(&ds);
+        let mut group = c.benchmark_group(format!("engineer/{dataset}"));
+        group.sample_size(10);
+        for method in MethodName::all() {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(method.name()),
+                &method,
+                |b, &m| {
+                    b.iter(|| {
+                        let out = run_method(
+                            m,
+                            &prep.frame,
+                            &ds,
+                            &prep.categorical,
+                            ModelKind::LR,
+                            Duration::from_secs(120),
+                            9,
+                        );
+                        out.selected_count
+                    })
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_methods);
+criterion_main!(benches);

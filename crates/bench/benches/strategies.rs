@@ -1,0 +1,64 @@
+//! Design-choice ablation (§3.2): the *proposal* strategy (one call
+//! enumerating all candidates) vs the *sampling* strategy (one candidate
+//! per call) — the paper picks proposal for small spaces (unary) and
+//! sampling for rich spaces (binary/high-order/extractor).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smartfeat::selector::OperatorSelector;
+use smartfeat::SmartFeatConfig;
+use smartfeat_fm::SimulatedFm;
+
+fn bench_strategies(c: &mut Criterion) {
+    let ds = smartfeat_datasets::by_name("Tennis", 300, 3).expect("tennis exists");
+    let agenda = ds.agenda("RF");
+    let config = SmartFeatConfig::default();
+
+    c.bench_function("proposal/unary_all_attributes", |b| {
+        b.iter(|| {
+            let fm = SimulatedFm::gpt4(1);
+            let selector = OperatorSelector::new(&fm, &config);
+            let mut total = 0usize;
+            for f in &agenda.features {
+                total += selector.propose_unary(&agenda, &f.name).expect("fm ok").len();
+            }
+            total
+        })
+    });
+
+    c.bench_function("sampling/binary_budget_10", |b| {
+        b.iter(|| {
+            let fm = SimulatedFm::gpt4(1);
+            let selector = OperatorSelector::new(&fm, &config);
+            let mut accepted = 0usize;
+            for _ in 0..10 {
+                if let smartfeat::selector::Sample::Candidate(_) =
+                    selector.sample_binary(&agenda).expect("fm ok")
+                {
+                    accepted += 1;
+                }
+            }
+            accepted
+        })
+    });
+
+    c.bench_function("sampling/highorder_budget_10", |b| {
+        let adult = smartfeat_datasets::by_name("Adult", 300, 3).expect("adult exists");
+        let adult_agenda = adult.agenda("RF");
+        b.iter(|| {
+            let fm = SimulatedFm::gpt4(1);
+            let selector = OperatorSelector::new(&fm, &config);
+            let mut accepted = 0usize;
+            for _ in 0..10 {
+                if let smartfeat::selector::Sample::Candidate(_) =
+                    selector.sample_highorder(&adult_agenda).expect("fm ok")
+                {
+                    accepted += 1;
+                }
+            }
+            accepted
+        })
+    });
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

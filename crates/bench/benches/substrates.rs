@@ -1,0 +1,101 @@
+//! Substrate microbenchmarks: the frame operations, ML model fits, and
+//! simulated-FM completions everything else is built on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smartfeat_fm::{FoundationModel, SimulatedFm};
+use smartfeat_frame::ops::{bucketize, get_dummies, groupby_transform, AggFunc};
+use smartfeat_frame::{Column, DataFrame};
+use smartfeat_ml::{roc_auc, Matrix, ModelKind};
+
+fn frame_of(n: usize) -> DataFrame {
+    DataFrame::from_columns(vec![
+        Column::from_f64("v", (0..n).map(|i| (i % 97) as f64).collect()),
+        Column::from_strs("g", (0..n).map(|i| Some(format!("g{}", i % 23))).collect()),
+    ])
+    .expect("valid frame")
+}
+
+fn bench_frame_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frame_ops");
+    for &n in &[1_000usize, 10_000] {
+        let df = frame_of(n);
+        group.bench_with_input(BenchmarkId::new("groupby_mean", n), &df, |b, df| {
+            b.iter(|| groupby_transform(df, &["g"], "v", AggFunc::Mean, "m").expect("runs"))
+        });
+        let v = df.column("v").expect("exists").clone();
+        group.bench_with_input(BenchmarkId::new("bucketize", n), &v, |b, v| {
+            b.iter(|| bucketize(v, &[10.0, 30.0, 60.0, 90.0], "b").expect("runs"))
+        });
+        let g = df.column("g").expect("exists").clone();
+        group.bench_with_input(BenchmarkId::new("get_dummies", n), &g, |b, g| {
+            b.iter(|| get_dummies(g, 30).expect("runs"))
+        });
+    }
+    group.finish();
+}
+
+fn training_data(n: usize, d: usize) -> (Matrix, Vec<u8>) {
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|i| (0..d).map(|j| ((i * (j + 3)) % 29) as f64).collect())
+        .collect();
+    let y: Vec<u8> = (0..n).map(|i| u8::from((i * 5) % 29 >= 14)).collect();
+    (Matrix::from_rows(rows).expect("rect"), y)
+}
+
+fn bench_model_fits(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_fit_2000x10");
+    group.sample_size(10);
+    let (x, y) = training_data(2000, 10);
+    for kind in ModelKind::all() {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &k| {
+            b.iter(|| {
+                let mut m = k.build(7);
+                m.fit(&x, &y).expect("fits");
+                let p = m.predict_proba(&x).expect("predicts");
+                roc_auc(&y, &p)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fm_completions(c: &mut Criterion) {
+    let card = "Dataset features:\n\
+        - Age (int, distinct=47): Age of the policyholder in years\n\
+        - City (str, distinct=6): City where the policyholder lives\n\
+        - Claim (int, distinct=2): Whether a claim was filed recently\n\
+        Prediction target: Safe\n\
+        Downstream model: RF\n";
+    let prompts = [
+        (
+            "unary_proposal",
+            format!("{card}Consider the unary operators on the attribute 'Age' that can \
+                     generate helpful features to predict Safe."),
+        ),
+        (
+            "highorder_sample",
+            format!("{card}Generate a groupby feature for predicting Safe by applying \
+                     'df.groupby(groupby_col)[agg_col].transform(function)'."),
+        ),
+        (
+            "row_completion",
+            "Complete the value of the last field.\nCity: SF, Density: ?".to_string(),
+        ),
+    ];
+    let mut group = c.benchmark_group("fm_complete");
+    for (label, prompt) in &prompts {
+        let fm = SimulatedFm::gpt4(1);
+        group.bench_with_input(BenchmarkId::from_parameter(*label), prompt, |b, p| {
+            b.iter(|| fm.complete(p).expect("unbudgeted").completion_tokens)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_frame_ops,
+    bench_model_fits,
+    bench_fm_completions
+);
+criterion_main!(benches);

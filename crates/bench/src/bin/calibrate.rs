@@ -1,0 +1,75 @@
+//! Developer calibration tool: per-dataset diagnostics at chosen scale —
+//! initial per-model AUC, per-method outcomes, SMARTFEAT's generated
+//! features, and CAAFE failure messages. Not part of the paper tables;
+//! used to tune the synthetic generators and pipeline defaults.
+
+use std::time::Duration;
+
+use smartfeat_bench::evalml::evaluate_frame;
+use smartfeat_bench::methods::{run_method, run_smartfeat, MethodName};
+use smartfeat_bench::prep::prepare;
+use smartfeat::SmartFeatConfig;
+use smartfeat_ml::ModelKind;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale: f64 = args.first().and_then(|s| s.parse().ok()).unwrap_or(0.25);
+    let seed: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(42);
+    let only: Option<&String> = args.get(2);
+    let deadline = Duration::from_secs(30);
+
+    for ds in smartfeat_datasets::all_scaled(scale, seed) {
+        if let Some(name) = only {
+            if !ds.name.contains(name.as_str()) {
+                continue;
+            }
+        }
+        let prep = prepare(&ds);
+        let initial = evaluate_frame(&prep.frame, &prep.target, seed + 1000).unwrap();
+        println!("\n### {} (n={})", ds.name, prep.frame.n_rows());
+        print!("  initial:");
+        for (k, v) in &initial.scores {
+            print!(" {}={:.1}", k.name(), v);
+        }
+        println!("  avg={:.2}", initial.average());
+
+        for method in MethodName::all() {
+            let out = run_method(
+                method,
+                &prep.frame,
+                &ds,
+                &prep.categorical,
+                ModelKind::RF,
+                deadline,
+                seed,
+            );
+            match &out.failure {
+                Some(f) => println!("  {:<13} FAILED: {f}", method.name()),
+                None => {
+                    let scores = evaluate_frame(&out.frame, &prep.target, seed + 1000).unwrap();
+                    print!(
+                        "  {:<13} avg={:.2} ({:+.1}%) gen={} sel={} |",
+                        method.name(),
+                        scores.average(),
+                        (scores.average() - initial.average()) / initial.average() * 100.0,
+                        out.generated_count,
+                        out.selected_count
+                    );
+                    for (k, v) in &scores.scores {
+                        print!(" {}={:.1}", k.name(), v);
+                    }
+                    println!();
+                }
+            }
+        }
+        let sf = run_smartfeat(&prep.frame, &ds, SmartFeatConfig::default(), false, seed);
+        println!("  SMARTFEAT features: {:?}", sf.new_features);
+        let originals: Vec<&str> = prep
+            .frame
+            .column_names()
+            .into_iter()
+            .filter(|n| !sf.frame.has_column(n))
+            .collect();
+        println!("  dropped originals: {originals:?}");
+    }
+}

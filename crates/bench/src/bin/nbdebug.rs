@@ -1,0 +1,37 @@
+//! Dev tool: which single SMARTFEAT-added feature hurts GaussianNB?
+
+use smartfeat_bench::evalml::{evaluate_frame_models, matrix_and_labels, split_indices};
+use smartfeat_bench::methods::run_smartfeat;
+use smartfeat_bench::prep::prepare;
+use smartfeat::SmartFeatConfig;
+use smartfeat_ml::ModelKind;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let name = args.first().cloned().unwrap_or_else(|| "Housing".into());
+    let rows: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(4000);
+    let ds = smartfeat_datasets::by_name(&name, rows, 42).expect("dataset");
+    let prep = prepare(&ds);
+    let seed = 1042;
+    let base = evaluate_frame_models(&prep.frame, &prep.target, &[ModelKind::NB], seed)
+        .unwrap()
+        .average();
+    println!("NB initial: {base:.2}");
+    let out = run_smartfeat(&prep.frame, &ds, SmartFeatConfig::default(), false, 42);
+    for feat in &out.new_features {
+        let mut df = prep.frame.clone();
+        df.upsert_column(out.frame.column(feat).unwrap().clone()).unwrap();
+        let auc = evaluate_frame_models(&df, &prep.target, &[ModelKind::NB], seed)
+            .unwrap()
+            .average();
+        if (auc - base).abs() > 0.5 {
+            println!("  {feat:<50} NB={auc:.2} ({:+.2})", auc - base);
+        }
+    }
+    // And the full frame:
+    let full = evaluate_frame_models(&out.frame, &prep.target, &[ModelKind::NB], seed)
+        .unwrap()
+        .average();
+    println!("NB with all SMARTFEAT features: {full:.2}");
+    let _ = (matrix_and_labels(&prep.frame, &prep.target), split_indices(10, 1));
+}

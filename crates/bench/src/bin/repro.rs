@@ -1,0 +1,169 @@
+//! `repro` — regenerate every table and figure of the SMARTFEAT paper.
+//!
+//! ```text
+//! repro [--scale F] [--seed N] [--deadline SECS] [--full] <command>
+//!
+//! commands:
+//!   fig1          Figure 1   row-level vs feature-level interaction cost
+//!   table3        Table 3    dataset statistics
+//!   table4        Table 4    average-AUC grid (also prints Table 5 input)
+//!   table5        Table 5    median-AUC grid
+//!   efficiency    §4.2       wall-clock per method with timeout notes
+//!   table6        Table 6    top-10 feature importance on Tennis
+//!   table7        Table 7    operator ablation on Tennis
+//!   descriptions  §4.2       full data card vs names-only ablation
+//!   ablations     DESIGN.md  pipeline design-choice ablations
+//!   all           everything above, in paper order
+//! ```
+//!
+//! `--scale` scales the paper's row counts (default 0.25; `--full` = 1.0).
+//! `--deadline` is the per-method wall-clock budget in seconds — the
+//! analogue of the paper's one-hour limit, scaled to this implementation.
+
+use std::time::Duration;
+
+use smartfeat_bench::grid::{run_grid, GridConfig};
+use smartfeat_bench::{fig1, tables};
+
+struct Args {
+    scale: f64,
+    seed: u64,
+    deadline: Duration,
+    command: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut scale = 0.25_f64;
+    let mut seed = 42_u64;
+    let mut deadline = Duration::from_secs(12);
+    let mut command = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--scale" => {
+                scale = argv
+                    .next()
+                    .ok_or("--scale needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --scale: {e}"))?;
+            }
+            "--seed" => {
+                seed = argv
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--deadline" => {
+                let secs: f64 = argv
+                    .next()
+                    .ok_or("--deadline needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --deadline: {e}"))?;
+                deadline = Duration::from_secs_f64(secs);
+            }
+            "--full" => scale = 1.0,
+            other if !other.starts_with('-') => command = Some(other.to_string()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(Args {
+        scale,
+        seed,
+        deadline,
+        command: command.unwrap_or_else(|| "all".to_string()),
+    })
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("usage: repro [--scale F] [--seed N] [--deadline SECS] [--full] <command>");
+            std::process::exit(2);
+        }
+    };
+    let grid_config = GridConfig {
+        scale: args.scale,
+        seed: args.seed,
+        method_deadline: args.deadline,
+        datasets: Vec::new(),
+    };
+    let needs_grid = matches!(
+        args.command.as_str(),
+        "table4" | "table5" | "efficiency" | "all"
+    );
+    let grid = needs_grid.then(|| {
+        eprintln!(
+            "running the method grid (scale {}, seed {}, deadline {:?}) …",
+            args.scale, args.seed, args.deadline
+        );
+        run_grid(&grid_config)
+    });
+
+    let print_header = |title: &str| {
+        println!("\n== {title} ==");
+    };
+
+    let run_one = |cmd: &str| match cmd {
+        "fig1" => {
+            print_header("Figure 1: row-level vs feature-level FM interaction cost");
+            println!("{}", tables::fig1(&fig1::default_sweep(), args.seed));
+        }
+        "table3" => {
+            print_header("Table 3: dataset statistics");
+            println!("{}", tables::table3(args.scale, args.seed));
+        }
+        "table4" => {
+            print_header("Table 4: average AUC across the five ML models");
+            println!("{}", tables::render_table4(grid.as_ref().expect("grid")));
+        }
+        "table5" => {
+            print_header("Table 5: median AUC across the five ML models");
+            println!("{}", tables::render_table5(grid.as_ref().expect("grid")));
+        }
+        "efficiency" => {
+            print_header("Section 4.2: feature-engineering wall-clock per method");
+            println!("{}", tables::efficiency(grid.as_ref().expect("grid")));
+        }
+        "table6" => {
+            print_header("Table 6: top-10 important features on Tennis");
+            println!("{}", tables::table6(args.scale, args.seed, args.deadline));
+        }
+        "table7" => {
+            print_header("Table 7: operator ablation on Tennis");
+            println!("{}", tables::table7(args.scale, args.seed));
+        }
+        "descriptions" => {
+            print_header("Section 4.2: impact of feature descriptions (Tennis)");
+            println!("{}", tables::descriptions(args.scale, args.seed));
+        }
+        "ablations" => {
+            print_header("Design-choice ablations (DESIGN.md): pipeline knobs");
+            println!("{}", tables::ablations(args.scale, args.seed));
+        }
+        other => {
+            eprintln!("unknown command {other}");
+            std::process::exit(2);
+        }
+    };
+
+    if args.command == "all" {
+        for cmd in [
+            "fig1",
+            "table3",
+            "table4",
+            "table5",
+            "efficiency",
+            "table6",
+            "table7",
+            "descriptions",
+            "ablations",
+        ] {
+            run_one(cmd);
+        }
+    } else {
+        run_one(&args.command);
+    }
+}

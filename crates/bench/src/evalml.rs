@@ -1,0 +1,76 @@
+//! Downstream evaluation: 75/25 split, the five paper models, AUC × 100.
+
+use smartfeat_frame::sample::permutation;
+use smartfeat_frame::DataFrame;
+use smartfeat_ml::cv::{evaluate_models, ModelScores};
+use smartfeat_ml::{Matrix, ModelKind};
+
+/// Build the feature matrix + labels from a frame (every non-target column
+/// is a feature; nulls and non-numerics fill as 0, matching the paper's
+/// post-factorization handling).
+pub fn matrix_and_labels(df: &DataFrame, target: &str) -> Option<(Matrix, Vec<u8>)> {
+    let features: Vec<&str> = df
+        .column_names()
+        .into_iter()
+        .filter(|n| *n != target)
+        .collect();
+    let rows = df.to_matrix(&features, 0.0).ok()?;
+    let x = Matrix::from_rows(rows).ok()?;
+    let y = df.to_labels(target).ok()?;
+    Some((x, y))
+}
+
+/// Split deterministically into (train, test) row indices, 75/25.
+pub fn split_indices(n: usize, seed: u64) -> (Vec<usize>, Vec<usize>) {
+    let perm = permutation(n, seed);
+    let cut = (n as f64 * 0.75).round() as usize;
+    (perm[..cut].to_vec(), perm[cut..].to_vec())
+}
+
+/// Evaluate the given models on an engineered frame with a 75/25 split.
+pub fn evaluate_frame_models(
+    df: &DataFrame,
+    target: &str,
+    models: &[ModelKind],
+    seed: u64,
+) -> Option<ModelScores> {
+    let (x, y) = matrix_and_labels(df, target)?;
+    let (train_idx, test_idx) = split_indices(x.rows(), seed);
+    let x_train = x.take_rows(&train_idx);
+    let x_test = x.take_rows(&test_idx);
+    let y_train: Vec<u8> = train_idx.iter().map(|&i| y[i]).collect();
+    let y_test: Vec<u8> = test_idx.iter().map(|&i| y[i]).collect();
+    evaluate_models(models, &x_train, &y_train, &x_test, &y_test, seed).ok()
+}
+
+/// Evaluate all five paper models.
+pub fn evaluate_frame(df: &DataFrame, target: &str, seed: u64) -> Option<ModelScores> {
+    evaluate_frame_models(df, target, &ModelKind::all(), seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prep::prepare;
+
+    #[test]
+    fn split_is_deterministic_partition() {
+        let (a, b) = split_indices(100, 5);
+        assert_eq!(a.len(), 75);
+        assert_eq!(b.len(), 25);
+        let (a2, _) = split_indices(100, 5);
+        assert_eq!(a, a2);
+        let mut all: Vec<usize> = a.into_iter().chain(b).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn evaluates_lawschool_above_chance() {
+        let ds = smartfeat_datasets::by_name("Lawschool", 600, 2).unwrap();
+        let prep = prepare(&ds);
+        let scores =
+            evaluate_frame_models(&prep.frame, &prep.target, &[ModelKind::LR], 7).unwrap();
+        assert!(scores.average() > 65.0, "LR AUC = {}", scores.average());
+    }
+}

@@ -1,0 +1,121 @@
+//! Figure 1 reproduction: **row-level** vs **feature-level** FM
+//! interaction cost.
+//!
+//! Row-level (the prevailing strategy the paper argues against): serialize
+//! *every row* with the new feature masked and ask the FM to complete it —
+//! one API call per row, prompt size proportional to the attribute count.
+//!
+//! Feature-level (SMARTFEAT): the operator selector and function generator
+//! exchange a constant number of messages per feature; even the
+//! row-completion fallback is memoized per *distinct key*, not per row.
+
+use smartfeat::prompts;
+use smartfeat::{SmartFeat, SmartFeatConfig};
+use smartfeat_datasets::insurance;
+use smartfeat_fm::{FoundationModel, SimulatedFm, UsageSnapshot};
+
+/// Measured interaction costs at one dataset size.
+#[derive(Debug, Clone)]
+pub struct InteractionCosts {
+    /// Dataset rows.
+    pub rows: usize,
+    /// Row-level completion of one knowledge feature over every row.
+    pub row_level: UsageSnapshot,
+    /// A full SMARTFEAT run (all operator families, all features).
+    pub feature_level: UsageSnapshot,
+    /// Features SMARTFEAT produced within that budget.
+    pub features_generated: usize,
+}
+
+/// Compare the two interaction styles on the insurance example at `rows`.
+pub fn compare(rows: usize, seed: u64) -> InteractionCosts {
+    let ds = insurance::generate(rows, seed);
+
+    // Row-level: one masked completion per row, full row serialized.
+    let row_fm = SimulatedFm::gpt35(seed);
+    let feature_cols: Vec<&str> = ds
+        .frame
+        .column_names()
+        .into_iter()
+        .filter(|n| *n != ds.target)
+        .collect();
+    for i in 0..ds.frame.n_rows() {
+        let fields: Vec<(String, String)> = feature_cols
+            .iter()
+            .map(|&c| {
+                (
+                    c.to_string(),
+                    ds.frame.column(c).expect("exists").get(i).render(),
+                )
+            })
+            .collect();
+        let prompt = prompts::row_completion(&fields, "City_population_density");
+        row_fm.complete(&prompt).expect("no budget set");
+    }
+    let row_level = row_fm.meter().snapshot();
+
+    // Feature-level: the full SMARTFEAT pipeline.
+    let selector_fm = SimulatedFm::gpt4(seed);
+    let generator_fm = SimulatedFm::gpt35(seed.wrapping_add(1));
+    let tool = SmartFeat::new(&selector_fm, &generator_fm, SmartFeatConfig::default());
+    let report = tool
+        .run(&ds.frame, &ds.agenda("RF"))
+        .expect("smartfeat runs on the insurance example");
+    let feature_level = report.total_usage();
+
+    InteractionCosts {
+        rows,
+        row_level,
+        feature_level,
+        features_generated: report.generated.len(),
+    }
+}
+
+/// The sweep of sizes printed for Figure 1.
+pub fn default_sweep() -> Vec<usize> {
+    vec![100, 1_000, 10_000, 41_189]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_level_calls_scale_with_rows_feature_level_does_not() {
+        let small = compare(100, 3);
+        let large = compare(400, 3);
+        assert_eq!(small.row_level.calls, 100);
+        assert_eq!(large.row_level.calls, 400);
+        // Feature-level call count is row-count independent (same schema).
+        assert_eq!(small.feature_level.calls, large.feature_level.calls);
+        assert!(large.feature_level.calls < 100, "feature-level stays flat");
+        assert!(small.features_generated > 0);
+    }
+
+    #[test]
+    fn row_level_cost_overtakes_feature_level_with_scale() {
+        // The crossover the paper's Figure 1 argues: per-row completion
+        // cost grows linearly while the feature-level pipeline is flat, so
+        // the row/feature cost ratio must grow with the dataset.
+        let small = compare(100, 1);
+        let large = compare(800, 1);
+        let ratio = |c: &InteractionCosts| c.row_level.cost_usd / c.feature_level.cost_usd;
+        assert!(
+            ratio(&large) > 6.0 * ratio(&small),
+            "cost ratio {} → {}",
+            ratio(&small),
+            ratio(&large)
+        );
+        // Sequential latency already favors feature-level at modest sizes.
+        assert!(large.row_level.latency > large.feature_level.latency);
+        // And the token volume scales with rows only on the row-level side;
+        // feature-level tokens move only marginally (the data card prints
+        // slightly different distinct-value counts), never with row count.
+        assert!(large.row_level.total_tokens() > 7 * small.row_level.total_tokens());
+        let (s, l) = (
+            small.feature_level.total_tokens() as f64,
+            large.feature_level.total_tokens() as f64,
+        );
+        assert!((l - s).abs() / s < 0.05, "feature-level tokens {s} → {l}");
+    }
+}

@@ -1,0 +1,92 @@
+//! Plain-text table rendering for the `repro` binary.
+
+/// Render an aligned text table from a header and rows.
+pub fn render_table(header: &[String], rows: &[Vec<String>]) -> String {
+    let n_cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(String::len).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(n_cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, w) in widths.iter().enumerate() {
+            let cell = cells.get(i).map(String::as_str).unwrap_or("");
+            line.push_str(&format!("{cell:<w$}"));
+            if i + 1 < widths.len() {
+                line.push_str("  ");
+            }
+        }
+        line.trim_end().to_string()
+    };
+    out.push_str(&fmt_row(header, &widths));
+    out.push('\n');
+    let total: usize = widths.iter().sum::<usize>() + 2 * (n_cols - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Format an AUC cell with the paper's improvement annotation:
+/// `86.76 (+4.3%)`, `91.47 (≈)`, `83.68 (-0.4%)`.
+pub fn auc_cell(value: f64, initial: f64) -> String {
+    let pct = (value - initial) / initial * 100.0;
+    let tag = if pct.abs() < 0.25 {
+        "(≈)".to_string()
+    } else if pct > 0.0 {
+        format!("(+{pct:.1}%)")
+    } else {
+        format!("({pct:.1}%)")
+    };
+    format!("{value:.2} {tag}")
+}
+
+/// Format a duration compactly (`1.2s`, `340ms`).
+pub fn duration_cell(d: std::time::Duration) -> String {
+    let ms = d.as_secs_f64() * 1000.0;
+    if ms >= 1000.0 {
+        format!("{:.1}s", ms / 1000.0)
+    } else {
+        format!("{ms:.0}ms")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn table_alignment() {
+        let t = render_table(
+            &["name".into(), "value".into()],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[3].starts_with("longer"));
+    }
+
+    #[test]
+    fn auc_cell_annotations() {
+        assert_eq!(auc_cell(86.76, 82.2), "86.76 (+5.5%)");
+        assert!(auc_cell(91.47, 91.46).contains("≈"));
+        assert!(auc_cell(83.68, 84.0).contains("(-0.4%)"));
+    }
+
+    #[test]
+    fn duration_formats() {
+        assert_eq!(duration_cell(Duration::from_millis(340)), "340ms");
+        assert_eq!(duration_cell(Duration::from_millis(1230)), "1.2s");
+    }
+}

@@ -1,0 +1,258 @@
+//! The Table 4/5 evaluation grid: 8 datasets × (initial + 4 methods) ×
+//! 5 downstream models.
+
+use std::time::{Duration, Instant};
+
+use smartfeat_datasets::Dataset;
+use smartfeat_ml::cv::ModelScores;
+use smartfeat_ml::ModelKind;
+
+use crate::evalml::{evaluate_frame, evaluate_frame_models};
+use crate::methods::{run_method, MethodName};
+use crate::prep::prepare;
+
+/// Grid configuration.
+#[derive(Debug, Clone)]
+pub struct GridConfig {
+    /// Fraction of the paper's row counts to generate (1.0 = full size).
+    pub scale: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// Per-method wall-clock budget — the analogue of the paper's one-hour
+    /// limit, scaled to this implementation's speed.
+    pub method_deadline: Duration,
+    /// Which datasets to run (paper names); empty = all eight.
+    pub datasets: Vec<String>,
+}
+
+impl Default for GridConfig {
+    fn default() -> Self {
+        GridConfig {
+            scale: 0.25,
+            seed: 42,
+            method_deadline: Duration::from_secs(12),
+            datasets: Vec::new(),
+        }
+    }
+}
+
+/// One (dataset, method) cell.
+#[derive(Debug, Clone)]
+pub struct CellOutcome {
+    /// Per-model AUCs actually obtained (may exclude timed-out models).
+    pub scores: Option<ModelScores>,
+    /// Models excluded because their (CAAFE) run timed out.
+    pub excluded_models: Vec<ModelKind>,
+    /// Why the cell is empty, when it is ("failed: …" / "timeout").
+    pub note: Option<String>,
+    /// Wall-clock spent engineering (not evaluating).
+    pub elapsed: Duration,
+    /// Candidates generated before selection.
+    pub generated: usize,
+    /// Features kept.
+    pub selected: usize,
+}
+
+/// One dataset's full row.
+#[derive(Debug, Clone)]
+pub struct DatasetResult {
+    /// Dataset name.
+    pub name: String,
+    /// Initial (no feature engineering) scores.
+    pub initial: ModelScores,
+    /// Per-method outcomes in [`MethodName::all`] order.
+    pub cells: Vec<(MethodName, CellOutcome)>,
+}
+
+/// The whole grid.
+#[derive(Debug, Clone)]
+pub struct GridResult {
+    /// One row per dataset, in Table 3 order.
+    pub datasets: Vec<DatasetResult>,
+    /// Config used.
+    pub config: GridConfig,
+}
+
+/// Run the full grid.
+pub fn run_grid(config: &GridConfig) -> GridResult {
+    let all = smartfeat_datasets::all_scaled(config.scale, config.seed);
+    let selected: Vec<Dataset> = if config.datasets.is_empty() {
+        all
+    } else {
+        all.into_iter()
+            .filter(|d| config.datasets.iter().any(|n| n == d.name))
+            .collect()
+    };
+    let datasets = selected
+        .iter()
+        .map(|ds| run_dataset(ds, config))
+        .collect();
+    GridResult {
+        datasets,
+        config: config.clone(),
+    }
+}
+
+/// Run one dataset row.
+pub fn run_dataset(ds: &Dataset, config: &GridConfig) -> DatasetResult {
+    let prep = prepare(ds);
+    let eval_seed = config.seed.wrapping_add(1000);
+    let initial = evaluate_frame(&prep.frame, &prep.target, eval_seed)
+        .expect("initial evaluation must succeed");
+    let mut cells = Vec::new();
+    for method in MethodName::all() {
+        let cell = if method == MethodName::Caafe {
+            run_caafe_cell(ds, &prep, config, eval_seed)
+        } else {
+            run_simple_cell(method, ds, &prep, config, eval_seed)
+        };
+        cells.push((method, cell));
+    }
+    DatasetResult {
+        name: ds.name.to_string(),
+        initial,
+        cells,
+    }
+}
+
+fn run_simple_cell(
+    method: MethodName,
+    ds: &Dataset,
+    prep: &crate::prep::Prepared,
+    config: &GridConfig,
+    eval_seed: u64,
+) -> CellOutcome {
+    let start = Instant::now();
+    let out = run_method(
+        method,
+        &prep.frame,
+        ds,
+        &prep.categorical,
+        ModelKind::RF,
+        config.method_deadline,
+        config.seed,
+    );
+    let elapsed = start.elapsed();
+    if let Some(f) = out.failure {
+        return CellOutcome {
+            scores: None,
+            excluded_models: Vec::new(),
+            note: Some(format!("failed: {f}")),
+            elapsed,
+            generated: out.generated_count,
+            selected: out.selected_count,
+        };
+    }
+    if out.timed_out {
+        return CellOutcome {
+            scores: None,
+            excluded_models: ModelKind::all().to_vec(),
+            note: Some("timeout".into()),
+            elapsed,
+            generated: out.generated_count,
+            selected: out.selected_count,
+        };
+    }
+    let scores = evaluate_frame(&out.frame, &prep.target, eval_seed);
+    CellOutcome {
+        scores,
+        excluded_models: Vec::new(),
+        note: None,
+        elapsed,
+        generated: out.generated_count,
+        selected: out.selected_count,
+    }
+}
+
+/// CAAFE validates with the downstream model, so it runs once per model —
+/// slow models (the DNN) can time out individually, exactly as the paper
+/// reports on the large datasets.
+fn run_caafe_cell(
+    ds: &Dataset,
+    prep: &crate::prep::Prepared,
+    config: &GridConfig,
+    eval_seed: u64,
+) -> CellOutcome {
+    let mut per_model = Vec::new();
+    let mut excluded = Vec::new();
+    let mut elapsed = Duration::ZERO;
+    let mut generated = 0usize;
+    let mut selected = 0usize;
+    for kind in ModelKind::all() {
+        let start = Instant::now();
+        let out = run_method(
+            MethodName::Caafe,
+            &prep.frame,
+            ds,
+            &prep.categorical,
+            kind,
+            config.method_deadline,
+            config.seed,
+        );
+        elapsed += start.elapsed();
+        generated = generated.max(out.generated_count);
+        selected = selected.max(out.selected_count);
+        if let Some(f) = out.failure {
+            // A crash poisons the whole CAAFE column for this dataset —
+            // the paper's "-" on Diabetes.
+            return CellOutcome {
+                scores: None,
+                excluded_models: Vec::new(),
+                note: Some(format!("failed: {f}")),
+                elapsed,
+                generated,
+                selected,
+            };
+        }
+        if out.timed_out {
+            excluded.push(kind);
+            continue;
+        }
+        if let Some(s) = evaluate_frame_models(&out.frame, &prep.target, &[kind], eval_seed) {
+            per_model.extend(s.scores);
+        }
+    }
+    if per_model.is_empty() {
+        return CellOutcome {
+            scores: None,
+            excluded_models: excluded,
+            note: Some("timeout".into()),
+            elapsed,
+            generated,
+            selected,
+        };
+    }
+    CellOutcome {
+        scores: Some(ModelScores { scores: per_model }),
+        excluded_models: excluded,
+        note: None,
+        elapsed,
+        generated,
+        selected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_grid_runs_end_to_end() {
+        let config = GridConfig {
+            scale: 0.03,
+            seed: 7,
+            method_deadline: Duration::from_secs(30),
+            datasets: vec!["Tennis".into(), "Lawschool".into()],
+        };
+        let grid = run_grid(&config);
+        assert_eq!(grid.datasets.len(), 2);
+        for row in &grid.datasets {
+            assert!(row.initial.average() > 50.0, "{}", row.name);
+            assert_eq!(row.cells.len(), 4);
+            // SMARTFEAT never fails on these datasets.
+            let (m, sf) = &row.cells[0];
+            assert_eq!(*m, MethodName::SmartFeat);
+            assert!(sf.scores.is_some(), "{:?}", sf.note);
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Standard pre-FE cleaning, matching the paper's setup: `dropna` plus
+//! factorization of categorical features.
+
+use smartfeat_datasets::Dataset;
+use smartfeat_frame::DataFrame;
+
+/// A cleaned dataset ready for the method grid.
+#[derive(Debug, Clone)]
+pub struct Prepared {
+    /// Factorized frame (string columns → integer codes).
+    pub frame: DataFrame,
+    /// Names of the originally-categorical columns.
+    pub categorical: Vec<String>,
+    /// Target column name.
+    pub target: String,
+}
+
+/// Clean one dataset: drop rows with nulls, factorize string columns.
+pub fn prepare(ds: &Dataset) -> Prepared {
+    let (mut frame, _kept) = ds.frame.dropna();
+    let categorical: Vec<String> = frame
+        .columns()
+        .iter()
+        .filter(|c| !c.is_numeric())
+        .map(|c| c.name().to_string())
+        .collect();
+    frame.factorize_strings();
+    Prepared {
+        frame,
+        categorical,
+        target: ds.target.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepare_factorizes_and_keeps_shape() {
+        let ds = smartfeat_datasets::by_name("Adult", 300, 1).unwrap();
+        let prep = prepare(&ds);
+        assert_eq!(prep.frame.n_rows(), 300, "no nulls in synthetic data");
+        assert_eq!(prep.categorical.len(), 8);
+        for c in prep.frame.columns() {
+            assert!(c.is_numeric(), "{} still non-numeric", c.name());
+        }
+        assert_eq!(prep.target, "income_over_50k");
+    }
+}

@@ -1,0 +1,433 @@
+//! Per-table drivers and renderers.
+
+use std::time::Duration;
+
+use smartfeat::config::{OperatorFamily, OperatorMask};
+use smartfeat::SmartFeatConfig;
+use smartfeat_ml::select::{rank_features, top_k_new_fraction, SelectionMetric};
+use smartfeat_ml::ModelKind;
+
+use crate::evalml::{evaluate_frame, matrix_and_labels};
+use crate::fmt::{auc_cell, duration_cell, render_table};
+use crate::grid::GridResult;
+use crate::methods::{run_method, run_smartfeat, MethodName};
+use crate::prep::prepare;
+
+/// Table 3: dataset statistics.
+pub fn table3(scale: f64, seed: u64) -> String {
+    let header = vec![
+        "".to_string(),
+        "# of cat. attr".to_string(),
+        "# of num. attr".to_string(),
+        "# of rows".to_string(),
+        "field".to_string(),
+    ];
+    let rows: Vec<Vec<String>> = smartfeat_datasets::all_scaled(scale, seed)
+        .iter()
+        .map(|ds| {
+            let (cat, num) = ds.shape_counts();
+            vec![
+                ds.name.to_string(),
+                cat.to_string(),
+                num.to_string(),
+                ds.frame.n_rows().to_string(),
+                ds.field.to_string(),
+            ]
+        })
+        .collect();
+    render_table(&header, &rows)
+}
+
+fn grid_table(grid: &GridResult, median: bool) -> String {
+    let mut header = vec!["Methods".to_string()];
+    for row in &grid.datasets {
+        header.push(row.name.clone());
+    }
+    let mut rows = Vec::new();
+    let initial_row: Vec<String> = std::iter::once("Initial AUC".to_string())
+        .chain(grid.datasets.iter().map(|d| {
+            let v = if median {
+                d.initial.median()
+            } else {
+                d.initial.average()
+            };
+            format!("{v:.2}")
+        }))
+        .collect();
+    rows.push(initial_row);
+    for (i, method) in MethodName::all().into_iter().enumerate() {
+        let mut row = vec![method.name().to_string()];
+        for d in &grid.datasets {
+            let (_, cell) = &d.cells[i];
+            let initial = if median {
+                d.initial.median()
+            } else {
+                d.initial.average()
+            };
+            let text = match (&cell.scores, &cell.note) {
+                (Some(s), _) => {
+                    let v = if median { s.median() } else { s.average() };
+                    let mut t = auc_cell(v, initial);
+                    if !cell.excluded_models.is_empty() {
+                        t.push_str(&format!(" [excl. {}]", names(&cell.excluded_models)));
+                    }
+                    t
+                }
+                (None, Some(note)) if note == "timeout" => "- (timeout)".to_string(),
+                (None, Some(_)) => "-".to_string(),
+                (None, None) => "-".to_string(),
+            };
+            row.push(text);
+        }
+        rows.push(row);
+    }
+    render_table(&header, &rows)
+}
+
+fn names(kinds: &[ModelKind]) -> String {
+    kinds
+        .iter()
+        .map(|k| k.name())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Table 4: average-AUC grid.
+pub fn render_table4(grid: &GridResult) -> String {
+    grid_table(grid, false)
+}
+
+/// Table 5: median-AUC grid.
+pub fn render_table5(grid: &GridResult) -> String {
+    grid_table(grid, true)
+}
+
+/// §4.2 efficiency: wall-clock per (dataset, method), with timeout notes.
+pub fn efficiency(grid: &GridResult) -> String {
+    let mut header = vec!["Methods".to_string()];
+    for d in &grid.datasets {
+        header.push(d.name.clone());
+    }
+    let mut rows = Vec::new();
+    for (i, method) in MethodName::all().into_iter().enumerate() {
+        let mut row = vec![method.name().to_string()];
+        for d in &grid.datasets {
+            let (_, cell) = &d.cells[i];
+            let mut text = duration_cell(cell.elapsed);
+            if cell.note.as_deref() == Some("timeout") {
+                text.push_str(" (timeout)");
+            } else if !cell.excluded_models.is_empty() {
+                text.push_str(&format!(" ({} timeout)", names(&cell.excluded_models)));
+            }
+            row.push(text);
+        }
+        rows.push(row);
+    }
+    render_table(&header, &rows)
+}
+
+/// Table 6: percentage of new features among the top-10 under IG/RFE/FI,
+/// on Tennis.
+pub fn table6(scale: f64, seed: u64, deadline: Duration) -> String {
+    let rows_n = ((944.0 * scale) as usize).max(200);
+    let ds = smartfeat_datasets::by_name("Tennis", rows_n, seed).expect("tennis exists");
+    let prep = prepare(&ds);
+    let mut header = vec!["".to_string()];
+    let mut counts_row = vec!["# generated features".to_string()];
+    let mut metric_rows: Vec<Vec<String>> = SelectionMetric::all()
+        .iter()
+        .map(|m| vec![format!("{}@10", m.name())])
+        .collect();
+
+    for method in MethodName::all() {
+        header.push(method.name().to_string());
+        let out = run_method(
+            method,
+            &prep.frame,
+            &ds,
+            &prep.categorical,
+            ModelKind::LR,
+            deadline,
+            seed,
+        );
+        if method == MethodName::AutoFeat || method == MethodName::Featuretools {
+            counts_row.push(format!("{} (sel-{})", out.generated_count, out.selected_count));
+        } else {
+            counts_row.push(out.selected_count.to_string());
+        }
+        let Some((x, y)) = matrix_and_labels(&out.frame, &prep.target) else {
+            for r in metric_rows.iter_mut() {
+                r.push("-".into());
+            }
+            continue;
+        };
+        let feature_names: Vec<&str> = out
+            .frame
+            .column_names()
+            .into_iter()
+            .filter(|n| *n != prep.target)
+            .collect();
+        let is_new: Vec<bool> = feature_names
+            .iter()
+            .map(|n| out.new_features.iter().any(|f| f == n))
+            .collect();
+        for (metric, row) in SelectionMetric::all().iter().zip(metric_rows.iter_mut()) {
+            match rank_features(*metric, &x, &y, seed) {
+                Ok(ranked) => {
+                    let frac = top_k_new_fraction(&ranked, 10, &is_new);
+                    let all_new = out.new_features.len() < 10
+                        && (frac * 10.0).round() as usize >= out.new_features.len();
+                    let suffix = if all_new && !out.new_features.is_empty() {
+                        " (all)"
+                    } else {
+                        ""
+                    };
+                    row.push(format!("{:.0}%{}", frac * 100.0, suffix));
+                }
+                Err(_) => row.push("-".into()),
+            }
+        }
+    }
+    let mut rows = vec![counts_row];
+    rows.extend(metric_rows);
+    render_table(&header, &rows)
+}
+
+/// Table 7: operator ablation on Tennis across the five models.
+pub fn table7(scale: f64, seed: u64) -> String {
+    let rows_n = ((944.0 * scale) as usize).max(200);
+    let ds = smartfeat_datasets::by_name("Tennis", rows_n, seed).expect("tennis exists");
+    let prep = prepare(&ds);
+    let eval_seed = seed.wrapping_add(1000);
+
+    let masks: Vec<(String, OperatorMask)> = vec![
+        ("Initial".into(), OperatorMask::none()),
+        ("+Unary".into(), OperatorMask::only(OperatorFamily::Unary)),
+        ("+Binary".into(), OperatorMask::only(OperatorFamily::Binary)),
+        (
+            "+High-order".into(),
+            OperatorMask::only(OperatorFamily::HighOrder),
+        ),
+        (
+            "+Extractor".into(),
+            OperatorMask::only(OperatorFamily::Extractor),
+        ),
+        ("all".into(), OperatorMask::all()),
+    ];
+
+    let mut header = vec!["".to_string()];
+    for (label, _) in &masks {
+        header.push(label.clone());
+    }
+    let mut per_model: Vec<Vec<String>> = ModelKind::all()
+        .iter()
+        .map(|m| vec![m.name().to_string()])
+        .collect();
+    let mut avg_row = vec!["Avg".to_string()];
+
+    for (_, mask) in &masks {
+        let config = SmartFeatConfig {
+            operators: *mask,
+            ..SmartFeatConfig::default()
+        };
+        let out = run_smartfeat(&prep.frame, &ds, config, false, seed);
+        let scores = evaluate_frame(&out.frame, &prep.target, eval_seed)
+            .expect("evaluation succeeds");
+        for (model, row) in ModelKind::all().iter().zip(per_model.iter_mut()) {
+            row.push(format!("{:.2}", scores.get(*model).unwrap_or(f64::NAN)));
+        }
+        avg_row.push(format!("{:.2}", scores.average()));
+    }
+    let mut rows = per_model;
+    rows.push(avg_row);
+    render_table(&header, &rows)
+}
+
+/// Design-choice ablations beyond the operator families (DESIGN.md §5):
+/// the feature-evaluation filter, the drop heuristic, the
+/// high-confidence-only cut, malformed-output retries, and the
+/// FM-feature-removal extension, on one category-rich and one all-numeric
+/// dataset.
+pub fn ablations(scale: f64, seed: u64) -> String {
+    let variants: Vec<(&str, SmartFeatConfig)> = vec![
+        ("default", SmartFeatConfig::default()),
+        (
+            "no feature filter",
+            SmartFeatConfig {
+                feature_filter: false,
+                ..SmartFeatConfig::default()
+            },
+        ),
+        (
+            "no drop heuristic",
+            SmartFeatConfig {
+                drop_heuristic: false,
+                ..SmartFeatConfig::default()
+            },
+        ),
+        (
+            "admit medium confidence",
+            SmartFeatConfig {
+                high_confidence_only: false,
+                ..SmartFeatConfig::default()
+            },
+        ),
+        (
+            "no malformed retries",
+            SmartFeatConfig {
+                retry_malformed: 0,
+                ..SmartFeatConfig::default()
+            },
+        ),
+        (
+            "with FM feature removal",
+            SmartFeatConfig {
+                fm_feature_removal: true,
+                ..SmartFeatConfig::default()
+            },
+        ),
+    ];
+    let mut header = vec!["Configuration".to_string()];
+    let datasets = ["Adult", "Tennis"];
+    for d in datasets {
+        header.push(format!("{d} avg AUC"));
+        header.push(format!("{d} # features"));
+    }
+    let prepared: Vec<_> = datasets
+        .iter()
+        .map(|name| {
+            let rows = smartfeat_datasets::PAPER_ROWS
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, r)| ((*r as f64 * scale) as usize).max(200))
+                .expect("known dataset");
+            let ds = smartfeat_datasets::by_name(name, rows, seed).expect("dataset");
+            let prep = prepare(&ds);
+            (ds, prep)
+        })
+        .collect();
+    let mut rows_out = Vec::new();
+    for (label, config) in variants {
+        let mut row = vec![label.to_string()];
+        for (ds, prep) in &prepared {
+            let out = run_smartfeat(&prep.frame, ds, config.clone(), false, seed);
+            let auc = evaluate_frame(&out.frame, &prep.target, seed.wrapping_add(1000))
+                .map(|s| s.average())
+                .unwrap_or(f64::NAN);
+            row.push(format!("{auc:.2}"));
+            row.push(out.selected_count.to_string());
+        }
+        rows_out.push(row);
+    }
+    render_table(&header, &rows_out)
+}
+
+/// §4.2 feature-description impact: full data card vs names-only, Tennis.
+pub fn descriptions(scale: f64, seed: u64) -> String {
+    let rows_n = ((944.0 * scale) as usize).max(200);
+    let ds = smartfeat_datasets::by_name("Tennis", rows_n, seed).expect("tennis exists");
+    let prep = prepare(&ds);
+    let eval_seed = seed.wrapping_add(1000);
+
+    let run = |names_only: bool| {
+        let out = run_smartfeat(
+            &prep.frame,
+            &ds,
+            SmartFeatConfig::default(),
+            names_only,
+            seed,
+        );
+        let scores = evaluate_frame(&out.frame, &prep.target, eval_seed)
+            .expect("evaluation succeeds");
+        (out.selected_count, scores)
+    };
+    let (full_count, full) = run(false);
+    let (bare_count, bare) = run(true);
+
+    let header = vec![
+        "Input".to_string(),
+        "# generated".to_string(),
+        "Avg AUC".to_string(),
+        "Median AUC".to_string(),
+    ];
+    let pct = |v: f64, base: f64| format!("{v:.2} ({:+.1}%)", (v - base) / base * 100.0);
+    let rows = vec![
+        vec![
+            "Full descriptions".to_string(),
+            full_count.to_string(),
+            format!("{:.2}", full.average()),
+            format!("{:.2}", full.median()),
+        ],
+        vec![
+            "Names only".to_string(),
+            bare_count.to_string(),
+            pct(bare.average(), full.average()),
+            pct(bare.median(), full.median()),
+        ],
+    ];
+    render_table(&header, &rows)
+}
+
+/// Figure 1 rendering: one row per dataset size.
+pub fn fig1(sizes: &[usize], seed: u64) -> String {
+    let header = vec![
+        "rows".to_string(),
+        "row-level calls".to_string(),
+        "row-level tokens".to_string(),
+        "row-level $".to_string(),
+        "row-level latency".to_string(),
+        "feat-level calls".to_string(),
+        "feat-level tokens".to_string(),
+        "feat-level $".to_string(),
+        "feat-level latency".to_string(),
+        "# features".to_string(),
+    ];
+    let rows: Vec<Vec<String>> = sizes
+        .iter()
+        .map(|&n| {
+            let c = crate::fig1::compare(n, seed);
+            vec![
+                n.to_string(),
+                c.row_level.calls.to_string(),
+                c.row_level.total_tokens().to_string(),
+                format!("{:.2}", c.row_level.cost_usd),
+                duration_cell(c.row_level.latency),
+                c.feature_level.calls.to_string(),
+                c.feature_level.total_tokens().to_string(),
+                format!("{:.4}", c.feature_level.cost_usd),
+                duration_cell(c.feature_level.latency),
+                c.features_generated.to_string(),
+            ]
+        })
+        .collect();
+    render_table(&header, &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_lists_eight_datasets() {
+        let t = table3(0.03, 1);
+        assert_eq!(t.lines().count(), 10); // header + rule + 8 rows
+        assert!(t.contains("Diabetes"));
+        assert!(t.contains("Sports"));
+    }
+
+    #[test]
+    fn table7_has_six_columns_and_avg() {
+        let t = table7(0.25, 5);
+        assert!(t.contains("+Extractor"));
+        assert!(t.contains("Avg"));
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 8); // header + rule + 5 models + avg
+    }
+
+    #[test]
+    fn descriptions_compares_two_inputs() {
+        let t = descriptions(0.2, 3);
+        assert!(t.contains("Names only"));
+        assert!(t.contains("Full descriptions"));
+    }
+}

@@ -1,0 +1,188 @@
+//! `smartfeat` — run feature construction on your own CSV from the shell.
+//!
+//! ```text
+//! smartfeat --csv data.csv --target label [options]
+//!
+//! options:
+//!   --csv PATH            input CSV (header row required)
+//!   --target NAME         prediction-class column
+//!   --out PATH            write the augmented CSV here (default: stdout summary only)
+//!   --describe COL=TEXT   feature description (repeatable; quote the pair)
+//!   --model NAME          downstream model named in prompts (default RF)
+//!   --seed N              FM seed (default 42)
+//!   --budget N            sampling budget per operator family (default 10)
+//!   --no-drop             disable the original-feature drop heuristic
+//!   --fm-removal          enable the FM feature-removal extension
+//!   --transcript          print the full FM dialogue afterwards
+//! ```
+//!
+//! The FM endpoints are the in-process simulated GPT-4 / GPT-3.5 pair; to
+//! target a real API implement `smartfeat_fm::FoundationModel` and use the
+//! library interface instead.
+
+use std::process::exit;
+
+use smartfeat::{DataAgenda, SmartFeat, SmartFeatConfig};
+use smartfeat_fm::{SimulatedFm, Transcribing};
+use smartfeat_frame::csv;
+
+struct Args {
+    csv: String,
+    target: String,
+    out: Option<String>,
+    descriptions: Vec<(String, String)>,
+    model: String,
+    seed: u64,
+    budget: usize,
+    drop_heuristic: bool,
+    fm_removal: bool,
+    transcript: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut csv = None;
+    let mut target = None;
+    let mut out = None;
+    let mut descriptions = Vec::new();
+    let mut model = "RF".to_string();
+    let mut seed = 42u64;
+    let mut budget = 10usize;
+    let mut drop_heuristic = true;
+    let mut fm_removal = false;
+    let mut transcript = false;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        let mut value = |what: &str| -> Result<String, String> {
+            argv.next().ok_or(format!("{what} needs a value"))
+        };
+        match arg.as_str() {
+            "--csv" => csv = Some(value("--csv")?),
+            "--target" => target = Some(value("--target")?),
+            "--out" => out = Some(value("--out")?),
+            "--describe" => {
+                let pair = value("--describe")?;
+                let (col, text) = pair
+                    .split_once('=')
+                    .ok_or("--describe expects COL=TEXT".to_string())?;
+                descriptions.push((col.trim().to_string(), text.trim().to_string()));
+            }
+            "--model" => model = value("--model")?,
+            "--seed" => {
+                seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--budget" => {
+                budget = value("--budget")?
+                    .parse()
+                    .map_err(|e| format!("bad --budget: {e}"))?;
+            }
+            "--no-drop" => drop_heuristic = false,
+            "--fm-removal" => fm_removal = true,
+            "--transcript" => transcript = true,
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok(Args {
+        csv: csv.ok_or("--csv is required")?,
+        target: target.ok_or("--target is required")?,
+        out,
+        descriptions,
+        model,
+        seed,
+        budget,
+        drop_heuristic,
+        fm_removal,
+        transcript,
+    })
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\nusage: smartfeat --csv data.csv --target label [options]");
+            exit(2);
+        }
+    };
+
+    let df = match csv::read_csv_path(std::path::Path::new(&args.csv)) {
+        Ok(df) => df,
+        Err(e) => {
+            eprintln!("error reading {}: {e}", args.csv);
+            exit(1);
+        }
+    };
+    if !df.has_column(&args.target) {
+        eprintln!(
+            "error: target column {:?} not found; columns are {:?}",
+            args.target,
+            df.column_names()
+        );
+        exit(1);
+    }
+    for (col, _) in &args.descriptions {
+        if !df.has_column(col) {
+            eprintln!(
+                "warning: --describe names unknown column {col:?}; columns are {:?}",
+                df.column_names()
+            );
+        }
+    }
+    let pairs: Vec<(&str, &str)> = args
+        .descriptions
+        .iter()
+        .map(|(a, b)| (a.as_str(), b.as_str()))
+        .collect();
+    let agenda = DataAgenda::from_frame(&df, &pairs, &args.target, &args.model);
+
+    let selector = Transcribing::new(SimulatedFm::gpt4(args.seed));
+    let generator = Transcribing::new(SimulatedFm::gpt35(args.seed.wrapping_add(1)));
+    let config = SmartFeatConfig {
+        sampling_budget: args.budget,
+        drop_heuristic: args.drop_heuristic,
+        fm_feature_removal: args.fm_removal,
+        seed: args.seed,
+        ..SmartFeatConfig::default()
+    };
+    let report = match SmartFeat::new(&selector, &generator, config).run(&df, &agenda) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("pipeline failed: {e}");
+            exit(1);
+        }
+    };
+
+    println!("{}", report.summary());
+    println!("Generated features:");
+    for g in &report.generated {
+        println!("  {:<40} {}", g.name, g.transform);
+    }
+    if !report.dropped_originals.is_empty() {
+        println!("Dropped originals: {:?}", report.dropped_originals);
+    }
+    if !report.fm_removed.is_empty() {
+        println!("FM-removed features: {:?}", report.fm_removed);
+    }
+    for (feature, source) in &report.source_suggestions {
+        println!("Suggested source for {feature}: {source}");
+    }
+
+    if let Some(path) = args.out {
+        if let Err(e) = csv::write_csv_path(&report.frame, std::path::Path::new(&path)) {
+            eprintln!("error writing {path}: {e}");
+            exit(1);
+        }
+        println!(
+            "\nAugmented dataset ({} columns) written to {path}",
+            report.frame.n_cols()
+        );
+    }
+
+    if args.transcript {
+        println!("\n=== operator-selector dialogue (gpt-4) ===");
+        println!("{}", selector.render(160));
+        println!("=== function-generator dialogue (gpt-3.5-turbo) ===");
+        println!("{}", generator.render(160));
+    }
+}

@@ -1,0 +1,211 @@
+//! Pipeline configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Which operator families run — the knob behind the paper's Table 7
+/// ablation (`Initial / +Unary / +Binary / +High-order / +Extractor / all`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OperatorMask {
+    /// Enable unary operators (proposal strategy).
+    pub unary: bool,
+    /// Enable binary arithmetic operators (sampling strategy).
+    pub binary: bool,
+    /// Enable the high-order GroupbyThenAgg operator (sampling strategy).
+    pub high_order: bool,
+    /// Enable extractor operators (sampling strategy).
+    pub extractor: bool,
+}
+
+impl OperatorMask {
+    /// All operator families enabled (the paper's "all" column).
+    pub fn all() -> Self {
+        OperatorMask {
+            unary: true,
+            binary: true,
+            high_order: true,
+            extractor: true,
+        }
+    }
+
+    /// No operator families enabled (the paper's "Initial" column).
+    pub fn none() -> Self {
+        OperatorMask {
+            unary: false,
+            binary: false,
+            high_order: false,
+            extractor: false,
+        }
+    }
+
+    /// Exactly one family enabled — the Table 7 `+Family` columns.
+    pub fn only(family: OperatorFamily) -> Self {
+        let mut m = OperatorMask::none();
+        match family {
+            OperatorFamily::Unary => m.unary = true,
+            OperatorFamily::Binary => m.binary = true,
+            OperatorFamily::HighOrder => m.high_order = true,
+            OperatorFamily::Extractor => m.extractor = true,
+        }
+        m
+    }
+}
+
+impl Default for OperatorMask {
+    fn default() -> Self {
+        OperatorMask::all()
+    }
+}
+
+/// The four operator families of Section 3.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OperatorFamily {
+    /// Normalization, bucketization, dummies, date splitting, ….
+    Unary,
+    /// The four basic arithmetic operators.
+    Binary,
+    /// GroupbyThenAgg.
+    HighOrder,
+    /// Complex extractions: indices, external knowledge, library functions.
+    Extractor,
+}
+
+impl OperatorFamily {
+    /// All families in pipeline order.
+    pub fn all() -> [OperatorFamily; 4] {
+        [
+            OperatorFamily::Unary,
+            OperatorFamily::Binary,
+            OperatorFamily::HighOrder,
+            OperatorFamily::Extractor,
+        ]
+    }
+
+    /// Display name matching the paper's Table 7 headers.
+    pub fn name(self) -> &'static str {
+        match self {
+            OperatorFamily::Unary => "Unary",
+            OperatorFamily::Binary => "Binary",
+            OperatorFamily::HighOrder => "High-order",
+            OperatorFamily::Extractor => "Extractor",
+        }
+    }
+}
+
+/// Full pipeline configuration (paper Section 3 defaults).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SmartFeatConfig {
+    /// Sampling budget per sampled operator family (the paper sets 10).
+    pub sampling_budget: usize,
+    /// Generation-error threshold per family: invalid or repeated samples
+    /// counted before the family's sampling stops.
+    pub error_threshold: usize,
+    /// Which operator families run.
+    pub operators: OperatorMask,
+    /// Keep only proposals at `certain`/`high` confidence (paper behaviour).
+    /// Disabling admits `medium` too — an ablation knob.
+    pub high_confidence_only: bool,
+    /// Allow the row-level completion fallback for knowledge features.
+    pub allow_row_completion: bool,
+    /// Row completion is attempted only when the relevant columns have at
+    /// most this many distinct value combinations (cost guard the paper
+    /// describes as "provide users with several examples and let them
+    /// decide … considering the associated cost").
+    pub row_completion_max_distinct: usize,
+    /// Dummy-expansion cardinality limit.
+    pub one_hot_limit: usize,
+    /// Apply the drop heuristic for superseded original features.
+    pub drop_heuristic: bool,
+    /// Apply the feature-evaluation filter (null / constant / high-card
+    /// dummies).
+    pub feature_filter: bool,
+    /// Null-fraction above which a generated feature is rejected.
+    pub max_null_fraction: f64,
+    /// Re-ask the FM this many times when a sampling response cannot be
+    /// parsed, before counting it against the error threshold (the
+    /// LangChain-style retry the paper's error discussion motivates).
+    pub retry_malformed: usize,
+    /// EXTENSION (paper §5 future work): after generation, ask the FM
+    /// which features are unlikely to help and remove them.
+    pub fm_feature_removal: bool,
+    /// Seed for everything stochastic in the pipeline.
+    pub seed: u64,
+}
+
+impl Default for SmartFeatConfig {
+    fn default() -> Self {
+        SmartFeatConfig {
+            sampling_budget: 10,
+            error_threshold: 5,
+            operators: OperatorMask::all(),
+            high_confidence_only: true,
+            allow_row_completion: true,
+            row_completion_max_distinct: 64,
+            one_hot_limit: 20,
+            drop_heuristic: true,
+            feature_filter: true,
+            max_null_fraction: 0.5,
+            retry_malformed: 1,
+            fm_feature_removal: false,
+            seed: 0,
+        }
+    }
+}
+
+impl SmartFeatConfig {
+    /// Validate invariants.
+    pub fn validate(&self) -> crate::error::Result<()> {
+        if self.sampling_budget == 0 {
+            return Err(crate::error::CoreError::InvalidConfig(
+                "sampling_budget must be positive".into(),
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.max_null_fraction) {
+            return Err(crate::error::CoreError::InvalidConfig(format!(
+                "max_null_fraction {} outside [0, 1]",
+                self.max_null_fraction
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = SmartFeatConfig::default();
+        assert_eq!(c.sampling_budget, 10);
+        assert!(c.operators.unary && c.operators.extractor);
+        assert!(c.high_confidence_only);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn only_masks() {
+        let m = OperatorMask::only(OperatorFamily::Binary);
+        assert!(m.binary);
+        assert!(!m.unary && !m.high_order && !m.extractor);
+    }
+
+    #[test]
+    fn validation_rejects_bad_values() {
+        let c = SmartFeatConfig {
+            sampling_budget: 0,
+            ..SmartFeatConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = SmartFeatConfig {
+            max_null_fraction: 1.5,
+            ..SmartFeatConfig::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn family_names() {
+        assert_eq!(OperatorFamily::HighOrder.name(), "High-order");
+        assert_eq!(OperatorFamily::all().len(), 4);
+    }
+}

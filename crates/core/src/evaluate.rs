@@ -1,0 +1,183 @@
+//! Feature evaluation (paper Section 3.3, "Evaluating generated features"):
+//! a verification mechanism that rejects low-quality generated columns —
+//! highly null, single-valued, or duplicating an existing column.
+//! (High-cardinality dummy expansion is rejected earlier, at transform
+//! execution, by the cardinality guard.)
+
+use smartfeat_frame::{Column, DataFrame};
+
+use crate::report::SkipReason;
+
+/// Check one freshly-generated column against the frame it would join.
+/// Returns the reason to skip it, or `None` if it passes.
+pub fn check_new_column(
+    col: &Column,
+    df: &DataFrame,
+    max_null_fraction: f64,
+) -> Option<SkipReason> {
+    let null_fraction = col.null_fraction();
+    if null_fraction > max_null_fraction {
+        return Some(SkipReason::HighNull(null_fraction));
+    }
+    if col.is_constant() {
+        return Some(SkipReason::SingleValued);
+    }
+    if df.has_column(col.name()) {
+        return Some(SkipReason::Duplicate(col.name().to_string()));
+    }
+    // A column that is an exact or affine duplicate of an existing one
+    // adds no information (identity transforms, min-max/z-score rescales
+    // of a column that is still present) — it only double-counts evidence
+    // for models like naive Bayes.
+    for existing in df.columns() {
+        if columns_identical(col, existing) {
+            return Some(SkipReason::Duplicate(existing.name().to_string()));
+        }
+        // Positive-affine rescales of a surviving column (min-max / z-score
+        // copies) only double-count evidence; r = +1 with ≥ 3 overlapping
+        // points identifies them. Negative-affine derivations (e.g. the
+        // paper's manufacturing year = 2024 − car age) re-express the
+        // quantity on a meaningful scale and are kept, as the paper does.
+        if existing.is_numeric() && col.is_numeric() {
+            let a = col.to_f64();
+            let b = existing.to_f64();
+            let complete = a
+                .iter()
+                .zip(&b)
+                .filter(|(x, y)| x.is_some() && y.is_some())
+                .count();
+            if complete >= 3 {
+                if let Some(r) = smartfeat_frame::stats::pearson(&a, &b) {
+                    if r > 0.9999 {
+                        return Some(SkipReason::Duplicate(existing.name().to_string()));
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Value-level equality of two columns (nulls align, values render equal).
+fn columns_identical(a: &Column, b: &Column) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    for i in 0..a.len() {
+        match (a.is_null(i), b.is_null(i)) {
+            (true, true) => continue,
+            (false, false) => {
+                // Compare numerically when both are numeric to catch
+                // Int-vs-Float storage of the same values.
+                let av = a.get(i);
+                let bv = b.get(i);
+                let equal = match (av.as_f64(), bv.as_f64()) {
+                    (Some(x), Some(y)) => x == y,
+                    _ => av.render() == bv.render(),
+                };
+                if !equal {
+                    return false;
+                }
+            }
+            _ => return false,
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartfeat_frame::DataFrame;
+
+    fn base() -> DataFrame {
+        DataFrame::from_columns(vec![
+            Column::from_i64("a", vec![1, 2, 3, 4]),
+            Column::from_f64("b", vec![0.5, 1.0, 1.5, 2.0]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn passes_a_good_column() {
+        let c = Column::from_f64("new", vec![9.0, 1.0, 7.0, 3.0]);
+        assert_eq!(check_new_column(&c, &base(), 0.5), None);
+    }
+
+    #[test]
+    fn rejects_positive_affine_duplicate_keeps_negated() {
+        // 2x + 1 of column "a": same information, rescaled.
+        let c = Column::from_f64("a_scaled", vec![3.0, 5.0, 7.0, 9.0]);
+        assert!(matches!(
+            check_new_column(&c, &base(), 0.5),
+            Some(SkipReason::Duplicate(n)) if n == "a"
+        ));
+        // 2024 − a (the paper's F2 shape): kept.
+        let f2 = Column::from_f64("year", vec![2023.0, 2022.0, 2021.0, 2020.0]);
+        assert_eq!(check_new_column(&f2, &base(), 0.5), None);
+    }
+
+    #[test]
+    fn rejects_high_null() {
+        let c = Column::from_floats("new", vec![Some(1.0), None, None, None]);
+        assert!(matches!(
+            check_new_column(&c, &base(), 0.5),
+            Some(SkipReason::HighNull(f)) if f == 0.75
+        ));
+    }
+
+    #[test]
+    fn rejects_constant() {
+        let c = Column::from_i64("new", vec![7, 7, 7, 7]);
+        assert_eq!(
+            check_new_column(&c, &base(), 0.5),
+            Some(SkipReason::SingleValued)
+        );
+    }
+
+    #[test]
+    fn rejects_name_clash() {
+        let c = Column::from_f64("a", vec![9.0, 8.0, 7.0, 6.0]);
+        assert!(matches!(
+            check_new_column(&c, &base(), 0.5),
+            Some(SkipReason::Duplicate(n)) if n == "a"
+        ));
+    }
+
+    #[test]
+    fn rejects_value_duplicate_across_storage_types() {
+        // Same values as integer column "a" but stored as floats.
+        let c = Column::from_f64("a_copy", vec![1.0, 2.0, 3.0, 4.0]);
+        assert!(matches!(
+            check_new_column(&c, &base(), 0.5),
+            Some(SkipReason::Duplicate(n)) if n == "a"
+        ));
+    }
+
+    #[test]
+    fn null_alignment_matters_for_duplicates() {
+        let df = DataFrame::from_columns(vec![Column::from_floats(
+            "x",
+            vec![Some(1.0), None, Some(3.0)],
+        )])
+        .unwrap();
+        let same = Column::from_floats("y", vec![Some(1.0), None, Some(3.0)]);
+        assert!(matches!(
+            check_new_column(&same, &df, 0.5),
+            Some(SkipReason::Duplicate(_))
+        ));
+        // Only two overlapping pairs with "x": too little evidence for the
+        // affine-duplicate check, so the column passes.
+        let different = Column::from_floats("z", vec![Some(1.0), Some(9.0), Some(2.0)]);
+        assert_eq!(check_new_column(&different, &df, 0.5), None);
+    }
+
+    #[test]
+    fn all_null_column_rejected_as_high_null() {
+        let c = Column::from_floats("new", vec![None, None, None, None]);
+        assert!(matches!(
+            check_new_column(&c, &base(), 0.5),
+            Some(SkipReason::HighNull(_))
+        ));
+    }
+}

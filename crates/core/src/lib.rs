@@ -1,0 +1,46 @@
+//! # smartfeat
+//!
+//! SMARTFEAT: efficient feature construction through **feature-level**
+//! foundation-model interactions (Lin, Jagadish, Ding, Zhou — CIDR 2024),
+//! reproduced in Rust over a simulated FM.
+//!
+//! The tool takes a dataset (a [`smartfeat_frame::DataFrame`]), a *data
+//! agenda* (feature descriptions + prediction target + downstream model),
+//! and two FM handles (the paper uses GPT-4 for operator selection and
+//! GPT-3.5-turbo for function generation), and iteratively grows the
+//! feature set:
+//!
+//! 1. the **operator selector** ([`selector`]) prompts the FM with
+//!    operator-guided templates — *proposal* strategy for unary operators,
+//!    *sampling* strategy for binary / high-order / extractor operators —
+//!    and parses candidate features out of the responses;
+//! 2. the **function generator** ([`generator`]) turns each candidate into
+//!    an executable [`transform::TransformFunction`], falls back to
+//!    row-level FM completion when no closed form exists, or surfaces a
+//!    suggested external data source;
+//! 3. the **feature evaluation** step ([`evaluate`]) removes highly-null,
+//!    single-valued and high-cardinality-dummy features, and the pipeline's
+//!    drop heuristic retires superseded originals.
+//!
+//! Everything is orchestrated by [`pipeline::SmartFeat`], which returns a
+//! [`report::SmartFeatReport`] with the augmented frame, per-feature
+//! provenance, and exact FM usage accounting.
+
+pub mod config;
+pub mod error;
+pub mod evaluate;
+pub mod fmout;
+pub mod generator;
+pub mod operators;
+pub mod pipeline;
+pub mod prompts;
+pub mod report;
+pub mod schema;
+pub mod selector;
+pub mod transform;
+
+pub use config::SmartFeatConfig;
+pub use error::{CoreError, Result};
+pub use pipeline::SmartFeat;
+pub use report::{GeneratedFeature, SkipReason, SmartFeatReport};
+pub use schema::{DataAgenda, FeatureDescription};

@@ -1,0 +1,215 @@
+//! Candidate features: what the operator selector hands to the function
+//! generator.
+
+use smartfeat_frame::ops::{AggFunc, BinaryOp};
+
+use crate::config::OperatorFamily;
+
+/// Operator-specific payload of a candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OperatorSpec {
+    /// A unary operator chosen by the proposal strategy.
+    Unary {
+        /// Operator name from the FM proposal (`bucketize`, `normalize`, …).
+        op: String,
+    },
+    /// A binary arithmetic combination.
+    Binary {
+        /// The arithmetic operator.
+        op: BinaryOp,
+    },
+    /// GroupbyThenAgg.
+    HighOrder {
+        /// Group-key columns.
+        group_cols: Vec<String>,
+        /// Aggregated column.
+        agg_col: String,
+        /// Aggregation function.
+        func: AggFunc,
+    },
+    /// A weighted combination of several attributes.
+    WeightedIndex {
+        /// Component weights aligned with the candidate's columns.
+        weights: Vec<f64>,
+        /// Standardize components before combining.
+        normalize: bool,
+    },
+    /// A per-unit ratio (extractor flavor of division).
+    PerUnit,
+    /// External knowledge lookup (no closed-form function).
+    ExternalLookup {
+        /// Knowledge table identifier (e.g. `city_population_density`).
+        knowledge: String,
+    },
+}
+
+/// One candidate feature: name, inputs, description and how to compute it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// Feature name (paper naming: `OpName_OrgAttr`, `GroupBy_…`, `A_op_B`).
+    pub name: String,
+    /// Relevant (input) columns.
+    pub columns: Vec<String>,
+    /// Natural-language description (flows into the data agenda).
+    pub description: String,
+    /// Operator payload.
+    pub spec: OperatorSpec,
+    /// Which family produced it.
+    pub family: OperatorFamily,
+}
+
+impl Candidate {
+    /// The operator hint embedded in the function-generation prompt.
+    pub fn hint(&self) -> String {
+        match &self.spec {
+            OperatorSpec::Unary { op } => op.clone(),
+            OperatorSpec::Binary { .. } => "arithmetic".into(),
+            OperatorSpec::HighOrder { .. } => "groupby".into(),
+            OperatorSpec::WeightedIndex { .. } => "weighted_index".into(),
+            OperatorSpec::PerUnit => "per_unit".into(),
+            OperatorSpec::ExternalLookup { .. } => "external_lookup".into(),
+        }
+    }
+
+    /// Arithmetic symbol for binary candidates.
+    pub fn arithmetic_op(&self) -> Option<&'static str> {
+        match &self.spec {
+            OperatorSpec::Binary { op } => Some(op.symbol()),
+            _ => None,
+        }
+    }
+
+    /// Aggregate function name for high-order candidates.
+    pub fn agg_function(&self) -> Option<&'static str> {
+        match &self.spec {
+            OperatorSpec::HighOrder { func, .. } => Some(func.name()),
+            _ => None,
+        }
+    }
+
+    /// Weights as CSV for weighted-index candidates.
+    pub fn weights_csv(&self) -> Option<String> {
+        match &self.spec {
+            OperatorSpec::WeightedIndex { weights, .. } => Some(
+                weights
+                    .iter()
+                    .map(|w| format!("{w}"))
+                    .collect::<Vec<_>>()
+                    .join(","),
+            ),
+            _ => None,
+        }
+    }
+
+    /// Knowledge table for external-lookup candidates.
+    pub fn knowledge_source(&self) -> Option<&str> {
+        match &self.spec {
+            OperatorSpec::ExternalLookup { knowledge } => Some(knowledge),
+            _ => None,
+        }
+    }
+
+    /// A dedup key: candidates producing the same feature are duplicates
+    /// regardless of the descriptions the FM attached.
+    pub fn dedup_key(&self) -> String {
+        match &self.spec {
+            OperatorSpec::Unary { op } => format!("u:{}:{}", op, self.columns.join(",")),
+            OperatorSpec::Binary { op } => {
+                let mut cols = self.columns.clone();
+                if !op.is_ordered() {
+                    cols.sort();
+                }
+                format!("b:{}:{}", op.token(), cols.join(","))
+            }
+            OperatorSpec::HighOrder {
+                group_cols,
+                agg_col,
+                func,
+            } => {
+                let mut g = group_cols.clone();
+                g.sort();
+                format!("h:{}:{}:{}", g.join("+"), func.name(), agg_col)
+            }
+            OperatorSpec::WeightedIndex { .. } => format!("w:{}", self.columns.join(",")),
+            OperatorSpec::PerUnit => format!("p:{}", self.columns.join(",")),
+            OperatorSpec::ExternalLookup { knowledge } => {
+                format!("e:{}:{}", knowledge, self.columns.join(","))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn binary(cols: &[&str], op: BinaryOp) -> Candidate {
+        Candidate {
+            name: "x".into(),
+            columns: cols.iter().map(|s| s.to_string()).collect(),
+            description: String::new(),
+            spec: OperatorSpec::Binary { op },
+            family: OperatorFamily::Binary,
+        }
+    }
+
+    #[test]
+    fn commutative_ops_dedup_regardless_of_order() {
+        let a = binary(&["A", "B"], BinaryOp::Add);
+        let b = binary(&["B", "A"], BinaryOp::Add);
+        assert_eq!(a.dedup_key(), b.dedup_key());
+        let c = binary(&["A", "B"], BinaryOp::Sub);
+        let d = binary(&["B", "A"], BinaryOp::Sub);
+        assert_ne!(c.dedup_key(), d.dedup_key());
+    }
+
+    #[test]
+    fn highorder_dedup_ignores_group_order() {
+        let mk = |g: Vec<&str>| Candidate {
+            name: "x".into(),
+            columns: vec![],
+            description: String::new(),
+            spec: OperatorSpec::HighOrder {
+                group_cols: g.iter().map(|s| s.to_string()).collect(),
+                agg_col: "v".into(),
+                func: AggFunc::Mean,
+            },
+            family: OperatorFamily::HighOrder,
+        };
+        assert_eq!(
+            mk(vec!["a", "b"]).dedup_key(),
+            mk(vec!["b", "a"]).dedup_key()
+        );
+    }
+
+    #[test]
+    fn hints_cover_all_specs() {
+        assert_eq!(binary(&["A", "B"], BinaryOp::Mul).hint(), "arithmetic");
+        let u = Candidate {
+            name: "n".into(),
+            columns: vec!["c".into()],
+            description: String::new(),
+            spec: OperatorSpec::Unary {
+                op: "bucketize".into(),
+            },
+            family: OperatorFamily::Unary,
+        };
+        assert_eq!(u.hint(), "bucketize");
+        assert_eq!(u.arithmetic_op(), None);
+    }
+
+    #[test]
+    fn weights_csv_renders() {
+        let w = Candidate {
+            name: "idx".into(),
+            columns: vec!["a".into(), "b".into()],
+            description: String::new(),
+            spec: OperatorSpec::WeightedIndex {
+                weights: vec![1.0, -1.0],
+                normalize: true,
+            },
+            family: OperatorFamily::Extractor,
+        };
+        assert_eq!(w.weights_csv().unwrap(), "1,-1");
+    }
+}

@@ -1,0 +1,612 @@
+//! The SMARTFEAT pipeline: operator-guided feature generation
+//! (paper Section 3.2, "Generating the candidate feature set").
+//!
+//! Order of exploration, as in the paper: unary operators over each
+//! original feature with the *proposal* strategy; then binary and
+//! high-order operators with the *sampling* strategy over the enriched
+//! agenda; then extractors; finally the drop heuristic retires original
+//! features that were unary-transformed and never referenced again.
+
+use std::collections::HashSet;
+
+use smartfeat_fm::FoundationModel;
+use smartfeat_frame::DataFrame;
+
+use crate::config::{OperatorFamily, SmartFeatConfig};
+use crate::error::Result;
+use crate::evaluate::check_new_column;
+use crate::generator::{FunctionGenerator, Generated};
+use crate::operators::Candidate;
+use crate::report::{GeneratedFeature, SkipReason, SkippedFeature, SmartFeatReport};
+use crate::schema::DataAgenda;
+use crate::selector::{OperatorSelector, Sample};
+use crate::transform;
+
+/// The SMARTFEAT tool: two FM handles (selector / generator roles) plus a
+/// configuration.
+///
+/// ```
+/// use smartfeat::{DataAgenda, SmartFeat, SmartFeatConfig};
+/// use smartfeat_fm::SimulatedFm;
+/// use smartfeat_frame::{Column, DataFrame};
+///
+/// let df = DataFrame::from_columns(vec![
+///     Column::from_i64("Age", (0..40).map(|i| 18 + (i * 7) % 50).collect()),
+///     Column::from_i64("Safe", (0..40).map(|i| i % 2).collect()),
+/// ])
+/// .unwrap();
+/// let agenda = DataAgenda::from_frame(
+///     &df,
+///     &[("Age", "Age of the policyholder in years")],
+///     "Safe",
+///     "RF",
+/// );
+/// let selector = SimulatedFm::gpt4(1);
+/// let generator = SimulatedFm::gpt35(2);
+/// let report = SmartFeat::new(&selector, &generator, SmartFeatConfig::default())
+///     .run(&df, &agenda)
+///     .unwrap();
+/// assert!(report.frame.has_column("Bucketized_Age"));
+/// ```
+pub struct SmartFeat<'a> {
+    selector_fm: &'a dyn FoundationModel,
+    generator_fm: &'a dyn FoundationModel,
+    config: SmartFeatConfig,
+}
+
+/// Internal mutable state of one run.
+struct RunState {
+    frame: DataFrame,
+    agenda: DataAgenda,
+    generated: Vec<GeneratedFeature>,
+    skipped: Vec<SkippedFeature>,
+    source_suggestions: Vec<(String, String)>,
+    seen_keys: HashSet<String>,
+    /// Original features that received a unary-derived feature.
+    unary_transformed: HashSet<String>,
+    /// Original features referenced by accepted non-unary candidates.
+    referenced: HashSet<String>,
+}
+
+impl<'a> SmartFeat<'a> {
+    /// Create the tool. The paper uses GPT-4 as `selector_fm` and
+    /// GPT-3.5-turbo as `generator_fm`.
+    pub fn new(
+        selector_fm: &'a dyn FoundationModel,
+        generator_fm: &'a dyn FoundationModel,
+        config: SmartFeatConfig,
+    ) -> Self {
+        SmartFeat {
+            selector_fm,
+            generator_fm,
+            config,
+        }
+    }
+
+    /// Run feature construction over `df` with the given agenda
+    /// (descriptions + target + downstream model).
+    pub fn run(&self, df: &DataFrame, agenda: &DataAgenda) -> Result<SmartFeatReport> {
+        self.config.validate()?;
+        let selector_before = self.selector_fm.meter().snapshot();
+        let generator_before = self.generator_fm.meter().snapshot();
+
+        let mut state = RunState {
+            frame: df.clone(),
+            agenda: agenda.clone(),
+            generated: Vec::new(),
+            skipped: Vec::new(),
+            source_suggestions: Vec::new(),
+            seen_keys: HashSet::new(),
+            unary_transformed: HashSet::new(),
+            referenced: HashSet::new(),
+        };
+        let selector = OperatorSelector::new(self.selector_fm, &self.config);
+        let generator = FunctionGenerator::new(self.generator_fm, &self.config);
+
+        if self.config.operators.unary {
+            self.unary_phase(&selector, &generator, &mut state)?;
+        }
+        if self.config.operators.binary {
+            self.sampling_phase(OperatorFamily::Binary, &selector, &generator, &mut state)?;
+        }
+        if self.config.operators.high_order {
+            self.sampling_phase(OperatorFamily::HighOrder, &selector, &generator, &mut state)?;
+        }
+        if self.config.operators.extractor {
+            self.sampling_phase(OperatorFamily::Extractor, &selector, &generator, &mut state)?;
+        }
+
+        let dropped_originals = if self.config.drop_heuristic {
+            self.apply_drop_heuristic(&mut state)
+        } else {
+            Vec::new()
+        };
+        let fm_removed = if self.config.fm_feature_removal {
+            self.fm_removal_pass(&mut state)?
+        } else {
+            Vec::new()
+        };
+
+        let selector_after = self.selector_fm.meter().snapshot();
+        let generator_after = self.generator_fm.meter().snapshot();
+        Ok(SmartFeatReport {
+            frame: state.frame,
+            generated: state.generated,
+            skipped: state.skipped,
+            dropped_originals,
+            fm_removed,
+            source_suggestions: state.source_suggestions,
+            agenda: state.agenda,
+            selector_usage: snapshot_delta(selector_before, selector_after),
+            generator_usage: snapshot_delta(generator_before, generator_after),
+        })
+    }
+
+    /// Unary exploration with the proposal strategy, one call per original
+    /// feature.
+    fn unary_phase(
+        &self,
+        selector: &OperatorSelector,
+        generator: &FunctionGenerator,
+        state: &mut RunState,
+    ) -> Result<()> {
+        for attr in state.agenda.original_names() {
+            let candidates = selector.propose_unary(&state.agenda, &attr)?;
+            for cand in candidates {
+                if !state.seen_keys.insert(cand.dedup_key()) {
+                    continue; // silently skip re-proposed operators
+                }
+                let accepted = self.realize(generator, state, &cand)?;
+                if accepted {
+                    state.unary_transformed.insert(attr.clone());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Sampling exploration for one family: continue until the sampling
+    /// budget or the generation-error threshold is reached (paper §3.2).
+    fn sampling_phase(
+        &self,
+        family: OperatorFamily,
+        selector: &OperatorSelector,
+        generator: &FunctionGenerator,
+        state: &mut RunState,
+    ) -> Result<()> {
+        let mut errors = 0usize;
+        for _ in 0..self.config.sampling_budget {
+            if errors >= self.config.error_threshold {
+                break;
+            }
+            // One sample, with LangChain-style retries when the response is
+            // unparseable: re-ask up to `retry_malformed` times before the
+            // failure counts against the error threshold.
+            let mut sample = Sample::Invalid(String::new());
+            for _attempt in 0..=self.config.retry_malformed {
+                sample = match family {
+                    OperatorFamily::Binary => selector.sample_binary(&state.agenda)?,
+                    OperatorFamily::HighOrder => selector.sample_highorder(&state.agenda)?,
+                    OperatorFamily::Extractor => selector.sample_extractor(&state.agenda)?,
+                    OperatorFamily::Unary => unreachable!("unary uses the proposal strategy"),
+                };
+                if !matches!(sample, Sample::Invalid(_)) {
+                    break;
+                }
+            }
+            match sample {
+                Sample::Exhausted => break,
+                Sample::Invalid(_) => {
+                    errors += 1;
+                    state.skipped.push(SkippedFeature {
+                        name: format!("<{} sample>", family.name()),
+                        family,
+                        reason: SkipReason::InvalidSample,
+                    });
+                }
+                Sample::Candidate(cand) => {
+                    if !state.seen_keys.insert(cand.dedup_key()) {
+                        errors += 1;
+                        state.skipped.push(SkippedFeature {
+                            name: cand.name.clone(),
+                            family,
+                            reason: SkipReason::RepeatedSample,
+                        });
+                        continue;
+                    }
+                    let accepted = self.realize(generator, state, &cand)?;
+                    if accepted {
+                        for col in &cand.columns {
+                            state.referenced.insert(col.clone());
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Generate the function for a candidate, execute it, filter the
+    /// resulting column(s), and attach survivors. Returns whether at least
+    /// one column was kept.
+    fn realize(
+        &self,
+        generator: &FunctionGenerator,
+        state: &mut RunState,
+        cand: &Candidate,
+    ) -> Result<bool> {
+        let generated = match generator.generate(&state.agenda, cand) {
+            Ok(g) => g,
+            Err(crate::error::CoreError::InvalidTransform(msg))
+            | Err(crate::error::CoreError::RowCompletionUnavailable(msg)) => {
+                state.skipped.push(SkippedFeature {
+                    name: cand.name.clone(),
+                    family: cand.family,
+                    reason: SkipReason::GenerationFailed(msg),
+                });
+                return Ok(false);
+            }
+            Err(e) => return Err(e),
+        };
+        let func = match generated {
+            Generated::Function(f) => f,
+            Generated::SourceSuggestion(src) => {
+                state
+                    .source_suggestions
+                    .push((cand.name.clone(), src.clone()));
+                state.skipped.push(SkippedFeature {
+                    name: cand.name.clone(),
+                    family: cand.family,
+                    reason: SkipReason::SourceOnly(src),
+                });
+                return Ok(false);
+            }
+        };
+        let columns = match transform::apply(
+            &func,
+            &state.frame,
+            &cand.name,
+            Some(self.generator_fm),
+            self.config.row_completion_max_distinct,
+        ) {
+            Ok(cols) => cols,
+            Err(e) => {
+                state.skipped.push(SkippedFeature {
+                    name: cand.name.clone(),
+                    family: cand.family,
+                    reason: SkipReason::TransformFailed(e.to_string()),
+                });
+                return Ok(false);
+            }
+        };
+        let mut kept_any = false;
+        for col in columns {
+            if self.config.feature_filter {
+                if let Some(reason) =
+                    check_new_column(&col, &state.frame, self.config.max_null_fraction)
+                {
+                    state.skipped.push(SkippedFeature {
+                        name: col.name().to_string(),
+                        family: cand.family,
+                        reason,
+                    });
+                    continue;
+                }
+            } else if state.frame.has_column(col.name()) {
+                state.skipped.push(SkippedFeature {
+                    name: col.name().to_string(),
+                    family: cand.family,
+                    reason: SkipReason::Duplicate(col.name().to_string()),
+                });
+                continue;
+            }
+            let name = col.name().to_string();
+            let dtype = col.dtype().name().to_string();
+            let distinct = col.cardinality();
+            state.frame.add_column(col)?;
+            state.agenda.push_generated(
+                &name,
+                &dtype,
+                Some(distinct),
+                &cand.description,
+                cand.family,
+            );
+            state.generated.push(GeneratedFeature {
+                name,
+                family: cand.family,
+                columns: cand.columns.clone(),
+                description: cand.description.clone(),
+                transform: format!("{func:?}"),
+            });
+            kept_any = true;
+        }
+        Ok(kept_any)
+    }
+
+    /// EXTENSION (paper §5 future work): ask the FM which features are
+    /// unlikely to help, and remove the ones it names. The target column
+    /// and anything the FM hallucinates are ignored.
+    fn fm_removal_pass(&self, state: &mut RunState) -> Result<Vec<String>> {
+        let prompt = crate::prompts::feature_removal(&state.agenda);
+        let response = self.selector_fm.complete(&prompt).map_err(crate::error::CoreError::from)?;
+        let text = response.text.trim();
+        if text.eq_ignore_ascii_case("none") {
+            return Ok(Vec::new());
+        }
+        let mut removed = Vec::new();
+        for name in text.split(',').map(str::trim) {
+            if name.is_empty() || name == state.agenda.target {
+                continue;
+            }
+            if state.agenda.has(name) && state.frame.drop_column(name).is_ok() {
+                state.agenda.remove(name);
+                // Keep the report consistent: a removed column must not be
+                // listed as a kept generated feature.
+                state.generated.retain(|g| g.name != name);
+                removed.push(name.to_string());
+            }
+        }
+        Ok(removed)
+    }
+
+    /// Drop heuristic (paper §3.2): an original feature that was unary
+    /// transformed and is used by no other operator is removed.
+    fn apply_drop_heuristic(&self, state: &mut RunState) -> Vec<String> {
+        let mut dropped = Vec::new();
+        let originals = state.agenda.original_names();
+        for name in originals {
+            if state.unary_transformed.contains(&name) && !state.referenced.contains(&name)
+                && state.frame.drop_column(&name).is_ok() {
+                    state.agenda.remove(&name);
+                    dropped.push(name);
+                }
+        }
+        dropped
+    }
+}
+
+fn snapshot_delta(
+    before: smartfeat_fm::UsageSnapshot,
+    after: smartfeat_fm::UsageSnapshot,
+) -> smartfeat_fm::UsageSnapshot {
+    smartfeat_fm::UsageSnapshot {
+        calls: after.calls - before.calls,
+        prompt_tokens: after.prompt_tokens - before.prompt_tokens,
+        completion_tokens: after.completion_tokens - before.completion_tokens,
+        cost_usd: after.cost_usd - before.cost_usd,
+        latency: after.latency.saturating_sub(before.latency),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::OperatorMask;
+    use smartfeat_fm::{FmConfig, ModelSpec, SimulatedFm};
+    use smartfeat_frame::Column;
+
+    /// The paper's Table 1 insurance example, expanded to enough rows for
+    /// meaningful group-bys.
+    fn insurance() -> (DataFrame, DataAgenda) {
+        let n = 40usize;
+        let cities = ["SF", "LA", "SEA"];
+        let models = ["Civic", "Corolla", "Mustang", "Cruze", "X5", "Golf"];
+        let mut age = Vec::new();
+        let mut car_age = Vec::new();
+        let mut city = Vec::new();
+        let mut model = Vec::new();
+        let mut claim = Vec::new();
+        let mut safe = Vec::new();
+        for i in 0..n {
+            age.push(18 + ((i * 7) % 50) as i64);
+            car_age.push(1 + ((i * 3) % 15) as i64);
+            city.push(cities[i % 3]);
+            model.push(models[i % 6]);
+            let c = i64::from(i % 4 == 0);
+            claim.push(c);
+            safe.push(1 - c);
+        }
+        let df = DataFrame::from_columns(vec![
+            Column::from_i64("Age", age),
+            Column::from_i64("Age_of_car", car_age),
+            Column::from_str_slice("Make_Model", &model),
+            Column::from_i64("Claim", claim),
+            Column::from_str_slice("City", &city),
+            Column::from_i64("Safe", safe),
+        ])
+        .unwrap();
+        let agenda = DataAgenda::from_frame(
+            &df,
+            &[
+                ("Age", "Age of the policyholder in years"),
+                ("Age_of_car", "Age of the insured car in years"),
+                ("Make_Model", "Make and model of the car"),
+                ("Claim", "Whether a claim was filed in the last 6 months"),
+                ("City", "City where the policyholder lives"),
+            ],
+            "Safe",
+            "RF",
+        );
+        (df, agenda)
+    }
+
+    fn run_default(seed: u64) -> SmartFeatReport {
+        let (df, agenda) = insurance();
+        let sel = SimulatedFm::gpt4(seed);
+        let gen = SimulatedFm::gpt35(seed.wrapping_add(1));
+        let sf = SmartFeat::new(&sel, &gen, SmartFeatConfig::default());
+        sf.run(&df, &agenda).unwrap()
+    }
+
+    #[test]
+    fn generates_the_papers_motivating_features() {
+        let r = run_default(42);
+        let names = r.new_feature_names().join(",");
+        // F1: bucketized age.
+        assert!(names.contains("Bucketized_Age"), "{names}");
+        // F2: manufacturing year (years_since on car age).
+        assert!(names.contains("YearsSince_Age_of_car"), "{names}");
+        // F4: city population density via row completion.
+        assert!(names.contains("population_density"), "{names}");
+        // F3-style: at least one group-by feature.
+        assert!(names.contains("GroupBy_"), "{names}");
+    }
+
+    #[test]
+    fn report_is_consistent_with_frame() {
+        let r = run_default(1);
+        for g in &r.generated {
+            assert!(
+                r.frame.has_column(&g.name),
+                "generated {} missing from frame",
+                g.name
+            );
+            assert!(r.agenda.has(&g.name), "generated {} missing from agenda", g.name);
+        }
+        assert_eq!(r.frame.n_rows(), 40);
+        // No duplicate names.
+        let mut names: Vec<&str> = r.frame.column_names();
+        names.sort_unstable();
+        let len = names.len();
+        names.dedup();
+        assert_eq!(names.len(), len);
+    }
+
+    #[test]
+    fn deterministic_given_seeds() {
+        let a = run_default(9);
+        let b = run_default(9);
+        assert_eq!(a.new_feature_names(), b.new_feature_names());
+        assert_eq!(a.selector_usage.calls, b.selector_usage.calls);
+    }
+
+    #[test]
+    fn operator_mask_restricts_families() {
+        let (df, agenda) = insurance();
+        let sel = SimulatedFm::gpt4(5);
+        let gen = SimulatedFm::gpt35(6);
+        let cfg = SmartFeatConfig {
+            operators: OperatorMask::only(crate::config::OperatorFamily::HighOrder),
+            ..SmartFeatConfig::default()
+        };
+        let r = SmartFeat::new(&sel, &gen, cfg).run(&df, &agenda).unwrap();
+        assert!(!r.generated.is_empty());
+        for g in &r.generated {
+            assert_eq!(g.family, OperatorFamily::HighOrder);
+        }
+        assert_eq!(
+            r.generator_usage.calls, 0,
+            "high-order functions are built without FM round-trips"
+        );
+    }
+
+    #[test]
+    fn initial_mask_generates_nothing() {
+        let (df, agenda) = insurance();
+        let sel = SimulatedFm::gpt4(5);
+        let gen = SimulatedFm::gpt35(6);
+        let cfg = SmartFeatConfig {
+            operators: OperatorMask::none(),
+            ..SmartFeatConfig::default()
+        };
+        let r = SmartFeat::new(&sel, &gen, cfg).run(&df, &agenda).unwrap();
+        assert!(r.generated.is_empty());
+        assert_eq!(r.selector_usage.calls, 0);
+        assert_eq!(r.frame.n_cols(), df.n_cols());
+    }
+
+    #[test]
+    fn error_threshold_stops_sampling_under_degraded_fm() {
+        let (df, agenda) = insurance();
+        let sel = SimulatedFm::new(
+            ModelSpec::gpt4(),
+            FmConfig {
+                seed: 2,
+                error_rate: 1.0,
+                ..FmConfig::default()
+            },
+        );
+        let gen = SimulatedFm::gpt35(3);
+        let cfg = SmartFeatConfig {
+            operators: OperatorMask::only(crate::config::OperatorFamily::Binary),
+            error_threshold: 3,
+            sampling_budget: 50,
+            ..SmartFeatConfig::default()
+        };
+        let r = SmartFeat::new(&sel, &gen, cfg).run(&df, &agenda).unwrap();
+        // Sampling must have stopped well before the budget: with every
+        // output degraded, errors accumulate fast.
+        assert!(
+            r.selector_usage.calls < 50,
+            "made {} calls",
+            r.selector_usage.calls
+        );
+        assert!(r.generation_errors() >= 3 || r.generated.is_empty());
+    }
+
+    #[test]
+    fn drop_heuristic_removes_superseded_originals() {
+        let (df, agenda) = insurance();
+        let sel = SimulatedFm::gpt4(7);
+        let gen = SimulatedFm::gpt35(8);
+        let cfg = SmartFeatConfig {
+            // Unary only: nothing can reference the originals afterwards,
+            // so every unary-transformed original should be dropped.
+            operators: OperatorMask::only(crate::config::OperatorFamily::Unary),
+            ..SmartFeatConfig::default()
+        };
+        let r = SmartFeat::new(&sel, &gen, cfg).run(&df, &agenda).unwrap();
+        assert!(!r.dropped_originals.is_empty());
+        for d in &r.dropped_originals {
+            assert!(!r.frame.has_column(d));
+            assert!(!r.agenda.has(d));
+        }
+        // Target column is never dropped.
+        assert!(r.frame.has_column("Safe"));
+    }
+
+    #[test]
+    fn drop_heuristic_can_be_disabled() {
+        let (df, agenda) = insurance();
+        let sel = SimulatedFm::gpt4(7);
+        let gen = SimulatedFm::gpt35(8);
+        let cfg = SmartFeatConfig {
+            drop_heuristic: false,
+            ..SmartFeatConfig::default()
+        };
+        let r = SmartFeat::new(&sel, &gen, cfg).run(&df, &agenda).unwrap();
+        assert!(r.dropped_originals.is_empty());
+        for name in df.column_names() {
+            assert!(r.frame.has_column(name));
+        }
+    }
+
+    #[test]
+    fn usage_is_attributed_to_roles() {
+        let r = run_default(11);
+        assert!(r.selector_usage.calls > 0, "selector made FM calls");
+        assert!(
+            r.generator_usage.calls > 0,
+            "generator made FM calls (incl. row completion)"
+        );
+        assert!(r.total_usage().cost_usd > 0.0);
+    }
+
+    #[test]
+    fn names_only_agenda_still_runs_but_finds_less() {
+        let (df, agenda) = insurance();
+        let sel_full = SimulatedFm::gpt4(13);
+        let gen_full = SimulatedFm::gpt35(14);
+        let full = SmartFeat::new(&sel_full, &gen_full, SmartFeatConfig::default())
+            .run(&df, &agenda)
+            .unwrap();
+        let sel_bare = SimulatedFm::gpt4(13);
+        let gen_bare = SimulatedFm::gpt35(14);
+        let bare = SmartFeat::new(&sel_bare, &gen_bare, SmartFeatConfig::default())
+            .run(&df, &agenda.without_descriptions())
+            .unwrap();
+        // Names in this dataset are fairly descriptive, so both run; the
+        // stripped agenda must not generate *more* features.
+        assert!(bare.generated.len() <= full.generated.len());
+    }
+}

@@ -1,0 +1,180 @@
+//! Prompt templates (paper Table 2 and Section 3.3).
+//!
+//! Every prompt serializes the current [`crate::DataAgenda`] as its prefix,
+//! then appends the operator-specific instruction. The exact phrasings are
+//! load-bearing: the simulated FM dispatches on them, the same way template
+//! wording steers a real model.
+
+use crate::operators::Candidate;
+use crate::schema::DataAgenda;
+
+/// Proposal-strategy prompt for unary operators on one attribute
+/// (paper Table 2, row 1).
+pub fn unary_proposal(agenda: &DataAgenda, attribute: &str) -> String {
+    format!(
+        "{}Consider the unary operators on the attribute '{attribute}' that can generate \
+         helpful features to predict {target}. List all possible appropriate operators, and \
+         your confidence levels (certain/high/medium/low).\n",
+        agenda.render(),
+        target = agenda.target,
+    )
+}
+
+/// Sampling-strategy prompt for one binary arithmetic feature.
+pub fn binary_sample(agenda: &DataAgenda) -> String {
+    format!(
+        "{}Propose one binary arithmetic feature for predicting {target} by combining two \
+         numeric attributes with one of +, -, *, /. Respond with a JSON object containing \
+         \"left\", \"op\", \"right\", and \"description\".\n",
+        agenda.render(),
+        target = agenda.target,
+    )
+}
+
+/// Sampling-strategy prompt for the high-order GroupbyThenAgg operator
+/// (paper Table 2, row 2).
+pub fn highorder_sample(agenda: &DataAgenda) -> String {
+    format!(
+        "{}Generate a groupby feature for predicting {target} by applying \
+         'df.groupby(groupby_col)[agg_col].transform(function)'. Specify the groupby_col, \
+         agg_col, and the aggregation function.\n",
+        agenda.render(),
+        target = agenda.target,
+    )
+}
+
+/// Sampling-strategy prompt for extractor operators.
+pub fn extractor_sample(agenda: &DataAgenda) -> String {
+    format!(
+        "{}Propose one extractor feature for predicting {target}: a more complex \
+         transformation such as a weighted index over several attributes, a library \
+         function, or information drawn from external knowledge. Respond with a JSON \
+         object containing \"kind\", \"name\", \"columns\", and \"description\".\n",
+        agenda.render(),
+        target = agenda.target,
+    )
+}
+
+/// Function-generation prompt (Section 3.3): ask for an executable
+/// transformation for one selected candidate.
+pub fn function_generation(agenda: &DataAgenda, candidate: &Candidate) -> String {
+    let mut out = format!(
+        "{}Provide an executable transformation function for the feature '{}'.\n\
+         Feature name: {}\n\
+         Relevant columns: {}\n\
+         Feature description: {}\n\
+         Operator hint: {}\n",
+        agenda.render(),
+        candidate.name,
+        candidate.name,
+        candidate.columns.join(", "),
+        candidate.description,
+        candidate.hint(),
+    );
+    if let Some(op) = candidate.arithmetic_op() {
+        out.push_str(&format!("Arithmetic operator: {op}\n"));
+    }
+    if let Some(agg) = candidate.agg_function() {
+        out.push_str(&format!("Aggregate function: {agg}\n"));
+    }
+    if let Some(w) = candidate.weights_csv() {
+        out.push_str(&format!("Component weights: {w}\n"));
+    }
+    if let Some(k) = candidate.knowledge_source() {
+        out.push_str(&format!("Knowledge source: {k}\n"));
+    }
+    out
+}
+
+/// EXTENSION (paper §5 future work): ask the FM which features are
+/// unlikely to help the prediction and can be removed.
+pub fn feature_removal(agenda: &DataAgenda) -> String {
+    format!(
+        "{}List the features that are unlikely to help predict {target} and can be \
+         removed from the dataset. Respond with a comma-separated list of feature \
+         names, or 'none'.\n",
+        agenda.render(),
+        target = agenda.target,
+    )
+}
+
+/// Row-level completion prompt: serialize one row with the new feature
+/// masked (`A1: v1, …, A_new: ?` — the paper's Section 3.3 fallback).
+pub fn row_completion(fields: &[(String, String)], new_feature: &str) -> String {
+    let mut row: Vec<String> = fields
+        .iter()
+        .map(|(k, v)| format!("{k}: {v}"))
+        .collect();
+    row.push(format!("{new_feature}: ?"));
+    format!(
+        "Complete the value of the last field.\n{}",
+        row.join(", ")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::OperatorFamily;
+    use crate::operators::{Candidate, OperatorSpec};
+
+    fn agenda() -> DataAgenda {
+        DataAgenda {
+            features: vec![crate::schema::FeatureDescription {
+                name: "Age".into(),
+                dtype: "int".into(),
+                distinct: Some(40),
+                description: "age of the policyholder".into(),
+                origin: crate::schema::Origin::Original,
+            }],
+            target: "Safe".into(),
+            model: "RF".into(),
+        }
+    }
+
+    #[test]
+    fn unary_prompt_contains_template_phrase_and_card() {
+        let p = unary_proposal(&agenda(), "Age");
+        assert!(p.contains("Consider the unary operators on the attribute 'Age'"));
+        assert!(p.contains("- Age (int, distinct=40): age of the policyholder"));
+        assert!(p.contains("Prediction target: Safe"));
+        assert!(p.contains("confidence levels"));
+    }
+
+    #[test]
+    fn sampling_prompts_have_distinct_markers() {
+        let a = agenda();
+        assert!(binary_sample(&a).contains("Propose one binary arithmetic feature"));
+        assert!(highorder_sample(&a).contains("Generate a groupby feature"));
+        assert!(highorder_sample(&a)
+            .contains("'df.groupby(groupby_col)[agg_col].transform(function)'"));
+        assert!(extractor_sample(&a).contains("Propose one extractor feature"));
+    }
+
+    #[test]
+    fn function_prompt_carries_candidate_fields() {
+        let cand = Candidate {
+            name: "Bucketized_Age".into(),
+            columns: vec!["Age".into()],
+            description: "age bands".into(),
+            spec: OperatorSpec::Unary {
+                op: "bucketize".into(),
+            },
+            family: OperatorFamily::Unary,
+        };
+        let p = function_generation(&agenda(), &cand);
+        assert!(p.contains("Provide an executable transformation function"));
+        assert!(p.contains("Relevant columns: Age"));
+        assert!(p.contains("Operator hint: bucketize"));
+    }
+
+    #[test]
+    fn row_completion_masks_new_feature() {
+        let p = row_completion(
+            &[("City".into(), "SF".into()), ("Age".into(), "21".into())],
+            "City_density",
+        );
+        assert!(p.ends_with("City: SF, Age: 21, City_density: ?"));
+        assert!(p.contains("Complete the value of the last field."));
+    }
+}

@@ -1,0 +1,450 @@
+//! The operator selector (paper Section 3.2): prompts the FM with
+//! operator-guided templates and parses candidate features from the output.
+//!
+//! - **Proposal strategy** (unary): one call enumerates all appropriate
+//!   operators for one attribute; only `certain`/`high` confidence survives.
+//! - **Sampling strategy** (binary / high-order / extractor): one call
+//!   draws one candidate from the rich combination space.
+
+use smartfeat_frame::ops::{AggFunc, BinaryOp};
+use smartfeat_fm::FoundationModel;
+
+use crate::config::{OperatorFamily, SmartFeatConfig};
+use crate::error::Result;
+use crate::fmout::{self, Confidence};
+use crate::operators::{Candidate, OperatorSpec};
+use crate::prompts;
+use crate::schema::DataAgenda;
+
+/// Unary operator names the pipeline can execute. Anything else coming back
+/// from the FM is an invalid proposal.
+pub const KNOWN_UNARY_OPS: &[&str] = &[
+    "bucketize",
+    "normalize",
+    "log",
+    "dummies",
+    "frequency",
+    "date_split",
+    "years_since",
+    "square",
+    "sqrt",
+    "abs",
+    "reciprocal",
+];
+
+/// Display label used when composing `OpName_OrgAttr` feature names.
+fn op_label(op: &str) -> &'static str {
+    match op {
+        "bucketize" => "Bucketized",
+        "normalize" => "Normalized",
+        "log" => "Log",
+        "dummies" => "Dummies",
+        "frequency" => "Frequency",
+        "date_split" => "Datesplit",
+        "years_since" => "YearsSince",
+        "square" => "Squared",
+        "sqrt" => "Sqrt",
+        "abs" => "Abs",
+        "reciprocal" => "Reciprocal",
+        _ => "Derived",
+    }
+}
+
+/// The operator selector. Holds the selector-role FM (GPT-4 in the paper).
+pub struct OperatorSelector<'a> {
+    fm: &'a dyn FoundationModel,
+    config: &'a SmartFeatConfig,
+}
+
+/// Outcome of one sampling call.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Sample {
+    /// A well-formed candidate.
+    Candidate(Box<Candidate>),
+    /// The FM's output was unparseable or referenced unknown columns.
+    Invalid(String),
+    /// The FM explicitly declined (extractor `kind: none`).
+    Exhausted,
+}
+
+impl<'a> OperatorSelector<'a> {
+    /// Create a selector over `fm` with `config`.
+    pub fn new(fm: &'a dyn FoundationModel, config: &'a SmartFeatConfig) -> Self {
+        OperatorSelector { fm, config }
+    }
+
+    /// Proposal strategy: all appropriate unary operators for `attribute`,
+    /// filtered to high confidence (paper behaviour).
+    pub fn propose_unary(&self, agenda: &DataAgenda, attribute: &str) -> Result<Vec<Candidate>> {
+        let prompt = prompts::unary_proposal(agenda, attribute);
+        let response = self.fm.complete(&prompt)?;
+        let min_conf = if self.config.high_confidence_only {
+            Confidence::High
+        } else {
+            Confidence::Medium
+        };
+        let mut out = Vec::new();
+        for line in fmout::parse_proposals(&response.text) {
+            if line.confidence < min_conf {
+                continue;
+            }
+            if !KNOWN_UNARY_OPS.contains(&line.op.as_str()) {
+                continue;
+            }
+            out.push(Candidate {
+                name: format!("{}_{}", op_label(&line.op), attribute),
+                columns: vec![attribute.to_string()],
+                description: line.description,
+                spec: OperatorSpec::Unary { op: line.op },
+                family: OperatorFamily::Unary,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Sampling strategy: one binary arithmetic candidate.
+    pub fn sample_binary(&self, agenda: &DataAgenda) -> Result<Sample> {
+        let prompt = prompts::binary_sample(agenda);
+        let response = self.fm.complete(&prompt)?;
+        let Some(dict) = fmout::parse_dict(&response.text) else {
+            return Ok(Sample::Invalid(response.text));
+        };
+        let (Some(left), Some(op_text), Some(right)) = (
+            dict.get("left").and_then(|v| v.as_str()),
+            dict.get("op").and_then(|v| v.as_str()),
+            dict.get("right").and_then(|v| v.as_str()),
+        ) else {
+            return Ok(Sample::Invalid(response.text));
+        };
+        let op = match op_text.trim() {
+            "+" => BinaryOp::Add,
+            "-" => BinaryOp::Sub,
+            "*" => BinaryOp::Mul,
+            "/" => BinaryOp::Div,
+            _ => return Ok(Sample::Invalid(response.text)),
+        };
+        if !agenda.has(&left) || !agenda.has(&right) || left == right {
+            return Ok(Sample::Invalid(response.text));
+        }
+        let description = dict
+            .get("description")
+            .and_then(|v| v.as_str())
+            .unwrap_or_default();
+        Ok(Sample::Candidate(Box::new(Candidate {
+            name: format!("{}_{}_{}", left, op.token(), right),
+            columns: vec![left, right],
+            description,
+            spec: OperatorSpec::Binary { op },
+            family: OperatorFamily::Binary,
+        })))
+    }
+
+    /// Sampling strategy: one GroupbyThenAgg candidate.
+    pub fn sample_highorder(&self, agenda: &DataAgenda) -> Result<Sample> {
+        let prompt = prompts::highorder_sample(agenda);
+        let response = self.fm.complete(&prompt)?;
+        let Some(dict) = fmout::parse_dict(&response.text) else {
+            return Ok(Sample::Invalid(response.text));
+        };
+        let group_cols: Vec<String> = dict
+            .get("groupby_col")
+            .map(|v| v.as_list())
+            .unwrap_or_default();
+        let (Some(agg_col), Some(func_text)) = (
+            dict.get("agg_col").and_then(|v| v.as_str()),
+            dict.get("function").and_then(|v| v.as_str()),
+        ) else {
+            return Ok(Sample::Invalid(response.text));
+        };
+        let Some(func) = AggFunc::parse(&func_text) else {
+            return Ok(Sample::Invalid(response.text));
+        };
+        if group_cols.is_empty()
+            || !agenda.has(&agg_col)
+            || group_cols.iter().any(|g| !agenda.has(g))
+            || group_cols.contains(&agg_col)
+        {
+            return Ok(Sample::Invalid(response.text));
+        }
+        let name = format!(
+            "GroupBy_{}_{}_{}",
+            group_cols.join("_"),
+            func.name(),
+            agg_col
+        );
+        let description = format!(
+            "df.groupby([{}])[{}].transform({})",
+            group_cols.join(", "),
+            agg_col,
+            func.name()
+        );
+        let mut columns = group_cols.clone();
+        columns.push(agg_col.clone());
+        Ok(Sample::Candidate(Box::new(Candidate {
+            name,
+            columns,
+            description,
+            spec: OperatorSpec::HighOrder {
+                group_cols,
+                agg_col,
+                func,
+            },
+            family: OperatorFamily::HighOrder,
+        })))
+    }
+
+    /// Sampling strategy: one extractor candidate.
+    pub fn sample_extractor(&self, agenda: &DataAgenda) -> Result<Sample> {
+        let prompt = prompts::extractor_sample(agenda);
+        let response = self.fm.complete(&prompt)?;
+        let Some(dict) = fmout::parse_dict(&response.text) else {
+            return Ok(Sample::Invalid(response.text));
+        };
+        let kind = dict
+            .get("kind")
+            .and_then(|v| v.as_str())
+            .unwrap_or_default();
+        if kind == "none" {
+            return Ok(Sample::Exhausted);
+        }
+        let columns: Vec<String> = dict
+            .get("columns")
+            .map(|v| v.as_list())
+            .unwrap_or_default();
+        if columns.is_empty() || columns.iter().any(|c| !agenda.has(c)) {
+            return Ok(Sample::Invalid(response.text));
+        }
+        let name = dict
+            .get("name")
+            .and_then(|v| v.as_str())
+            .unwrap_or_else(|| format!("Extracted_{}", columns.join("_")));
+        let description = dict
+            .get("description")
+            .and_then(|v| v.as_str())
+            .unwrap_or_default();
+        let spec = match kind.as_str() {
+            "weighted_index" => {
+                let weights: Vec<f64> = dict
+                    .get("weights")
+                    .map(|v| {
+                        v.as_list()
+                            .iter()
+                            .filter_map(|s| s.parse().ok())
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                if weights.len() != columns.len() {
+                    return Ok(Sample::Invalid(response.text));
+                }
+                let normalize = matches!(
+                    dict.get("normalize"),
+                    Some(fmout::DictValue::Bool(true))
+                );
+                OperatorSpec::WeightedIndex { weights, normalize }
+            }
+            "per_unit" => {
+                if columns.len() != 2 {
+                    return Ok(Sample::Invalid(response.text));
+                }
+                OperatorSpec::PerUnit
+            }
+            "external_lookup" => {
+                let knowledge = dict
+                    .get("knowledge")
+                    .and_then(|v| v.as_str())
+                    .unwrap_or_default();
+                OperatorSpec::ExternalLookup { knowledge }
+            }
+            _ => return Ok(Sample::Invalid(response.text)),
+        };
+        Ok(Sample::Candidate(Box::new(Candidate {
+            name,
+            columns,
+            description,
+            spec,
+            family: OperatorFamily::Extractor,
+        })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartfeat_fm::{FmConfig, ModelSpec, SimulatedFm};
+    use smartfeat_frame::{Column, DataFrame};
+
+    fn insurance_agenda() -> DataAgenda {
+        let df = DataFrame::from_columns(vec![
+            Column::from_i64("Age", vec![21, 35, 42, 22]),
+            Column::from_i64("Age_of_car", vec![6, 2, 8, 14]),
+            Column::from_str_slice("Make_Model", &["Civic", "Corolla", "Mustang", "Cruze"]),
+            Column::from_i64("Claim", vec![1, 0, 0, 1]),
+            Column::from_str_slice("City", &["SF", "LA", "SEA", "SF"]),
+            Column::from_i64("Safe", vec![0, 1, 1, 0]),
+        ])
+        .unwrap();
+        DataAgenda::from_frame(
+            &df,
+            &[
+                ("Age", "Age of the policyholder in years"),
+                ("Age_of_car", "Age of the insured car in years"),
+                ("Make_Model", "Make and model of the car"),
+                ("Claim", "Whether a claim was filed in the last 6 months"),
+                ("City", "City where the policyholder lives"),
+            ],
+            "Safe",
+            "RF",
+        )
+    }
+
+    #[test]
+    fn unary_proposals_filtered_to_high_confidence() {
+        let fm = SimulatedFm::gpt4(1);
+        let cfg = SmartFeatConfig::default();
+        let sel = OperatorSelector::new(&fm, &cfg);
+        let cands = sel.propose_unary(&insurance_agenda(), "Age").unwrap();
+        assert!(!cands.is_empty());
+        assert!(cands.iter().any(|c| c.name == "Bucketized_Age"));
+        for c in &cands {
+            assert_eq!(c.columns, vec!["Age".to_string()]);
+            assert_eq!(c.family, OperatorFamily::Unary);
+        }
+    }
+
+    #[test]
+    fn unary_for_car_age_includes_years_since() {
+        let fm = SimulatedFm::gpt4(1);
+        let cfg = SmartFeatConfig::default();
+        let sel = OperatorSelector::new(&fm, &cfg);
+        let cands = sel.propose_unary(&insurance_agenda(), "Age_of_car").unwrap();
+        assert!(
+            cands.iter().any(|c| c.name == "YearsSince_Age_of_car"),
+            "{cands:?}"
+        );
+    }
+
+    #[test]
+    fn binary_sampling_yields_valid_candidates() {
+        let fm = SimulatedFm::gpt4(7);
+        let cfg = SmartFeatConfig::default();
+        let sel = OperatorSelector::new(&fm, &cfg);
+        let agenda = insurance_agenda();
+        let mut got_candidate = false;
+        for _ in 0..10 {
+            match sel.sample_binary(&agenda).unwrap() {
+                Sample::Candidate(c) => {
+                    got_candidate = true;
+                    assert_eq!(c.columns.len(), 2);
+                    assert!(agenda.has(&c.columns[0]));
+                    assert!(agenda.has(&c.columns[1]));
+                }
+                Sample::Invalid(_) | Sample::Exhausted => {}
+            }
+        }
+        assert!(got_candidate);
+    }
+
+    #[test]
+    fn highorder_sampling_parses_groupby() {
+        let fm = SimulatedFm::gpt4(3);
+        let cfg = SmartFeatConfig::default();
+        let sel = OperatorSelector::new(&fm, &cfg);
+        let agenda = insurance_agenda();
+        let mut seen = 0;
+        for _ in 0..10 {
+            if let Sample::Candidate(c) = sel.sample_highorder(&agenda).unwrap() {
+                seen += 1;
+                assert!(c.name.starts_with("GroupBy_"));
+                match &c.spec {
+                    OperatorSpec::HighOrder {
+                        group_cols,
+                        agg_col,
+                        ..
+                    } => {
+                        assert!(!group_cols.is_empty());
+                        assert!(agenda.has(agg_col));
+                    }
+                    other => panic!("unexpected spec {other:?}"),
+                }
+            }
+        }
+        assert!(seen >= 5, "only {seen}/10 valid high-order samples");
+    }
+
+    #[test]
+    fn extractor_sampling_finds_city_lookup() {
+        let fm = SimulatedFm::gpt4(5);
+        let cfg = SmartFeatConfig::default();
+        let sel = OperatorSelector::new(&fm, &cfg);
+        match sel.sample_extractor(&insurance_agenda()).unwrap() {
+            Sample::Candidate(c) => {
+                assert_eq!(c.family, OperatorFamily::Extractor);
+                assert!(matches!(
+                    &c.spec,
+                    OperatorSpec::ExternalLookup { knowledge } if knowledge == "city_population_density"
+                ));
+            }
+            other => panic!("expected candidate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_fm_output_becomes_invalid_sample() {
+        // Force 100 % degraded outputs.
+        let fm = SimulatedFm::new(
+            ModelSpec::gpt4(),
+            FmConfig {
+                seed: 11,
+                error_rate: 1.0,
+                ..FmConfig::default()
+            },
+        );
+        let cfg = SmartFeatConfig::default();
+        let sel = OperatorSelector::new(&fm, &cfg);
+        let agenda = insurance_agenda();
+        let mut invalid = 0;
+        for _ in 0..10 {
+            match sel.sample_highorder(&agenda).unwrap() {
+                Sample::Invalid(_) => invalid += 1,
+                // A degraded output can coincidentally be a repetition of a
+                // valid one — the pipeline's dedup catches those instead.
+                Sample::Candidate(_) | Sample::Exhausted => {}
+            }
+        }
+        assert!(invalid >= 3, "only {invalid} invalid under full degradation");
+    }
+
+    #[test]
+    fn binary_rejects_unknown_columns() {
+        // A canned FM that returns a dict mentioning a nonexistent column.
+        struct Canned;
+        impl FoundationModel for Canned {
+            fn model_name(&self) -> &str {
+                "canned"
+            }
+            fn complete(
+                &self,
+                _prompt: &str,
+            ) -> std::result::Result<smartfeat_fm::FmResponse, smartfeat_fm::FmError> {
+                Ok(smartfeat_fm::FmResponse {
+                    text: "{\"left\": \"Ghost\", \"op\": \"+\", \"right\": \"Age\"}".into(),
+                    prompt_tokens: 1,
+                    completion_tokens: 1,
+                    cost_usd: 0.0,
+                    latency: std::time::Duration::ZERO,
+                })
+            }
+            fn meter(&self) -> &smartfeat_fm::UsageMeter {
+                static METER: std::sync::OnceLock<smartfeat_fm::UsageMeter> =
+                    std::sync::OnceLock::new();
+                METER.get_or_init(smartfeat_fm::UsageMeter::new)
+            }
+        }
+        let cfg = SmartFeatConfig::default();
+        let sel = OperatorSelector::new(&Canned, &cfg);
+        assert!(matches!(
+            sel.sample_binary(&insurance_agenda()).unwrap(),
+            Sample::Invalid(_)
+        ));
+    }
+}

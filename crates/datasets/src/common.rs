@@ -1,0 +1,172 @@
+//! Shared dataset plumbing: the [`Dataset`] bundle and seeded samplers.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use smartfeat::DataAgenda;
+use smartfeat_frame::{DataFrame, DType};
+
+/// One synthetic evaluation dataset with its data card.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Paper name (`"Diabetes"`, …).
+    pub name: &'static str,
+    /// Application field per Table 3.
+    pub field: &'static str,
+    /// The data (features + target column).
+    pub frame: DataFrame,
+    /// `(column, description)` pairs — the data card.
+    pub descriptions: Vec<(String, String)>,
+    /// Prediction-class column.
+    pub target: &'static str,
+}
+
+impl Dataset {
+    /// `(categorical, numeric)` feature counts excluding the target,
+    /// where "categorical" means string-typed (pre-factorization).
+    pub fn shape_counts(&self) -> (usize, usize) {
+        let mut cat = 0;
+        let mut num = 0;
+        for c in self.frame.columns() {
+            if c.name() == self.target {
+                continue;
+            }
+            if c.dtype() == DType::Str {
+                cat += 1;
+            } else {
+                num += 1;
+            }
+        }
+        (cat, num)
+    }
+
+    /// Build the data agenda for a downstream model.
+    pub fn agenda(&self, model: &str) -> DataAgenda {
+        let pairs: Vec<(&str, &str)> = self
+            .descriptions
+            .iter()
+            .map(|(n, d)| (n.as_str(), d.as_str()))
+            .collect();
+        DataAgenda::from_frame(&self.frame, &pairs, self.target, model)
+    }
+
+    /// Names-only agenda (the feature-description ablation).
+    pub fn agenda_names_only(&self, model: &str) -> DataAgenda {
+        self.agenda(model).without_descriptions()
+    }
+}
+
+/// Seeded RNG shared by the generators; dataset name is folded into the
+/// seed so different datasets at the same seed differ.
+pub fn rng_for(name: &str, seed: u64) -> StdRng {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    StdRng::seed_from_u64(seed ^ h)
+}
+
+/// Standard normal via Box–Muller.
+pub fn norm(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(1e-12);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Uniform in `[lo, hi)`.
+pub fn uniform(rng: &mut StdRng, lo: f64, hi: f64) -> f64 {
+    rng.gen::<f64>() * (hi - lo) + lo
+}
+
+/// Pick one item uniformly.
+pub fn pick<'a, T>(rng: &mut StdRng, items: &'a [T]) -> &'a T {
+    &items[rng.gen_range(0..items.len())]
+}
+
+/// Pick one item by (unnormalized) weights.
+pub fn pick_weighted<'a, T>(rng: &mut StdRng, items: &'a [(T, f64)]) -> &'a T {
+    let total: f64 = items.iter().map(|(_, w)| *w).sum();
+    let mut draw = rng.gen::<f64>() * total;
+    for (item, w) in items {
+        draw -= w;
+        if draw <= 0.0 {
+            return item;
+        }
+    }
+    &items[items.len() - 1].0
+}
+
+/// A deterministic per-category effect in `[-1, 1]`, derived by hashing the
+/// category value. Group-by-mean features recover these exactly; factorized
+/// integer codes see them as noise — the mechanism that makes high-order
+/// operators pay off.
+pub fn category_effect(value: &str) -> f64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in value.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    (h % 2001) as f64 / 1000.0 - 1.0
+}
+
+/// Bernoulli draw from a logistic score: `P(y=1) = sigmoid(score)`.
+pub fn label_from_score(rng: &mut StdRng, score: f64) -> i64 {
+    let p = 1.0 / (1.0 + (-score).exp());
+    i64::from(rng.gen::<f64>() < p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_differs_by_name_and_seed() {
+        let a: u64 = rng_for("Adult", 1).gen();
+        let b: u64 = rng_for("Bank", 1).gen();
+        let c: u64 = rng_for("Adult", 2).gen();
+        let a2: u64 = rng_for("Adult", 1).gen();
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn norm_has_reasonable_moments() {
+        let mut rng = rng_for("test", 0);
+        let xs: Vec<f64> = (0..20_000).map(|_| norm(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn category_effect_is_stable_and_bounded() {
+        assert_eq!(category_effect("Civic"), category_effect("Civic"));
+        assert_ne!(category_effect("Civic"), category_effect("Corolla"));
+        for v in ["a", "b", "teacher", "SF", "blue-collar"] {
+            let e = category_effect(v);
+            assert!((-1.0..=1.0).contains(&e));
+        }
+    }
+
+    #[test]
+    fn label_from_score_tracks_probability() {
+        let mut rng = rng_for("labels", 0);
+        let hi: i64 = (0..2000).map(|_| label_from_score(&mut rng, 3.0)).sum();
+        let lo: i64 = (0..2000).map(|_| label_from_score(&mut rng, -3.0)).sum();
+        assert!(hi > 1800, "{hi}");
+        assert!(lo < 200, "{lo}");
+    }
+
+    #[test]
+    fn pick_weighted_prefers_heavy_items() {
+        let mut rng = rng_for("pick", 0);
+        let items = [("rare", 1.0), ("common", 20.0)];
+        let common = (0..500)
+            .filter(|_| *pick_weighted(&mut rng, &items) == "common")
+            .count();
+        assert!(common > 400);
+    }
+}

@@ -1,0 +1,183 @@
+//! Diabetes (Pima-style): 769 rows, 9 numeric columns, Health.
+//!
+//! Signal structure: the outcome follows clinical threshold effects —
+//! ADA glucose cutoffs (100 / 126 mg/dL), WHO BMI classes, an age-45
+//! risk step — plus a mild pedigree effect. Clinically-informed
+//! bucketization (which the knowledge-equipped FM proposes) recovers the
+//! thresholds; raw linear models only see the smoothed version.
+//!
+//! The `Insulin` column contains genuine zeros (as the real Pima data
+//! does). An unguarded `x / Insulin` transformation — CAAFE's observed
+//! Diabetes failure — therefore divides by zero.
+
+use smartfeat_frame::{Column, DataFrame};
+
+use crate::common::{label_from_score, norm, rng_for, uniform, Dataset};
+
+/// Generate the dataset.
+pub fn generate(rows: usize, seed: u64) -> Dataset {
+    let mut rng = rng_for("Diabetes", seed);
+    let mut pregnancies = Vec::with_capacity(rows);
+    let mut glucose = Vec::with_capacity(rows);
+    let mut blood_pressure = Vec::with_capacity(rows);
+    let mut skin = Vec::with_capacity(rows);
+    let mut insulin = Vec::with_capacity(rows);
+    let mut bmi = Vec::with_capacity(rows);
+    let mut pedigree = Vec::with_capacity(rows);
+    let mut age = Vec::with_capacity(rows);
+    let mut activity = Vec::with_capacity(rows);
+    let mut outcome = Vec::with_capacity(rows);
+
+    for _ in 0..rows {
+        let a = (21.0 + uniform(&mut rng, 0.0, 1.0).powi(2) * 50.0).round();
+        let g = (85.0 + norm(&mut rng).abs() * 35.0).min(199.0).round();
+        let bp = (60.0 + norm(&mut rng) * 12.0 + a * 0.2).clamp(40.0, 120.0).round();
+        let s = (20.0 + norm(&mut rng) * 8.0).clamp(7.0, 60.0).round();
+        // Some insulin measurements are missing-as-zero (as in Pima) —
+        // rare enough that a small sample of rows usually shows none.
+        let ins = if uniform(&mut rng, 0.0, 1.0) < 0.10 {
+            0.0
+        } else {
+            (80.0 + norm(&mut rng) * 60.0).clamp(15.0, 600.0).round()
+        };
+        let b = (22.0 + norm(&mut rng).abs() * 7.0).clamp(15.0, 60.0);
+        let p = (0.4 + norm(&mut rng).abs() * 0.3).clamp(0.05, 2.5);
+        let preg = (uniform(&mut rng, 0.0, 1.0).powi(2) * 12.0).round();
+        let act = (uniform(&mut rng, 0.0, 1.0) * 12.0 * 10.0).round() / 10.0;
+
+        // Clinical signal with three layers: thresholds recoverable by
+        // domain bucketization, an insulin-resistance *ratio* marker that
+        // only a glucose/insulin feature exposes, and a mild linear part
+        // that raw models can already see.
+        let mut score = -2.0;
+        score += 1.6 * f64::from(g >= 126.0);
+        score += 0.7 * f64::from((100.0..126.0).contains(&g));
+        score += 0.8 * f64::from(b >= 30.0);
+        score += 0.5 * f64::from(a >= 45.0);
+        score += 1.0 * (p - 0.4);
+        // Insulin-resistance marker: high glucose relative to measured
+        // insulin. A curved 2-D boundary in raw space; one threshold on
+        // the ratio feature.
+        if ins > 0.0 {
+            score += 1.5 * f64::from(g / ins > 1.6);
+        } else {
+            score += 0.5; // unmeasured insulin is itself a weak risk marker
+        }
+        score += 0.25 * (g - 110.0) / 30.0;
+        score -= 0.05 * act;
+        score += 0.3 * norm(&mut rng);
+        outcome.push(label_from_score(&mut rng, 1.6 * score));
+
+        pregnancies.push(preg as i64);
+        glucose.push(g);
+        blood_pressure.push(bp);
+        skin.push(s);
+        insulin.push(ins);
+        bmi.push((b * 10.0).round() / 10.0);
+        pedigree.push((p * 1000.0).round() / 1000.0);
+        age.push(a as i64);
+        activity.push(act);
+    }
+
+    let frame = DataFrame::from_columns(vec![
+        Column::from_i64("Pregnancies", pregnancies),
+        Column::from_f64("Glucose", glucose),
+        Column::from_f64("BloodPressure", blood_pressure),
+        Column::from_f64("SkinThickness", skin),
+        Column::from_f64("Insulin", insulin),
+        Column::from_f64("BMI", bmi),
+        Column::from_f64("DiabetesPedigree", pedigree),
+        Column::from_i64("Age", age),
+        Column::from_f64("PhysicalActivity", activity),
+        Column::from_i64("Outcome", outcome),
+    ])
+    .expect("valid frame");
+
+    Dataset {
+        name: "Diabetes",
+        field: "Health",
+        frame,
+        descriptions: vec![
+            ("Pregnancies".into(), "Number of times pregnant".into()),
+            (
+                "Glucose".into(),
+                "Plasma glucose concentration after an oral glucose tolerance test (mg/dL)".into(),
+            ),
+            ("BloodPressure".into(), "Diastolic blood pressure (mm Hg)".into()),
+            ("SkinThickness".into(), "Triceps skin fold thickness (mm)".into()),
+            (
+                "Insulin".into(),
+                "Two-hour serum insulin (mu U/ml); zero indicates a missing measurement".into(),
+            ),
+            ("BMI".into(), "Body mass index (weight in kg / height in m squared)".into()),
+            (
+                "DiabetesPedigree".into(),
+                "Diabetes pedigree function scoring family history".into(),
+            ),
+            ("Age".into(), "Age of the patient in years".into()),
+            (
+                "PhysicalActivity".into(),
+                "Hours of physical activity per week reported by the patient".into(),
+            ),
+        ],
+        target: "Outcome",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_table3() {
+        let ds = generate(769, 0);
+        assert_eq!(ds.frame.n_rows(), 769);
+        let (cat, num) = ds.shape_counts();
+        assert_eq!((cat, num), (0, 9));
+    }
+
+    #[test]
+    fn insulin_has_zeros_for_caafe_failure_mode() {
+        let ds = generate(500, 1);
+        let zeros = ds
+            .frame
+            .column("Insulin")
+            .unwrap()
+            .to_f64()
+            .iter()
+            .filter(|v| **v == Some(0.0))
+            .count();
+        assert!(zeros > 20, "only {zeros} zero insulin values");
+    }
+
+    #[test]
+    fn glucose_threshold_carries_signal() {
+        let ds = generate(769, 2);
+        let y = ds.frame.to_labels("Outcome").unwrap();
+        let g = ds.frame.column("Glucose").unwrap().to_f64();
+        let mut rate_high = (0usize, 0usize);
+        let mut rate_low = (0usize, 0usize);
+        for (v, &label) in g.iter().zip(&y) {
+            let v = v.unwrap();
+            if v >= 126.0 {
+                rate_high.0 += usize::from(label == 1);
+                rate_high.1 += 1;
+            } else if v < 100.0 {
+                rate_low.0 += usize::from(label == 1);
+                rate_low.1 += 1;
+            }
+        }
+        let high = rate_high.0 as f64 / rate_high.1 as f64;
+        let low = rate_low.0 as f64 / rate_low.1 as f64;
+        assert!(high > low + 0.2, "high {high} vs low {low}");
+    }
+
+    #[test]
+    fn plausible_clinical_ranges() {
+        let ds = generate(400, 3);
+        let bmi = ds.frame.column("BMI").unwrap().to_f64();
+        assert!(bmi.iter().flatten().all(|&v| (15.0..=60.0).contains(&v)));
+        let age = ds.frame.column("Age").unwrap().to_f64();
+        assert!(age.iter().flatten().all(|&v| (21.0..=75.0).contains(&v)));
+    }
+}

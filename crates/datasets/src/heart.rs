@@ -1,0 +1,208 @@
+//! Heart (Framingham-style): 3 657 rows, 7 categorical + 7 numeric, Health.
+//!
+//! Signal: clinical thresholds (cholesterol 200/240, diastolic BP 80/90,
+//! BMI 30, age 55), a smoking-intensity interaction, and modest per-category
+//! effects recoverable by group-by rates. Heavy label noise keeps the
+//! initial AUC in the high-60s, as in the paper.
+
+use smartfeat_frame::{Column, DataFrame};
+
+use crate::common::{category_effect, label_from_score, norm, pick_weighted, rng_for, uniform, Dataset};
+
+/// Generate the dataset.
+pub fn generate(rows: usize, seed: u64) -> Dataset {
+    let mut rng = rng_for("Heart", seed);
+    let educations = [
+        ("some_highschool", 3.0),
+        ("highschool_ged", 3.0),
+        ("some_college", 2.0),
+        ("college_degree", 1.5),
+    ];
+    let yes_no = |rng: &mut _, p: f64| -> &'static str {
+        if uniform(rng, 0.0, 1.0) < p {
+            "yes"
+        } else {
+            "no"
+        }
+    };
+
+    let mut sex = Vec::with_capacity(rows);
+    let mut education = Vec::with_capacity(rows);
+    let mut smoker = Vec::with_capacity(rows);
+    let mut bp_meds = Vec::with_capacity(rows);
+    let mut stroke = Vec::with_capacity(rows);
+    let mut hyp = Vec::with_capacity(rows);
+    let mut diabetes = Vec::with_capacity(rows);
+    let mut age = Vec::with_capacity(rows);
+    let mut cigs = Vec::with_capacity(rows);
+    let mut chol = Vec::with_capacity(rows);
+    let mut sys_bp = Vec::with_capacity(rows);
+    let mut dia_bp = Vec::with_capacity(rows);
+    let mut bmi = Vec::with_capacity(rows);
+    let mut heart_rate = Vec::with_capacity(rows);
+    let mut label = Vec::with_capacity(rows);
+
+    for _ in 0..rows {
+        let s = if uniform(&mut rng, 0.0, 1.0) < 0.45 { "M" } else { "F" };
+        let edu = *pick_weighted(&mut rng, &educations);
+        let a = (32.0 + uniform(&mut rng, 0.0, 1.0) * 38.0).round();
+        let smk = yes_no(&mut rng, 0.49);
+        let c = if smk == "yes" {
+            (uniform(&mut rng, 0.0, 1.0) * 40.0).round()
+        } else {
+            0.0
+        };
+        // Cholesterol tracks diet, which tracks the education mix — so the
+        // per-education *mean* cholesterol is a denoised view of the same
+        // effect that shifts each group's risk.
+        let edu_eff = category_effect(edu);
+        let ch = (180.0 + norm(&mut rng) * 40.0 + a * 0.5 - 14.0 * edu_eff)
+            .clamp(110.0, 420.0)
+            .round();
+        // Latent (true) blood pressure drives risk; the measured values add
+        // a shared white-coat inflation that a single reading can't remove.
+        let dbp_true = (70.0 + norm(&mut rng) * 11.0 + a * 0.15).clamp(45.0, 130.0);
+        let white_coat = norm(&mut rng).abs() * 14.0;
+        let dbp = (dbp_true + white_coat).clamp(45.0, 150.0).round();
+        let sbp = (dbp_true + 40.0 + white_coat * 1.2 + norm(&mut rng) * 6.0)
+            .clamp(85.0, 240.0)
+            .round();
+        let b = (24.0 + norm(&mut rng) * 4.0).clamp(15.0, 55.0);
+        let hr = (72.0 + norm(&mut rng) * 11.0).clamp(44.0, 130.0).round();
+        let bpm = yes_no(&mut rng, 0.03);
+        let stk = yes_no(&mut rng, 0.01);
+        let hy = if dbp >= 90.0 || sbp >= 140.0 { "yes" } else { yes_no(&mut rng, 0.05) };
+        let dia = yes_no(&mut rng, 0.03);
+
+        let mut score = -2.6;
+        score += 1.1 * f64::from(ch >= 240.0) + 0.5 * f64::from((200.0..240.0).contains(&ch));
+        // Risk follows the *true* diastolic pressure, not the inflated
+        // reading; the systolic/diastolic relation partially de-noises it.
+        score += 1.0 * f64::from(dbp_true >= 90.0) + 0.5 * f64::from((80.0..90.0).contains(&dbp_true));
+        // Wide pulse-pressure ratio: a marker carried by the observed
+        // systolic/diastolic *ratio*, which the clinical-ratio operator
+        // exposes as a single feature.
+        score += 0.9 * f64::from(sbp / dbp >= 1.62);
+        score += 0.6 * f64::from(b >= 30.0);
+        score += 0.9 * f64::from(a >= 55.0);
+        // Pack-years: cumulative smoking exposure, an interaction that
+        // only a cigs × age feature exposes directly.
+        score += 2.4 * f64::from(c * a >= 700.0);
+        score += 0.6 * f64::from(dia == "yes") + 0.5 * f64::from(stk == "yes");
+        score += 0.3 * f64::from(s == "M");
+        score += 0.9 * category_effect(edu);
+        score += 0.7 * norm(&mut rng); // heavy noise → initial AUC ≈ high 60s
+        label.push(label_from_score(&mut rng, score));
+
+        sex.push(s);
+        education.push(edu);
+        smoker.push(smk);
+        bp_meds.push(bpm);
+        stroke.push(stk);
+        hyp.push(hy);
+        diabetes.push(dia);
+        age.push(a as i64);
+        cigs.push(c);
+        chol.push(ch);
+        sys_bp.push(sbp);
+        dia_bp.push(dbp);
+        bmi.push((b * 10.0).round() / 10.0);
+        heart_rate.push(hr);
+    }
+
+    let frame = DataFrame::from_columns(vec![
+        Column::from_str_slice("sex", &sex),
+        Column::from_str_slice("education", &education),
+        Column::from_str_slice("current_smoker", &smoker),
+        Column::from_str_slice("bp_meds", &bp_meds),
+        Column::from_str_slice("prevalent_stroke", &stroke),
+        Column::from_str_slice("prevalent_hyp", &hyp),
+        Column::from_str_slice("diabetes", &diabetes),
+        Column::from_i64("age", age),
+        Column::from_f64("cigs_per_day", cigs),
+        Column::from_f64("total_cholesterol", chol),
+        Column::from_f64("systolic_bp", sys_bp),
+        Column::from_f64("diastolic_bp", dia_bp),
+        Column::from_f64("bmi", bmi),
+        Column::from_f64("heart_rate", heart_rate),
+        Column::from_i64("ten_year_chd", label),
+    ])
+    .expect("valid frame");
+
+    Dataset {
+        name: "Heart",
+        field: "Health",
+        frame,
+        descriptions: vec![
+            ("sex".into(), "Sex of the participant (M/F)".into()),
+            ("education".into(), "Highest education level attained".into()),
+            ("current_smoker".into(), "Whether the participant currently smokes".into()),
+            ("bp_meds".into(), "Whether the participant takes blood pressure medication".into()),
+            ("prevalent_stroke".into(), "Whether the participant previously had a stroke".into()),
+            ("prevalent_hyp".into(), "Whether the participant is hypertensive".into()),
+            ("diabetes".into(), "Whether the participant has diabetes".into()),
+            ("age".into(), "Age of the participant in years".into()),
+            ("cigs_per_day".into(), "Number of cigarettes smoked per day".into()),
+            ("total_cholesterol".into(), "Total cholesterol level (mg/dL)".into()),
+            ("systolic_bp".into(), "Systolic blood pressure (mm Hg)".into()),
+            ("diastolic_bp".into(), "Diastolic blood pressure (mm Hg)".into()),
+            ("bmi".into(), "Body mass index".into()),
+            ("heart_rate".into(), "Resting heart rate (beats per minute)".into()),
+        ],
+        target: "ten_year_chd",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_table3() {
+        let ds = generate(400, 0);
+        assert_eq!(ds.shape_counts(), (7, 7));
+    }
+
+    #[test]
+    fn hypertension_consistent_with_bp() {
+        let ds = generate(500, 1);
+        let dbp = ds.frame.column("diastolic_bp").unwrap().to_f64();
+        let hyp = ds.frame.column("prevalent_hyp").unwrap().to_keys();
+        for (bp, h) in dbp.iter().zip(&hyp) {
+            if bp.unwrap() >= 90.0 {
+                assert_eq!(h.as_deref(), Some("yes"));
+            }
+        }
+    }
+
+    #[test]
+    fn nonsmokers_report_zero_cigs() {
+        let ds = generate(300, 2);
+        let smoker = ds.frame.column("current_smoker").unwrap().to_keys();
+        let cigs = ds.frame.column("cigs_per_day").unwrap().to_f64();
+        for (s, c) in smoker.iter().zip(&cigs) {
+            if s.as_deref() == Some("no") {
+                assert_eq!(c.unwrap(), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn cholesterol_threshold_carries_signal() {
+        let ds = generate(3000, 3);
+        let y = ds.frame.to_labels("ten_year_chd").unwrap();
+        let ch = ds.frame.column("total_cholesterol").unwrap().to_f64();
+        let rate = |pred: &dyn Fn(f64) -> bool| {
+            let mut hits = 0;
+            let mut n = 0;
+            for (v, &l) in ch.iter().zip(&y) {
+                if pred(v.unwrap()) {
+                    hits += usize::from(l == 1);
+                    n += 1;
+                }
+            }
+            hits as f64 / n.max(1) as f64
+        };
+        assert!(rate(&|v| v >= 240.0) > rate(&|v| v < 200.0) + 0.05);
+    }
+}

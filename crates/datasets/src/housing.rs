@@ -1,0 +1,143 @@
+//! Housing (California-housing-style): 20 641 rows, 1 categorical +
+//! 8 numeric, Society.
+//!
+//! The label (house value above the median) depends on the classic derived
+//! ratios of this dataset — rooms per household, bedrooms per room,
+//! population per household — plus the log of median income and an
+//! ocean-proximity effect. Binary division operators recover the ratios.
+
+use smartfeat_frame::{Column, DataFrame};
+
+use crate::common::{category_effect, label_from_score, norm, pick_weighted, rng_for, uniform, Dataset};
+
+/// Generate the dataset.
+pub fn generate(rows: usize, seed: u64) -> Dataset {
+    let mut rng = rng_for("Housing", seed);
+    let proximities = [
+        ("inland", 6.0),
+        ("near_bay", 2.0),
+        ("near_ocean", 2.5),
+        ("island", 0.1),
+    ];
+
+    let mut longitude = Vec::with_capacity(rows);
+    let mut latitude = Vec::with_capacity(rows);
+    let mut house_age = Vec::with_capacity(rows);
+    let mut total_rooms = Vec::with_capacity(rows);
+    let mut total_bedrooms = Vec::with_capacity(rows);
+    let mut population = Vec::with_capacity(rows);
+    let mut households = Vec::with_capacity(rows);
+    let mut income = Vec::with_capacity(rows);
+    let mut proximity = Vec::with_capacity(rows);
+    let mut label = Vec::with_capacity(rows);
+
+    for _ in 0..rows {
+        let prox = *pick_weighted(&mut rng, &proximities);
+        let lon = uniform(&mut rng, -124.3, -114.3);
+        let lat = uniform(&mut rng, 32.5, 42.0);
+        let age = (1.0 + uniform(&mut rng, 0.0, 1.0) * 51.0).round();
+        let hh = (100.0 + uniform(&mut rng, 0.0, 1.0).powi(2) * 1800.0).round();
+        let rooms_per_hh = 3.0 + norm(&mut rng).abs() * 2.5;
+        let rooms = (hh * rooms_per_hh).round();
+        let bed_ratio = (0.15 + norm(&mut rng).abs() * 0.08).min(0.55);
+        let bedrooms = (rooms * bed_ratio).round().max(1.0);
+        let occupancy = 2.2 + norm(&mut rng).abs() * 1.4;
+        let pop = (hh * occupancy).round();
+        let inc = (1.2 + uniform(&mut rng, 0.0, 1.0).powi(2) * 11.0 * uniform(&mut rng, 0.3, 1.0))
+            .clamp(0.5, 15.0);
+
+        let mut score = -0.5;
+        score += 1.2 * ((inc.ln() - 1.1) / 0.6); // log income, derived
+        score += 1.3 * ((rooms_per_hh - 4.3) / 1.8); // rooms per household
+        score -= 1.4 * ((bed_ratio - 0.2) / 0.07); // bedrooms per room
+        score -= 0.9 * ((occupancy - 3.0) / 1.2); // population per household
+        score += 1.2 * category_effect(prox);
+        score -= 0.15 * ((age - 26.0) / 15.0);
+        score += 0.4 * norm(&mut rng);
+        label.push(label_from_score(&mut rng, score));
+
+        longitude.push((lon * 100.0).round() / 100.0);
+        latitude.push((lat * 100.0).round() / 100.0);
+        house_age.push(age);
+        total_rooms.push(rooms);
+        total_bedrooms.push(bedrooms);
+        population.push(pop);
+        households.push(hh);
+        income.push((inc * 10000.0).round() / 10000.0);
+        proximity.push(prox);
+    }
+
+    let frame = DataFrame::from_columns(vec![
+        Column::from_str_slice("ocean_proximity", &proximity),
+        Column::from_f64("longitude", longitude),
+        Column::from_f64("latitude", latitude),
+        Column::from_f64("housing_median_age", house_age),
+        Column::from_f64("total_rooms", total_rooms),
+        Column::from_f64("total_bedrooms", total_bedrooms),
+        Column::from_f64("population", population),
+        Column::from_f64("households", households),
+        Column::from_f64("median_income", income),
+        Column::from_i64("above_median_value", label),
+    ])
+    .expect("valid frame");
+
+    Dataset {
+        name: "Housing",
+        field: "Society",
+        frame,
+        descriptions: vec![
+            ("ocean_proximity".into(), "Location of the block relative to the ocean".into()),
+            ("longitude".into(), "Longitude of the housing block".into()),
+            ("latitude".into(), "Latitude of the housing block".into()),
+            ("housing_median_age".into(), "Median age of houses in the block in years".into()),
+            ("total_rooms".into(), "Total number of rooms in the block".into()),
+            ("total_bedrooms".into(), "Total number of bedrooms in the block".into()),
+            ("population".into(), "Total population of the block".into()),
+            ("households".into(), "Number of households in the block".into()),
+            ("median_income".into(), "Median household income of the block (tens of thousands of dollars)".into()),
+        ],
+        target: "above_median_value",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_table3() {
+        let ds = generate(500, 0);
+        assert_eq!(ds.shape_counts(), (1, 8));
+    }
+
+    #[test]
+    fn bedrooms_do_not_exceed_rooms() {
+        let ds = generate(800, 1);
+        let rooms = ds.frame.column("total_rooms").unwrap().to_f64();
+        let beds = ds.frame.column("total_bedrooms").unwrap().to_f64();
+        for (r, b) in rooms.iter().zip(&beds) {
+            assert!(b.unwrap() <= r.unwrap());
+        }
+    }
+
+    #[test]
+    fn derived_ratio_beats_raw_columns() {
+        // rooms/households carries more MI with the label than raw rooms —
+        // the planted structure binary division recovers.
+        let ds = generate(8000, 2);
+        let y = ds.frame.to_labels("above_median_value").unwrap();
+        let rooms = ds.frame.column("total_rooms").unwrap().to_f64();
+        let hh = ds.frame.column("households").unwrap().to_f64();
+        let ratio: Vec<Option<f64>> = rooms
+            .iter()
+            .zip(&hh)
+            .map(|(r, h)| Some(r.unwrap() / h.unwrap()))
+            .collect();
+        let mi_ratio = smartfeat_frame::stats::mutual_information(&ratio, &y, 10);
+        let mi_rooms = smartfeat_frame::stats::mutual_information(&rooms, &y, 10);
+        assert!(
+            mi_ratio > mi_rooms * 1.5,
+            "ratio MI {mi_ratio} vs raw {mi_rooms}"
+        );
+    }
+}

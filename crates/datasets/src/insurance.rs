@@ -1,0 +1,161 @@
+//! The paper's motivating example (Table 1): an insurance dataset whose
+//! label ("Safe") depends on the four features the paper walks through —
+//! F1 bucketized age, F2 manufacturing year, F3 per-model claim
+//! probability, F4 city population density.
+//!
+//! Unlike the eight evaluation datasets this one keeps its string columns
+//! (city names in particular), so the external-knowledge lookup path (F4)
+//! runs end-to-end in the quickstart example and Figure 1 driver.
+
+use smartfeat_frame::{Column, DataFrame};
+
+use crate::common::{category_effect, label_from_score, norm, pick, rng_for, uniform, Dataset};
+
+/// Cities with densities the simulated FM has memorized.
+const CITIES: [&str; 6] = ["SF", "LA", "SEA", "NYC", "CHI", "HOU"];
+
+/// Car models (the paper's Table 1 plus a few).
+const MODELS: [&str; 8] = [
+    "Honda, Civic",
+    "Toyota, Corolla",
+    "Ford, Mustang",
+    "Chevrolet, Cruze",
+    "BMW, X5",
+    "Volkswagen, Golf",
+    "Subaru, Outback",
+    "Tesla, Model 3",
+];
+
+/// Known densities (people/km²) the label actually uses — the FM's
+/// memorized values, so the F4 lookup genuinely recovers signal.
+fn density(city: &str) -> f64 {
+    smartfeat_fm_density(city)
+}
+
+fn smartfeat_fm_density(city: &str) -> f64 {
+    // Mirror of the FM knowledge table's figures, kept local so the
+    // datasets crate does not depend on the fm crate.
+    match city {
+        "SF" => 7272.0,
+        "LA" => 3276.0,
+        "SEA" => 3608.0,
+        "NYC" => 11313.0,
+        "CHI" => 4594.0,
+        "HOU" => 1395.0,
+        _ => 3000.0,
+    }
+}
+
+/// Generate the insurance dataset.
+pub fn generate(rows: usize, seed: u64) -> Dataset {
+    let mut rng = rng_for("Insurance", seed);
+    let mut sex = Vec::with_capacity(rows);
+    let mut age = Vec::with_capacity(rows);
+    let mut car_age = Vec::with_capacity(rows);
+    let mut model = Vec::with_capacity(rows);
+    let mut claim = Vec::with_capacity(rows);
+    let mut city = Vec::with_capacity(rows);
+    let mut safe = Vec::with_capacity(rows);
+
+    for _ in 0..rows {
+        let s = if uniform(&mut rng, 0.0, 1.0) < 0.5 { "M" } else { "F" };
+        let a = (18.0 + uniform(&mut rng, 0.0, 1.0).powf(1.2) * 55.0).round();
+        let ca = (1.0 + uniform(&mut rng, 0.0, 1.0) * 15.0).round();
+        let m = *pick(&mut rng, &MODELS);
+        let c = *pick(&mut rng, &CITIES);
+        let m_eff = category_effect(m);
+        let cl = i64::from(uniform(&mut rng, 0.0, 1.0) < 0.25 + 0.3 * m_eff);
+
+        // "Safe" depends on exactly the paper's derived features.
+        let mut score = 1.4;
+        score -= 2.0 * f64::from(a < 21.0); // F1: the under-21 band
+        score -= 0.9 * f64::from((21.0..25.0).contains(&a));
+        score += 0.7 * f64::from((35.0..65.0).contains(&a));
+        score -= 0.8 * ((2024.0 - ca) < 2014.0) as i64 as f64; // F2: old cars
+        score -= 1.8 * m_eff; // F3: risky models (recovered by the
+                              // per-model claim rate, F3)
+        score -= 1.4 * (density(c) / 11313.0); // F4: denser cities riskier
+        score -= 0.7 * f64::from(cl == 1);
+        score += 0.4 * norm(&mut rng);
+        safe.push(label_from_score(&mut rng, 1.3 * score));
+
+        sex.push(s);
+        age.push(a as i64);
+        car_age.push(ca as i64);
+        model.push(m);
+        claim.push(cl);
+        city.push(c);
+    }
+
+    let frame = DataFrame::from_columns(vec![
+        Column::from_str_slice("Sex", &sex),
+        Column::from_i64("Age", age),
+        Column::from_i64("Age_of_car", car_age),
+        Column::from_str_slice("Make_Model", &model),
+        Column::from_i64("Claim", claim),
+        Column::from_str_slice("City", &city),
+        Column::from_i64("Safe", safe),
+    ])
+    .expect("valid frame");
+
+    Dataset {
+        name: "Insurance",
+        field: "Insurance",
+        frame,
+        descriptions: vec![
+            ("Sex".into(), "Sex of the policyholder (M/F)".into()),
+            ("Age".into(), "Age of the policyholder in years".into()),
+            ("Age_of_car".into(), "Age of the insured car in years".into()),
+            ("Make_Model".into(), "Make and model of the insured car".into()),
+            (
+                "Claim".into(),
+                "Whether the policyholder filed a claim in the last 6 months".into(),
+            ),
+            ("City".into(), "City where the policyholder lives".into()),
+        ],
+        target: "Safe",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_table1_schema() {
+        let ds = generate(100, 0);
+        assert_eq!(
+            ds.frame.column_names(),
+            vec!["Sex", "Age", "Age_of_car", "Make_Model", "Claim", "City", "Safe"]
+        );
+        assert_eq!(ds.shape_counts(), (3, 3));
+    }
+
+    #[test]
+    fn young_drivers_are_riskier() {
+        let ds = generate(4000, 1);
+        let y = ds.frame.to_labels("Safe").unwrap();
+        let age = ds.frame.column("Age").unwrap().to_f64();
+        let rate = |lo: f64, hi: f64| {
+            let mut safe_count = 0;
+            let mut n = 0;
+            for (a, &l) in age.iter().zip(&y) {
+                let a = a.unwrap();
+                if a >= lo && a < hi {
+                    safe_count += usize::from(l == 1);
+                    n += 1;
+                }
+            }
+            safe_count as f64 / n.max(1) as f64
+        };
+        assert!(rate(35.0, 65.0) > rate(18.0, 21.0) + 0.15);
+    }
+
+    #[test]
+    fn cities_are_fm_known() {
+        let ds = generate(500, 2);
+        for key in ds.frame.column("City").unwrap().value_counts().keys() {
+            assert!(CITIES.contains(&key.as_str()));
+        }
+    }
+}

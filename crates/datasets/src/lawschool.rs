@@ -1,0 +1,140 @@
+//! Lawschool (bar-passage-style): 4 591 rows, 5 categorical + 7 numeric,
+//! Education.
+//!
+//! The paper's second "well-constructed" dataset: bar passage is nearly
+//! linear in LSAT score and undergraduate GPA, which are already clean,
+//! standardized inputs. Feature engineering has nothing to add — every
+//! method's AUC change is within noise of zero (some slightly negative).
+
+use smartfeat_frame::{Column, DataFrame};
+
+use crate::common::{label_from_score, norm, pick, pick_weighted, rng_for, uniform, Dataset};
+
+/// Generate the dataset.
+pub fn generate(rows: usize, seed: u64) -> Dataset {
+    let mut rng = rng_for("Lawschool", seed);
+    let races = [("white", 7.0), ("black", 1.2), ("hispanic", 1.0), ("asian", 0.8)];
+    let income_bands = ["low", "middle", "high"];
+    let clusters = ["tier1", "tier2", "tier3", "tier4"];
+
+    let mut race = Vec::with_capacity(rows);
+    let mut sex = Vec::with_capacity(rows);
+    let mut fulltime = Vec::with_capacity(rows);
+    let mut fam_income = Vec::with_capacity(rows);
+    let mut cluster = Vec::with_capacity(rows);
+    let mut lsat = Vec::with_capacity(rows);
+    let mut ugpa = Vec::with_capacity(rows);
+    let mut zfygpa = Vec::with_capacity(rows);
+    let mut zgpa = Vec::with_capacity(rows);
+    let mut age = Vec::with_capacity(rows);
+    let mut work_exp = Vec::with_capacity(rows);
+    let mut decile = Vec::with_capacity(rows);
+    let mut label = Vec::with_capacity(rows);
+
+    for _ in 0..rows {
+        let r = *pick_weighted(&mut rng, &races);
+        let s = if uniform(&mut rng, 0.0, 1.0) < 0.55 { "male" } else { "female" };
+        let ft = if uniform(&mut rng, 0.0, 1.0) < 0.9 { "yes" } else { "no" };
+        let inc = *pick(&mut rng, &income_bands);
+        let cl = *pick(&mut rng, &clusters);
+
+        let ability = norm(&mut rng);
+        let l = (37.0 + ability * 5.0 + norm(&mut rng) * 2.0).clamp(11.0, 48.0);
+        let g = (3.2 + ability * 0.35 + norm(&mut rng) * 0.2).clamp(1.5, 4.0);
+        let zf = ability * 0.8 + norm(&mut rng) * 0.5;
+        let z = ability * 0.85 + norm(&mut rng) * 0.45;
+        let a = (22.0 + uniform(&mut rng, 0.0, 1.0).powi(2) * 18.0).round();
+        let w = (uniform(&mut rng, 0.0, 1.0).powi(2) * 8.0).round();
+        let d = (1.0 + ((ability + 2.5) / 5.0 * 9.0).clamp(0.0, 9.0)).round();
+
+        // Clean linear score: LSAT and GPA dominate; nothing derivable adds.
+        let mut score = 1.0;
+        score += 1.4 * (l - 37.0) / 5.0;
+        score += 0.9 * (g - 3.2) / 0.35;
+        score += 0.25 * z;
+        score += 0.1 * f64::from(ft == "yes");
+        score += 0.45 * norm(&mut rng);
+        label.push(label_from_score(&mut rng, 0.55 * score));
+
+        race.push(r);
+        sex.push(s);
+        fulltime.push(ft);
+        fam_income.push(inc);
+        cluster.push(cl);
+        lsat.push((l * 10.0).round() / 10.0);
+        ugpa.push((g * 100.0).round() / 100.0);
+        zfygpa.push((zf * 100.0).round() / 100.0);
+        zgpa.push((z * 100.0).round() / 100.0);
+        age.push(a as i64);
+        work_exp.push(w);
+        decile.push(d);
+    }
+
+    let frame = DataFrame::from_columns(vec![
+        Column::from_str_slice("race", &race),
+        Column::from_str_slice("sex", &sex),
+        Column::from_str_slice("fulltime", &fulltime),
+        Column::from_str_slice("family_income", &fam_income),
+        Column::from_str_slice("school_cluster", &cluster),
+        Column::from_f64("lsat", lsat),
+        Column::from_f64("ugpa", ugpa),
+        Column::from_f64("zfygpa", zfygpa),
+        Column::from_f64("zgpa", zgpa),
+        Column::from_i64("age", age),
+        Column::from_f64("work_experience", work_exp),
+        Column::from_f64("decile", decile),
+        Column::from_i64("pass_bar", label),
+    ])
+    .expect("valid frame");
+
+    Dataset {
+        name: "Lawschool",
+        field: "Education",
+        frame,
+        descriptions: vec![
+            ("race".into(), "Race of the student".into()),
+            ("sex".into(), "Sex of the student".into()),
+            ("fulltime".into(), "Whether the student attended full time".into()),
+            ("family_income".into(), "Family income band of the student".into()),
+            ("school_cluster".into(), "Law school tier cluster".into()),
+            ("lsat".into(), "LSAT score of the student".into()),
+            ("ugpa".into(), "Undergraduate GPA of the student".into()),
+            ("zfygpa".into(), "Standardized first-year law school GPA".into()),
+            ("zgpa".into(), "Standardized cumulative law school GPA".into()),
+            ("age".into(), "Age of the student in years".into()),
+            ("work_experience".into(), "Years of work experience before law school".into()),
+            ("decile".into(), "Class rank decile within the school".into()),
+        ],
+        target: "pass_bar",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_table3() {
+        let ds = generate(400, 0);
+        assert_eq!(ds.shape_counts(), (5, 7));
+    }
+
+    #[test]
+    fn lsat_is_strongly_linear_in_the_label() {
+        let ds = generate(4000, 1);
+        let y = ds.frame.to_labels("pass_bar").unwrap();
+        let l = ds.frame.column("lsat").unwrap().to_f64();
+        let yf: Vec<Option<f64>> = y.iter().map(|&v| Some(f64::from(v))).collect();
+        let corr = smartfeat_frame::stats::pearson(&l, &yf).unwrap();
+        assert!(corr > 0.3, "lsat-label correlation {corr}");
+    }
+
+    #[test]
+    fn correlated_academic_measures() {
+        let ds = generate(2000, 2);
+        let l = ds.frame.column("lsat").unwrap().to_f64();
+        let g = ds.frame.column("ugpa").unwrap().to_f64();
+        let corr = smartfeat_frame::stats::pearson(&l, &g).unwrap();
+        assert!(corr > 0.3, "lsat-gpa correlation {corr}");
+    }
+}

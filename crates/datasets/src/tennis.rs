@@ -1,0 +1,178 @@
+//! Tennis (match-statistics-style): 944 rows, 12 numeric columns, Sports.
+//!
+//! The Table 6/7 workhorse. Column names are the paper's abbreviations
+//! (`FSP.1`, `FSW.1`, …) with full descriptions in the data card — the
+//! names-only ablation strips the descriptions and loses the context.
+//!
+//! Signal: the match outcome follows the *difference of weighted
+//! performance indices* between the two players (aces and serve stats up,
+//! double faults and unforced errors down) — exactly the structure the
+//! extractor's weighted index and the binary player-difference operators
+//! recover. Raw per-player stats carry only the smoothed version.
+
+use smartfeat_frame::{Column, DataFrame};
+
+use crate::common::{label_from_score, norm, rng_for, uniform, Dataset};
+
+/// Per-player stat block generated for one match.
+struct PlayerStats {
+    fsp: f64,
+    fsw: f64,
+    ssp: f64,
+    ace: f64,
+    dbf: f64,
+    ufe: f64,
+}
+
+/// Observed stats mix three components: the player's skill (the signal),
+/// the *match pace* (a shared confounder — long, fast matches inflate every
+/// count for both players), and per-stat noise. Cross-player differences
+/// cancel the pace exactly; single raw stats are contaminated by it.
+fn player(rng: &mut rand::rngs::StdRng, pace: f64) -> PlayerStats {
+    let skill = norm(rng);
+    PlayerStats {
+        fsp: (58.0 + skill * 2.5 + pace * 8.0 + norm(rng) * 2.0).clamp(30.0, 90.0),
+        fsw: (25.0 + skill * 3.0 + pace * 10.0 + norm(rng) * 2.0).clamp(5.0, 80.0).round(),
+        ssp: (48.0 + skill * 2.0 + pace * 8.0 + norm(rng) * 2.5).clamp(20.0, 80.0),
+        ace: (10.0 + skill * 2.0 + pace * 6.0 + norm(rng).abs() * 1.5).clamp(1.0, 45.0).round(),
+        dbf: (8.0 - skill * 1.0 + pace * 4.0 + norm(rng).abs() * 1.0).clamp(1.0, 30.0).round(),
+        ufe: (30.0 - skill * 3.5 + pace * 12.0 + norm(rng).abs() * 2.5).clamp(2.0, 90.0).round(),
+    }
+}
+
+/// Weighted performance index over the *observed* stats — what the
+/// extractor's weighted-index feature reconstructs (up to its ±1 weights).
+fn index(p: &PlayerStats) -> f64 {
+    0.5 * (p.fsp - 58.0) / 2.5 + 0.8 * (p.fsw - 25.0) / 3.0 + 0.3 * (p.ssp - 48.0) / 2.0
+        + 1.0 * (p.ace - 10.0) / 2.0
+        - 1.0 * (p.dbf - 8.0) / 1.0
+        - 1.0 * (p.ufe - 30.0) / 3.5
+}
+
+/// Generate the dataset.
+pub fn generate(rows: usize, seed: u64) -> Dataset {
+    let mut rng = rng_for("Tennis", seed);
+    let mut cols: Vec<Vec<f64>> = (0..12).map(|_| Vec::with_capacity(rows)).collect();
+    let mut label = Vec::with_capacity(rows);
+
+    for _ in 0..rows {
+        // Match pace: a shared confounder inflating both players' counts.
+        let pace = norm(&mut rng);
+        let p1 = player(&mut rng, pace);
+        let p2 = player(&mut rng, pace);
+        // The winner is decided by the index *difference*, in which the
+        // pace cancels; every individual stat still carries the pace.
+        let mut score = 0.25 * (index(&p1) - index(&p2));
+        score += 0.55 * norm(&mut rng);
+        let _ = uniform(&mut rng, 0.0, 1.0); // decorrelate label draw stream
+        label.push(label_from_score(&mut rng, score));
+
+        for (i, v) in [
+            p1.fsp, p1.fsw, p1.ssp, p1.ace, p1.dbf, p1.ufe, p2.fsp, p2.fsw, p2.ssp, p2.ace,
+            p2.dbf, p2.ufe,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            cols[i].push((v * 10.0).round() / 10.0);
+        }
+    }
+
+    let names = [
+        "FSP.1", "FSW.1", "SSP.1", "ACE.1", "DBF.1", "UFE.1", "FSP.2", "FSW.2", "SSP.2",
+        "ACE.2", "DBF.2", "UFE.2",
+    ];
+    let mut columns: Vec<Column> = names
+        .iter()
+        .zip(cols)
+        .map(|(n, v)| Column::from_f64(*n, v))
+        .collect();
+    columns.push(Column::from_i64("Result", label));
+    let frame = DataFrame::from_columns(columns).expect("valid frame");
+
+    let describe = |stat: &str, player: u8| -> String {
+        let what = match stat {
+            "FSP" => "First serve percentage",
+            "FSW" => "First serve points won",
+            "SSP" => "Second serve percentage",
+            "ACE" => "Aces won",
+            "DBF" => "Double faults committed",
+            "UFE" => "Unforced errors committed",
+            _ => unreachable!(),
+        };
+        format!("{what} by player {player}")
+    };
+    let descriptions = names
+        .iter()
+        .map(|n| {
+            let (stat, p) = n.split_once('.').expect("suffixed name");
+            (n.to_string(), describe(stat, p.parse().unwrap()))
+        })
+        .collect();
+
+    Dataset {
+        name: "Tennis",
+        field: "Sports",
+        frame,
+        descriptions,
+        target: "Result",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_table3() {
+        let ds = generate(944, 0);
+        assert_eq!(ds.frame.n_rows(), 944);
+        assert_eq!(ds.shape_counts(), (0, 12));
+    }
+
+    #[test]
+    fn abbreviated_names_with_full_descriptions() {
+        let ds = generate(200, 1);
+        assert!(ds.frame.has_column("FSW.1"));
+        let (_, d) = ds
+            .descriptions
+            .iter()
+            .find(|(n, _)| n == "FSW.1")
+            .unwrap();
+        assert!(d.contains("First serve"), "{d}");
+    }
+
+    #[test]
+    fn index_difference_beats_raw_stats() {
+        let ds = generate(944, 2);
+        let y = ds.frame.to_labels("Result").unwrap();
+        let get = |n: &str| ds.frame.column(n).unwrap().to_f64();
+        let (a1, a2) = (get("ACE.1"), get("ACE.2"));
+        let (d1, d2) = (get("DBF.1"), get("DBF.2"));
+        let (u1, u2) = (get("UFE.1"), get("UFE.2"));
+        let diff_index: Vec<Option<f64>> = (0..y.len())
+            .map(|i| {
+                Some(
+                    (a1[i].unwrap() - d1[i].unwrap() - u1[i].unwrap())
+                        - (a2[i].unwrap() - d2[i].unwrap() - u2[i].unwrap()),
+                )
+            })
+            .collect();
+        let mi_index = smartfeat_frame::stats::mutual_information(&diff_index, &y, 10);
+        let mi_raw = smartfeat_frame::stats::mutual_information(&a1, &y, 10);
+        assert!(
+            mi_index > mi_raw * 2.0,
+            "index MI {mi_index} vs raw ace MI {mi_raw}"
+        );
+    }
+
+    #[test]
+    fn mirrored_stats_have_same_marginals() {
+        let ds = generate(944, 3);
+        let s1 = smartfeat_frame::stats::summarize(&ds.frame.column("FSP.1").unwrap().to_f64())
+            .unwrap();
+        let s2 = smartfeat_frame::stats::summarize(&ds.frame.column("FSP.2").unwrap().to_f64())
+            .unwrap();
+        assert!((s1.mean - s2.mean).abs() < 2.0);
+    }
+}

@@ -1,0 +1,182 @@
+//! West Nile Virus (mosquito-surveillance-style): 10 507 rows,
+//! 3 categorical + 8 numeric, Disease.
+//!
+//! Signal: per-species and per-trap infection base rates (the structure the
+//! paper says high-order operators recover best on this dataset), a
+//! late-summer week window, warm-temperature effect, and the log of the
+//! mosquito count.
+
+use smartfeat_frame::{Column, DataFrame};
+
+use crate::common::{category_effect, label_from_score, norm, pick_weighted, rng_for, uniform, Dataset};
+
+/// Generate the dataset.
+pub fn generate(rows: usize, seed: u64) -> Dataset {
+    let mut rng = rng_for("West Nile Virus", seed);
+    let species = [
+        ("culex_pipiens", 4.0),
+        ("culex_restuans", 3.0),
+        ("culex_pipiens_restuans", 2.5),
+        ("culex_salinarius", 0.6),
+        ("culex_territans", 0.4),
+    ];
+    let trap_names: Vec<String> = (1..=40).map(|i| format!("T{i:03}")).collect();
+    let streets: Vec<String> = (1..=25).map(|i| format!("street_{i}")).collect();
+
+    let mut sp = Vec::with_capacity(rows);
+    let mut trap = Vec::with_capacity(rows);
+    let mut street = Vec::with_capacity(rows);
+    let mut lat = Vec::with_capacity(rows);
+    let mut lon = Vec::with_capacity(rows);
+    let mut week = Vec::with_capacity(rows);
+    let mut temp = Vec::with_capacity(rows);
+    let mut precip = Vec::with_capacity(rows);
+    let mut wind = Vec::with_capacity(rows);
+    let mut humidity = Vec::with_capacity(rows);
+    let mut mosquitos = Vec::with_capacity(rows);
+    let mut label = Vec::with_capacity(rows);
+
+    for _ in 0..rows {
+        let s = *pick_weighted(&mut rng, &species);
+        let t = &trap_names[rng_usize(&mut rng, trap_names.len())];
+        let st = &streets[rng_usize(&mut rng, streets.len())];
+        let la = 41.65 + uniform(&mut rng, 0.0, 1.0) * 0.4;
+        let lo = -87.9 + uniform(&mut rng, 0.0, 1.0) * 0.4;
+        let wk = (22.0 + uniform(&mut rng, 0.0, 1.0) * 18.0).round();
+        let seasonal = (-((wk - 32.0) / 5.0).powi(2)).exp();
+        let tp = (62.0 + seasonal * 18.0 + norm(&mut rng) * 5.0).round();
+        let pr = (uniform(&mut rng, 0.0, 1.0).powi(3) * 2.0 * 100.0).round() / 100.0;
+        let wd = (4.0 + norm(&mut rng).abs() * 4.0).round();
+        let hu = (55.0 + norm(&mut rng) * 12.0).clamp(20.0, 100.0).round();
+        // Mosquito abundance reflects how hospitable the trap site and how
+        // virus-prone the species is — so per-trap and per-species *mean*
+        // counts are denoised views of the same effects that drive risk.
+        let s_eff = category_effect(s);
+        let t_eff = category_effect(t);
+        let m = (1.0
+            + uniform(&mut rng, 0.0, 1.0).powi(2) * 18.0 * (1.1 + 0.45 * (s_eff + t_eff) / 2.0))
+            .round()
+            .clamp(1.0, 60.0);
+
+        let mut score = -2.4;
+        score += 1.1 * s_eff; // species base rate (group-by view)
+        score += 1.5 * t_eff; // trap base rate: 40 keys, hard for raw trees
+        score += 1.2 * f64::from((28.0..=36.0).contains(&wk)); // peak season band
+        score += 1.0 * f64::from(tp >= 75.0); // activity threshold
+        score -= 0.2 * (wd / 8.0);
+        score += 0.35 * norm(&mut rng);
+        label.push(label_from_score(&mut rng, 1.4 * score));
+
+        sp.push(s.to_string());
+        trap.push(t.clone());
+        street.push(st.clone());
+        lat.push((la * 1000.0).round() / 1000.0);
+        lon.push((lo * 1000.0).round() / 1000.0);
+        week.push(wk as i64);
+        temp.push(tp);
+        precip.push(pr);
+        wind.push(wd);
+        humidity.push(hu);
+        mosquitos.push(m);
+    }
+
+    let frame = DataFrame::from_columns(vec![
+        Column::from_strs("species", sp.into_iter().map(Some).collect()),
+        Column::from_strs("trap", trap.into_iter().map(Some).collect()),
+        Column::from_strs("street", street.into_iter().map(Some).collect()),
+        Column::from_f64("latitude", lat),
+        Column::from_f64("longitude", lon),
+        Column::from_i64("week", week),
+        Column::from_f64("avg_temperature", temp),
+        Column::from_f64("precipitation", precip),
+        Column::from_f64("wind_speed", wind),
+        Column::from_f64("humidity", humidity),
+        Column::from_f64("num_mosquitos", mosquitos),
+        Column::from_i64("wnv_present", label),
+    ])
+    .expect("valid frame");
+
+    Dataset {
+        name: "West Nile Virus",
+        field: "Disease",
+        frame,
+        descriptions: vec![
+            ("species".into(), "Mosquito species captured in the trap".into()),
+            ("trap".into(), "Surveillance trap in which the sample was collected".into()),
+            ("street".into(), "Street block of the collection site".into()),
+            ("latitude".into(), "Latitude of the trap".into()),
+            ("longitude".into(), "Longitude of the trap".into()),
+            ("week".into(), "Week of the year of the observation".into()),
+            ("avg_temperature".into(), "Average temperature that week (Fahrenheit)".into()),
+            ("precipitation".into(), "Total precipitation that week (inches)".into()),
+            ("wind_speed".into(), "Average wind speed that week (mph)".into()),
+            ("humidity".into(), "Average relative humidity that week (percent)".into()),
+            ("num_mosquitos".into(), "Number of mosquitos caught in the collected sample".into()),
+        ],
+        target: "wnv_present",
+    }
+}
+
+fn rng_usize(rng: &mut rand::rngs::StdRng, n: usize) -> usize {
+    use rand::Rng;
+    rng.gen_range(0..n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_table3() {
+        let ds = generate(500, 0);
+        assert_eq!(ds.shape_counts(), (3, 8));
+    }
+
+    #[test]
+    fn species_rates_differ_for_groupby_signal() {
+        let ds = generate(6000, 1);
+        let y = ds.frame.to_labels("wnv_present").unwrap();
+        let sp = ds.frame.column("species").unwrap().to_keys();
+        let mut rates: std::collections::HashMap<String, (usize, usize)> = Default::default();
+        for (s, &l) in sp.iter().zip(&y) {
+            let e = rates.entry(s.clone().unwrap()).or_default();
+            e.0 += usize::from(l == 1);
+            e.1 += 1;
+        }
+        let values: Vec<f64> = rates
+            .values()
+            .filter(|(_, n)| *n > 50)
+            .map(|(h, n)| *h as f64 / *n as f64)
+            .collect();
+        let spread = values.iter().copied().fold(0.0f64, f64::max)
+            - values.iter().copied().fold(1.0f64, f64::min);
+        assert!(spread > 0.15, "species rate spread {spread}");
+    }
+
+    #[test]
+    fn temperature_peaks_midseason() {
+        let ds = generate(3000, 2);
+        let wk = ds.frame.column("week").unwrap().to_f64();
+        let tp = ds.frame.column("avg_temperature").unwrap().to_f64();
+        let mean_at = |lo: f64, hi: f64| {
+            let vals: Vec<f64> = wk
+                .iter()
+                .zip(&tp)
+                .filter(|(w, _)| {
+                    let w = w.unwrap();
+                    w >= lo && w < hi
+                })
+                .map(|(_, t)| t.unwrap())
+                .collect();
+            vals.iter().sum::<f64>() / vals.len().max(1) as f64
+        };
+        assert!(mean_at(30.0, 34.0) > mean_at(22.0, 25.0) + 5.0);
+    }
+
+    #[test]
+    fn trap_cardinality_reasonable() {
+        let ds = generate(2000, 3);
+        let card = ds.frame.column("trap").unwrap().cardinality();
+        assert!(card > 20 && card <= 40, "{card} traps");
+    }
+}

@@ -1,0 +1,93 @@
+//! Per-model pricing and latency models (2023 list prices, matching the
+//! period of the paper's experiments).
+
+use std::time::Duration;
+
+/// Static description of a simulated model's cost/latency profile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelSpec {
+    /// Model identifier (e.g. `"gpt-4"`).
+    pub name: &'static str,
+    /// USD per 1 000 prompt tokens.
+    pub usd_per_1k_prompt: f64,
+    /// USD per 1 000 completion tokens.
+    pub usd_per_1k_completion: f64,
+    /// Fixed per-request overhead.
+    pub base_latency_ms: f64,
+    /// Per completion-token generation time.
+    pub ms_per_completion_token: f64,
+    /// Per prompt-token ingestion time.
+    pub ms_per_prompt_token: f64,
+}
+
+impl ModelSpec {
+    /// GPT-4 (the paper's operator-selector model).
+    pub fn gpt4() -> ModelSpec {
+        ModelSpec {
+            name: "gpt-4",
+            usd_per_1k_prompt: 0.03,
+            usd_per_1k_completion: 0.06,
+            base_latency_ms: 500.0,
+            ms_per_completion_token: 30.0,
+            ms_per_prompt_token: 0.5,
+        }
+    }
+
+    /// GPT-3.5-turbo (the paper's function-generator model — "comparable
+    /// performance and better efficiency").
+    pub fn gpt35_turbo() -> ModelSpec {
+        ModelSpec {
+            name: "gpt-3.5-turbo",
+            usd_per_1k_prompt: 0.0015,
+            usd_per_1k_completion: 0.002,
+            base_latency_ms: 250.0,
+            ms_per_completion_token: 10.0,
+            ms_per_prompt_token: 0.2,
+        }
+    }
+
+    /// Cost in USD for one call.
+    pub fn cost_usd(&self, prompt_tokens: usize, completion_tokens: usize) -> f64 {
+        prompt_tokens as f64 / 1000.0 * self.usd_per_1k_prompt
+            + completion_tokens as f64 / 1000.0 * self.usd_per_1k_completion
+    }
+
+    /// Simulated wall-clock latency for one call.
+    pub fn latency(&self, prompt_tokens: usize, completion_tokens: usize) -> Duration {
+        let ms = self.base_latency_ms
+            + self.ms_per_prompt_token * prompt_tokens as f64
+            + self.ms_per_completion_token * completion_tokens as f64;
+        Duration::from_micros((ms * 1000.0) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpt4_costs_more_than_gpt35() {
+        let g4 = ModelSpec::gpt4();
+        let g35 = ModelSpec::gpt35_turbo();
+        assert!(g4.cost_usd(1000, 1000) > 10.0 * g35.cost_usd(1000, 1000));
+    }
+
+    #[test]
+    fn cost_formula() {
+        let g4 = ModelSpec::gpt4();
+        let c = g4.cost_usd(2000, 500);
+        assert!((c - (0.06 + 0.03)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_grows_with_completion_tokens() {
+        let g4 = ModelSpec::gpt4();
+        assert!(g4.latency(100, 200) > g4.latency(100, 100));
+        assert!(g4.latency(0, 0) >= Duration::from_millis(500));
+    }
+
+    #[test]
+    fn zero_tokens_zero_marginal_cost() {
+        assert_eq!(ModelSpec::gpt35_turbo().cost_usd(0, 0), 0.0);
+    }
+}

@@ -1,0 +1,492 @@
+//! The simulated FM's encoded knowledge.
+//!
+//! Three layers, mirroring what the paper attributes to GPT-4:
+//!
+//! 1. a **concept lexicon**: mapping column names/descriptions to semantic
+//!    concepts ("age", "income", "city", "glucose", "first-serve
+//!    percentage", …). Full words detect strongly; bare abbreviations
+//!    (`FSW.1`) only detect when the abbreviation itself is famous enough
+//!    (ACE, BMI, …) — this asymmetry is what the paper's
+//!    names-only-vs-descriptions ablation measures;
+//! 2. **domain thresholds**: practically meaningful bucket boundaries
+//!    (the 21-year-old insurance threshold, ADA glucose cutoffs 100/126,
+//!    WHO BMI classes 18.5/25/30, …);
+//! 3. **world-knowledge tables**: facts a model memorized from the web,
+//!    e.g. city → population density (people/km²), with a deterministic
+//!    "hallucination" fallback for unknown cities — approximately right in
+//!    scale, never exactly right, like a real FM.
+
+/// Semantic concepts the lexicon can attach to a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Concept {
+    /// A person's age in years.
+    Age,
+    /// An age of an object (vehicle, building) in years.
+    ObjectAge,
+    /// A calendar year of an event (manufacture, admission, …).
+    YearOfEvent,
+    /// A full date string.
+    DateLike,
+    /// Monetary amount (income, balance, price, premium, …).
+    Money,
+    /// A rate / percentage / probability in a bounded range.
+    RatePercentage,
+    /// An unbounded count of events or items.
+    Count,
+    /// A 0/1 or yes/no flag.
+    BinaryFlag,
+    /// Plasma glucose concentration.
+    Glucose,
+    /// Body-mass index.
+    Bmi,
+    /// Blood pressure.
+    BloodPressure,
+    /// Serum insulin.
+    Insulin,
+    /// Cholesterol level.
+    Cholesterol,
+    /// Heart rate.
+    HeartRate,
+    /// A city name.
+    GeoCity,
+    /// A broader region (state, country, district).
+    GeoRegion,
+    /// A product make/model/brand category.
+    ProductModel,
+    /// A demographic category (sex, marital status, race, …).
+    PersonCategory,
+    /// Education level.
+    Education,
+    /// Occupation / job.
+    Occupation,
+    /// Hours (worked, studied, …).
+    Hours,
+    /// Smoking intensity (cigarettes per day).
+    SmokingIntensity,
+    /// A sports performance statistic (serves, aces, break points, …).
+    SportsStat,
+    /// Wins/losses or points won.
+    WinLoss,
+    /// An opaque identifier (drop candidate; never engineer on it).
+    Identifier,
+    /// Temperature measurement.
+    Temperature,
+    /// Week of the year (seasonality).
+    WeekOfYear,
+    /// A biological species or trap/station label.
+    SpeciesOrStation,
+    /// Academic score (GPA, LSAT, entrance exam, …).
+    AcademicScore,
+    /// Geographic coordinate (latitude/longitude).
+    Coordinate,
+    /// Number of rooms/bedrooms/occupants in housing data.
+    HousingSize,
+    /// No specific concept detected.
+    Generic,
+}
+
+impl Concept {
+    /// True for concepts that denote a numeric clinical measurement with
+    /// medically-standard thresholds.
+    pub fn is_clinical(self) -> bool {
+        matches!(
+            self,
+            Concept::Glucose
+                | Concept::Bmi
+                | Concept::BloodPressure
+                | Concept::Insulin
+                | Concept::Cholesterol
+                | Concept::HeartRate
+        )
+    }
+
+    /// True for concepts that make a column a good group-by key.
+    pub fn is_grouping(self) -> bool {
+        matches!(
+            self,
+            Concept::GeoCity
+                | Concept::GeoRegion
+                | Concept::ProductModel
+                | Concept::PersonCategory
+                | Concept::Education
+                | Concept::Occupation
+                | Concept::SpeciesOrStation
+        )
+    }
+}
+
+/// Keyword → concept, applied to whole words of the name and description.
+const WORD_LEXICON: &[(&str, Concept)] = &[
+    ("age", Concept::Age),
+    ("dob", Concept::DateLike),
+    ("birth", Concept::DateLike),
+    ("date", Concept::DateLike),
+    ("year", Concept::YearOfEvent),
+    ("income", Concept::Money),
+    ("salary", Concept::Money),
+    ("wage", Concept::Money),
+    ("balance", Concept::Money),
+    ("price", Concept::Money),
+    ("value", Concept::Money),
+    ("premium", Concept::Money),
+    ("loan", Concept::Money),
+    ("debt", Concept::Money),
+    ("gain", Concept::Money),
+    ("loss", Concept::Money),
+    ("rate", Concept::RatePercentage),
+    ("ratio", Concept::RatePercentage),
+    ("percentage", Concept::RatePercentage),
+    ("percent", Concept::RatePercentage),
+    ("probability", Concept::RatePercentage),
+    ("gpa", Concept::AcademicScore),
+    ("lsat", Concept::AcademicScore),
+    ("score", Concept::AcademicScore),
+    ("exam", Concept::AcademicScore),
+    ("count", Concept::Count),
+    ("number", Concept::Count),
+    ("num", Concept::Count),
+    ("total", Concept::Count),
+    ("pregnancies", Concept::Count),
+    ("campaign", Concept::Count),
+    ("contacts", Concept::Count),
+    ("glucose", Concept::Glucose),
+    ("bmi", Concept::Bmi),
+    ("mass", Concept::Bmi),
+    ("pressure", Concept::BloodPressure),
+    ("systolic", Concept::BloodPressure),
+    ("diastolic", Concept::BloodPressure),
+    ("insulin", Concept::Insulin),
+    ("cholesterol", Concept::Cholesterol),
+    ("heartrate", Concept::HeartRate),
+    ("thalach", Concept::HeartRate),
+    ("city", Concept::GeoCity),
+    ("town", Concept::GeoCity),
+    ("state", Concept::GeoRegion),
+    ("country", Concept::GeoRegion),
+    ("region", Concept::GeoRegion),
+    ("district", Concept::GeoRegion),
+    ("block", Concept::GeoRegion),
+    ("make", Concept::ProductModel),
+    ("model", Concept::ProductModel),
+    ("brand", Concept::ProductModel),
+    ("vehicle", Concept::ProductModel),
+    ("car", Concept::ProductModel),
+    ("sex", Concept::PersonCategory),
+    ("gender", Concept::PersonCategory),
+    ("marital", Concept::PersonCategory),
+    ("race", Concept::PersonCategory),
+    ("relationship", Concept::PersonCategory),
+    ("education", Concept::Education),
+    ("degree", Concept::Education),
+    ("school", Concept::Education),
+    ("occupation", Concept::Occupation),
+    ("job", Concept::Occupation),
+    ("workclass", Concept::Occupation),
+    ("hours", Concept::Hours),
+    ("cigs", Concept::SmokingIntensity),
+    ("cigarettes", Concept::SmokingIntensity),
+    ("smoked", Concept::SmokingIntensity),
+    ("serve", Concept::SportsStat),
+    ("ace", Concept::SportsStat),
+    ("aces", Concept::SportsStat),
+    ("fault", Concept::SportsStat),
+    ("faults", Concept::SportsStat),
+    ("breakpoint", Concept::SportsStat),
+    ("break", Concept::SportsStat),
+    ("winner", Concept::WinLoss),
+    ("winners", Concept::WinLoss),
+    ("won", Concept::WinLoss),
+    ("points", Concept::WinLoss),
+    ("error", Concept::SportsStat),
+    ("errors", Concept::SportsStat),
+    ("net", Concept::SportsStat),
+    ("id", Concept::Identifier),
+    ("identifier", Concept::Identifier),
+    ("uuid", Concept::Identifier),
+    ("temperature", Concept::Temperature),
+    ("temp", Concept::Temperature),
+    ("week", Concept::WeekOfYear),
+    ("season", Concept::WeekOfYear),
+    ("species", Concept::SpeciesOrStation),
+    ("trap", Concept::SpeciesOrStation),
+    ("station", Concept::SpeciesOrStation),
+    ("mosquitos", Concept::Count),
+    ("mosquitoes", Concept::Count),
+    ("latitude", Concept::Coordinate),
+    ("longitude", Concept::Coordinate),
+    ("rooms", Concept::HousingSize),
+    ("bedrooms", Concept::HousingSize),
+    ("households", Concept::HousingSize),
+    ("population", Concept::Count),
+    ("occupancy", Concept::HousingSize),
+    ("default", Concept::BinaryFlag),
+    ("housing", Concept::BinaryFlag),
+    ("claim", Concept::BinaryFlag),
+    ("claims", Concept::Count),
+];
+
+/// Famous abbreviations a model recognizes even without a description.
+/// Deliberately *incomplete*: obscure dataset-specific abbreviations
+/// (FSW, SSP, BPC, …) are absent, so names-only prompts lose context —
+/// the mechanism behind the paper's feature-description ablation.
+const ABBREV_LEXICON: &[(&str, Concept)] = &[
+    ("bmi", Concept::Bmi),
+    ("ace", Concept::SportsStat),
+    ("dbf", Concept::SportsStat),
+    ("bp", Concept::BloodPressure),
+    ("gpa", Concept::AcademicScore),
+    ("lsat", Concept::AcademicScore),
+    ("id", Concept::Identifier),
+];
+
+/// Tokenize an identifier or phrase into lowercase words
+/// (`"Age_of_car"` → `["age", "of", "car"]`, `"FSW.1"` → `["fsw", "1"]`).
+pub fn words(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut prev_lower = false;
+    for c in text.chars() {
+        if c.is_alphanumeric() {
+            // split camelCase boundaries (lowercase → uppercase transitions)
+            if c.is_uppercase() && prev_lower {
+                out.push(std::mem::take(&mut cur));
+            }
+            cur.push(c.to_ascii_lowercase());
+            prev_lower = c.is_lowercase();
+        } else {
+            if !cur.is_empty() {
+                out.push(std::mem::take(&mut cur));
+            }
+            prev_lower = false;
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Detect concepts from a column name plus (possibly empty) description.
+///
+/// With a description, the full word lexicon applies to both. Without one,
+/// only name words and famous abbreviations fire — weaker context.
+pub fn detect(name: &str, description: &str) -> Vec<Concept> {
+    let mut found = Vec::new();
+    let mut push = |c: Concept| {
+        if !found.contains(&c) {
+            found.push(c);
+        }
+    };
+    let name_words = words(name);
+    let desc_words = words(description);
+    for (kw, concept) in WORD_LEXICON {
+        if desc_words.iter().any(|w| w == kw) {
+            push(*concept);
+        }
+    }
+    for (kw, concept) in WORD_LEXICON {
+        // Name words only count when they are real words (≥ 3 chars) or
+        // exact famous abbreviations — a bare "FSW" matches nothing.
+        if name_words.iter().any(|w| w == kw) && kw.len() >= 3 {
+            push(*concept);
+        }
+    }
+    for (kw, concept) in ABBREV_LEXICON {
+        if name_words.iter().any(|w| w == kw) {
+            push(*concept);
+        }
+    }
+    // "Week of the year" is seasonality, not an event year.
+    if found.contains(&Concept::WeekOfYear) {
+        found.retain(|c| *c != Concept::YearOfEvent);
+    }
+    // An "age" that belongs to an object rather than a person: the name
+    // also mentions a product/vehicle ("Age of car", "building age").
+    if found.contains(&Concept::Age) && found.contains(&Concept::ProductModel) {
+        found.retain(|c| *c != Concept::Age);
+        found.insert(0, Concept::ObjectAge);
+    }
+    if found.is_empty() {
+        found.push(Concept::Generic);
+    }
+    found
+}
+
+/// Domain-standard bucket boundaries for a concept, if the simulated model
+/// "knows" practically meaningful thresholds.
+pub fn bucket_boundaries(concept: Concept) -> Option<Vec<f64>> {
+    match concept {
+        // Insurance-style age bands; note the famous 21 / 25 thresholds.
+        Concept::Age => Some(vec![18.0, 21.0, 25.0, 35.0, 45.0, 55.0, 65.0]),
+        // ADA fasting-glucose cutoffs (normal / prediabetes / diabetes).
+        Concept::Glucose => Some(vec![100.0, 126.0]),
+        // WHO BMI classes.
+        Concept::Bmi => Some(vec![18.5, 25.0, 30.0]),
+        // Diastolic hypertension stages.
+        Concept::BloodPressure => Some(vec![80.0, 90.0]),
+        // Fasting insulin reference band (µU/mL).
+        Concept::Insulin => Some(vec![25.0, 166.0]),
+        // Total cholesterol desirable / borderline / high (mg/dL).
+        Concept::Cholesterol => Some(vec![200.0, 240.0]),
+        // Old/new vehicle bands used by insurers.
+        Concept::ObjectAge => Some(vec![3.0, 5.0, 10.0]),
+        // Mosquito-activity temperature thresholds (°F): activity rises
+        // sharply above ~50, peaks above ~75.
+        Concept::Temperature => Some(vec![50.0, 65.0, 75.0]),
+        // Season quarters; weeks 27–40 are the northern-hemisphere
+        // arbovirus season.
+        Concept::WeekOfYear => Some(vec![14.0, 27.0, 40.0]),
+        _ => None,
+    }
+}
+
+/// The simulated model's notion of "now" — frozen to the paper's period so
+/// year-difference features are reproducible.
+pub fn current_year() -> i32 {
+    2024
+}
+
+/// Known city → population density (people per km², approximate 2020s
+/// figures a web-trained model would have memorized).
+const CITY_DENSITY: &[(&str, f64)] = &[
+    ("san francisco", 7272.0),
+    ("sf", 7272.0),
+    ("los angeles", 3276.0),
+    ("la", 3276.0),
+    ("seattle", 3608.0),
+    ("sea", 3608.0),
+    ("new york", 11313.0),
+    ("nyc", 11313.0),
+    ("chicago", 4594.0),
+    ("chi", 4594.0),
+    ("houston", 1395.0),
+    ("hou", 1395.0),
+    ("phoenix", 1200.0),
+    ("phx", 1200.0),
+    ("philadelphia", 4554.0),
+    ("phi", 4554.0),
+    ("san antonio", 1250.0),
+    ("dallas", 1590.0),
+    ("dal", 1590.0),
+    ("austin", 1157.0),
+    ("aus", 1157.0),
+    ("san diego", 1670.0),
+    ("sd", 1670.0),
+    ("boston", 5344.0),
+    ("bos", 5344.0),
+    ("miami", 4919.0),
+    ("mia", 4919.0),
+    ("denver", 1859.0),
+    ("den", 1859.0),
+    ("detroit", 1849.0),
+    ("det", 1849.0),
+    ("portland", 1900.0),
+    ("pdx", 1900.0),
+    ("atlanta", 1470.0),
+    ("atl", 1470.0),
+];
+
+/// Population density for a city. Known cities return memorized figures;
+/// unknown cities return a deterministic, plausibly-scaled value (500 –
+/// 8 500 people/km²) — the model "answers confidently" either way, exactly
+/// like a real FM asked for world facts.
+pub fn city_population_density(city: &str) -> f64 {
+    let key = city.trim().to_ascii_lowercase();
+    for (name, density) in CITY_DENSITY {
+        if *name == key {
+            return *density;
+        }
+    }
+    // FNV-1a hash → stable pseudo-knowledge.
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in key.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    500.0 + (h % 8001) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_split_identifiers() {
+        assert_eq!(words("Age_of_car"), vec!["age", "of", "car"]);
+        assert_eq!(words("FSW.1"), vec!["fsw", "1"]);
+        assert_eq!(words("capitalGain"), vec!["capital", "gain"]);
+        assert_eq!(words(""), Vec::<String>::new());
+    }
+
+    #[test]
+    fn detect_from_name() {
+        assert!(detect("Age", "").contains(&Concept::Age));
+        assert!(detect("capital_gain", "").contains(&Concept::Money));
+        assert!(detect("City", "").contains(&Concept::GeoCity));
+    }
+
+    #[test]
+    fn detect_from_description_rescues_abbreviations() {
+        // Bare FSW is unknown …
+        assert_eq!(detect("FSW.1", ""), vec![Concept::Generic]);
+        // … but the description supplies the context.
+        let c = detect("FSW.1", "First serve points won by player 1");
+        assert!(c.contains(&Concept::SportsStat));
+        assert!(c.contains(&Concept::WinLoss));
+    }
+
+    #[test]
+    fn famous_abbreviations_fire_without_description() {
+        assert!(detect("BMI", "").contains(&Concept::Bmi));
+        assert!(detect("ACE.1", "").contains(&Concept::SportsStat));
+    }
+
+    #[test]
+    fn generic_fallback() {
+        assert_eq!(detect("xyzzy", ""), vec![Concept::Generic]);
+    }
+
+    #[test]
+    fn clinical_boundaries_match_guidelines() {
+        assert_eq!(bucket_boundaries(Concept::Glucose), Some(vec![100.0, 126.0]));
+        assert_eq!(
+            bucket_boundaries(Concept::Bmi),
+            Some(vec![18.5, 25.0, 30.0])
+        );
+        let age = bucket_boundaries(Concept::Age).unwrap();
+        assert!(age.contains(&21.0), "insurance threshold present");
+        assert!(bucket_boundaries(Concept::Generic).is_none());
+    }
+
+    #[test]
+    fn known_city_density() {
+        assert_eq!(city_population_density("SF"), 7272.0);
+        assert_eq!(city_population_density("san francisco"), 7272.0);
+        assert_eq!(city_population_density("  NYC  "), 11313.0);
+    }
+
+    #[test]
+    fn unknown_city_is_deterministic_and_plausible() {
+        let a = city_population_density("Middletown");
+        let b = city_population_density("Middletown");
+        assert_eq!(a, b);
+        assert!((500.0..=8500.0).contains(&a));
+        assert_ne!(
+            city_population_density("Middletown"),
+            city_population_density("Middleton")
+        );
+    }
+
+    #[test]
+    fn grouping_concepts() {
+        assert!(Concept::ProductModel.is_grouping());
+        assert!(Concept::GeoCity.is_grouping());
+        assert!(!Concept::Money.is_grouping());
+    }
+
+    #[test]
+    fn clinical_concepts() {
+        assert!(Concept::Glucose.is_clinical());
+        assert!(!Concept::Age.is_clinical());
+    }
+}

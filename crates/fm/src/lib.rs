@@ -1,0 +1,41 @@
+//! # smartfeat-fm
+//!
+//! A **simulated foundation model** standing in for OpenAI GPT-4 /
+//! GPT-3.5-turbo in the SMARTFEAT reproduction.
+//!
+//! The simulation is deliberately faithful to the *interaction structure*
+//! the paper studies rather than to any particular network:
+//!
+//! - Requests arrive as plain natural-language prompts (the same template
+//!   strings SMARTFEAT's operator selector and function generator emit).
+//!   The oracle *reads* them — extracting the serialized data card, target,
+//!   downstream model and task phrasing — exactly where a real FM would.
+//! - Responses are natural-language-ish structured text that the caller
+//!   must parse back, so every SMARTFEAT parsing/validation path is
+//!   genuinely exercised.
+//! - A [`knowledge`] base supplies the "open-world knowledge" the paper
+//!   leans on: a concept lexicon over column names/descriptions (age,
+//!   money, dates, cities, clinical measurements, sports statistics, …),
+//!   domain bucket boundaries (the 21-year-old insurance threshold,
+//!   glucose 100/126 mg/dL, BMI 18.5/25/30, …) and world-knowledge lookup
+//!   tables (city → population density).
+//! - Token accounting, per-model pricing and a latency model make the
+//!   cost/efficiency axis of Figure 1 exactly measurable, and a
+//!   configurable error rate injects the malformed/duplicated outputs whose
+//!   handling Section 3.2's error threshold exists for.
+//!
+//! Determinism: all sampling is driven by a seeded RNG in the oracle, so
+//! identical call sequences produce identical transcripts.
+
+pub mod chat;
+pub mod cost;
+pub mod knowledge;
+pub mod oracle;
+pub mod parse;
+pub mod stats;
+pub mod token;
+
+pub use chat::{Exchange, Transcribing};
+pub use cost::ModelSpec;
+pub use oracle::{FmConfig, FmError, FmResponse, FoundationModel, SimulatedFm};
+pub use stats::{UsageMeter, UsageSnapshot};

@@ -1,0 +1,333 @@
+//! Prompt reading: how the simulated FM extracts the serialized data card
+//! and task phrasing from a natural-language prompt.
+//!
+//! SMARTFEAT's prompt templates (paper Table 2) serialize the evolving
+//! *dataset feature description* plus the prediction target and downstream
+//! model into every prompt. A real FM reads that prose; the simulated one
+//! parses the same text here. If a prompt doesn't carry the expected
+//! structure the oracle answers unhelpfully — exactly what a real model
+//! does when under-prompted.
+
+use crate::knowledge::{detect, Concept};
+
+/// One feature as described inside a prompt's data card.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureInfo {
+    /// Column name.
+    pub name: String,
+    /// Declared type tag (`int`, `float`, `str`, `bool`).
+    pub dtype: String,
+    /// Declared distinct-value count, when present.
+    pub distinct: Option<usize>,
+    /// Free-text description (may be empty for the names-only ablation).
+    pub description: String,
+}
+
+impl FeatureInfo {
+    /// Concepts the simulated model associates with this feature.
+    pub fn concepts(&self) -> Vec<Concept> {
+        detect(&self.name, &self.description)
+    }
+
+    /// True if the declared type is numeric.
+    pub fn is_numeric(&self) -> bool {
+        matches!(self.dtype.as_str(), "int" | "float" | "bool")
+    }
+
+    /// True for features that are *derived codes or aggregates* rather than
+    /// raw quantities — bucket indices, one-hot dummies, date parts,
+    /// group-by aggregates, existing arithmetic combinations. A competent
+    /// model reading the data card does not propose dividing two bucket
+    /// codes or grouping by a group-by output; the oracle follows suit.
+    pub fn is_derived_code(&self) -> bool {
+        const PREFIXES: &[&str] = &[
+            "Bucketized_",
+            "GroupBy_",
+            "Dummies_",
+            "Datesplit_",
+            "Normalized_",
+            "Log_",
+            "Sqrt_",
+            "Squared_",
+            "Abs_",
+            "Reciprocal_",
+            "YearsSince_",
+            "caafe_",
+            "Performance_index",
+            "Health_risk_index",
+        ];
+        const INFIXES: &[&str] = &["_div_", "_plus_", "_minus_", "_times_"];
+        PREFIXES.iter().any(|p| self.name.starts_with(p))
+            || INFIXES.iter().any(|i| self.name.contains(i))
+            || self.description.starts_with("df.groupby")
+            || self.description.contains("one-hot")
+            // per-unit extractor outputs describe themselves as divisions
+            || self.description.contains("divided by")
+    }
+
+    /// True for derived group-by / arithmetic outputs specifically (these
+    /// are also unusable as group keys, unlike bucket codes).
+    pub fn is_aggregate_output(&self) -> bool {
+        self.name.starts_with("GroupBy_")
+            || self.name.starts_with("caafe_gb_")
+            || self.name.starts_with("Log_")
+            || self.description.starts_with("df.groupby")
+            || self.description.contains("divided by")
+            || ["_div_", "_plus_", "_minus_", "_times_"]
+                .iter()
+                .any(|i| self.name.contains(i))
+    }
+
+    /// True if this looks like a usable group-by key: a declared
+    /// categorical, a conceptually-grouping column, or a genuinely
+    /// low-cardinality code (bucket indices, small label sets). Raw counts
+    /// and measurements with dozens of values are *not* group keys — a
+    /// model reading "aces won by player 1" does not group by it.
+    pub fn is_groupable(&self) -> bool {
+        if self.description.contains("one-hot") || self.is_aggregate_output() {
+            return false;
+        }
+        let low_card = self.distinct.is_some_and(|d| (2..=10).contains(&d));
+        // A conceptual group key must still have sane cardinality — a
+        // column with thousands of distinct values is not a key no matter
+        // what its description mentions.
+        let conceptual = self.concepts().iter().any(|c| c.is_grouping())
+            && self.distinct.is_none_or(|d| (2..=200).contains(&d));
+        (self.dtype == "str" && self.distinct.is_none_or(|d| d <= 200)) || low_card || conceptual
+    }
+}
+
+/// Everything the oracle extracted from one prompt.
+#[derive(Debug, Clone, Default)]
+pub struct PromptContext {
+    /// The serialized data card, in order of appearance.
+    pub features: Vec<FeatureInfo>,
+    /// The prediction target named in the prompt.
+    pub target: Option<String>,
+    /// The downstream model named in the prompt.
+    pub model: Option<String>,
+}
+
+impl PromptContext {
+    /// Parse the data-card section of a prompt.
+    ///
+    /// Recognized lines:
+    /// - `- Name (dtype, distinct=N): description`
+    /// - `- Name (dtype): description`
+    /// - `- Name: description`
+    /// - `- Name`
+    /// - `Prediction target: Y`
+    /// - `Downstream model: RF`
+    pub fn parse(prompt: &str) -> PromptContext {
+        let mut ctx = PromptContext::default();
+        for line in prompt.lines() {
+            let line = line.trim();
+            if let Some(rest) = line.strip_prefix("Prediction target:") {
+                ctx.target = Some(rest.trim().to_string());
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("Downstream model:") {
+                ctx.model = Some(rest.trim().to_string());
+                continue;
+            }
+            let Some(body) = line.strip_prefix("- ") else {
+                continue;
+            };
+            if let Some(info) = parse_feature_line(body) {
+                ctx.features.push(info);
+            }
+        }
+        ctx
+    }
+
+    /// Find a feature by exact name.
+    pub fn feature(&self, name: &str) -> Option<&FeatureInfo> {
+        self.features.iter().find(|f| f.name == name)
+    }
+
+    /// All numeric features.
+    pub fn numeric_features(&self) -> Vec<&FeatureInfo> {
+        self.features.iter().filter(|f| f.is_numeric()).collect()
+    }
+
+    /// All group-by candidates.
+    pub fn groupable_features(&self) -> Vec<&FeatureInfo> {
+        self.features.iter().filter(|f| f.is_groupable()).collect()
+    }
+}
+
+fn parse_feature_line(body: &str) -> Option<FeatureInfo> {
+    // Split off the description at the first ": " outside parentheses.
+    let (head, description) = split_head(body);
+    let head = head.trim();
+    if head.is_empty() {
+        return None;
+    }
+    // Head is `Name` or `Name (dtype)` or `Name (dtype, distinct=N)`.
+    if let Some(open) = head.find('(') {
+        let name = head[..open].trim().to_string();
+        let inner = head[open + 1..].trim_end_matches(')');
+        let mut dtype = String::new();
+        let mut distinct = None;
+        for part in inner.split(',') {
+            let part = part.trim();
+            if let Some(n) = part.strip_prefix("distinct=") {
+                distinct = n.trim().parse().ok();
+            } else if !part.is_empty() && dtype.is_empty() {
+                dtype = part.to_string();
+            }
+        }
+        (!name.is_empty()).then_some(FeatureInfo {
+            name,
+            dtype,
+            distinct,
+            description,
+        })
+    } else {
+        Some(FeatureInfo {
+            name: head.to_string(),
+            dtype: String::new(),
+            distinct: None,
+            description,
+        })
+    }
+}
+
+/// Split `Name (…): desc` into head and description, ignoring colons
+/// inside the parenthesized type annotation.
+fn split_head(body: &str) -> (&str, String) {
+    let mut depth = 0usize;
+    for (i, c) in body.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => depth = depth.saturating_sub(1),
+            ':' if depth == 0 => {
+                return (&body[..i], body[i + 1..].trim().to_string());
+            }
+            _ => {}
+        }
+    }
+    (body, String::new())
+}
+
+/// Extract the quoted or brace-free value following a marker phrase, e.g.
+/// `field_after(prompt, "the attribute")` on
+/// `"… the attribute 'Age' that can …"` returns `Some("Age")`.
+pub fn field_after(text: &str, marker: &str) -> Option<String> {
+    let pos = text.find(marker)? + marker.len();
+    let rest = text[pos..].trim_start();
+    if let Some(stripped) = rest.strip_prefix('\'') {
+        let end = stripped.find('\'')?;
+        return Some(stripped[..end].to_string());
+    }
+    if let Some(stripped) = rest.strip_prefix('"') {
+        let end = stripped.find('"')?;
+        return Some(stripped[..end].to_string());
+    }
+    let token: String = rest
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || matches!(c, '_' | '.' | '-'))
+        .collect();
+    (!token.is_empty()).then_some(token)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PROMPT: &str = "You are a data scientist.\n\
+        Dataset features:\n\
+        - Age (int, distinct=47): Age of the policyholder in years\n\
+        - City (str, distinct=3): City where the policyholder lives\n\
+        - Claim (int, distinct=2): Whether a claim was filed in the last 6 months\n\
+        - FSW.1\n\
+        Prediction target: Safe\n\
+        Downstream model: RF\n\
+        Consider the unary operators on the attribute 'Age'.";
+
+    #[test]
+    fn parses_full_card() {
+        let ctx = PromptContext::parse(PROMPT);
+        assert_eq!(ctx.features.len(), 4);
+        assert_eq!(ctx.target.as_deref(), Some("Safe"));
+        assert_eq!(ctx.model.as_deref(), Some("RF"));
+        let age = ctx.feature("Age").unwrap();
+        assert_eq!(age.dtype, "int");
+        assert_eq!(age.distinct, Some(47));
+        assert!(age.description.contains("policyholder"));
+    }
+
+    #[test]
+    fn bare_name_line() {
+        let ctx = PromptContext::parse(PROMPT);
+        let f = ctx.feature("FSW.1").unwrap();
+        assert_eq!(f.dtype, "");
+        assert!(f.description.is_empty());
+    }
+
+    #[test]
+    fn numeric_and_groupable_partitions() {
+        let ctx = PromptContext::parse(PROMPT);
+        let numeric: Vec<&str> = ctx
+            .numeric_features()
+            .iter()
+            .map(|f| f.name.as_str())
+            .collect();
+        assert!(numeric.contains(&"Age"));
+        assert!(!numeric.contains(&"City"));
+        let groupable: Vec<&str> = ctx
+            .groupable_features()
+            .iter()
+            .map(|f| f.name.as_str())
+            .collect();
+        assert!(groupable.contains(&"City"));
+        assert!(groupable.contains(&"Claim"), "distinct=2 is groupable");
+    }
+
+    #[test]
+    fn field_after_quotes_and_bare() {
+        assert_eq!(
+            field_after("operators on the attribute 'Age' that", "the attribute"),
+            Some("Age".into())
+        );
+        assert_eq!(
+            field_after("for the feature \"Bucketized_Age\" using", "the feature"),
+            Some("Bucketized_Age".into())
+        );
+        assert_eq!(
+            field_after("applied to FSW.1 now", "applied to"),
+            Some("FSW.1".into())
+        );
+        assert_eq!(field_after("no marker here", "the attribute"), None);
+    }
+
+    #[test]
+    fn feature_concepts_flow_through() {
+        let ctx = PromptContext::parse(PROMPT);
+        assert!(ctx
+            .feature("Age")
+            .unwrap()
+            .concepts()
+            .contains(&Concept::Age));
+        assert!(ctx
+            .feature("City")
+            .unwrap()
+            .concepts()
+            .contains(&Concept::GeoCity));
+    }
+
+    #[test]
+    fn description_with_colons_inside_parens() {
+        let line = "- Ratio (float, distinct=10): wins: losses ratio";
+        let ctx = PromptContext::parse(line);
+        let f = ctx.feature("Ratio").unwrap();
+        assert_eq!(f.description, "wins: losses ratio");
+    }
+
+    #[test]
+    fn empty_prompt_parses_empty() {
+        let ctx = PromptContext::parse("hello world");
+        assert!(ctx.features.is_empty());
+        assert!(ctx.target.is_none());
+    }
+}

@@ -1,0 +1,186 @@
+//! Usage accounting: calls, tokens, dollars, simulated latency.
+//!
+//! The meter is shared (`Arc` inside callers) and thread-safe via
+//! `parking_lot::Mutex`, so concurrent benchmark harnesses can hammer one
+//! simulated endpoint and still get exact totals.
+
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+/// One API call's accounting record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CallRecord {
+    /// Model that served the call.
+    pub model: String,
+    /// Prompt tokens billed.
+    pub prompt_tokens: usize,
+    /// Completion tokens billed.
+    pub completion_tokens: usize,
+    /// USD billed.
+    pub cost_usd: f64,
+    /// Simulated latency.
+    pub latency: Duration,
+    /// Short label of the request kind (e.g. `"unary_proposal"`).
+    pub kind: String,
+}
+
+/// Aggregate snapshot of a meter.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct UsageSnapshot {
+    /// Total calls.
+    pub calls: usize,
+    /// Total prompt tokens.
+    pub prompt_tokens: usize,
+    /// Total completion tokens.
+    pub completion_tokens: usize,
+    /// Total USD.
+    pub cost_usd: f64,
+    /// Sum of simulated latencies (sequential wall-clock equivalent).
+    pub latency: Duration,
+}
+
+impl UsageSnapshot {
+    /// Total tokens in both directions.
+    pub fn total_tokens(&self) -> usize {
+        self.prompt_tokens + self.completion_tokens
+    }
+}
+
+/// Thread-safe accumulating usage meter with a bounded call log.
+#[derive(Debug, Default)]
+pub struct UsageMeter {
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    snapshot: UsageSnapshot,
+    log: Vec<CallRecord>,
+    log_cap: Option<usize>,
+}
+
+impl UsageMeter {
+    /// A meter with an unbounded call log.
+    pub fn new() -> Self {
+        UsageMeter::default()
+    }
+
+    /// A meter that retains only the most recent `cap` call records
+    /// (aggregates are always exact).
+    pub fn with_log_cap(cap: usize) -> Self {
+        UsageMeter {
+            inner: Mutex::new(Inner {
+                log_cap: Some(cap),
+                ..Inner::default()
+            }),
+        }
+    }
+
+    /// Record one call.
+    pub fn record(&self, rec: CallRecord) {
+        let mut inner = self.inner.lock();
+        inner.snapshot.calls += 1;
+        inner.snapshot.prompt_tokens += rec.prompt_tokens;
+        inner.snapshot.completion_tokens += rec.completion_tokens;
+        inner.snapshot.cost_usd += rec.cost_usd;
+        inner.snapshot.latency += rec.latency;
+        inner.log.push(rec);
+        if let Some(cap) = inner.log_cap {
+            let overflow = inner.log.len().saturating_sub(cap);
+            if overflow > 0 {
+                inner.log.drain(..overflow);
+            }
+        }
+    }
+
+    /// Current aggregate totals.
+    pub fn snapshot(&self) -> UsageSnapshot {
+        self.inner.lock().snapshot
+    }
+
+    /// Clone of the retained call log.
+    pub fn log(&self) -> Vec<CallRecord> {
+        self.inner.lock().log.clone()
+    }
+
+    /// Reset everything to zero.
+    pub fn reset(&self) {
+        let mut inner = self.inner.lock();
+        inner.snapshot = UsageSnapshot::default();
+        inner.log.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(tokens: usize) -> CallRecord {
+        CallRecord {
+            model: "gpt-4".into(),
+            prompt_tokens: tokens,
+            completion_tokens: tokens / 2,
+            cost_usd: 0.01,
+            latency: Duration::from_millis(100),
+            kind: "test".into(),
+        }
+    }
+
+    #[test]
+    fn aggregates_accumulate() {
+        let m = UsageMeter::new();
+        m.record(rec(100));
+        m.record(rec(200));
+        let s = m.snapshot();
+        assert_eq!(s.calls, 2);
+        assert_eq!(s.prompt_tokens, 300);
+        assert_eq!(s.completion_tokens, 150);
+        assert_eq!(s.total_tokens(), 450);
+        assert!((s.cost_usd - 0.02).abs() < 1e-12);
+        assert_eq!(s.latency, Duration::from_millis(200));
+    }
+
+    #[test]
+    fn log_cap_keeps_recent() {
+        let m = UsageMeter::with_log_cap(2);
+        m.record(rec(1));
+        m.record(rec(2));
+        m.record(rec(3));
+        let log = m.log();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].prompt_tokens, 2);
+        assert_eq!(log[1].prompt_tokens, 3);
+        // Aggregates unaffected by the cap.
+        assert_eq!(m.snapshot().calls, 3);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let m = UsageMeter::new();
+        m.record(rec(10));
+        m.reset();
+        assert_eq!(m.snapshot(), UsageSnapshot::default());
+        assert!(m.log().is_empty());
+    }
+
+    #[test]
+    fn concurrent_recording_is_exact() {
+        use std::sync::Arc;
+        let m = Arc::new(UsageMeter::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        m.record(rec(1));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.snapshot().calls, 800);
+    }
+}

@@ -1,0 +1,410 @@
+//! Typed columns with per-cell nulls.
+
+use crate::dtype::DType;
+use crate::error::{FrameError, Result};
+use crate::value::Value;
+use std::collections::BTreeMap;
+
+/// Typed storage backing a [`Column`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnData {
+    /// Nullable 64-bit integers.
+    Int(Vec<Option<i64>>),
+    /// Nullable 64-bit floats. Stored floats are never `NaN`; `NaN` is
+    /// normalized to `None` on insertion so null handling is uniform.
+    Float(Vec<Option<f64>>),
+    /// Nullable strings.
+    Str(Vec<Option<String>>),
+    /// Nullable booleans.
+    Bool(Vec<Option<bool>>),
+}
+
+impl ColumnData {
+    /// Number of cells (including nulls).
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnData::Int(v) => v.len(),
+            ColumnData::Float(v) => v.len(),
+            ColumnData::Str(v) => v.len(),
+            ColumnData::Bool(v) => v.len(),
+        }
+    }
+
+    /// True if the column holds zero cells.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The storage dtype.
+    pub fn dtype(&self) -> DType {
+        match self {
+            ColumnData::Int(_) => DType::Int,
+            ColumnData::Float(_) => DType::Float,
+            ColumnData::Str(_) => DType::Str,
+            ColumnData::Bool(_) => DType::Bool,
+        }
+    }
+}
+
+/// A named, typed, nullable column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Column {
+    name: String,
+    data: ColumnData,
+}
+
+impl Column {
+    /// Create a column from typed storage.
+    pub fn new(name: impl Into<String>, data: ColumnData) -> Self {
+        Column {
+            name: name.into(),
+            data,
+        }
+    }
+
+    /// Build an int column. `None` entries are nulls.
+    pub fn from_ints(name: impl Into<String>, values: Vec<Option<i64>>) -> Self {
+        Column::new(name, ColumnData::Int(values))
+    }
+
+    /// Build a float column. `NaN` entries are normalized to nulls.
+    pub fn from_floats(name: impl Into<String>, values: Vec<Option<f64>>) -> Self {
+        let values = values
+            .into_iter()
+            .map(|v| v.filter(|x| !x.is_nan()))
+            .collect();
+        Column::new(name, ColumnData::Float(values))
+    }
+
+    /// Build a float column with no nulls. `NaN` entries become nulls.
+    pub fn from_f64(name: impl Into<String>, values: Vec<f64>) -> Self {
+        Column::from_floats(name, values.into_iter().map(Some).collect())
+    }
+
+    /// Build an int column with no nulls.
+    pub fn from_i64(name: impl Into<String>, values: Vec<i64>) -> Self {
+        Column::from_ints(name, values.into_iter().map(Some).collect())
+    }
+
+    /// Build a string column. Empty strings are kept (they are not nulls).
+    pub fn from_strs(name: impl Into<String>, values: Vec<Option<String>>) -> Self {
+        Column::new(name, ColumnData::Str(values))
+    }
+
+    /// Build a string column from `&str` values with no nulls.
+    pub fn from_str_slice(name: impl Into<String>, values: &[&str]) -> Self {
+        Column::new(
+            name,
+            ColumnData::Str(values.iter().map(|s| Some(s.to_string())).collect()),
+        )
+    }
+
+    /// Build a bool column.
+    pub fn from_bools(name: impl Into<String>, values: Vec<Option<bool>>) -> Self {
+        Column::new(name, ColumnData::Bool(values))
+    }
+
+    /// Build a column by inferring a common dtype from dynamic values.
+    ///
+    /// Promotion rules: any `Str` ⇒ `Str` column (non-strings are rendered);
+    /// else any `Float` ⇒ `Float`; else any `Int` ⇒ `Int`; else `Bool`;
+    /// an all-null input becomes a `Float` column of nulls.
+    pub fn from_values(name: impl Into<String>, values: Vec<Value>) -> Self {
+        let mut has_str = false;
+        let mut has_float = false;
+        let mut has_int = false;
+        let mut has_bool = false;
+        for v in &values {
+            match v {
+                Value::Str(_) => has_str = true,
+                Value::Float(_) => has_float = true,
+                Value::Int(_) => has_int = true,
+                Value::Bool(_) => has_bool = true,
+                Value::Null => {}
+            }
+        }
+        let name = name.into();
+        if has_str {
+            let data = values
+                .into_iter()
+                .map(|v| match v {
+                    Value::Null => None,
+                    other => Some(other.render()),
+                })
+                .collect();
+            Column::new(name, ColumnData::Str(data))
+        } else if has_float || (has_int && has_bool) {
+            let data = values.into_iter().map(|v| v.as_f64()).collect();
+            Column::new(name, ColumnData::Float(data))
+        } else if has_int {
+            let data = values
+                .into_iter()
+                .map(|v| match v {
+                    Value::Int(i) => Some(i),
+                    _ => None,
+                })
+                .collect();
+            Column::new(name, ColumnData::Int(data))
+        } else if has_bool {
+            let data = values
+                .into_iter()
+                .map(|v| match v {
+                    Value::Bool(b) => Some(b),
+                    _ => None,
+                })
+                .collect();
+            Column::new(name, ColumnData::Bool(data))
+        } else {
+            Column::new(name, ColumnData::Float(vec![None; values.len()]))
+        }
+    }
+
+    /// Column name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Rename in place.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// Storage dtype.
+    pub fn dtype(&self) -> DType {
+        self.data.dtype()
+    }
+
+    /// Borrow the typed storage.
+    pub fn data(&self) -> &ColumnData {
+        &self.data
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the column has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Dynamic view of one cell.
+    pub fn get(&self, i: usize) -> Value {
+        match &self.data {
+            ColumnData::Int(v) => v[i].map(Value::Int).unwrap_or(Value::Null),
+            ColumnData::Float(v) => v[i].map(Value::Float).unwrap_or(Value::Null),
+            ColumnData::Str(v) => v[i].clone().map(Value::Str).unwrap_or(Value::Null),
+            ColumnData::Bool(v) => v[i].map(Value::Bool).unwrap_or(Value::Null),
+        }
+    }
+
+    /// True if cell `i` is null.
+    pub fn is_null(&self, i: usize) -> bool {
+        match &self.data {
+            ColumnData::Int(v) => v[i].is_none(),
+            ColumnData::Float(v) => v[i].is_none(),
+            ColumnData::Str(v) => v[i].is_none(),
+            ColumnData::Bool(v) => v[i].is_none(),
+        }
+    }
+
+    /// Count of null cells.
+    pub fn null_count(&self) -> usize {
+        match &self.data {
+            ColumnData::Int(v) => v.iter().filter(|x| x.is_none()).count(),
+            ColumnData::Float(v) => v.iter().filter(|x| x.is_none()).count(),
+            ColumnData::Str(v) => v.iter().filter(|x| x.is_none()).count(),
+            ColumnData::Bool(v) => v.iter().filter(|x| x.is_none()).count(),
+        }
+    }
+
+    /// Fraction of null cells; 0.0 for an empty column.
+    pub fn null_fraction(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.null_count() as f64 / self.len() as f64
+        }
+    }
+
+    /// True if the dtype participates in arithmetic.
+    pub fn is_numeric(&self) -> bool {
+        self.dtype().is_numeric()
+    }
+
+    /// Numeric view of the whole column: ints/floats/bools coerce,
+    /// strings and nulls are `None`.
+    pub fn to_f64(&self) -> Vec<Option<f64>> {
+        match &self.data {
+            ColumnData::Int(v) => v.iter().map(|x| x.map(|i| i as f64)).collect(),
+            ColumnData::Float(v) => v.clone(),
+            ColumnData::Bool(v) => v
+                .iter()
+                .map(|x| x.map(|b| if b { 1.0 } else { 0.0 }))
+                .collect(),
+            ColumnData::Str(v) => vec![None; v.len()],
+        }
+    }
+
+    /// Numeric view that requires the column to be numeric.
+    pub fn numeric(&self) -> Result<Vec<Option<f64>>> {
+        if !self.is_numeric() {
+            return Err(FrameError::TypeMismatch {
+                column: self.name.clone(),
+                expected: "numeric",
+            });
+        }
+        Ok(self.to_f64())
+    }
+
+    /// Rendered-string view of every cell (nulls are `None`). Used for
+    /// group keys and categorical handling so ints and strings group alike.
+    pub fn to_keys(&self) -> Vec<Option<String>> {
+        match &self.data {
+            ColumnData::Str(v) => v.clone(),
+            _ => (0..self.len())
+                .map(|i| {
+                    let v = self.get(i);
+                    if v.is_null() {
+                        None
+                    } else {
+                        Some(v.render())
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Distinct non-null rendered values, sorted, with occurrence counts.
+    pub fn value_counts(&self) -> BTreeMap<String, usize> {
+        let mut out = BTreeMap::new();
+        for key in self.to_keys().into_iter().flatten() {
+            *out.entry(key).or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// Number of distinct non-null values.
+    pub fn cardinality(&self) -> usize {
+        self.value_counts().len()
+    }
+
+    /// True if all non-null values are identical (or the column is all-null).
+    pub fn is_constant(&self) -> bool {
+        self.cardinality() <= 1
+    }
+
+    /// Gather a subset of rows into a new column (used by splits / folds).
+    pub fn take(&self, indices: &[usize]) -> Column {
+        let data = match &self.data {
+            ColumnData::Int(v) => ColumnData::Int(indices.iter().map(|&i| v[i]).collect()),
+            ColumnData::Float(v) => ColumnData::Float(indices.iter().map(|&i| v[i]).collect()),
+            ColumnData::Str(v) => ColumnData::Str(indices.iter().map(|&i| v[i].clone()).collect()),
+            ColumnData::Bool(v) => ColumnData::Bool(indices.iter().map(|&i| v[i]).collect()),
+        };
+        Column::new(self.name.clone(), data)
+    }
+
+    /// Iterate cells as dynamic values.
+    pub fn iter(&self) -> impl Iterator<Item = Value> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_nan_normalized_to_null() {
+        let c = Column::from_f64("x", vec![1.0, f64::NAN, 3.0]);
+        assert_eq!(c.null_count(), 1);
+        assert!(c.is_null(1));
+        assert_eq!(c.get(0), Value::Float(1.0));
+    }
+
+    #[test]
+    fn from_values_infers_str_on_mixed() {
+        let c = Column::from_values(
+            "m",
+            vec![Value::Int(1), Value::Str("a".into()), Value::Null],
+        );
+        assert_eq!(c.dtype(), DType::Str);
+        assert_eq!(c.get(0), Value::Str("1".into()));
+        assert!(c.is_null(2));
+    }
+
+    #[test]
+    fn from_values_promotes_int_plus_float() {
+        let c = Column::from_values("m", vec![Value::Int(1), Value::Float(2.5)]);
+        assert_eq!(c.dtype(), DType::Float);
+        assert_eq!(c.get(0), Value::Float(1.0));
+    }
+
+    #[test]
+    fn from_values_all_null_is_float() {
+        let c = Column::from_values("m", vec![Value::Null, Value::Null]);
+        assert_eq!(c.dtype(), DType::Float);
+        assert_eq!(c.null_count(), 2);
+    }
+
+    #[test]
+    fn to_f64_coerces_bools() {
+        let c = Column::from_bools("b", vec![Some(true), Some(false), None]);
+        assert_eq!(c.to_f64(), vec![Some(1.0), Some(0.0), None]);
+    }
+
+    #[test]
+    fn numeric_rejects_strings() {
+        let c = Column::from_str_slice("s", &["a", "b"]);
+        assert!(matches!(
+            c.numeric(),
+            Err(FrameError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn cardinality_and_constant() {
+        let c = Column::from_i64("x", vec![3, 3, 3]);
+        assert!(c.is_constant());
+        assert_eq!(c.cardinality(), 1);
+        let d = Column::from_i64("y", vec![1, 2, 2]);
+        assert!(!d.is_constant());
+        assert_eq!(d.cardinality(), 2);
+    }
+
+    #[test]
+    fn all_null_column_is_constant() {
+        let c = Column::from_floats("x", vec![None, None]);
+        assert!(c.is_constant());
+        assert_eq!(c.cardinality(), 0);
+    }
+
+    #[test]
+    fn take_gathers_rows() {
+        let c = Column::from_i64("x", vec![10, 20, 30, 40]);
+        let t = c.take(&[3, 1]);
+        assert_eq!(t.get(0), Value::Int(40));
+        assert_eq!(t.get(1), Value::Int(20));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn value_counts_sorted() {
+        let c = Column::from_str_slice("s", &["b", "a", "b"]);
+        let counts = c.value_counts();
+        let keys: Vec<_> = counts.keys().cloned().collect();
+        assert_eq!(keys, vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(counts["b"], 2);
+    }
+
+    #[test]
+    fn keys_render_ints_like_strings() {
+        let c = Column::from_i64("x", vec![5, 7]);
+        assert_eq!(
+            c.to_keys(),
+            vec![Some("5".to_string()), Some("7".to_string())]
+        );
+    }
+}

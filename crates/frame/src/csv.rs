@@ -1,0 +1,289 @@
+//! Minimal CSV reader/writer with RFC-4180 quoting and type inference.
+//!
+//! Enough for the examples to load user datasets and for the harness to
+//! dump generated feature matrices; not a general-purpose CSV library.
+
+use std::collections::HashMap;
+
+use crate::column::Column;
+use crate::error::{FrameError, Result};
+use crate::frame::DataFrame;
+#[cfg(test)]
+use crate::value::Value;
+
+/// Parse CSV text (first row = header) into a frame, inferring column types.
+///
+/// Inference: a column becomes `Int` if every non-empty cell parses as i64,
+/// else `Float` if every non-empty cell parses as f64, else `Bool` if every
+/// cell is `true`/`false`, else `Str`. Empty cells are nulls.
+pub fn read_csv_str(text: &str) -> Result<DataFrame> {
+    let mut rows = parse_rows(text)?;
+    if rows.is_empty() {
+        return Err(FrameError::Csv("empty input".into()));
+    }
+    let header = rows.remove(0);
+    let n_cols = header.len();
+    for (i, row) in rows.iter().enumerate() {
+        if row.len() != n_cols {
+            return Err(FrameError::Csv(format!(
+                "row {} has {} fields, expected {n_cols}",
+                i + 2,
+                row.len()
+            )));
+        }
+    }
+    let mut df = DataFrame::new();
+    for (c, name) in header.into_iter().enumerate() {
+        let cells: Vec<&str> = rows.iter().map(|r| r[c].as_str()).collect();
+        df.add_column(infer_column(&name, &cells))?;
+    }
+    Ok(df)
+}
+
+fn infer_column(name: &str, cells: &[&str]) -> Column {
+    let non_empty: Vec<&str> = cells.iter().copied().filter(|s| !s.is_empty()).collect();
+    let all_int = !non_empty.is_empty() && non_empty.iter().all(|s| s.parse::<i64>().is_ok());
+    if all_int {
+        return Column::from_ints(
+            name,
+            cells
+                .iter()
+                .map(|s| s.parse::<i64>().ok())
+                .collect(),
+        );
+    }
+    let all_float = !non_empty.is_empty() && non_empty.iter().all(|s| s.parse::<f64>().is_ok());
+    if all_float {
+        return Column::from_floats(
+            name,
+            cells.iter().map(|s| s.parse::<f64>().ok()).collect(),
+        );
+    }
+    let all_bool = !non_empty.is_empty()
+        && non_empty
+            .iter()
+            .all(|s| matches!(*s, "true" | "false" | "True" | "False"));
+    if all_bool {
+        return Column::from_bools(
+            name,
+            cells
+                .iter()
+                .map(|s| match *s {
+                    "true" | "True" => Some(true),
+                    "false" | "False" => Some(false),
+                    _ => None,
+                })
+                .collect(),
+        );
+    }
+    Column::from_strs(
+        name,
+        cells
+            .iter()
+            .map(|s| (!s.is_empty()).then(|| s.to_string()))
+            .collect(),
+    )
+}
+
+/// Split CSV text into rows of unquoted fields, honoring RFC-4180 quotes.
+fn parse_rows(text: &str) -> Result<Vec<Vec<String>>> {
+    let mut rows = Vec::new();
+    let mut row: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    let mut chars = text.chars().peekable();
+    let mut any = false;
+    while let Some(c) = chars.next() {
+        any = true;
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                other => field.push(other),
+            }
+        } else {
+            match c {
+                '"' => in_quotes = true,
+                ',' => {
+                    row.push(std::mem::take(&mut field));
+                }
+                '\r' => {} // tolerate CRLF
+                '\n' => {
+                    row.push(std::mem::take(&mut field));
+                    rows.push(std::mem::take(&mut row));
+                }
+                other => field.push(other),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(FrameError::Csv("unterminated quoted field".into()));
+    }
+    if any && (!field.is_empty() || !row.is_empty()) {
+        row.push(field);
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+/// Serialize a frame to CSV text (header + rows), quoting as needed.
+pub fn write_csv_str(df: &DataFrame) -> String {
+    let mut out = String::new();
+    let names = df.column_names();
+    out.push_str(
+        &names
+            .iter()
+            .map(|n| quote(n))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    out.push('\n');
+    for i in 0..df.n_rows() {
+        let cells: Vec<String> = df
+            .columns()
+            .iter()
+            .map(|c| quote(&c.get(i).render()))
+            .collect();
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+fn quote(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Read a frame from a CSV file on disk.
+pub fn read_csv_path(path: &std::path::Path) -> Result<DataFrame> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| FrameError::Csv(format!("{path:?}: {e}")))?;
+    read_csv_str(&text)
+}
+
+/// Write a frame to a CSV file on disk.
+pub fn write_csv_path(df: &DataFrame, path: &std::path::Path) -> Result<()> {
+    std::fs::write(path, write_csv_str(df))
+        .map_err(|e| FrameError::Csv(format!("{path:?}: {e}")))
+}
+
+/// Round-trip helper used by tests: frame → CSV → frame, comparing shapes
+/// and rendered cells (types may legitimately widen, e.g. Bool → Str never
+/// happens but Int → Float can when floats appear).
+pub fn roundtrip_equal(df: &DataFrame) -> bool {
+    match read_csv_str(&write_csv_str(df)) {
+        Ok(back) => {
+            if back.n_rows() != df.n_rows() || back.n_cols() != df.n_cols() {
+                return false;
+            }
+            for i in 0..df.n_rows() {
+                let a: Vec<String> = df.columns().iter().map(|c| c.get(i).render()).collect();
+                let b: Vec<String> = back.columns().iter().map(|c| c.get(i).render()).collect();
+                if a != b {
+                    return false;
+                }
+            }
+            true
+        }
+        Err(_) => false,
+    }
+}
+
+/// Parse a `name=value,name=value` description of renames (tiny helper for
+/// the examples' CLI surface).
+pub fn parse_rename_spec(spec: &str) -> HashMap<String, String> {
+    spec.split(',')
+        .filter_map(|pair| {
+            let (a, b) = pair.split_once('=')?;
+            Some((a.trim().to_string(), b.trim().to_string()))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtype::DType;
+
+    #[test]
+    fn read_infers_types() {
+        let df = read_csv_str("a,b,c,d\n1,2.5,x,true\n3,,y,false\n").unwrap();
+        assert_eq!(df.column("a").unwrap().dtype(), DType::Int);
+        assert_eq!(df.column("b").unwrap().dtype(), DType::Float);
+        assert_eq!(df.column("c").unwrap().dtype(), DType::Str);
+        assert_eq!(df.column("d").unwrap().dtype(), DType::Bool);
+        assert!(df.column("b").unwrap().is_null(1));
+    }
+
+    #[test]
+    fn quoted_fields_with_commas_and_quotes() {
+        let df = read_csv_str("name,desc\nalice,\"hello, \"\"world\"\"\"\n").unwrap();
+        assert_eq!(
+            df.column("desc").unwrap().get(0),
+            Value::Str("hello, \"world\"".into())
+        );
+    }
+
+    #[test]
+    fn crlf_tolerated() {
+        let df = read_csv_str("a,b\r\n1,2\r\n").unwrap();
+        assert_eq!(df.n_rows(), 1);
+        assert_eq!(df.n_cols(), 2);
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        assert!(read_csv_str("a,b\n1\n").is_err());
+    }
+
+    #[test]
+    fn unterminated_quote_rejected() {
+        assert!(read_csv_str("a\n\"oops\n").is_err());
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(read_csv_str("").is_err());
+    }
+
+    #[test]
+    fn write_then_read_roundtrips() {
+        let df = DataFrame::from_columns(vec![
+            Column::from_i64("id", vec![1, 2]),
+            Column::from_str_slice("txt", &["plain", "with,comma"]),
+            Column::from_floats("v", vec![Some(1.5), None]),
+        ])
+        .unwrap();
+        assert!(roundtrip_equal(&df));
+    }
+
+    #[test]
+    fn missing_trailing_newline_ok() {
+        let df = read_csv_str("a\n1\n2").unwrap();
+        assert_eq!(df.n_rows(), 2);
+    }
+
+    #[test]
+    fn rename_spec_parser() {
+        let m = parse_rename_spec("a=x, b=y");
+        assert_eq!(m["a"], "x");
+        assert_eq!(m["b"], "y");
+    }
+
+    #[test]
+    fn all_empty_column_is_str_nulls() {
+        let df = read_csv_str("a,b\n1,\n2,\n").unwrap();
+        // Column b has no non-empty cells ⇒ falls through to Str of nulls.
+        assert_eq!(df.column("b").unwrap().null_count(), 2);
+    }
+}

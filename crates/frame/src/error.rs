@@ -1,0 +1,97 @@
+//! Error type shared across the frame crate.
+
+use std::fmt;
+
+/// Errors produced by DataFrame operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// A referenced column does not exist.
+    ColumnNotFound(String),
+    /// A column with this name already exists.
+    DuplicateColumn(String),
+    /// A column being added does not match the frame's row count.
+    LengthMismatch {
+        /// Column whose length is wrong.
+        column: String,
+        /// Length the frame expects.
+        expected: usize,
+        /// Length the column actually has.
+        actual: usize,
+    },
+    /// The operation required a numeric column but got something else.
+    TypeMismatch {
+        /// Column with the offending type.
+        column: String,
+        /// Human-readable description of what was expected.
+        expected: &'static str,
+    },
+    /// A row index was out of bounds.
+    RowOutOfBounds {
+        /// Offending index.
+        index: usize,
+        /// Number of rows in the frame.
+        len: usize,
+    },
+    /// CSV parsing failed.
+    Csv(String),
+    /// An operation received invalid parameters (e.g. empty bucket list).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::ColumnNotFound(name) => write!(f, "column not found: {name:?}"),
+            FrameError::DuplicateColumn(name) => write!(f, "duplicate column: {name:?}"),
+            FrameError::LengthMismatch {
+                column,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "column {column:?} has {actual} rows but the frame has {expected}"
+            ),
+            FrameError::TypeMismatch { column, expected } => {
+                write!(f, "column {column:?} is not {expected}")
+            }
+            FrameError::RowOutOfBounds { index, len } => {
+                write!(f, "row index {index} out of bounds for frame of {len} rows")
+            }
+            FrameError::Csv(msg) => write!(f, "csv error: {msg}"),
+            FrameError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, FrameError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_column_not_found() {
+        let e = FrameError::ColumnNotFound("age".into());
+        assert_eq!(e.to_string(), "column not found: \"age\"");
+    }
+
+    #[test]
+    fn display_length_mismatch() {
+        let e = FrameError::LengthMismatch {
+            column: "x".into(),
+            expected: 3,
+            actual: 5,
+        };
+        assert!(e.to_string().contains("5 rows"));
+        assert!(e.to_string().contains("has 3"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&FrameError::Csv("bad".into()));
+    }
+}

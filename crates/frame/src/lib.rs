@@ -1,0 +1,31 @@
+//! # smartfeat-frame
+//!
+//! A small, typed, columnar in-memory DataFrame used as the execution
+//! substrate for the SMARTFEAT reproduction. It plays the role pandas plays
+//! in the original paper: the transformation functions emitted by the
+//! function generator (bucketize, normalize, arithmetic, group-by-transform,
+//! dummies, date splitting, …) all execute against [`DataFrame`].
+//!
+//! Design notes:
+//! - Columns are typed (`Int`, `Float`, `Str`, `Bool`) with per-cell nulls,
+//!   mirroring pandas' nullable semantics after `dropna`/`factorize`.
+//! - Every operation is deterministic; anything stochastic (shuffles,
+//!   splits) takes an explicit seed.
+//! - The crate is dependency-light: only `rand` (seeded sampling) and
+//!   `serde` (schema serialization for data cards).
+
+pub mod column;
+pub mod csv;
+pub mod dtype;
+pub mod error;
+pub mod frame;
+pub mod ops;
+pub mod sample;
+pub mod stats;
+pub mod value;
+
+pub use column::{Column, ColumnData};
+pub use dtype::DType;
+pub use error::{FrameError, Result};
+pub use frame::DataFrame;
+pub use value::Value;

@@ -1,0 +1,263 @@
+//! The high-order *GroupbyThenAgg* operator:
+//! `df.groupby(group_cols)[agg_col].transform(func)`.
+
+use std::collections::HashMap;
+
+use crate::column::Column;
+use crate::error::{FrameError, Result};
+use crate::frame::DataFrame;
+
+/// Aggregation functions the FM may choose for the high-order operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// Arithmetic mean of non-null group members.
+    Mean,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Sum.
+    Sum,
+    /// Count of non-null members.
+    Count,
+    /// Population standard deviation.
+    Std,
+    /// Median (lower median for even-sized groups, matching `statistics`).
+    Median,
+}
+
+impl AggFunc {
+    /// Name used in generated feature names and parsed from FM output.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Mean => "mean",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+            AggFunc::Sum => "sum",
+            AggFunc::Count => "count",
+            AggFunc::Std => "std",
+            AggFunc::Median => "median",
+        }
+    }
+
+    /// Parse from the FM's textual output (case-insensitive; accepts the
+    /// aliases real models emit, e.g. "average" for mean).
+    pub fn parse(text: &str) -> Option<AggFunc> {
+        match text.trim().to_ascii_lowercase().as_str() {
+            "mean" | "average" | "avg" => Some(AggFunc::Mean),
+            "min" | "minimum" => Some(AggFunc::Min),
+            "max" | "maximum" => Some(AggFunc::Max),
+            "sum" | "total" => Some(AggFunc::Sum),
+            "count" | "size" => Some(AggFunc::Count),
+            "std" | "stddev" | "standard deviation" => Some(AggFunc::Std),
+            "median" => Some(AggFunc::Median),
+            _ => None,
+        }
+    }
+
+    /// Evaluate over a group's non-null values.
+    pub fn evaluate(self, values: &[f64]) -> Option<f64> {
+        if values.is_empty() {
+            return if self == AggFunc::Count { Some(0.0) } else { None };
+        }
+        let n = values.len() as f64;
+        let v = match self {
+            AggFunc::Mean => values.iter().sum::<f64>() / n,
+            AggFunc::Min => values.iter().copied().fold(f64::INFINITY, f64::min),
+            AggFunc::Max => values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            AggFunc::Sum => values.iter().sum(),
+            AggFunc::Count => n,
+            AggFunc::Std => {
+                let mean = values.iter().sum::<f64>() / n;
+                (values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n).sqrt()
+            }
+            AggFunc::Median => {
+                let mut sorted = values.to_vec();
+                sorted.sort_by(|a, b| a.total_cmp(b));
+                sorted[(sorted.len() - 1) / 2]
+            }
+        };
+        v.is_finite().then_some(v)
+    }
+
+    /// Every aggregation function, in a stable order.
+    pub fn all() -> [AggFunc; 7] {
+        [
+            AggFunc::Mean,
+            AggFunc::Min,
+            AggFunc::Max,
+            AggFunc::Sum,
+            AggFunc::Count,
+            AggFunc::Std,
+            AggFunc::Median,
+        ]
+    }
+}
+
+/// Compute `df.groupby(group_cols)[agg_col].transform(func)` — a new column
+/// aligned row-for-row with `df`, where each row carries its group's
+/// aggregate. Rows with a null group key or (for non-count aggregates) an
+/// all-null group get null.
+pub fn groupby_transform(
+    df: &DataFrame,
+    group_cols: &[&str],
+    agg_col: &str,
+    func: AggFunc,
+    out_name: &str,
+) -> Result<Column> {
+    if group_cols.is_empty() {
+        return Err(FrameError::InvalidArgument(
+            "groupby requires at least one group column".into(),
+        ));
+    }
+    let key_cols: Vec<Vec<Option<String>>> = group_cols
+        .iter()
+        .map(|&g| df.column(g).map(|c| c.to_keys()))
+        .collect::<Result<_>>()?;
+    let values = df.column(agg_col)?.numeric()?;
+    let n = df.n_rows();
+
+    // Composite group key per row; None if any component is null.
+    let keys: Vec<Option<String>> = (0..n)
+        .map(|i| {
+            let mut key = String::new();
+            for col in &key_cols {
+                match &col[i] {
+                    Some(part) => {
+                        key.push_str(part);
+                        key.push('\u{1f}'); // unit separator: unambiguous join
+                    }
+                    None => return None,
+                }
+            }
+            Some(key)
+        })
+        .collect();
+
+    let mut groups: HashMap<&str, Vec<f64>> = HashMap::new();
+    for (key, value) in keys.iter().zip(&values) {
+        if let Some(k) = key {
+            let entry = groups.entry(k.as_str()).or_default();
+            if let Some(v) = value {
+                entry.push(*v);
+            }
+        }
+    }
+    let aggregates: HashMap<&str, Option<f64>> = groups
+        .into_iter()
+        .map(|(k, vals)| (k, func.evaluate(&vals)))
+        .collect();
+
+    let data = keys
+        .iter()
+        .map(|key| {
+            key.as_ref()
+                .and_then(|k| aggregates.get(k.as_str()).copied().flatten())
+        })
+        .collect();
+    Ok(Column::from_floats(out_name, data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn claims_frame() -> DataFrame {
+        // Mirrors the paper's F3: claim probability per car model.
+        DataFrame::from_columns(vec![
+            Column::from_str_slice("model", &["Civic", "Corolla", "Civic", "X5"]),
+            Column::from_f64("claim", vec![1.0, 0.0, 0.0, 0.0]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn groupby_mean_matches_paper_example() {
+        let df = claims_frame();
+        let c = groupby_transform(&df, &["model"], "claim", AggFunc::Mean, "rate").unwrap();
+        assert_eq!(c.get(0), Value::Float(0.5)); // Civic: (1+0)/2
+        assert_eq!(c.get(1), Value::Float(0.0));
+        assert_eq!(c.get(2), Value::Float(0.5));
+        assert_eq!(c.get(3), Value::Float(0.0));
+    }
+
+    #[test]
+    fn multi_column_groupby_key_is_unambiguous() {
+        // ("ab","c") must not collide with ("a","bc").
+        let df = DataFrame::from_columns(vec![
+            Column::from_str_slice("g1", &["ab", "a"]),
+            Column::from_str_slice("g2", &["c", "bc"]),
+            Column::from_f64("v", vec![1.0, 5.0]),
+        ])
+        .unwrap();
+        let c = groupby_transform(&df, &["g1", "g2"], "v", AggFunc::Mean, "m").unwrap();
+        assert_eq!(c.get(0), Value::Float(1.0));
+        assert_eq!(c.get(1), Value::Float(5.0));
+    }
+
+    #[test]
+    fn null_group_key_yields_null() {
+        let df = DataFrame::from_columns(vec![
+            Column::from_strs("g", vec![Some("a".into()), None]),
+            Column::from_f64("v", vec![1.0, 2.0]),
+        ])
+        .unwrap();
+        let c = groupby_transform(&df, &["g"], "v", AggFunc::Sum, "s").unwrap();
+        assert_eq!(c.get(0), Value::Float(1.0));
+        assert!(c.is_null(1));
+    }
+
+    #[test]
+    fn count_handles_all_null_group() {
+        let df = DataFrame::from_columns(vec![
+            Column::from_str_slice("g", &["a", "a"]),
+            Column::from_floats("v", vec![None, None]),
+        ])
+        .unwrap();
+        let c = groupby_transform(&df, &["g"], "v", AggFunc::Count, "c").unwrap();
+        assert_eq!(c.get(0), Value::Float(0.0));
+        let m = groupby_transform(&df, &["g"], "v", AggFunc::Mean, "m").unwrap();
+        assert!(m.is_null(0));
+    }
+
+    #[test]
+    fn std_and_median() {
+        let df = DataFrame::from_columns(vec![
+            Column::from_str_slice("g", &["a", "a", "a", "a"]),
+            Column::from_f64("v", vec![2.0, 4.0, 4.0, 6.0]),
+        ])
+        .unwrap();
+        let s = groupby_transform(&df, &["g"], "v", AggFunc::Std, "s").unwrap();
+        let got = s.to_f64()[0].unwrap();
+        assert!((got - (2.0f64).sqrt()).abs() < 1e-12);
+        let m = groupby_transform(&df, &["g"], "v", AggFunc::Median, "m").unwrap();
+        assert_eq!(m.get(0), Value::Float(4.0));
+    }
+
+    #[test]
+    fn parse_aliases() {
+        assert_eq!(AggFunc::parse("Average"), Some(AggFunc::Mean));
+        assert_eq!(AggFunc::parse(" max "), Some(AggFunc::Max));
+        assert_eq!(AggFunc::parse("standard deviation"), Some(AggFunc::Std));
+        assert_eq!(AggFunc::parse("mode"), None);
+    }
+
+    #[test]
+    fn empty_group_cols_rejected() {
+        let df = claims_frame();
+        assert!(groupby_transform(&df, &[], "claim", AggFunc::Mean, "x").is_err());
+    }
+
+    #[test]
+    fn integer_group_keys_work() {
+        let df = DataFrame::from_columns(vec![
+            Column::from_i64("g", vec![1, 2, 1]),
+            Column::from_f64("v", vec![10.0, 20.0, 30.0]),
+        ])
+        .unwrap();
+        let c = groupby_transform(&df, &["g"], "v", AggFunc::Max, "m").unwrap();
+        assert_eq!(c.get(0), Value::Float(30.0));
+        assert_eq!(c.get(1), Value::Float(20.0));
+    }
+}

@@ -1,0 +1,246 @@
+//! Unary transformations: normalization, bucketization, elementwise maps.
+
+use crate::column::Column;
+use crate::error::{FrameError, Result};
+
+/// Normalization flavors supported by the unary operator family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NormKind {
+    /// `(x - min) / (max - min)`; constant columns normalize to 0.
+    MinMax,
+    /// `(x - mean) / std`; zero-variance columns normalize to 0.
+    ZScore,
+}
+
+/// Elementwise unary functions (the "math" unary operators).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryFn {
+    /// `ln(1 + |x|)` — the paper's log transform made total.
+    Log1pAbs,
+    /// `sqrt(|x|)`.
+    SqrtAbs,
+    /// `x^2`.
+    Square,
+    /// `x^3`.
+    Cube,
+    /// `1 / x`; zero maps to null (the *safe* reciprocal).
+    Reciprocal,
+    /// `|x|`.
+    Abs,
+    /// Identity (useful for renaming/copying through the transform AST).
+    Identity,
+}
+
+impl UnaryFn {
+    /// Apply to one value; `None` means the result is null.
+    pub fn apply(self, x: f64) -> Option<f64> {
+        let v = match self {
+            UnaryFn::Log1pAbs => (1.0 + x.abs()).ln(),
+            UnaryFn::SqrtAbs => x.abs().sqrt(),
+            UnaryFn::Square => x * x,
+            UnaryFn::Cube => x * x * x,
+            UnaryFn::Reciprocal => {
+                if x == 0.0 {
+                    return None;
+                }
+                1.0 / x
+            }
+            UnaryFn::Abs => x.abs(),
+            UnaryFn::Identity => x,
+        };
+        v.is_finite().then_some(v)
+    }
+
+    /// Name used when composing generated feature names.
+    pub fn name(self) -> &'static str {
+        match self {
+            UnaryFn::Log1pAbs => "log",
+            UnaryFn::SqrtAbs => "sqrt",
+            UnaryFn::Square => "square",
+            UnaryFn::Cube => "cube",
+            UnaryFn::Reciprocal => "reciprocal",
+            UnaryFn::Abs => "abs",
+            UnaryFn::Identity => "identity",
+        }
+    }
+}
+
+/// Apply an elementwise unary function, producing `out_name`.
+pub fn unary_map(col: &Column, f: UnaryFn, out_name: &str) -> Result<Column> {
+    let xs = col.numeric()?;
+    let data = xs.into_iter().map(|x| x.and_then(|v| f.apply(v))).collect();
+    Ok(Column::from_floats(out_name, data))
+}
+
+/// Normalize a numeric column.
+pub fn normalize(col: &Column, kind: NormKind, out_name: &str) -> Result<Column> {
+    let xs = col.numeric()?;
+    let present: Vec<f64> = xs.iter().flatten().copied().collect();
+    if present.is_empty() {
+        return Ok(Column::from_floats(out_name, vec![None; xs.len()]));
+    }
+    let data: Vec<Option<f64>> = match kind {
+        NormKind::MinMax => {
+            let min = present.iter().copied().fold(f64::INFINITY, f64::min);
+            let max = present.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let range = max - min;
+            xs.into_iter()
+                .map(|x| {
+                    x.map(|v| if range == 0.0 { 0.0 } else { (v - min) / range })
+                })
+                .collect()
+        }
+        NormKind::ZScore => {
+            let n = present.len() as f64;
+            let mean = present.iter().sum::<f64>() / n;
+            let var = present.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+            let std = var.sqrt();
+            xs.into_iter()
+                .map(|x| x.map(|v| if std == 0.0 { 0.0 } else { (v - mean) / std }))
+                .collect()
+        }
+    };
+    Ok(Column::from_floats(out_name, data))
+}
+
+/// Bucketize a numeric column against ascending boundaries.
+///
+/// A value `v` maps to the index of the first boundary `b` with `v < b`;
+/// values ≥ the last boundary get `boundaries.len()`. This matches
+/// `pandas.cut` with right-open bins plus overflow bins at both ends.
+pub fn bucketize(col: &Column, boundaries: &[f64], out_name: &str) -> Result<Column> {
+    if boundaries.is_empty() {
+        return Err(FrameError::InvalidArgument(
+            "bucketize requires at least one boundary".into(),
+        ));
+    }
+    if boundaries.windows(2).any(|w| w[0] >= w[1]) {
+        return Err(FrameError::InvalidArgument(
+            "bucketize boundaries must be strictly ascending".into(),
+        ));
+    }
+    let xs = col.numeric()?;
+    let data = xs
+        .into_iter()
+        .map(|x| {
+            x.map(|v| {
+                boundaries
+                    .iter()
+                    .position(|&b| v < b)
+                    .unwrap_or(boundaries.len()) as i64
+            })
+        })
+        .collect();
+    Ok(Column::from_ints(out_name, data))
+}
+
+/// Clamp a numeric column into `[lo, hi]`.
+pub fn clip(col: &Column, lo: f64, hi: f64, out_name: &str) -> Result<Column> {
+    if lo > hi {
+        return Err(FrameError::InvalidArgument(format!(
+            "clip lower bound {lo} exceeds upper bound {hi}"
+        )));
+    }
+    let xs = col.numeric()?;
+    let data = xs
+        .into_iter()
+        .map(|x| x.map(|v| v.clamp(lo, hi)))
+        .collect();
+    Ok(Column::from_floats(out_name, data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn minmax_maps_to_unit_interval() {
+        let c = Column::from_f64("x", vec![10.0, 20.0, 30.0]);
+        let n = normalize(&c, NormKind::MinMax, "x_norm").unwrap();
+        assert_eq!(n.get(0), Value::Float(0.0));
+        assert_eq!(n.get(1), Value::Float(0.5));
+        assert_eq!(n.get(2), Value::Float(1.0));
+        assert_eq!(n.name(), "x_norm");
+    }
+
+    #[test]
+    fn minmax_constant_column_is_zero() {
+        let c = Column::from_f64("x", vec![5.0, 5.0]);
+        let n = normalize(&c, NormKind::MinMax, "n").unwrap();
+        assert_eq!(n.get(0), Value::Float(0.0));
+    }
+
+    #[test]
+    fn zscore_has_zero_mean() {
+        let c = Column::from_f64("x", vec![1.0, 2.0, 3.0, 4.0]);
+        let n = normalize(&c, NormKind::ZScore, "n").unwrap();
+        let sum: f64 = n.to_f64().into_iter().flatten().sum();
+        assert!(sum.abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_preserves_nulls() {
+        let c = Column::from_floats("x", vec![Some(1.0), None, Some(3.0)]);
+        let n = normalize(&c, NormKind::MinMax, "n").unwrap();
+        assert!(n.is_null(1));
+        assert_eq!(n.null_count(), 1);
+    }
+
+    #[test]
+    fn normalize_all_null() {
+        let c = Column::from_floats("x", vec![None, None]);
+        let n = normalize(&c, NormKind::ZScore, "n").unwrap();
+        assert_eq!(n.null_count(), 2);
+    }
+
+    #[test]
+    fn bucketize_age_example() {
+        // The paper's F1: bucketized age with the 21-year-old threshold.
+        let c = Column::from_i64("Age", vec![18, 21, 35, 70]);
+        let b = bucketize(&c, &[21.0, 25.0, 45.0, 65.0], "Bucketized_Age").unwrap();
+        assert_eq!(b.get(0), Value::Int(0)); // under 21
+        assert_eq!(b.get(1), Value::Int(1)); // [21, 25)
+        assert_eq!(b.get(2), Value::Int(2)); // [25, 45)
+        assert_eq!(b.get(3), Value::Int(4)); // ≥ 65
+    }
+
+    #[test]
+    fn bucketize_rejects_bad_boundaries() {
+        let c = Column::from_i64("x", vec![1]);
+        assert!(bucketize(&c, &[], "b").is_err());
+        assert!(bucketize(&c, &[2.0, 1.0], "b").is_err());
+    }
+
+    #[test]
+    fn reciprocal_zero_is_null() {
+        let c = Column::from_f64("x", vec![2.0, 0.0]);
+        let r = unary_map(&c, UnaryFn::Reciprocal, "r").unwrap();
+        assert_eq!(r.get(0), Value::Float(0.5));
+        assert!(r.is_null(1));
+    }
+
+    #[test]
+    fn log_is_total() {
+        let c = Column::from_f64("x", vec![-10.0, 0.0, 10.0]);
+        let r = unary_map(&c, UnaryFn::Log1pAbs, "r").unwrap();
+        assert_eq!(r.null_count(), 0);
+        assert_eq!(r.get(1), Value::Float(0.0));
+    }
+
+    #[test]
+    fn clip_clamps() {
+        let c = Column::from_f64("x", vec![-5.0, 0.5, 99.0]);
+        let r = clip(&c, 0.0, 1.0, "r").unwrap();
+        assert_eq!(r.get(0), Value::Float(0.0));
+        assert_eq!(r.get(1), Value::Float(0.5));
+        assert_eq!(r.get(2), Value::Float(1.0));
+        assert!(clip(&c, 2.0, 1.0, "r").is_err());
+    }
+
+    #[test]
+    fn unary_rejects_string_columns() {
+        let c = Column::from_str_slice("s", &["a"]);
+        assert!(unary_map(&c, UnaryFn::Abs, "r").is_err());
+    }
+}

@@ -1,0 +1,180 @@
+//! Dynamically-typed cell values.
+
+use std::fmt;
+
+use crate::dtype::DType;
+
+/// A single cell in a [`crate::DataFrame`].
+///
+/// `Value` is the dynamically-typed view used at API boundaries (row access,
+/// CSV parsing, FM row serialization). Column storage itself is typed — see
+/// [`crate::ColumnData`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Missing value (pandas `NaN` / `None`).
+    Null,
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float. `NaN` floats are normalized to `Null` on insertion.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// The dtype this value naturally belongs to, or `None` for nulls.
+    pub fn dtype(&self) -> Option<DType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(DType::Int),
+            Value::Float(_) => Some(DType::Float),
+            Value::Str(_) => Some(DType::Str),
+            Value::Bool(_) => Some(DType::Bool),
+        }
+    }
+
+    /// True if the value is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view: ints, floats and bools coerce to `f64`; strings and
+    /// nulls do not.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v),
+            Value::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            Value::Null | Value::Str(_) => None,
+        }
+    }
+
+    /// String view: only `Str` values return `Some`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Render the value the way the FM row-serializer and CSV writer expect.
+    /// Nulls render as the empty string.
+    pub fn render(&self) -> String {
+        match self {
+            Value::Null => String::new(),
+            Value::Int(v) => v.to_string(),
+            Value::Float(v) => format_float(*v),
+            Value::Str(s) => s.clone(),
+            Value::Bool(b) => b.to_string(),
+        }
+    }
+}
+
+/// Format a float the way pandas' default repr does: integral floats get a
+/// trailing `.0`, others use the shortest roundtrip representation.
+fn format_float(v: f64) -> String {
+    if v.is_nan() {
+        return String::new();
+    }
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        if v.is_nan() {
+            Value::Null
+        } else {
+            Value::Float(v)
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        match v {
+            Some(inner) => inner.into(),
+            None => Value::Null,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn as_f64_coercions() {
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Float(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::Bool(true).as_f64(), Some(1.0));
+        assert_eq!(Value::Bool(false).as_f64(), Some(0.0));
+        assert_eq!(Value::Str("x".into()).as_f64(), None);
+        assert_eq!(Value::Null.as_f64(), None);
+    }
+
+    #[test]
+    fn nan_float_becomes_null() {
+        let v: Value = f64::NAN.into();
+        assert!(v.is_null());
+    }
+
+    #[test]
+    fn render_matches_pandas_style() {
+        assert_eq!(Value::Float(3.0).render(), "3.0");
+        assert_eq!(Value::Float(3.25).render(), "3.25");
+        assert_eq!(Value::Int(-4).render(), "-4");
+        assert_eq!(Value::Null.render(), "");
+        assert_eq!(Value::Bool(true).render(), "true");
+    }
+
+    #[test]
+    fn option_into_value() {
+        let v: Value = Option::<i64>::None.into();
+        assert!(v.is_null());
+        let v: Value = Some(7i64).into();
+        assert_eq!(v, Value::Int(7));
+    }
+
+    #[test]
+    fn dtype_of_values() {
+        assert_eq!(Value::Int(1).dtype(), Some(DType::Int));
+        assert_eq!(Value::Null.dtype(), None);
+        assert_eq!(Value::Str("a".into()).dtype(), Some(DType::Str));
+    }
+}

@@ -1,0 +1,180 @@
+//! Evaluation drivers: fit the five models on a train/test split and report
+//! AUC per model (Tables 4, 5 and 7), plus k-fold cross-validation.
+
+use crate::error::Result;
+use crate::matrix::Matrix;
+use crate::metrics::{mean, median, roc_auc};
+use crate::model::ModelKind;
+use crate::preprocess::Standardizer;
+
+/// AUC per model on one (train, test) evaluation, as percentages
+/// (the paper reports AUC × 100).
+#[derive(Debug, Clone)]
+pub struct ModelScores {
+    /// `(model, auc_percent)` in [`ModelKind::all`] order.
+    pub scores: Vec<(ModelKind, f64)>,
+}
+
+impl ModelScores {
+    /// Average AUC across models (Table 4's cell).
+    pub fn average(&self) -> f64 {
+        mean(&self.scores.iter().map(|(_, a)| *a).collect::<Vec<_>>())
+    }
+
+    /// Median AUC across models (Table 5's cell).
+    pub fn median(&self) -> f64 {
+        median(&self.scores.iter().map(|(_, a)| *a).collect::<Vec<_>>())
+    }
+
+    /// AUC of one model, if present.
+    pub fn get(&self, kind: ModelKind) -> Option<f64> {
+        self.scores
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, a)| *a)
+    }
+}
+
+/// Fit every model of `models` on `(x_train, y_train)`, score AUC (× 100)
+/// on `(x_test, y_test)`. LR/DNN inputs are standardized on the train split.
+///
+/// A model that fails to train (e.g. poisoned features from an unsafe
+/// baseline transformation) scores 50.0 — the AUC of random guessing —
+/// mirroring how the paper counts CAAFE's Diabetes failure.
+pub fn evaluate_models(
+    models: &[ModelKind],
+    x_train: &Matrix,
+    y_train: &[u8],
+    x_test: &Matrix,
+    y_test: &[u8],
+    seed: u64,
+) -> Result<ModelScores> {
+    let standardized = Standardizer::fit_transform(x_train, x_test).ok();
+    let mut scores = Vec::with_capacity(models.len());
+    for (i, &kind) in models.iter().enumerate() {
+        let (tr, te): (&Matrix, &Matrix) = if kind.wants_standardized_input() {
+            match &standardized {
+                Some((tr, te)) => (tr, te),
+                None => (x_train, x_test),
+            }
+        } else {
+            (x_train, x_test)
+        };
+        let mut model = kind.build(seed.wrapping_add(i as u64 * 7919));
+        let auc = match model.fit(tr, y_train) {
+            Ok(()) => match model.predict_proba(te) {
+                Ok(p) => roc_auc(y_test, &p) * 100.0,
+                Err(_) => 50.0,
+            },
+            Err(_) => 50.0,
+        };
+        scores.push((kind, auc));
+    }
+    Ok(ModelScores { scores })
+}
+
+/// [`evaluate_models`] over all five paper models.
+pub fn evaluate_all_models(
+    x_train: &Matrix,
+    y_train: &[u8],
+    x_test: &Matrix,
+    y_test: &[u8],
+    seed: u64,
+) -> Result<ModelScores> {
+    evaluate_models(&ModelKind::all(), x_train, y_train, x_test, y_test, seed)
+}
+
+/// K-fold cross-validated AUC (× 100) for a single model kind.
+pub fn kfold_cv_auc(
+    kind: ModelKind,
+    x: &Matrix,
+    y: &[u8],
+    k: usize,
+    seed: u64,
+) -> Result<f64> {
+    let folds = smartfeat_frame::sample::kfold_indices(x.rows(), k, seed)
+        .map_err(|e| crate::error::MlError::InvalidParameter(e.to_string()))?;
+    let mut aucs = Vec::with_capacity(k);
+    for (fold_id, (train_idx, valid_idx)) in folds.into_iter().enumerate() {
+        let x_train = x.take_rows(&train_idx);
+        let x_valid = x.take_rows(&valid_idx);
+        let y_train: Vec<u8> = train_idx.iter().map(|&i| y[i]).collect();
+        let y_valid: Vec<u8> = valid_idx.iter().map(|&i| y[i]).collect();
+        let s = evaluate_models(
+            &[kind],
+            &x_train,
+            &y_train,
+            &x_valid,
+            &y_valid,
+            seed.wrapping_add(fold_id as u64),
+        )?;
+        aucs.push(s.scores[0].1);
+    }
+    Ok(mean(&aucs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_data(n: usize) -> (Matrix, Vec<u8>) {
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![(i as f64) / n as f64, ((i * 31) % 17) as f64])
+            .collect();
+        let y: Vec<u8> = (0..n).map(|i| u8::from(i >= n / 2)).collect();
+        (Matrix::from_rows(rows).unwrap(), y)
+    }
+
+    #[test]
+    fn evaluate_all_scores_every_model() {
+        let (x, y) = linear_data(200);
+        let x_train = x.take_rows(&(0..150).step_by(1).collect::<Vec<_>>());
+        // interleave labels so both classes appear in both splits
+        let idx_train: Vec<usize> = (0..200).filter(|i| i % 4 != 0).collect();
+        let idx_test: Vec<usize> = (0..200).filter(|i| i % 4 == 0).collect();
+        let _ = x_train;
+        let xt = x.take_rows(&idx_train);
+        let xe = x.take_rows(&idx_test);
+        let yt: Vec<u8> = idx_train.iter().map(|&i| y[i]).collect();
+        let ye: Vec<u8> = idx_test.iter().map(|&i| y[i]).collect();
+        let s = evaluate_all_models(&xt, &yt, &xe, &ye, 42).unwrap();
+        assert_eq!(s.scores.len(), 5);
+        for (kind, auc) in &s.scores {
+            assert!(*auc > 80.0, "{kind} scored {auc}");
+        }
+        assert!(s.average() > 80.0);
+        assert!(s.median() > 80.0);
+        assert!(s.get(ModelKind::LR).is_some());
+    }
+
+    #[test]
+    fn failed_training_scores_random() {
+        // Single-class training labels ⇒ every model fails ⇒ 50.0 AUC.
+        let x = Matrix::from_rows(vec![vec![1.0], vec![2.0], vec![3.0]]).unwrap();
+        let y = vec![1, 1, 1];
+        let s = evaluate_models(&[ModelKind::LR], &x, &y, &x, &y, 0).unwrap();
+        assert_eq!(s.scores[0].1, 50.0);
+    }
+
+    #[test]
+    fn kfold_cv_reasonable_on_signal() {
+        let (x, y) = linear_data(120);
+        let auc = kfold_cv_auc(ModelKind::LR, &x, &y, 4, 3).unwrap();
+        assert!(auc > 90.0, "cv auc = {auc}");
+    }
+
+    #[test]
+    fn median_differs_from_mean_when_skewed() {
+        let scores = ModelScores {
+            scores: vec![
+                (ModelKind::LR, 50.0),
+                (ModelKind::NB, 90.0),
+                (ModelKind::RF, 91.0),
+                (ModelKind::ET, 92.0),
+                (ModelKind::DNN, 93.0),
+            ],
+        };
+        assert!(scores.median() > scores.average());
+        assert_eq!(scores.median(), 91.0);
+    }
+}

@@ -1,0 +1,68 @@
+//! Error type for the ML substrate.
+
+use std::fmt;
+
+/// Errors produced while fitting or evaluating models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MlError {
+    /// X and y disagree on sample count.
+    ShapeMismatch {
+        /// Rows in X.
+        rows: usize,
+        /// Labels in y.
+        labels: usize,
+    },
+    /// Training data is empty.
+    EmptyTrainingSet,
+    /// Training labels contain a single class; binary models need both.
+    SingleClass,
+    /// Prediction was requested before `fit`.
+    NotFitted,
+    /// Feature counts differ between fit and predict.
+    FeatureMismatch {
+        /// Features seen at fit time.
+        fitted: usize,
+        /// Features supplied at predict time.
+        given: usize,
+    },
+    /// Non-finite values encountered where finite ones are required.
+    NonFinite(&'static str),
+    /// Invalid hyper-parameter.
+    InvalidParameter(String),
+}
+
+impl fmt::Display for MlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MlError::ShapeMismatch { rows, labels } => {
+                write!(f, "X has {rows} rows but y has {labels} labels")
+            }
+            MlError::EmptyTrainingSet => write!(f, "training set is empty"),
+            MlError::SingleClass => write!(f, "training labels contain a single class"),
+            MlError::NotFitted => write!(f, "model has not been fitted"),
+            MlError::FeatureMismatch { fitted, given } => {
+                write!(f, "model fitted on {fitted} features, given {given}")
+            }
+            MlError::NonFinite(ctx) => write!(f, "non-finite values in {ctx}"),
+            MlError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MlError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, MlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(MlError::SingleClass.to_string().contains("single class"));
+        assert!(MlError::FeatureMismatch { fitted: 3, given: 5 }
+            .to_string()
+            .contains("3"));
+    }
+}

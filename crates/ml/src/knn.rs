@@ -1,0 +1,171 @@
+//! k-nearest-neighbors classifier.
+//!
+//! Not one of the paper's five evaluation models, but the model class its
+//! introduction calls out ("certain models like k-nearest-neighbors (KNN)
+//! tend to perform better when the data is normalized or has similar
+//! ranges") — included so the normalization operator's value can be
+//! demonstrated directly (see `benches/substrates.rs` and the docs).
+
+use crate::error::{MlError, Result};
+use crate::matrix::Matrix;
+use crate::model::Classifier;
+
+/// Brute-force KNN with Euclidean distance and distance-weighted votes.
+#[derive(Debug, Clone)]
+pub struct KnnClassifier {
+    /// Neighbors consulted per prediction.
+    pub k: usize,
+    x: Option<Matrix>,
+    y: Vec<u8>,
+}
+
+impl KnnClassifier {
+    /// sklearn's default `n_neighbors = 5`.
+    pub fn new(k: usize) -> Self {
+        KnnClassifier {
+            k: k.max(1),
+            x: None,
+            y: Vec::new(),
+        }
+    }
+}
+
+impl Default for KnnClassifier {
+    fn default() -> Self {
+        KnnClassifier::new(5)
+    }
+}
+
+impl Classifier for KnnClassifier {
+    fn fit(&mut self, x: &Matrix, y: &[u8]) -> Result<()> {
+        x.check_training(y)?;
+        if !x.is_finite() {
+            return Err(MlError::NonFinite("training features"));
+        }
+        self.x = Some(x.clone());
+        self.y = y.to_vec();
+        Ok(())
+    }
+
+    fn predict_proba(&self, x: &Matrix) -> Result<Vec<f64>> {
+        let train = self.x.as_ref().ok_or(MlError::NotFitted)?;
+        if x.cols() != train.cols() {
+            return Err(MlError::FeatureMismatch {
+                fitted: train.cols(),
+                given: x.cols(),
+            });
+        }
+        let k = self.k.min(train.rows());
+        let mut out = Vec::with_capacity(x.rows());
+        let mut heap: Vec<(f64, u8)> = Vec::with_capacity(train.rows());
+        for i in 0..x.rows() {
+            let q = x.row(i);
+            heap.clear();
+            for j in 0..train.rows() {
+                let mut d2 = 0.0;
+                for (a, b) in q.iter().zip(train.row(j)) {
+                    let diff = a - b;
+                    d2 += diff * diff;
+                }
+                heap.push((d2, self.y[j]));
+            }
+            heap.select_nth_unstable_by(k - 1, |a, b| a.0.total_cmp(&b.0));
+            // Distance-weighted vote over the k nearest.
+            let mut pos = 0.0;
+            let mut total = 0.0;
+            for &(d2, label) in &heap[..k] {
+                let w = 1.0 / (d2.sqrt() + 1e-9);
+                pos += w * f64::from(label);
+                total += w;
+            }
+            out.push(if total > 0.0 { pos / total } else { 0.5 });
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::roc_auc;
+    use crate::preprocess::Standardizer;
+
+    fn blobs() -> (Matrix, Vec<u8>) {
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..60 {
+            let j = (i % 10) as f64 * 0.03;
+            rows.push(vec![j, -j]);
+            y.push(0u8);
+            rows.push(vec![2.0 + j, 2.0 - j]);
+            y.push(1u8);
+        }
+        (Matrix::from_rows(rows).unwrap(), y)
+    }
+
+    #[test]
+    fn separates_blobs() {
+        let (x, y) = blobs();
+        let mut knn = KnnClassifier::default();
+        knn.fit(&x, &y).unwrap();
+        let p = knn.predict_proba(&x).unwrap();
+        assert_eq!(roc_auc(&y, &p), 1.0);
+    }
+
+    #[test]
+    fn scale_sensitivity_fixed_by_normalization() {
+        // Second feature swamps the first unless the data is standardized —
+        // the paper's KNN-normalization argument in miniature.
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..200 {
+            let signal = f64::from(i % 2); // the discriminative feature
+            let noise = ((i * 37) % 100) as f64 * 1000.0; // huge-scale noise
+            rows.push(vec![signal, noise]);
+            y.push((i % 2) as u8);
+        }
+        let x = Matrix::from_rows(rows).unwrap();
+        // Hold out half the samples (both classes) so queries are never
+        // their own nearest neighbor.
+        let train_idx: Vec<usize> = (0..200).filter(|i| i % 4 >= 2).collect();
+        let test_idx: Vec<usize> = (0..200).filter(|i| i % 4 < 2).collect();
+        let pick = |idx: &[usize]| -> Vec<u8> { idx.iter().map(|&i| y[i]).collect() };
+        let (x_tr, x_te) = (x.take_rows(&train_idx), x.take_rows(&test_idx));
+        let (y_tr, y_te) = (pick(&train_idx), pick(&test_idx));
+
+        let mut raw = KnnClassifier::new(5);
+        raw.fit(&x_tr, &y_tr).unwrap();
+        let auc_raw = roc_auc(&y_te, &raw.predict_proba(&x_te).unwrap());
+
+        let s = Standardizer::fit(&x_tr).unwrap();
+        let (xs_tr, xs_te) = (s.transform(&x_tr).unwrap(), s.transform(&x_te).unwrap());
+        let mut norm = KnnClassifier::new(5);
+        norm.fit(&xs_tr, &y_tr).unwrap();
+        let auc_norm = roc_auc(&y_te, &norm.predict_proba(&xs_te).unwrap());
+        assert!(
+            auc_norm > auc_raw + 0.1,
+            "normalized {auc_norm} vs raw {auc_raw}"
+        );
+        assert!(auc_norm > 0.9, "normalized only {auc_norm}");
+    }
+
+    #[test]
+    fn k_clamped_to_training_size() {
+        let x = Matrix::from_rows(vec![vec![0.0], vec![1.0]]).unwrap();
+        let y = vec![0, 1];
+        let mut knn = KnnClassifier::new(50);
+        knn.fit(&x, &y).unwrap();
+        let p = knn.predict_proba(&x).unwrap();
+        assert_eq!(p.len(), 2);
+        assert!(p.iter().all(|v| (0.0..=1.0).contains(v)));
+    }
+
+    #[test]
+    fn not_fitted_rejected() {
+        let knn = KnnClassifier::default();
+        assert!(matches!(
+            knn.predict_proba(&Matrix::zeros(1, 1)),
+            Err(MlError::NotFitted)
+        ));
+    }
+}

@@ -1,0 +1,218 @@
+//! Dense row-major `f64` matrix used as model input.
+
+use crate::error::{MlError, Result};
+
+/// A dense row-major matrix of features: `rows` samples × `cols` features.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    data: Vec<f64>,
+    rows: usize,
+    cols: usize,
+}
+
+impl Matrix {
+    /// Build from flat row-major data.
+    pub fn new(data: Vec<f64>, rows: usize, cols: usize) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(MlError::InvalidParameter(format!(
+                "matrix data length {} != {rows}x{cols}",
+                data.len()
+            )));
+        }
+        Ok(Matrix { data, rows, cols })
+    }
+
+    /// Build from nested row vectors (each row must have equal length).
+    pub fn from_rows(rows: Vec<Vec<f64>>) -> Result<Self> {
+        let n = rows.len();
+        let c = rows.first().map_or(0, Vec::len);
+        if rows.iter().any(|r| r.len() != c) {
+            return Err(MlError::InvalidParameter(
+                "ragged rows in matrix construction".into(),
+            ));
+        }
+        let mut data = Vec::with_capacity(n * c);
+        for row in rows {
+            data.extend(row);
+        }
+        Ok(Matrix {
+            data,
+            rows: n,
+            cols: c,
+        })
+    }
+
+    /// All-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            data: vec![0.0; rows * cols],
+            rows,
+            cols,
+        }
+    }
+
+    /// Sample count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Feature count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow one sample (row slice).
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable row access.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// One cell.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.cols + j]
+    }
+
+    /// Set one cell.
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Extract one feature column as a vector.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        (0..self.rows).map(|i| self.get(i, j)).collect()
+    }
+
+    /// Gather a subset of rows into a new matrix.
+    pub fn take_rows(&self, indices: &[usize]) -> Matrix {
+        let mut data = Vec::with_capacity(indices.len() * self.cols);
+        for &i in indices {
+            data.extend_from_slice(self.row(i));
+        }
+        Matrix {
+            data,
+            rows: indices.len(),
+            cols: self.cols,
+        }
+    }
+
+    /// Keep only the named feature columns, in the given order.
+    pub fn take_cols(&self, col_indices: &[usize]) -> Matrix {
+        let mut data = Vec::with_capacity(self.rows * col_indices.len());
+        for i in 0..self.rows {
+            let row = self.row(i);
+            for &j in col_indices {
+                data.push(row[j]);
+            }
+        }
+        Matrix {
+            data,
+            rows: self.rows,
+            cols: col_indices.len(),
+        }
+    }
+
+    /// True if every cell is finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
+    /// Flat data access (row-major).
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Validate an (X, y) pair for binary classification training.
+    pub fn check_training(&self, y: &[u8]) -> Result<()> {
+        if self.rows != y.len() {
+            return Err(MlError::ShapeMismatch {
+                rows: self.rows,
+                labels: y.len(),
+            });
+        }
+        if self.rows == 0 {
+            return Err(MlError::EmptyTrainingSet);
+        }
+        let pos = y.iter().filter(|&&v| v != 0).count();
+        if pos == 0 || pos == y.len() {
+            return Err(MlError::SingleClass);
+        }
+        Ok(())
+    }
+}
+
+/// Dot product of two equal-length slices.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_checks_shape() {
+        assert!(Matrix::new(vec![1.0, 2.0, 3.0], 2, 2).is_err());
+        let m = Matrix::new(vec![1.0, 2.0, 3.0, 4.0], 2, 2).unwrap();
+        assert_eq!(m.get(1, 0), 3.0);
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        assert!(Matrix::from_rows(vec![vec![1.0], vec![1.0, 2.0]]).is_err());
+    }
+
+    #[test]
+    fn row_and_col_views() {
+        let m = Matrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(m.row(0), &[1.0, 2.0]);
+        assert_eq!(m.col(1), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn take_rows_and_cols() {
+        let m = Matrix::from_rows(vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
+        let r = m.take_rows(&[1, 0]);
+        assert_eq!(r.row(0), &[4.0, 5.0, 6.0]);
+        let c = m.take_cols(&[2, 0]);
+        assert_eq!(c.row(0), &[3.0, 1.0]);
+        assert_eq!(c.cols(), 2);
+    }
+
+    #[test]
+    fn check_training_catches_problems() {
+        let m = Matrix::from_rows(vec![vec![1.0], vec![2.0]]).unwrap();
+        assert!(matches!(
+            m.check_training(&[0]),
+            Err(MlError::ShapeMismatch { .. })
+        ));
+        assert!(matches!(
+            m.check_training(&[0, 0]),
+            Err(MlError::SingleClass)
+        ));
+        assert!(m.check_training(&[0, 1]).is_ok());
+        let empty = Matrix::zeros(0, 3);
+        assert!(matches!(
+            empty.check_training(&[]),
+            Err(MlError::EmptyTrainingSet)
+        ));
+    }
+
+    #[test]
+    fn finite_detection() {
+        let mut m = Matrix::zeros(1, 2);
+        assert!(m.is_finite());
+        m.set(0, 1, f64::INFINITY);
+        assert!(!m.is_finite());
+    }
+
+    #[test]
+    fn dot_product() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+}

@@ -1,0 +1,186 @@
+//! Evaluation metrics: AUC (the paper's primary metric), accuracy, log-loss.
+
+/// Area under the ROC curve via the rank statistic
+/// (Mann–Whitney U), with midrank handling of tied scores.
+///
+/// Returns 0.5 when either class is absent (no ranking information),
+/// matching the convention the paper's tables imply for degenerate folds.
+///
+/// ```
+/// use smartfeat_ml::roc_auc;
+/// assert_eq!(roc_auc(&[0, 0, 1, 1], &[0.1, 0.4, 0.6, 0.9]), 1.0);
+/// assert_eq!(roc_auc(&[1, 1, 0, 0], &[0.1, 0.4, 0.6, 0.9]), 0.0);
+/// ```
+pub fn roc_auc(labels: &[u8], scores: &[f64]) -> f64 {
+    debug_assert_eq!(labels.len(), scores.len());
+    let n_pos = labels.iter().filter(|&&y| y != 0).count();
+    let n_neg = labels.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    // Sort indices by score; assign midranks to ties.
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
+    let mut ranks = vec![0.0f64; scores.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        let midrank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &order[i..=j] {
+            ranks[k] = midrank;
+        }
+        i = j + 1;
+    }
+    let rank_sum_pos: f64 = labels
+        .iter()
+        .zip(&ranks)
+        .filter(|(&y, _)| y != 0)
+        .map(|(_, &r)| r)
+        .sum();
+    let u = rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0;
+    u / (n_pos as f64 * n_neg as f64)
+}
+
+/// Fraction of predictions on the correct side of 0.5.
+pub fn accuracy(labels: &[u8], scores: &[f64]) -> f64 {
+    debug_assert_eq!(labels.len(), scores.len());
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let correct = labels
+        .iter()
+        .zip(scores)
+        .filter(|(&y, &s)| (s >= 0.5) == (y != 0))
+        .count();
+    correct as f64 / labels.len() as f64
+}
+
+/// Binary cross-entropy with probability clamping at `1e-12`.
+pub fn log_loss(labels: &[u8], scores: &[f64]) -> f64 {
+    debug_assert_eq!(labels.len(), scores.len());
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let eps = 1e-12;
+    let total: f64 = labels
+        .iter()
+        .zip(scores)
+        .map(|(&y, &p)| {
+            let p = p.clamp(eps, 1.0 - eps);
+            if y != 0 {
+                -p.ln()
+            } else {
+                -(1.0 - p).ln()
+            }
+        })
+        .sum();
+    total / labels.len() as f64
+}
+
+/// Mean of a slice (0.0 if empty). Tiny helper shared by the harness.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Median of a slice (lower median for even lengths — matching the paper's
+/// use of `numpy.median` on 5 models, which interpolates; we interpolate
+/// too for even counts).
+pub fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auc_perfect_ranking() {
+        let y = [0, 0, 1, 1];
+        let s = [0.1, 0.2, 0.8, 0.9];
+        assert_eq!(roc_auc(&y, &s), 1.0);
+    }
+
+    #[test]
+    fn auc_inverted_ranking() {
+        let y = [1, 1, 0, 0];
+        let s = [0.1, 0.2, 0.8, 0.9];
+        assert_eq!(roc_auc(&y, &s), 0.0);
+    }
+
+    #[test]
+    fn auc_random_is_half() {
+        let y = [0, 1, 0, 1];
+        let s = [0.5, 0.5, 0.5, 0.5];
+        assert_eq!(roc_auc(&y, &s), 0.5);
+    }
+
+    #[test]
+    fn auc_with_ties_uses_midranks() {
+        let y = [0, 1, 1];
+        let s = [0.3, 0.3, 0.9];
+        // Pair (neg, pos@0.3) ties → 0.5 credit; pair (neg, pos@0.9) → 1.
+        assert!((roc_auc(&y, &s) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_single_class_is_half() {
+        assert_eq!(roc_auc(&[1, 1], &[0.2, 0.9]), 0.5);
+        assert_eq!(roc_auc(&[0, 0], &[0.2, 0.9]), 0.5);
+    }
+
+    #[test]
+    fn auc_known_value() {
+        // 2 pos, 3 neg; one discordant pair out of 6 → AUC = 5/6.
+        let y = [1, 0, 1, 0, 0];
+        let s = [0.9, 0.8, 0.7, 0.3, 0.1];
+        assert!((roc_auc(&y, &s) - 5.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_basic() {
+        let y = [1, 0, 1, 0];
+        let s = [0.9, 0.1, 0.2, 0.6];
+        assert_eq!(accuracy(&y, &s), 0.5);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn log_loss_clamps() {
+        let y = [1];
+        let s = [0.0];
+        let l = log_loss(&y, &s);
+        assert!(l.is_finite());
+        assert!(l > 20.0); // ln(1e-12) ≈ 27.6
+    }
+
+    #[test]
+    fn log_loss_confident_correct_is_small() {
+        let l = log_loss(&[1, 0], &[0.99, 0.01]);
+        assert!(l < 0.02);
+    }
+
+    #[test]
+    fn mean_and_median() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&[]), 0.0);
+    }
+}

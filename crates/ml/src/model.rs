@@ -1,0 +1,121 @@
+//! The common [`Classifier`] trait and the paper's five model kinds.
+
+use crate::error::Result;
+use crate::matrix::Matrix;
+
+/// A binary probabilistic classifier over dense feature matrices.
+pub trait Classifier {
+    /// Fit on features `x` and binary labels `y` (0/1).
+    fn fit(&mut self, x: &Matrix, y: &[u8]) -> Result<()>;
+
+    /// Predicted probability of the positive class for each row of `x`.
+    fn predict_proba(&self, x: &Matrix) -> Result<Vec<f64>>;
+
+    /// Hard 0/1 predictions at threshold 0.5.
+    fn predict(&self, x: &Matrix) -> Result<Vec<u8>> {
+        Ok(self
+            .predict_proba(x)?
+            .into_iter()
+            .map(|p| u8::from(p >= 0.5))
+            .collect())
+    }
+}
+
+/// The five downstream models of the paper's evaluation (Section 4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// Linear model ("LR" in the tables; logistic for binary AUC).
+    LR,
+    /// Gaussian naive Bayes ("NB").
+    NB,
+    /// Random forest ("RF").
+    RF,
+    /// Extra-trees ("ET").
+    ET,
+    /// 2×100 ReLU MLP ("DNN").
+    DNN,
+}
+
+impl ModelKind {
+    /// All five, in the paper's table order.
+    pub fn all() -> [ModelKind; 5] {
+        [
+            ModelKind::LR,
+            ModelKind::NB,
+            ModelKind::RF,
+            ModelKind::ET,
+            ModelKind::DNN,
+        ]
+    }
+
+    /// Display name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelKind::LR => "LR",
+            ModelKind::NB => "NB",
+            ModelKind::RF => "RF",
+            ModelKind::ET => "ET",
+            ModelKind::DNN => "DNN",
+        }
+    }
+
+    /// Instantiate with default (sklearn-like) hyper-parameters and a seed.
+    pub fn build(self, seed: u64) -> Box<dyn Classifier> {
+        match self {
+            ModelKind::LR => Box::new(crate::logistic::LogisticRegression::default_params()),
+            ModelKind::NB => Box::new(crate::naive_bayes::GaussianNb::new()),
+            ModelKind::RF => Box::new(crate::forest::RandomForest::default_params(seed)),
+            ModelKind::ET => Box::new(crate::extra_trees::ExtraTrees::default_params(seed)),
+            ModelKind::DNN => Box::new(crate::nn::MlpClassifier::default_params(seed)),
+        }
+    }
+
+    /// True for models that benefit from standardized inputs
+    /// (LR and the DNN; trees and NB are scale-invariant enough).
+    pub fn wants_standardized_input(self) -> bool {
+        matches!(self, ModelKind::LR | ModelKind::DNN)
+    }
+}
+
+impl std::fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_five_models() {
+        let names: Vec<&str> = ModelKind::all().iter().map(|m| m.name()).collect();
+        assert_eq!(names, vec!["LR", "NB", "RF", "ET", "DNN"]);
+    }
+
+    #[test]
+    fn standardization_preferences() {
+        assert!(ModelKind::LR.wants_standardized_input());
+        assert!(ModelKind::DNN.wants_standardized_input());
+        assert!(!ModelKind::RF.wants_standardized_input());
+    }
+
+    #[test]
+    fn build_produces_working_models() {
+        // Tiny separable problem: every model should fit and emit probabilities.
+        let x = Matrix::from_rows(
+            (0..40)
+                .map(|i| vec![i as f64, (i % 3) as f64])
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let y: Vec<u8> = (0..40).map(|i| u8::from(i >= 20)).collect();
+        for kind in ModelKind::all() {
+            let mut m = kind.build(7);
+            m.fit(&x, &y).unwrap();
+            let p = m.predict_proba(&x).unwrap();
+            assert_eq!(p.len(), 40);
+            assert!(p.iter().all(|v| (0.0..=1.0).contains(v)), "{kind} probs in range");
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Input preprocessing: z-score standardization fit on train, applied to test.
+
+use crate::error::{MlError, Result};
+use crate::matrix::Matrix;
+
+/// Per-feature z-score standardizer.
+///
+/// Fit on the training matrix; apply to any matrix with the same feature
+/// count. Zero-variance features pass through centered (scaled by 1).
+#[derive(Debug, Clone)]
+pub struct Standardizer {
+    means: Vec<f64>,
+    scales: Vec<f64>,
+}
+
+impl Standardizer {
+    /// Learn per-feature mean and scale from `x`.
+    pub fn fit(x: &Matrix) -> Result<Self> {
+        if x.rows() == 0 {
+            return Err(MlError::EmptyTrainingSet);
+        }
+        let n = x.rows() as f64;
+        let cols = x.cols();
+        let mut means = vec![0.0; cols];
+        for i in 0..x.rows() {
+            for (j, v) in x.row(i).iter().enumerate() {
+                means[j] += v;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut vars = vec![0.0; cols];
+        for i in 0..x.rows() {
+            for (j, v) in x.row(i).iter().enumerate() {
+                vars[j] += (v - means[j]).powi(2);
+            }
+        }
+        let scales = vars
+            .into_iter()
+            .map(|v| {
+                let s = (v / n).sqrt();
+                if s > 0.0 {
+                    s
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        Ok(Standardizer { means, scales })
+    }
+
+    /// Standardize a matrix (must have the fitted feature count).
+    pub fn transform(&self, x: &Matrix) -> Result<Matrix> {
+        if x.cols() != self.means.len() {
+            return Err(MlError::FeatureMismatch {
+                fitted: self.means.len(),
+                given: x.cols(),
+            });
+        }
+        let mut out = x.clone();
+        for i in 0..out.rows() {
+            let row = out.row_mut(i);
+            for (j, v) in row.iter_mut().enumerate() {
+                *v = (*v - self.means[j]) / self.scales[j];
+                // Clamp pathological magnitudes (e.g. the unsafe-division
+                // sentinel) so LR/DNN gradients stay finite; trees are
+                // unaffected since they never standardize.
+                *v = v.clamp(-1e6, 1e6);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Fit on `train` and transform both matrices in one call.
+    pub fn fit_transform(train: &Matrix, test: &Matrix) -> Result<(Matrix, Matrix)> {
+        let s = Standardizer::fit(train)?;
+        Ok((s.transform(train)?, s.transform(test)?))
+    }
+
+    /// Fitted means (one per feature).
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// Fitted scales (one per feature; zero-variance features report 1).
+    pub fn scales(&self) -> &[f64] {
+        &self.scales
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardized_train_has_zero_mean_unit_var() {
+        let x = Matrix::from_rows(vec![
+            vec![1.0, 10.0],
+            vec![2.0, 20.0],
+            vec![3.0, 30.0],
+            vec![4.0, 40.0],
+        ])
+        .unwrap();
+        let s = Standardizer::fit(&x).unwrap();
+        let t = s.transform(&x).unwrap();
+        for j in 0..2 {
+            let col = t.col(j);
+            let mean: f64 = col.iter().sum::<f64>() / col.len() as f64;
+            let var: f64 = col.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / col.len() as f64;
+            assert!(mean.abs() < 1e-12);
+            assert!((var - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_variance_feature_centered() {
+        let x = Matrix::from_rows(vec![vec![5.0], vec![5.0]]).unwrap();
+        let s = Standardizer::fit(&x).unwrap();
+        let t = s.transform(&x).unwrap();
+        assert_eq!(t.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn feature_mismatch_rejected() {
+        let x = Matrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let s = Standardizer::fit(&x).unwrap();
+        let bad = Matrix::from_rows(vec![vec![1.0]]).unwrap();
+        assert!(matches!(
+            s.transform(&bad),
+            Err(MlError::FeatureMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_rejected() {
+        let x = Matrix::zeros(0, 2);
+        assert!(matches!(
+            Standardizer::fit(&x),
+            Err(MlError::EmptyTrainingSet)
+        ));
+    }
+
+    #[test]
+    fn extreme_sentinels_clamped() {
+        let train = Matrix::from_rows(vec![vec![0.0], vec![1.0]]).unwrap();
+        let s = Standardizer::fit(&train).unwrap();
+        let poisoned = Matrix::from_rows(vec![vec![1e30]]).unwrap();
+        let t = s.transform(&poisoned).unwrap();
+        assert!(t.is_finite());
+        assert_eq!(t.get(0, 0), 1e6);
+    }
+}

@@ -1,0 +1,497 @@
+//! CART decision trees with Gini impurity — shared by [`crate::forest`]
+//! (exact best splits) and [`crate::extra_trees`] (random thresholds).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::error::{MlError, Result};
+use crate::matrix::Matrix;
+
+/// How many candidate features to examine at each split.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MaxFeatures {
+    /// All features (single decision tree default).
+    All,
+    /// `⌈sqrt(d)⌉` (random-forest default).
+    Sqrt,
+    /// A fixed count (clamped to `d`).
+    Exact(usize),
+}
+
+impl MaxFeatures {
+    /// Resolve to a concrete count for `d` features.
+    pub fn resolve(self, d: usize) -> usize {
+        match self {
+            MaxFeatures::All => d,
+            MaxFeatures::Sqrt => (d as f64).sqrt().ceil() as usize,
+            MaxFeatures::Exact(k) => k.clamp(1, d),
+        }
+        .max(1)
+        .min(d.max(1))
+    }
+}
+
+/// Split search strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplitMode {
+    /// Sort each candidate feature and scan every midpoint (CART / RF).
+    Exact,
+    /// Draw one uniform threshold per candidate feature (extra-trees).
+    Random,
+}
+
+/// Tree hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeParams {
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Minimum samples each child must keep.
+    pub min_samples_leaf: usize,
+    /// Candidate features per split.
+    pub max_features: MaxFeatures,
+    /// Split search strategy.
+    pub split_mode: SplitMode,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        TreeParams {
+            max_depth: 12,
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+            max_features: MaxFeatures::All,
+            split_mode: SplitMode::Exact,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        prob: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A fitted CART binary classification tree.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    params: TreeParams,
+    nodes: Vec<Node>,
+    n_features: usize,
+    importances: Vec<f64>,
+    fitted: bool,
+}
+
+impl DecisionTree {
+    /// Create an unfitted tree.
+    pub fn new(params: TreeParams) -> Self {
+        DecisionTree {
+            params,
+            nodes: Vec::new(),
+            n_features: 0,
+            importances: Vec::new(),
+            fitted: false,
+        }
+    }
+
+    /// Fit on (x, y) using `rng` for feature subsampling / random thresholds.
+    /// `sample_indices` selects the (possibly bootstrapped) training rows.
+    pub fn fit_indices(
+        &mut self,
+        x: &Matrix,
+        y: &[u8],
+        sample_indices: &[usize],
+        rng: &mut StdRng,
+    ) -> Result<()> {
+        if sample_indices.is_empty() {
+            return Err(MlError::EmptyTrainingSet);
+        }
+        if x.rows() != y.len() {
+            return Err(MlError::ShapeMismatch {
+                rows: x.rows(),
+                labels: y.len(),
+            });
+        }
+        self.n_features = x.cols();
+        self.nodes.clear();
+        self.importances = vec![0.0; x.cols()];
+        let mut indices = sample_indices.to_vec();
+        let total = indices.len() as f64;
+        self.build(x, y, &mut indices, 0, total, rng);
+        // Normalize importances to sum 1 (sklearn convention) if any.
+        let sum: f64 = self.importances.iter().sum();
+        if sum > 0.0 {
+            for v in &mut self.importances {
+                *v /= sum;
+            }
+        }
+        self.fitted = true;
+        Ok(())
+    }
+
+    /// Fit on all rows.
+    pub fn fit_all(&mut self, x: &Matrix, y: &[u8], rng: &mut StdRng) -> Result<()> {
+        x.check_training(y)?;
+        let indices: Vec<usize> = (0..x.rows()).collect();
+        self.fit_indices(x, y, &indices, rng)
+    }
+
+    fn build(
+        &mut self,
+        x: &Matrix,
+        y: &[u8],
+        indices: &mut [usize],
+        depth: usize,
+        total: f64,
+        rng: &mut StdRng,
+    ) -> usize {
+        let n = indices.len();
+        let pos = indices.iter().filter(|&&i| y[i] != 0).count();
+        let prob = pos as f64 / n as f64;
+        let is_pure = pos == 0 || pos == n;
+        if depth >= self.params.max_depth || n < self.params.min_samples_split || is_pure {
+            return self.push(Node::Leaf { prob });
+        }
+
+        let d = x.cols();
+        let k = self.params.max_features.resolve(d);
+        let mut features: Vec<usize> = (0..d).collect();
+        if k < d {
+            features.shuffle(rng);
+            features.truncate(k);
+        }
+
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gain)
+        for &f in &features {
+            let candidate = match self.params.split_mode {
+                SplitMode::Exact => best_exact_split(x, y, indices, f, self.params.min_samples_leaf),
+                SplitMode::Random => {
+                    random_split(x, y, indices, f, self.params.min_samples_leaf, rng)
+                }
+            };
+            if let Some((threshold, gain)) = candidate {
+                if best.is_none_or(|(_, _, g)| gain > g) {
+                    best = Some((f, threshold, gain));
+                }
+            }
+        }
+
+        let Some((feature, threshold, gain)) = best else {
+            return self.push(Node::Leaf { prob });
+        };
+        if gain <= 1e-12 {
+            return self.push(Node::Leaf { prob });
+        }
+        // Weighted impurity decrease: the gain at this node, weighted by the
+        // fraction of training samples reaching it.
+        self.importances[feature] += gain * (n as f64 / total);
+        let split_point = partition(x, indices, feature, threshold);
+        let node_id = self.push(Node::Leaf { prob }); // placeholder, replaced below
+        let (left_slice, right_slice) = indices.split_at_mut(split_point);
+        let left = self.build(x, y, left_slice, depth + 1, total, rng);
+        let right = self.build(x, y, right_slice, depth + 1, total, rng);
+        self.nodes[node_id] = Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
+        node_id
+    }
+
+    fn push(&mut self, node: Node) -> usize {
+        self.nodes.push(node);
+        self.nodes.len() - 1
+    }
+
+    /// P(y=1) for one sample.
+    pub fn predict_one(&self, row: &[f64]) -> f64 {
+        let mut id = 0;
+        loop {
+            match &self.nodes[id] {
+                Node::Leaf { prob } => return *prob,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    id = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
+    /// P(y=1) for every row of `x`.
+    pub fn predict_proba(&self, x: &Matrix) -> Result<Vec<f64>> {
+        if !self.fitted {
+            return Err(MlError::NotFitted);
+        }
+        if x.cols() != self.n_features {
+            return Err(MlError::FeatureMismatch {
+                fitted: self.n_features,
+                given: x.cols(),
+            });
+        }
+        Ok((0..x.rows()).map(|i| self.predict_one(x.row(i))).collect())
+    }
+
+    /// Normalized impurity-decrease feature importances.
+    pub fn importances(&self) -> &[f64] {
+        &self.importances
+    }
+
+    /// Number of tree nodes (splits + leaves).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+/// Gini impurity of a node with `pos` positives among `n` samples.
+#[inline]
+fn gini(pos: usize, n: usize) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    let p = pos as f64 / n as f64;
+    2.0 * p * (1.0 - p)
+}
+
+/// Exact best split on one feature: sort the node's samples by the feature
+/// and scan every boundary between distinct values. Returns
+/// `(threshold, impurity_decrease)`.
+fn best_exact_split(
+    x: &Matrix,
+    y: &[u8],
+    indices: &[usize],
+    feature: usize,
+    min_leaf: usize,
+) -> Option<(f64, f64)> {
+    let n = indices.len();
+    let mut pairs: Vec<(f64, u8)> = indices
+        .iter()
+        .map(|&i| (x.get(i, feature), y[i]))
+        .collect();
+    pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let total_pos = pairs.iter().filter(|p| p.1 != 0).count();
+    let parent = gini(total_pos, n);
+    let mut best: Option<(f64, f64)> = None;
+    let mut left_pos = 0usize;
+    for i in 0..n - 1 {
+        if pairs[i].1 != 0 {
+            left_pos += 1;
+        }
+        if pairs[i].0 == pairs[i + 1].0 {
+            continue; // can't split between equal values
+        }
+        let left_n = i + 1;
+        let right_n = n - left_n;
+        if left_n < min_leaf || right_n < min_leaf {
+            continue;
+        }
+        let right_pos = total_pos - left_pos;
+        let weighted = (left_n as f64 * gini(left_pos, left_n)
+            + right_n as f64 * gini(right_pos, right_n))
+            / n as f64;
+        let gain = parent - weighted;
+        if best.is_none_or(|(_, g)| gain > g) {
+            let threshold = (pairs[i].0 + pairs[i + 1].0) / 2.0;
+            best = Some((threshold, gain));
+        }
+    }
+    best
+}
+
+/// Extra-trees split: one uniform threshold in the node's value range.
+fn random_split(
+    x: &Matrix,
+    y: &[u8],
+    indices: &[usize],
+    feature: usize,
+    min_leaf: usize,
+    rng: &mut StdRng,
+) -> Option<(f64, f64)> {
+    let n = indices.len();
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &i in indices {
+        let v = x.get(i, feature);
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    if lo >= hi {
+        return None;
+    }
+    let threshold = rng.gen_range(lo..hi);
+    let mut left_n = 0usize;
+    let mut left_pos = 0usize;
+    let mut total_pos = 0usize;
+    for &i in indices {
+        let is_pos = y[i] != 0;
+        total_pos += is_pos as usize;
+        if x.get(i, feature) <= threshold {
+            left_n += 1;
+            left_pos += is_pos as usize;
+        }
+    }
+    let right_n = n - left_n;
+    if left_n < min_leaf || right_n < min_leaf {
+        return None;
+    }
+    let parent = gini(total_pos, n);
+    let weighted = (left_n as f64 * gini(left_pos, left_n)
+        + right_n as f64 * gini(total_pos - left_pos, right_n))
+        / n as f64;
+    Some((threshold, parent - weighted))
+}
+
+/// In-place partition of `indices` by `x[i, feature] <= threshold`;
+/// returns the boundary position.
+fn partition(x: &Matrix, indices: &mut [usize], feature: usize, threshold: f64) -> usize {
+    let mut store = 0;
+    for i in 0..indices.len() {
+        if x.get(indices[i], feature) <= threshold {
+            indices.swap(store, i);
+            store += 1;
+        }
+    }
+    store
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::roc_auc;
+    use rand::SeedableRng;
+
+    fn xor_data() -> (Matrix, Vec<u8>) {
+        // XOR pattern: needs depth ≥ 2 — linear models can't solve it.
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..100 {
+            let a = f64::from(i % 2 == 0);
+            let b = f64::from((i / 2) % 2 == 0);
+            let jitter = (i as f64 % 10.0) * 0.01;
+            rows.push(vec![a + jitter, b - jitter]);
+            y.push(u8::from((a > 0.5) != (b > 0.5)));
+        }
+        (Matrix::from_rows(rows).unwrap(), y)
+    }
+
+    #[test]
+    fn solves_xor() {
+        let (x, y) = xor_data();
+        let mut tree = DecisionTree::new(TreeParams::default());
+        let mut rng = StdRng::seed_from_u64(0);
+        tree.fit_all(&x, &y, &mut rng).unwrap();
+        let p = tree.predict_proba(&x).unwrap();
+        assert!(roc_auc(&y, &p) > 0.99);
+    }
+
+    #[test]
+    fn max_depth_zero_is_single_leaf() {
+        let (x, y) = xor_data();
+        let mut tree = DecisionTree::new(TreeParams {
+            max_depth: 0,
+            ..TreeParams::default()
+        });
+        let mut rng = StdRng::seed_from_u64(0);
+        tree.fit_all(&x, &y, &mut rng).unwrap();
+        assert_eq!(tree.node_count(), 1);
+        let p = tree.predict_proba(&x).unwrap();
+        assert!(p.iter().all(|&v| (v - 0.5).abs() < 1e-9));
+    }
+
+    #[test]
+    fn importances_sum_to_one_when_splits_exist() {
+        let (x, y) = xor_data();
+        let mut tree = DecisionTree::new(TreeParams::default());
+        let mut rng = StdRng::seed_from_u64(0);
+        tree.fit_all(&x, &y, &mut rng).unwrap();
+        let sum: f64 = tree.importances().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pure_node_stops_early() {
+        let x = Matrix::from_rows(vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0]]).unwrap();
+        let y = vec![0, 0, 1, 1];
+        let mut tree = DecisionTree::new(TreeParams::default());
+        let mut rng = StdRng::seed_from_u64(0);
+        tree.fit_all(&x, &y, &mut rng).unwrap();
+        // One split + two pure leaves.
+        assert_eq!(tree.node_count(), 3);
+    }
+
+    #[test]
+    fn random_split_mode_fits() {
+        let (x, y) = xor_data();
+        let mut tree = DecisionTree::new(TreeParams {
+            split_mode: SplitMode::Random,
+            max_depth: 16,
+            ..TreeParams::default()
+        });
+        let mut rng = StdRng::seed_from_u64(5);
+        tree.fit_all(&x, &y, &mut rng).unwrap();
+        let p = tree.predict_proba(&x).unwrap();
+        assert!(roc_auc(&y, &p) > 0.95);
+    }
+
+    #[test]
+    fn min_samples_leaf_respected() {
+        let x = Matrix::from_rows((0..10).map(|i| vec![i as f64]).collect::<Vec<_>>()).unwrap();
+        let y = vec![0, 0, 0, 0, 0, 1, 1, 1, 1, 1];
+        let mut tree = DecisionTree::new(TreeParams {
+            min_samples_leaf: 5,
+            ..TreeParams::default()
+        });
+        let mut rng = StdRng::seed_from_u64(0);
+        tree.fit_all(&x, &y, &mut rng).unwrap();
+        // Only the midpoint split keeps 5 per side.
+        assert_eq!(tree.node_count(), 3);
+    }
+
+    #[test]
+    fn constant_feature_gives_leaf() {
+        let x = Matrix::from_rows(vec![vec![1.0], vec![1.0], vec![1.0], vec![1.0]]).unwrap();
+        let y = vec![0, 1, 0, 1];
+        let mut tree = DecisionTree::new(TreeParams::default());
+        let mut rng = StdRng::seed_from_u64(0);
+        tree.fit_all(&x, &y, &mut rng).unwrap();
+        assert_eq!(tree.node_count(), 1);
+    }
+
+    #[test]
+    fn max_features_resolution() {
+        assert_eq!(MaxFeatures::All.resolve(9), 9);
+        assert_eq!(MaxFeatures::Sqrt.resolve(9), 3);
+        assert_eq!(MaxFeatures::Sqrt.resolve(10), 4);
+        assert_eq!(MaxFeatures::Exact(100).resolve(5), 5);
+        assert_eq!(MaxFeatures::Exact(0).resolve(5), 1);
+    }
+
+    #[test]
+    fn feature_mismatch_at_predict() {
+        let (x, y) = xor_data();
+        let mut tree = DecisionTree::new(TreeParams::default());
+        let mut rng = StdRng::seed_from_u64(0);
+        tree.fit_all(&x, &y, &mut rng).unwrap();
+        assert!(matches!(
+            tree.predict_proba(&Matrix::zeros(1, 7)),
+            Err(MlError::FeatureMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,31 @@
+//! Workspace-root convenience crate for the SMARTFEAT reproduction.
+//!
+//! Re-exports the public surface of every member crate so the runnable
+//! examples under `examples/` and the integration tests under `tests/`
+//! can use one import root:
+//!
+//! ```
+//! use smartfeat_repro::prelude::*;
+//!
+//! let ds = smartfeat_repro::datasets::insurance::generate(50, 7);
+//! assert_eq!(ds.target, "Safe");
+//! let _config = SmartFeatConfig::default();
+//! ```
+
+pub use smartfeat as core;
+pub use smartfeat_baselines as baselines;
+pub use smartfeat_datasets as datasets;
+pub use smartfeat_fm as fm;
+pub use smartfeat_frame as frame;
+pub use smartfeat_ml as ml;
+
+/// The names most programs need.
+pub mod prelude {
+    pub use smartfeat::{
+        DataAgenda, FeatureDescription, SmartFeat, SmartFeatConfig, SmartFeatReport,
+    };
+    pub use smartfeat_datasets::Dataset;
+    pub use smartfeat_fm::{FoundationModel, SimulatedFm};
+    pub use smartfeat_frame::{Column, DataFrame, Value};
+    pub use smartfeat_ml::{Classifier, Matrix, ModelKind};
+}

@@ -1,0 +1,100 @@
+//! Integration tests for the three baselines against the synthetic
+//! datasets, checking the paper's qualitative contrasts.
+
+use std::time::Duration;
+
+use smartfeat_repro::baselines::{AfeMethod, AutoFeat, Caafe, Featuretools};
+use smartfeat_repro::prelude::*;
+
+fn prepared(name: &str, rows: usize, seed: u64) -> (Dataset, DataFrame, Vec<String>) {
+    let ds = smartfeat_repro::datasets::by_name(name, rows, seed).expect("dataset");
+    let (mut frame, _) = ds.frame.dropna();
+    let categorical: Vec<String> = frame
+        .columns()
+        .iter()
+        .filter(|c| !c.is_numeric())
+        .map(|c| c.name().to_string())
+        .collect();
+    frame.factorize_strings();
+    (ds, frame, categorical)
+}
+
+#[test]
+fn featuretools_is_context_free_and_exhaustive() {
+    let (ds, frame, cats) = prepared("Adult", 300, 1);
+    let out = Featuretools::default().run(&frame, ds.target, &cats, Duration::from_secs(60));
+    assert!(out.failure.is_none());
+    // Exhaustive: far more candidates than SMARTFEAT's ~30.
+    assert!(out.generated_count > 100, "{}", out.generated_count);
+    // Context-free: it happily multiplies factorized category codes.
+    assert!(
+        out.new_features.iter().any(|f| f.contains("workclass")),
+        "no code-product features: {:?}",
+        &out.new_features[..out.new_features.len().min(8)]
+    );
+}
+
+#[test]
+fn autofeat_discards_most_of_its_expansion() {
+    let (ds, frame, cats) = prepared("Tennis", 300, 2);
+    let out = AutoFeat::default().run(&frame, ds.target, &cats, Duration::from_secs(120));
+    assert!(out.generated_count > 1000, "{}", out.generated_count);
+    assert!(out.selected_count <= 5, "{}", out.selected_count);
+    // Originals are not guaranteed to survive — that is its failure mode.
+    let n_original_survivors = ds
+        .frame
+        .column_names()
+        .iter()
+        .filter(|n| **n != ds.target && out.frame.has_column(n))
+        .count();
+    assert!(n_original_survivors <= 12);
+}
+
+#[test]
+fn caafe_only_keeps_validated_improvements() {
+    let (ds, frame, cats) = prepared("Housing", 500, 3);
+    let fm = SimulatedFm::gpt4(4);
+    let caafe = Caafe::new(&fm, ds.agenda("RF"), ModelKind::LR, 5);
+    let out = caafe.run(&frame, ds.target, &cats, Duration::from_secs(120));
+    assert!(out.failure.is_none(), "{:?}", out.failure);
+    assert!(out.selected_count <= out.generated_count);
+    for f in &out.new_features {
+        assert!(out.frame.has_column(f));
+    }
+}
+
+#[test]
+fn caafe_diabetes_failure_is_reproducible_at_seed() {
+    // Seed sweep: the divide-by-zero failure must occur on Diabetes but
+    // not on Tennis (whose count stats have no zeros).
+    let (dia, dia_frame, dia_cats) = prepared("Diabetes", 400, 1);
+    let mut dia_failures = 0;
+    for seed in 0..6 {
+        let fm = SimulatedFm::gpt4(seed);
+        let caafe = Caafe::new(&fm, dia.agenda("LR"), ModelKind::LR, seed);
+        let out = caafe.run(&dia_frame, dia.target, &dia_cats, Duration::from_secs(60));
+        dia_failures += usize::from(out.failure.is_some());
+    }
+    assert!(dia_failures >= 1, "Diabetes never failed");
+
+    let (ten, ten_frame, ten_cats) = prepared("Tennis", 300, 1);
+    for seed in 0..4 {
+        let fm = SimulatedFm::gpt4(seed);
+        let caafe = Caafe::new(&fm, ten.agenda("LR"), ModelKind::LR, seed);
+        let out = caafe.run(&ten_frame, ten.target, &ten_cats, Duration::from_secs(60));
+        assert!(out.failure.is_none(), "Tennis failed at seed {seed}");
+    }
+}
+
+#[test]
+fn every_method_respects_deadlines() {
+    let (ds, frame, cats) = prepared("Bank", 2000, 5);
+    let methods: Vec<Box<dyn AfeMethod>> = vec![
+        Box::new(Featuretools::default()),
+        Box::new(AutoFeat::default()),
+    ];
+    for m in &methods {
+        let out = m.run(&frame, ds.target, &cats, Duration::ZERO);
+        assert!(out.timed_out, "{} ignored its deadline", m.name());
+    }
+}

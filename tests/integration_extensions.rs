@@ -1,0 +1,127 @@
+//! Integration tests for the extension features: frequency encoding,
+//! retry-on-malformed, and the FM feature-removal pass (paper §5 future
+//! work).
+
+use smartfeat_repro::fm::{FmConfig, ModelSpec};
+use smartfeat_repro::prelude::*;
+
+#[test]
+fn high_cardinality_categorical_gets_frequency_encoded() {
+    // WNV's trap column has ~40 distinct values — too many for one-hot,
+    // so the oracle proposes frequency encoding instead.
+    let ds = smartfeat_repro::datasets::by_name("West Nile Virus", 600, 3).expect("wnv");
+    let selector = SimulatedFm::gpt4(1);
+    let generator = SimulatedFm::gpt35(2);
+    let report = SmartFeat::new(&selector, &generator, SmartFeatConfig::default())
+        .run(&ds.frame, &ds.agenda("RF"))
+        .expect("runs");
+    let names = report.new_feature_names().join(",");
+    assert!(
+        names.contains("Frequency_trap") || names.contains("Frequency_street"),
+        "no frequency-encoded feature: {names}"
+    );
+    // Frequency encodings are fractions in (0, 1].
+    if let Ok(col) = report.frame.column("Frequency_trap") {
+        for v in col.to_f64().into_iter().flatten() {
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+}
+
+#[test]
+fn fm_feature_removal_drops_identifier_columns() {
+    let mut ds = smartfeat_repro::datasets::insurance::generate(200, 5);
+    // Attach an opaque identifier column the FM should nominate.
+    let ids: Vec<i64> = (0..200).collect();
+    ds.frame
+        .add_column(Column::from_i64("policy_id", ids))
+        .expect("unique");
+    ds.descriptions
+        .push(("policy_id".into(), "Unique identifier of the policy".into()));
+
+    let selector = SimulatedFm::gpt4(7);
+    let generator = SimulatedFm::gpt35(8);
+    let config = SmartFeatConfig {
+        fm_feature_removal: true,
+        ..SmartFeatConfig::default()
+    };
+    let report = SmartFeat::new(&selector, &generator, config)
+        .run(&ds.frame, &ds.agenda("RF"))
+        .expect("runs");
+    assert!(
+        report.fm_removed.iter().any(|f| f == "policy_id"),
+        "identifier survived: {:?}",
+        report.fm_removed
+    );
+    assert!(!report.frame.has_column("policy_id"));
+    assert!(report.frame.has_column("Safe"), "target always survives");
+}
+
+#[test]
+fn fm_feature_removal_never_orphans_generated_features() {
+    // The removal pass must keep the report consistent (every listed
+    // generated feature exists in the frame) and must not nominate the
+    // pipeline's own extractor features ("weighted index" is not a
+    // sampling weight).
+    let ds = smartfeat_repro::datasets::by_name("Tennis", 300, 4).expect("tennis");
+    let selector = SimulatedFm::gpt4(13);
+    let generator = SimulatedFm::gpt35(14);
+    let config = SmartFeatConfig {
+        fm_feature_removal: true,
+        ..SmartFeatConfig::default()
+    };
+    let report = SmartFeat::new(&selector, &generator, config)
+        .run(&ds.frame, &ds.agenda("RF"))
+        .expect("runs");
+    for g in &report.generated {
+        assert!(report.frame.has_column(&g.name), "orphaned {}", g.name);
+    }
+    assert!(
+        report.frame.has_column("Performance_index"),
+        "removal must not eat the weighted index"
+    );
+}
+
+#[test]
+fn fm_feature_removal_disabled_by_default() {
+    let ds = smartfeat_repro::datasets::insurance::generate(150, 6);
+    let selector = SimulatedFm::gpt4(9);
+    let generator = SimulatedFm::gpt35(10);
+    let report = SmartFeat::new(&selector, &generator, SmartFeatConfig::default())
+        .run(&ds.frame, &ds.agenda("RF"))
+        .expect("runs");
+    assert!(report.fm_removed.is_empty());
+}
+
+#[test]
+fn retries_recover_features_under_a_flaky_fm() {
+    let ds = smartfeat_repro::datasets::by_name("Tennis", 250, 4).expect("tennis");
+    let run_with = |retries: usize| {
+        let selector = SimulatedFm::new(
+            ModelSpec::gpt4(),
+            FmConfig {
+                seed: 3,
+                error_rate: 0.45,
+                ..FmConfig::default()
+            },
+        );
+        let generator = SimulatedFm::gpt35(4);
+        let config = SmartFeatConfig {
+            retry_malformed: retries,
+            ..SmartFeatConfig::default()
+        };
+        SmartFeat::new(&selector, &generator, config)
+            .run(&ds.frame, &ds.agenda("RF"))
+            .expect("runs")
+    };
+    let without = run_with(0);
+    let with = run_with(3);
+    // Retries must not *hurt*, and under a 45 % degradation rate they
+    // typically rescue several samples.
+    assert!(
+        with.generated.len() >= without.generated.len(),
+        "{} vs {}",
+        with.generated.len(),
+        without.generated.len()
+    );
+}
