@@ -26,9 +26,7 @@ use smartfeat_frame::sample::train_test_split;
 use smartfeat_frame::{Column, DataFrame};
 use smartfeat_ml::{roc_auc, Matrix, ModelKind, Standardizer};
 
-use rand::rngs::StdRng;
-use rand::Rng;
-use rand::SeedableRng;
+use smartfeat_rng::Rng;
 
 use crate::method::{AfeMethod, MethodOutput};
 
@@ -73,9 +71,9 @@ impl<'a> Caafe<'a> {
         &self,
         df: &DataFrame,
         agenda: &DataAgenda,
-        rng: &mut StdRng,
+        rng: &mut Rng,
     ) -> Option<CaafeCandidate> {
-        if rng.gen::<f64>() < 0.65 {
+        if rng.gen_f64() < 0.65 {
             let prompt = prompts::binary_sample(agenda);
             let text = self.fm.complete(&prompt).ok()?.text;
             let dict = fmout::parse_dict(&text)?;
@@ -179,7 +177,7 @@ fn raw_matrix(df: &DataFrame, features: &[&str]) -> Option<Matrix> {
 
 /// Did the FM's sampled example rows contain a zero in `col`? (5 rows,
 /// like the "several examples" CAAFE serializes into its prompt.)
-fn sample_shows_zero(df: &DataFrame, col: &str, rng: &mut StdRng) -> bool {
+fn sample_shows_zero(df: &DataFrame, col: &str, rng: &mut Rng) -> bool {
     let Ok(column) = df.column(col) else {
         return true; // be conservative
     };
@@ -263,7 +261,7 @@ impl AfeMethod for Caafe<'_> {
         deadline: Duration,
     ) -> MethodOutput {
         let start = Instant::now();
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng::seed_from_u64(self.seed);
         let Ok((train, valid)) = train_test_split(df, 0.75, self.seed) else {
             let mut out = MethodOutput::passthrough(df);
             out.failure = Some("could not split validation set".into());

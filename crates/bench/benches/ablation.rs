@@ -2,7 +2,7 @@
 //! on Tennis. Shows where the FM-call budget goes: unary (one proposal per
 //! attribute), the sampled families (budgeted), and the full pipeline.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smartfeat_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use smartfeat::config::{OperatorFamily, OperatorMask};
 use smartfeat::SmartFeatConfig;
 use smartfeat_bench::methods::run_smartfeat;

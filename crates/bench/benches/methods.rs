@@ -5,7 +5,7 @@
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smartfeat_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use smartfeat_bench::methods::{run_method, MethodName};
 use smartfeat_bench::prep::prepare;
 use smartfeat_ml::ModelKind;

@@ -5,7 +5,7 @@
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use smartfeat_bench::{criterion_group, criterion_main, Criterion};
 use smartfeat::SmartFeatConfig;
 use smartfeat_baselines::{AfeMethod, AutoFeat, Featuretools};
 use smartfeat_bench::methods::run_smartfeat;

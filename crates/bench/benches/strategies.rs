@@ -3,7 +3,7 @@
 //! per call) — the paper picks proposal for small spaces (unary) and
 //! sampling for rich spaces (binary/high-order/extractor).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use smartfeat_bench::{criterion_group, criterion_main, Criterion};
 use smartfeat::selector::OperatorSelector;
 use smartfeat::SmartFeatConfig;
 use smartfeat_fm::SimulatedFm;

@@ -1,7 +1,7 @@
 //! Substrate microbenchmarks: the frame operations, ML model fits, and
 //! simulated-FM completions everything else is built on.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smartfeat_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use smartfeat_fm::{FoundationModel, SimulatedFm};
 use smartfeat_frame::ops::{bucketize, get_dummies, groupby_transform, AggFunc};
 use smartfeat_frame::{Column, DataFrame};

@@ -15,16 +15,19 @@
 //! | §4.2 feature-description impact | [`tables::descriptions`] |
 //!
 //! The `repro` binary (`cargo run --release -p smartfeat-bench --bin repro`)
-//! wires these to a CLI; the Criterion benches under `benches/` measure the
-//! same drivers at fixed small scales.
+//! wires these to a CLI; the benches under `benches/` measure the same
+//! drivers at fixed small scales on the in-repo [`harness`] (a
+//! Criterion-compatible API without the registry dependency).
 
 pub mod evalml;
 pub mod fig1;
 pub mod fmt;
 pub mod grid;
+pub mod harness;
 pub mod methods;
 pub mod prep;
 pub mod tables;
 
 pub use grid::{GridConfig, GridResult};
+pub use harness::{Bencher, BenchmarkGroup, BenchmarkId, Criterion};
 pub use methods::MethodName;

@@ -1,10 +1,10 @@
 //! Pipeline configuration.
 
-use serde::{Deserialize, Serialize};
+use smartfeat_frame::json::{JsonError, JsonValue};
 
 /// Which operator families run — the knob behind the paper's Table 7
 /// ablation (`Initial / +Unary / +Binary / +High-order / +Extractor / all`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OperatorMask {
     /// Enable unary operators (proposal strategy).
     pub unary: bool,
@@ -48,6 +48,26 @@ impl OperatorMask {
         }
         m
     }
+
+    /// Serialize as a JSON object of four booleans.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("unary", self.unary.into()),
+            ("binary", self.binary.into()),
+            ("high_order", self.high_order.into()),
+            ("extractor", self.extractor.into()),
+        ])
+    }
+
+    /// Inverse of [`OperatorMask::to_json`].
+    pub fn from_json(v: &JsonValue) -> Result<Self, JsonError> {
+        Ok(OperatorMask {
+            unary: get_bool(v, "unary")?,
+            binary: get_bool(v, "binary")?,
+            high_order: get_bool(v, "high_order")?,
+            extractor: get_bool(v, "extractor")?,
+        })
+    }
 }
 
 impl Default for OperatorMask {
@@ -57,7 +77,7 @@ impl Default for OperatorMask {
 }
 
 /// The four operator families of Section 3.2.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OperatorFamily {
     /// Normalization, bucketization, dummies, date splitting, ….
     Unary,
@@ -89,10 +109,34 @@ impl OperatorFamily {
             OperatorFamily::Extractor => "Extractor",
         }
     }
+
+    /// Serialize as a JSON string (the variant identifier).
+    pub fn to_json(&self) -> JsonValue {
+        let tag = match self {
+            OperatorFamily::Unary => "Unary",
+            OperatorFamily::Binary => "Binary",
+            OperatorFamily::HighOrder => "HighOrder",
+            OperatorFamily::Extractor => "Extractor",
+        };
+        JsonValue::Str(tag.to_string())
+    }
+
+    /// Inverse of [`OperatorFamily::to_json`].
+    pub fn from_json(v: &JsonValue) -> Result<Self, JsonError> {
+        match v.as_str() {
+            Some("Unary") => Ok(OperatorFamily::Unary),
+            Some("Binary") => Ok(OperatorFamily::Binary),
+            Some("HighOrder") => Ok(OperatorFamily::HighOrder),
+            Some("Extractor") => Ok(OperatorFamily::Extractor),
+            _ => Err(JsonError::decode(format!(
+                "unknown operator family: {v}"
+            ))),
+        }
+    }
 }
 
 /// Full pipeline configuration (paper Section 3 defaults).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SmartFeatConfig {
     /// Sampling budget per sampled operator family (the paper sets 10).
     pub sampling_budget: usize,
@@ -167,6 +211,81 @@ impl SmartFeatConfig {
         }
         Ok(())
     }
+
+    /// Serialize as a flat JSON object (one key per field).
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("sampling_budget", self.sampling_budget.into()),
+            ("error_threshold", self.error_threshold.into()),
+            ("operators", self.operators.to_json()),
+            ("high_confidence_only", self.high_confidence_only.into()),
+            ("allow_row_completion", self.allow_row_completion.into()),
+            (
+                "row_completion_max_distinct",
+                self.row_completion_max_distinct.into(),
+            ),
+            ("one_hot_limit", self.one_hot_limit.into()),
+            ("drop_heuristic", self.drop_heuristic.into()),
+            ("feature_filter", self.feature_filter.into()),
+            ("max_null_fraction", self.max_null_fraction.into()),
+            ("retry_malformed", self.retry_malformed.into()),
+            ("fm_feature_removal", self.fm_feature_removal.into()),
+            ("seed", self.seed.into()),
+        ])
+    }
+
+    /// Emit the compact JSON text of [`SmartFeatConfig::to_json`].
+    pub fn to_json_string(&self) -> String {
+        self.to_json().emit()
+    }
+
+    /// Inverse of [`SmartFeatConfig::to_json`]. Every field is required.
+    pub fn from_json(v: &JsonValue) -> Result<Self, JsonError> {
+        Ok(SmartFeatConfig {
+            sampling_budget: get_usize(v, "sampling_budget")?,
+            error_threshold: get_usize(v, "error_threshold")?,
+            operators: OperatorMask::from_json(
+                v.get("operators")
+                    .ok_or_else(|| JsonError::decode("missing field: operators"))?,
+            )?,
+            high_confidence_only: get_bool(v, "high_confidence_only")?,
+            allow_row_completion: get_bool(v, "allow_row_completion")?,
+            row_completion_max_distinct: get_usize(v, "row_completion_max_distinct")?,
+            one_hot_limit: get_usize(v, "one_hot_limit")?,
+            drop_heuristic: get_bool(v, "drop_heuristic")?,
+            feature_filter: get_bool(v, "feature_filter")?,
+            max_null_fraction: get_f64(v, "max_null_fraction")?,
+            retry_malformed: get_usize(v, "retry_malformed")?,
+            fm_feature_removal: get_bool(v, "fm_feature_removal")?,
+            seed: v
+                .get("seed")
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| JsonError::decode("missing or non-integer field: seed"))?,
+        })
+    }
+
+    /// Parse the JSON text emitted by [`SmartFeatConfig::to_json_string`].
+    pub fn from_json_string(text: &str) -> Result<Self, JsonError> {
+        SmartFeatConfig::from_json(&JsonValue::parse(text)?)
+    }
+}
+
+fn get_bool(v: &JsonValue, key: &str) -> Result<bool, JsonError> {
+    v.get(key)
+        .and_then(JsonValue::as_bool)
+        .ok_or_else(|| JsonError::decode(format!("missing or non-bool field: {key}")))
+}
+
+fn get_usize(v: &JsonValue, key: &str) -> Result<usize, JsonError> {
+    v.get(key)
+        .and_then(JsonValue::as_usize)
+        .ok_or_else(|| JsonError::decode(format!("missing or non-integer field: {key}")))
+}
+
+fn get_f64(v: &JsonValue, key: &str) -> Result<f64, JsonError> {
+    v.get(key)
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| JsonError::decode(format!("missing or non-number field: {key}")))
 }
 
 #[cfg(test)]
@@ -207,5 +326,45 @@ mod tests {
     fn family_names() {
         assert_eq!(OperatorFamily::HighOrder.name(), "High-order");
         assert_eq!(OperatorFamily::all().len(), 4);
+    }
+
+    #[test]
+    fn config_json_roundtrip() {
+        let c = SmartFeatConfig {
+            sampling_budget: 7,
+            operators: OperatorMask::only(OperatorFamily::HighOrder),
+            high_confidence_only: false,
+            max_null_fraction: 0.25,
+            seed: 123_456_789,
+            ..SmartFeatConfig::default()
+        };
+        let text = c.to_json_string();
+        let back = SmartFeatConfig::from_json_string(&text).unwrap();
+        assert_eq!(back, c);
+        // Default round-trips too, and emission is deterministic.
+        let d = SmartFeatConfig::default();
+        assert_eq!(
+            SmartFeatConfig::from_json_string(&d.to_json_string()).unwrap(),
+            d
+        );
+        assert_eq!(d.to_json_string(), d.to_json_string());
+    }
+
+    #[test]
+    fn config_from_json_rejects_missing_fields() {
+        assert!(SmartFeatConfig::from_json_string("{}").is_err());
+        let mut v = SmartFeatConfig::default().to_json();
+        if let JsonValue::Object(m) = &mut v {
+            m.remove("operators");
+        }
+        assert!(SmartFeatConfig::from_json(&v).is_err());
+    }
+
+    #[test]
+    fn family_json_roundtrip() {
+        for f in OperatorFamily::all() {
+            assert_eq!(OperatorFamily::from_json(&f.to_json()).unwrap(), f);
+        }
+        assert!(OperatorFamily::from_json(&JsonValue::Str("Nope".into())).is_err());
     }
 }

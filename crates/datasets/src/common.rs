@@ -1,8 +1,6 @@
 //! Shared dataset plumbing: the [`Dataset`] bundle and seeded samplers.
 
-use rand::rngs::StdRng;
-use rand::Rng;
-use rand::SeedableRng;
+use smartfeat_rng::Rng;
 use smartfeat::DataAgenda;
 use smartfeat_frame::{DataFrame, DType};
 
@@ -58,36 +56,36 @@ impl Dataset {
 
 /// Seeded RNG shared by the generators; dataset name is folded into the
 /// seed so different datasets at the same seed differ.
-pub fn rng_for(name: &str, seed: u64) -> StdRng {
+pub fn rng_for(name: &str, seed: u64) -> Rng {
     let mut h: u64 = 0xcbf29ce484222325;
     for b in name.bytes() {
         h ^= u64::from(b);
         h = h.wrapping_mul(0x100000001b3);
     }
-    StdRng::seed_from_u64(seed ^ h)
+    Rng::seed_from_u64(seed ^ h)
 }
 
 /// Standard normal via Box–Muller.
-pub fn norm(rng: &mut StdRng) -> f64 {
-    let u1: f64 = rng.gen::<f64>().max(1e-12);
-    let u2: f64 = rng.gen();
+pub fn norm(rng: &mut Rng) -> f64 {
+    let u1: f64 = rng.gen_f64().max(1e-12);
+    let u2: f64 = rng.gen_f64();
     (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
 }
 
 /// Uniform in `[lo, hi)`.
-pub fn uniform(rng: &mut StdRng, lo: f64, hi: f64) -> f64 {
-    rng.gen::<f64>() * (hi - lo) + lo
+pub fn uniform(rng: &mut Rng, lo: f64, hi: f64) -> f64 {
+    rng.gen_f64() * (hi - lo) + lo
 }
 
 /// Pick one item uniformly.
-pub fn pick<'a, T>(rng: &mut StdRng, items: &'a [T]) -> &'a T {
+pub fn pick<'a, T>(rng: &mut Rng, items: &'a [T]) -> &'a T {
     &items[rng.gen_range(0..items.len())]
 }
 
 /// Pick one item by (unnormalized) weights.
-pub fn pick_weighted<'a, T>(rng: &mut StdRng, items: &'a [(T, f64)]) -> &'a T {
+pub fn pick_weighted<'a, T>(rng: &mut Rng, items: &'a [(T, f64)]) -> &'a T {
     let total: f64 = items.iter().map(|(_, w)| *w).sum();
-    let mut draw = rng.gen::<f64>() * total;
+    let mut draw = rng.gen_f64() * total;
     for (item, w) in items {
         draw -= w;
         if draw <= 0.0 {
@@ -111,9 +109,9 @@ pub fn category_effect(value: &str) -> f64 {
 }
 
 /// Bernoulli draw from a logistic score: `P(y=1) = sigmoid(score)`.
-pub fn label_from_score(rng: &mut StdRng, score: f64) -> i64 {
+pub fn label_from_score(rng: &mut Rng, score: f64) -> i64 {
     let p = 1.0 / (1.0 + (-score).exp());
-    i64::from(rng.gen::<f64>() < p)
+    i64::from(rng.gen_f64() < p)
 }
 
 #[cfg(test)]
@@ -122,10 +120,10 @@ mod tests {
 
     #[test]
     fn rng_differs_by_name_and_seed() {
-        let a: u64 = rng_for("Adult", 1).gen();
-        let b: u64 = rng_for("Bank", 1).gen();
-        let c: u64 = rng_for("Adult", 2).gen();
-        let a2: u64 = rng_for("Adult", 1).gen();
+        let a = rng_for("Adult", 1).next_u64();
+        let b = rng_for("Bank", 1).next_u64();
+        let c = rng_for("Adult", 2).next_u64();
+        let a2 = rng_for("Adult", 1).next_u64();
         assert_eq!(a, a2);
         assert_ne!(a, b);
         assert_ne!(a, c);

@@ -11,6 +11,7 @@
 //! recover. Raw per-player stats carry only the smoothed version.
 
 use smartfeat_frame::{Column, DataFrame};
+use smartfeat_rng::Rng;
 
 use crate::common::{label_from_score, norm, rng_for, uniform, Dataset};
 
@@ -28,7 +29,7 @@ struct PlayerStats {
 /// the *match pace* (a shared confounder — long, fast matches inflate every
 /// count for both players), and per-stat noise. Cross-player differences
 /// cancel the pace exactly; single raw stats are contaminated by it.
-fn player(rng: &mut rand::rngs::StdRng, pace: f64) -> PlayerStats {
+fn player(rng: &mut Rng, pace: f64) -> PlayerStats {
     let skill = norm(rng);
     PlayerStats {
         fsp: (58.0 + skill * 2.5 + pace * 8.0 + norm(rng) * 2.0).clamp(30.0, 90.0),

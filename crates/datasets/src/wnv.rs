@@ -7,6 +7,7 @@
 //! mosquito count.
 
 use smartfeat_frame::{Column, DataFrame};
+use smartfeat_rng::Rng;
 
 use crate::common::{category_effect, label_from_score, norm, pick_weighted, rng_for, uniform, Dataset};
 
@@ -117,8 +118,7 @@ pub fn generate(rows: usize, seed: u64) -> Dataset {
     }
 }
 
-fn rng_usize(rng: &mut rand::rngs::StdRng, n: usize) -> usize {
-    use rand::Rng;
+fn rng_usize(rng: &mut Rng, n: usize) -> usize {
     rng.gen_range(0..n)
 }
 

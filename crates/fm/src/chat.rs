@@ -5,7 +5,7 @@
 //! provides the same visibility — the `custom_dataset` example prints a
 //! transcript, and tests use it to assert on exact dialogue shapes.
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::oracle::{FmError, FmResponse, FoundationModel};
 use crate::stats::UsageMeter;
@@ -38,24 +38,24 @@ impl<M: FoundationModel> Transcribing<M> {
 
     /// Clone of all recorded exchanges, in call order.
     pub fn transcript(&self) -> Vec<Exchange> {
-        self.log.lock().clone()
+        self.log.lock().expect("transcript poisoned").clone()
     }
 
     /// Number of recorded exchanges.
     pub fn len(&self) -> usize {
-        self.log.lock().len()
+        self.log.lock().expect("transcript poisoned").len()
     }
 
     /// True if nothing has been recorded.
     pub fn is_empty(&self) -> bool {
-        self.log.lock().is_empty()
+        self.log.lock().expect("transcript poisoned").is_empty()
     }
 
     /// Render the transcript as readable text (prompts truncated to
     /// `prompt_chars` characters).
     pub fn render(&self, prompt_chars: usize) -> String {
         let mut out = String::new();
-        for (i, e) in self.log.lock().iter().enumerate() {
+        for (i, e) in self.log.lock().expect("transcript poisoned").iter().enumerate() {
             let prompt: String = e.prompt.chars().take(prompt_chars).collect();
             let ellipsis = if e.prompt.chars().count() > prompt_chars {
                 "…"
@@ -87,7 +87,7 @@ impl<M: FoundationModel> FoundationModel for Transcribing<M> {
 
     fn complete(&self, prompt: &str) -> Result<FmResponse, FmError> {
         let response = self.inner.complete(prompt)?;
-        self.log.lock().push(Exchange {
+        self.log.lock().expect("transcript poisoned").push(Exchange {
             prompt: prompt.to_string(),
             response: response.text.clone(),
             tokens: response.prompt_tokens + response.completion_tokens,

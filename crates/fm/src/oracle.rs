@@ -2,12 +2,9 @@
 //! prompts, consults the [`crate::knowledge`] base, and writes back
 //! natural-language-ish structured text for the caller to parse.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
-use parking_lot::Mutex;
-use rand::rngs::StdRng;
-use rand::Rng;
-use rand::SeedableRng;
+use smartfeat_rng::Rng;
 
 use crate::cost::ModelSpec;
 use crate::knowledge::{self, Concept};
@@ -110,7 +107,7 @@ pub struct SimulatedFm {
 }
 
 struct OracleState {
-    rng: StdRng,
+    rng: Rng,
     last_text: Option<String>,
     calls: usize,
 }
@@ -130,7 +127,7 @@ impl SimulatedFm {
             config,
             meter,
             state: Mutex::new(OracleState {
-                rng: StdRng::seed_from_u64(seed),
+                rng: Rng::seed_from_u64(seed),
                 last_text: None,
                 calls: 0,
             }),
@@ -185,7 +182,7 @@ impl SimulatedFm {
         }
     }
 
-    fn answer(&self, prompt: &str, rng: &mut StdRng) -> String {
+    fn answer(&self, prompt: &str, rng: &mut Rng) -> String {
         let ctx = PromptContext::parse(prompt);
         match Self::kind_of(prompt) {
             "unary_proposal" => answer_unary(prompt, &ctx),
@@ -201,14 +198,17 @@ impl SimulatedFm {
         }
     }
 
-    fn degrade(&self, text: String, rng: &mut StdRng, last: &Option<String>) -> String {
+    fn degrade(&self, text: String, rng: &mut Rng, last: &Option<String>) -> String {
         // Three real-world failure modes, equally likely.
         match rng.gen_range(0..3u8) {
             0 => {
                 // Truncation: drop the tail (lost closing brace, cut list).
-                let cut = text.len() * 2 / 3;
+                let mut cut = text.len() * 2 / 3;
+                while cut > 0 && !text.is_char_boundary(cut) {
+                    cut -= 1;
+                }
                 let mut t = text;
-                t.truncate(t.floor_char_boundary(cut));
+                t.truncate(cut);
                 t
             }
             1 => "I'm sorry, I can't produce a structured answer for this request.".to_string(),
@@ -223,7 +223,7 @@ impl FoundationModel for SimulatedFm {
     }
 
     fn complete(&self, prompt: &str) -> Result<FmResponse, FmError> {
-        let mut state = self.state.lock();
+        let mut state = self.state.lock().expect("oracle state poisoned");
         if let Some(budget) = self.config.call_budget {
             if state.calls >= budget {
                 return Err(FmError::BudgetExhausted { budget });
@@ -234,7 +234,7 @@ impl FoundationModel for SimulatedFm {
         // Split borrow of state fields.
         let OracleState { rng, last_text, .. } = &mut *state;
         let mut text = self.answer(prompt, rng);
-        if self.config.error_rate > 0.0 && rng.gen::<f64>() < self.config.error_rate {
+        if self.config.error_rate > 0.0 && rng.gen_f64() < self.config.error_rate {
             text = self.degrade(text, rng, last_text);
         }
         *last_text = Some(text.clone());
@@ -461,7 +461,7 @@ fn answer_unary(prompt: &str, ctx: &PromptContext) -> String {
 }
 
 /// Weighted choice with temperature: weight^(1/max(t, 0.05)).
-fn weighted_pick<'a, T>(items: &'a [(T, f64)], rng: &mut StdRng, temperature: f64) -> Option<&'a T> {
+fn weighted_pick<'a, T>(items: &'a [(T, f64)], rng: &mut Rng, temperature: f64) -> Option<&'a T> {
     if items.is_empty() {
         return None;
     }
@@ -478,7 +478,7 @@ fn weighted_pick<'a, T>(items: &'a [(T, f64)], rng: &mut StdRng, temperature: f6
     let power = 1.0 / temperature.max(0.05);
     let adjusted: Vec<f64> = items.iter().map(|(_, w)| w.max(1e-9).powf(power)).collect();
     let total: f64 = adjusted.iter().sum();
-    let mut draw = rng.gen::<f64>() * total;
+    let mut draw = rng.gen_f64() * total;
     for (item, w) in items.iter().map(|(i, _)| i).zip(&adjusted) {
         draw -= w;
         if draw <= 0.0 {
@@ -521,7 +521,7 @@ fn mirror_pair<'a>(a: &'a FeatureInfo, feats: &'a [FeatureInfo]) -> Option<&'a F
     feats.iter().find(|f| f.name == target)
 }
 
-fn answer_binary(ctx: &PromptContext, rng: &mut StdRng, temperature: f64) -> String {
+fn answer_binary(ctx: &PromptContext, rng: &mut Rng, temperature: f64) -> String {
     let numeric: Vec<&FeatureInfo> = ctx
         .numeric_features()
         .into_iter()
@@ -661,7 +661,7 @@ fn answer_binary(ctx: &PromptContext, rng: &mut StdRng, temperature: f64) -> Str
     let i = rng.gen_range(0..numeric.len());
     let j = (i + 1 + rng.gen_range(0..numeric.len() - 1)) % numeric.len();
     let (a, b) = (numeric[i], numeric[j]);
-    let op = ['+', '-', '*', '/'][rng.gen_range(0..4)];
+    let op = ['+', '-', '*', '/'][rng.gen_range(0..4usize)];
     candidates.push((
         (
             a.name.clone(),
@@ -680,7 +680,7 @@ fn answer_binary(ctx: &PromptContext, rng: &mut StdRng, temperature: f64) -> Str
     )
 }
 
-fn answer_highorder(ctx: &PromptContext, rng: &mut StdRng, temperature: f64) -> String {
+fn answer_highorder(ctx: &PromptContext, rng: &mut Rng, temperature: f64) -> String {
     let target = ctx.target.clone().unwrap_or_default();
     let groupable: Vec<&FeatureInfo> = ctx
         .groupable_features()
@@ -801,7 +801,7 @@ fn answer_highorder(ctx: &PromptContext, rng: &mut StdRng, temperature: f64) -> 
     let func = weighted_pick(&func_weights, rng, temperature).copied().unwrap_or("mean");
     // Occasionally group by two keys when a second grouping column exists
     // (a temperature-dependent exploration move; never at greedy decoding).
-    let second = if g_weights.len() > 1 && rng.gen::<f64>() < 0.25 * temperature.min(1.0) {
+    let second = if g_weights.len() > 1 && rng.gen_f64() < 0.25 * temperature.min(1.0) {
         g_weights
             .iter()
             .map(|(f, _)| *f)
@@ -819,7 +819,7 @@ fn answer_highorder(ctx: &PromptContext, rng: &mut StdRng, temperature: f64) -> 
     )
 }
 
-fn answer_extractor(ctx: &PromptContext, rng: &mut StdRng) -> String {
+fn answer_extractor(ctx: &PromptContext, rng: &mut Rng) -> String {
     let target = ctx.target.clone().unwrap_or_default();
     // 1. City present ⇒ the paper's F4: population-density lookup.
     if let Some(city) = ctx

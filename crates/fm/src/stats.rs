@@ -1,12 +1,12 @@
 //! Usage accounting: calls, tokens, dollars, simulated latency.
 //!
 //! The meter is shared (`Arc` inside callers) and thread-safe via
-//! `parking_lot::Mutex`, so concurrent benchmark harnesses can hammer one
+//! `std::sync::Mutex`, so concurrent benchmark harnesses can hammer one
 //! simulated endpoint and still get exact totals.
 
 use std::time::Duration;
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// One API call's accounting record.
 #[derive(Debug, Clone, PartialEq)]
@@ -79,7 +79,7 @@ impl UsageMeter {
 
     /// Record one call.
     pub fn record(&self, rec: CallRecord) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().expect("meter poisoned");
         inner.snapshot.calls += 1;
         inner.snapshot.prompt_tokens += rec.prompt_tokens;
         inner.snapshot.completion_tokens += rec.completion_tokens;
@@ -96,17 +96,17 @@ impl UsageMeter {
 
     /// Current aggregate totals.
     pub fn snapshot(&self) -> UsageSnapshot {
-        self.inner.lock().snapshot
+        self.inner.lock().expect("meter poisoned").snapshot
     }
 
     /// Clone of the retained call log.
     pub fn log(&self) -> Vec<CallRecord> {
-        self.inner.lock().log.clone()
+        self.inner.lock().expect("meter poisoned").log.clone()
     }
 
     /// Reset everything to zero.
     pub fn reset(&self) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().expect("meter poisoned");
         inner.snapshot = UsageSnapshot::default();
         inner.log.clear();
     }

@@ -11,14 +11,16 @@
 //!   mirroring pandas' nullable semantics after `dropna`/`factorize`.
 //! - Every operation is deterministic; anything stochastic (shuffles,
 //!   splits) takes an explicit seed.
-//! - The crate is dependency-light: only `rand` (seeded sampling) and
-//!   `serde` (schema serialization for data cards).
+//! - The workspace builds hermetically: no registry dependencies. Seeded
+//!   sampling comes from the in-repo `smartfeat-rng` crate, and schema
+//!   serialization for data cards uses the hand-rolled [`json`] module.
 
 pub mod column;
 pub mod csv;
 pub mod dtype;
 pub mod error;
 pub mod frame;
+pub mod json;
 pub mod ops;
 pub mod sample;
 pub mod stats;

@@ -1,8 +1,6 @@
 //! Seeded sampling: shuffles, train/test splits, k-fold indices.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use smartfeat_rng::{Rng, SliceRandom};
 
 use crate::error::{FrameError, Result};
 use crate::frame::DataFrame;
@@ -10,7 +8,7 @@ use crate::frame::DataFrame;
 /// A deterministic permutation of `0..n` from `seed`.
 pub fn permutation(n: usize, seed: u64) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..n).collect();
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     idx.shuffle(&mut rng);
     idx
 }

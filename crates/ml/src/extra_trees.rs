@@ -1,7 +1,6 @@
 //! Extremely randomized trees ("ET"): random thresholds, no bootstrap.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use smartfeat_rng::Rng;
 
 use crate::error::{MlError, Result};
 use crate::matrix::Matrix;
@@ -73,7 +72,7 @@ impl Classifier for ExtraTrees {
         self.trees.clear();
         self.trees.reserve(self.n_trees);
         let all: Vec<usize> = (0..x.rows()).collect();
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng::seed_from_u64(self.seed);
         for _ in 0..self.n_trees {
             let mut tree = DecisionTree::new(params);
             tree.fit_indices(x, y, &all, &mut rng)?;

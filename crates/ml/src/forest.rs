@@ -1,8 +1,6 @@
 //! Random forest ("RF"): bagged CART trees with sqrt-feature subsampling.
 
-use rand::rngs::StdRng;
-use rand::Rng;
-use rand::SeedableRng;
+use smartfeat_rng::Rng;
 
 use crate::error::{MlError, Result};
 use crate::matrix::Matrix;
@@ -77,7 +75,7 @@ impl Classifier for RandomForest {
         self.n_features = x.cols();
         self.trees.clear();
         self.trees.reserve(self.n_trees);
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng::seed_from_u64(self.seed);
         for _ in 0..self.n_trees {
             let indices: Vec<usize> = (0..sample_size).map(|_| rng.gen_range(0..n)).collect();
             let mut tree = DecisionTree::new(self.tree_params);

@@ -1,9 +1,7 @@
 //! The paper's "DNN": a two-hidden-layer (100×100) ReLU MLP with a sigmoid
 //! output, trained with Adam on mini-batches of binary cross-entropy.
 
-use rand::rngs::StdRng;
-use rand::Rng;
-use rand::SeedableRng;
+use smartfeat_rng::Rng;
 
 use crate::error::{MlError, Result};
 use crate::logistic::sigmoid;
@@ -25,11 +23,11 @@ struct Dense {
 }
 
 impl Dense {
-    fn new(n_in: usize, n_out: usize, rng: &mut StdRng) -> Self {
+    fn new(n_in: usize, n_out: usize, rng: &mut Rng) -> Self {
         // He initialization for ReLU layers.
         let scale = (2.0 / n_in as f64).sqrt();
         let w = (0..n_in * n_out)
-            .map(|_| (rng.gen::<f64>() * 2.0 - 1.0) * scale)
+            .map(|_| (rng.gen_f64() * 2.0 - 1.0) * scale)
             .collect();
         Dense {
             w,
@@ -110,7 +108,7 @@ impl Classifier for MlpClassifier {
         let n = x.rows();
         let d = x.cols();
         self.n_features = d;
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng::seed_from_u64(self.seed);
 
         // Build layers: d → hidden… → 1.
         let mut sizes = vec![d];

@@ -1,0 +1,139 @@
+//! A minimal property-test harness: seeded case generation with
+//! reproducible, shrink-free failure reporting.
+//!
+//! This replaces `proptest` for the repository's property tests. Each case
+//! gets its own deterministically derived [`Rng`]; the test body draws
+//! whatever inputs it needs from generator helpers ([`vec_f64`],
+//! [`string_of`], [`arbitrary_text`], …) and asserts with the standard
+//! `assert!` family. On failure the harness reports the case index and the
+//! exact seed, so one failing case can be replayed in isolation:
+//!
+//! ```
+//! use smartfeat_rng::check;
+//!
+//! check::cases(64, |rng| {
+//!     let xs = check::vec_f64(rng, 1..10, -5.0..5.0);
+//!     assert!(xs.iter().all(|x| x.abs() <= 5.0));
+//! });
+//! ```
+//!
+//! Environment knobs:
+//! - `SMARTFEAT_CHECK_CASES` overrides every `cases(n, …)` count.
+//! - `SMARTFEAT_CHECK_SEED` replays a single case seed (printed on
+//!   failure) instead of the whole sweep.
+
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+use crate::{Rng, SplitMix64};
+
+/// Base of the per-case seed derivation. Changing it re-rolls every
+/// property test's inputs.
+const CASE_SEED_BASE: u64 = 0x5EED_CA5E_2024_0001;
+
+/// Derive the seed of case `i`.
+fn case_seed(i: u64) -> u64 {
+    SplitMix64::new(CASE_SEED_BASE ^ i).next_u64()
+}
+
+/// Run `f` against `n` deterministically seeded cases. Panics (re-raising
+/// the case's own panic) after printing the case index and replay seed.
+pub fn cases(n: usize, mut f: impl FnMut(&mut Rng)) {
+    if let Ok(seed) = std::env::var("SMARTFEAT_CHECK_SEED") {
+        let seed: u64 = seed.parse().expect("SMARTFEAT_CHECK_SEED must be a u64");
+        let mut rng = Rng::seed_from_u64(seed);
+        f(&mut rng);
+        return;
+    }
+    let n = std::env::var("SMARTFEAT_CHECK_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(n);
+    for i in 0..n as u64 {
+        let seed = case_seed(i);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let mut rng = Rng::seed_from_u64(seed);
+            f(&mut rng);
+        }));
+        if let Err(panic) = result {
+            eprintln!(
+                "property failed at case {i}/{n}; replay with SMARTFEAT_CHECK_SEED={seed}"
+            );
+            resume_unwind(panic);
+        }
+    }
+}
+
+/// A vector whose length is drawn from `len` and whose elements come
+/// from `g`.
+pub fn vec_with<T>(rng: &mut Rng, len: Range<usize>, mut g: impl FnMut(&mut Rng) -> T) -> Vec<T> {
+    let n = rng.gen_range(len);
+    (0..n).map(|_| g(rng)).collect()
+}
+
+/// A `Vec<f64>` with length in `len` and uniform values in `vals`.
+pub fn vec_f64(rng: &mut Rng, len: Range<usize>, vals: Range<f64>) -> Vec<f64> {
+    vec_with(rng, len, |r| r.gen_range(vals.clone()))
+}
+
+/// A string of up to `max_len` chars drawn uniformly from `charset`.
+pub fn string_of(rng: &mut Rng, charset: &str, max_len: usize) -> String {
+    let chars: Vec<char> = charset.chars().collect();
+    assert!(!chars.is_empty(), "string_of needs a non-empty charset");
+    let n = rng.gen_range(0..=max_len);
+    (0..n).map(|_| *rng.choose(&chars).expect("non-empty")).collect()
+}
+
+/// Arbitrary text of up to `max_len` chars: printable ASCII, whitespace
+/// (including newlines), and a sprinkling of multi-byte characters — the
+/// `".{0,n}"` workhorse for robustness tests.
+pub fn arbitrary_text(rng: &mut Rng, max_len: usize) -> String {
+    const EXOTIC: &[char] = &['é', 'λ', '中', '🦀', 'ß', '±', '—', '"'];
+    let n = rng.gen_range(0..=max_len);
+    (0..n)
+        .map(|_| match rng.gen_range(0..20u32) {
+            0 => '\n',
+            1 => *rng.choose(EXOTIC).expect("non-empty"),
+            _ => char::from(rng.gen_range(0x20u8..0x7F)),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cases_are_deterministic_across_runs() {
+        let mut first: Vec<u64> = Vec::new();
+        cases(5, |rng| first.push(rng.next_u64()));
+        let mut second: Vec<u64> = Vec::new();
+        cases(5, |rng| second.push(rng.next_u64()));
+        assert_eq!(first, second);
+        assert_eq!(first.len(), 5);
+        // Distinct cases see distinct streams.
+        assert!(first.windows(2).all(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn generators_respect_bounds() {
+        cases(32, |rng| {
+            let v = vec_f64(rng, 2..10, -1.0..1.0);
+            assert!((2..10).contains(&v.len()));
+            assert!(v.iter().all(|x| (-1.0..1.0).contains(x)));
+            let s = string_of(rng, "abc", 5);
+            assert!(s.len() <= 5);
+            assert!(s.chars().all(|c| "abc".contains(c)));
+            let t = arbitrary_text(rng, 40);
+            assert!(t.chars().count() <= 40);
+        });
+    }
+
+    #[test]
+    fn failing_case_reports_and_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            cases(10, |_| panic!("intentional"));
+        });
+        assert!(result.is_err());
+    }
+}

@@ -18,6 +18,7 @@ pub use smartfeat_datasets as datasets;
 pub use smartfeat_fm as fm;
 pub use smartfeat_frame as frame;
 pub use smartfeat_ml as ml;
+pub use smartfeat_rng as rng;
 
 /// The names most programs need.
 pub mod prelude {

@@ -1,35 +1,38 @@
 //! Property-based robustness tests for the simulated FM and the core's
 //! FM-output parsers: arbitrary text must never panic, and every response
-//! must be well-accounted.
+//! must be well-accounted. Driven by the in-repo `smartfeat_rng::check`
+//! harness.
 
-use proptest::prelude::*;
 use smartfeat_repro::core::fmout;
 use smartfeat_repro::fm::FoundationModel;
 use smartfeat_repro::prelude::*;
+use smartfeat_repro::rng::check;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The oracle must answer *any* prompt without panicking, with exact
-    /// token accounting.
-    #[test]
-    fn oracle_never_panics_on_arbitrary_prompts(prompt in ".{0,400}") {
+/// The oracle must answer *any* prompt without panicking, with exact
+/// token accounting.
+#[test]
+fn oracle_never_panics_on_arbitrary_prompts() {
+    check::cases(64, |rng| {
+        let prompt = check::arbitrary_text(rng, 400);
         let fm = SimulatedFm::gpt4(7);
         let r = fm.complete(&prompt).expect("no budget configured");
-        prop_assert!(!r.text.is_empty() || prompt.is_empty() || r.completion_tokens == 0);
-        prop_assert!(r.cost_usd >= 0.0);
+        assert!(!r.text.is_empty() || prompt.is_empty() || r.completion_tokens == 0);
+        assert!(r.cost_usd >= 0.0);
         let snap = fm.meter().snapshot();
-        prop_assert_eq!(snap.calls, 1);
-        prop_assert_eq!(snap.prompt_tokens, r.prompt_tokens);
-    }
+        assert_eq!(snap.calls, 1);
+        assert_eq!(snap.prompt_tokens, r.prompt_tokens);
+    });
+}
 
-    /// Prompts that *look like* template requests but carry garbage context
-    /// still produce parseable-or-gracefully-unhelpful answers, never panics.
-    #[test]
-    fn oracle_survives_mangled_template_prompts(
-        garbage in "[-A-Za-z0-9(){}:,.'\"\n ]{0,200}",
-        which in 0usize..4,
-    ) {
+/// Prompts that *look like* template requests but carry garbage context
+/// still produce parseable-or-gracefully-unhelpful answers, never panics.
+#[test]
+fn oracle_survives_mangled_template_prompts() {
+    const GARBAGE_CHARSET: &str =
+        "-ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789(){}:,.'\"\n ";
+    check::cases(64, |rng| {
+        let garbage = check::string_of(rng, GARBAGE_CHARSET, 200);
+        let which = rng.gen_range(0..4usize);
         let marker = [
             "Consider the unary operators on the attribute",
             "Propose one binary arithmetic feature",
@@ -43,34 +46,48 @@ proptest! {
         let _ = fmout::parse_proposals(&r.text);
         let _ = fmout::parse_dict(&r.text);
         let _ = fmout::parse_function_spec(&r.text);
-    }
+    });
+}
 
-    /// The tolerant dict parser never panics and never fabricates keys.
-    #[test]
-    fn dict_parser_total_on_arbitrary_text(text in ".{0,300}") {
+/// The tolerant dict parser never panics and never fabricates keys.
+#[test]
+fn dict_parser_total_on_arbitrary_text() {
+    check::cases(64, |rng| {
+        let text = check::arbitrary_text(rng, 300);
         if let Some(d) = fmout::parse_dict(&text) {
-            prop_assert!(!d.is_empty());
+            assert!(!d.is_empty());
             for key in d.keys() {
-                prop_assert!(text.contains(key.as_str()));
+                assert!(text.contains(key.as_str()));
             }
         }
-    }
+    });
+}
 
-    /// Proposal-line parsing is total and only accepts known confidences.
-    #[test]
-    fn proposal_parser_total(text in ".{0,300}") {
+/// Proposal-line parsing is total and only accepts known confidences.
+#[test]
+fn proposal_parser_total() {
+    check::cases(64, |rng| {
+        let text = check::arbitrary_text(rng, 300);
         for line in fmout::parse_proposals(&text) {
-            prop_assert!(!line.op.is_empty());
-            prop_assert!(!line.op.contains(' '));
+            assert!(!line.op.is_empty());
+            assert!(!line.op.contains(' '));
         }
-    }
+    });
+}
 
-    /// The prompt-context reader is total on arbitrary card-ish text.
-    #[test]
-    fn prompt_context_parser_total(text in "(- [A-Za-z0-9_() =,:.]{0,60}\n){0,8}") {
+/// The prompt-context reader is total on arbitrary card-ish text.
+#[test]
+fn prompt_context_parser_total() {
+    const CARD_CHARSET: &str =
+        "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789_() =,:.";
+    check::cases(64, |rng| {
+        let lines = rng.gen_range(0..=8usize);
+        let text: String = (0..lines)
+            .map(|_| format!("- {}\n", check::string_of(rng, CARD_CHARSET, 60)))
+            .collect();
         let ctx = smartfeat_repro::fm::parse::PromptContext::parse(&text);
         for f in &ctx.features {
-            prop_assert!(!f.name.is_empty());
+            assert!(!f.name.is_empty());
         }
-    }
+    });
 }

@@ -1,6 +1,6 @@
-//! Property-based tests (proptest) over the frame substrate's invariants.
+//! Property-based tests over the frame substrate's invariants, driven by
+//! the in-repo `smartfeat_rng::check` harness.
 
-use proptest::prelude::*;
 use smartfeat_repro::frame::csv;
 use smartfeat_repro::frame::ops::{
     binary_op, bucketize, groupby_transform, normalize, AggFunc, BinaryOp, NormKind,
@@ -8,32 +8,43 @@ use smartfeat_repro::frame::ops::{
 use smartfeat_repro::frame::sample::{kfold_indices, permutation, train_test_split};
 use smartfeat_repro::frame::stats::{mutual_information, pearson};
 use smartfeat_repro::prelude::*;
+use smartfeat_repro::rng::check;
+use smartfeat_repro::rng::Rng;
 
-fn float_vec() -> impl Strategy<Value = Vec<f64>> {
-    proptest::collection::vec(-1e6f64..1e6, 2..60)
+fn float_vec(rng: &mut Rng) -> Vec<f64> {
+    check::vec_f64(rng, 2..60, -1e6..1e6)
 }
 
-proptest! {
-    #[test]
-    fn minmax_normalization_lands_in_unit_interval(values in float_vec()) {
+#[test]
+fn minmax_normalization_lands_in_unit_interval() {
+    check::cases(64, |rng| {
+        let values = float_vec(rng);
         let col = Column::from_f64("x", values);
         let normalized = normalize(&col, NormKind::MinMax, "n").unwrap();
         for v in normalized.to_f64().into_iter().flatten() {
-            prop_assert!((-1e-9..=1.0 + 1e-9).contains(&v), "out of range: {v}");
+            assert!((-1e-9..=1.0 + 1e-9).contains(&v), "out of range: {v}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn zscore_normalization_centers(values in float_vec()) {
+#[test]
+fn zscore_normalization_centers() {
+    check::cases(64, |rng| {
+        let values = float_vec(rng);
         let col = Column::from_f64("x", values);
         let normalized = normalize(&col, NormKind::ZScore, "n").unwrap();
         let vals: Vec<f64> = normalized.to_f64().into_iter().flatten().collect();
         let mean: f64 = vals.iter().sum::<f64>() / vals.len() as f64;
-        prop_assert!(mean.abs() < 1e-6, "mean {mean}");
-    }
+        assert!(mean.abs() < 1e-6, "mean {mean}");
+    });
+}
 
-    #[test]
-    fn bucketize_is_monotone(values in float_vec(), b1 in -100.0f64..0.0, width in 1.0f64..50.0) {
+#[test]
+fn bucketize_is_monotone() {
+    check::cases(64, |rng| {
+        let values = float_vec(rng);
+        let b1 = rng.gen_range(-100.0..0.0);
+        let width = rng.gen_range(1.0..50.0);
         let bounds = vec![b1, b1 + width, b1 + 2.0 * width];
         let col = Column::from_f64("x", values.clone());
         let buckets = bucketize(&col, &bounds, "b").unwrap();
@@ -42,14 +53,17 @@ proptest! {
         for i in 0..values.len() {
             for j in 0..values.len() {
                 if values[i] <= values[j] {
-                    prop_assert!(codes[i] <= codes[j]);
+                    assert!(codes[i] <= codes[j]);
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn binary_sub_is_antisymmetric(a in float_vec()) {
+#[test]
+fn binary_sub_is_antisymmetric() {
+    check::cases(64, |rng| {
+        let a = float_vec(rng);
         let b: Vec<f64> = a.iter().map(|v| v * 0.5 + 3.0).collect();
         let ca = Column::from_f64("a", a);
         let cb = Column::from_f64("b", b);
@@ -57,70 +71,91 @@ proptest! {
         let ba = binary_op(&cb, &ca, BinaryOp::Sub, "ba").unwrap();
         for (x, y) in ab.to_f64().into_iter().zip(ba.to_f64()) {
             match (x, y) {
-                (Some(x), Some(y)) => prop_assert!((x + y).abs() <= 1e-6 * x.abs().max(1.0)),
+                (Some(x), Some(y)) => assert!((x + y).abs() <= 1e-6 * x.abs().max(1.0)),
                 (None, None) => {}
-                other => prop_assert!(false, "null asymmetry: {other:?}"),
+                other => panic!("null asymmetry: {other:?}"),
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn groupby_mean_is_constant_within_groups(
-        values in proptest::collection::vec((0u8..5, -100.0f64..100.0), 5..80)
-    ) {
-        let groups: Vec<String> = values.iter().map(|(g, _)| format!("g{g}")).collect();
+#[test]
+fn groupby_mean_is_constant_within_groups() {
+    check::cases(64, |rng| {
+        let n = rng.gen_range(5..80usize);
+        let groups: Vec<String> = (0..n)
+            .map(|_| format!("g{}", rng.gen_range(0..5u8)))
+            .collect();
+        let nums: Vec<f64> = (0..n).map(|_| rng.gen_range(-100.0..100.0)).collect();
         let group_refs: Vec<&str> = groups.iter().map(String::as_str).collect();
-        let nums: Vec<f64> = values.iter().map(|(_, v)| *v).collect();
         let df = DataFrame::from_columns(vec![
             Column::from_str_slice("g", &group_refs),
             Column::from_f64("v", nums),
-        ]).unwrap();
+        ])
+        .unwrap();
         let agg = groupby_transform(&df, &["g"], "v", AggFunc::Mean, "m").unwrap();
         let agg_vals = agg.to_f64();
         // Same group ⇒ same aggregate.
         for i in 0..groups.len() {
             for j in 0..groups.len() {
                 if groups[i] == groups[j] {
-                    prop_assert_eq!(agg_vals[i], agg_vals[j]);
+                    assert_eq!(agg_vals[i], agg_vals[j]);
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn csv_roundtrip_preserves_rendered_cells(
-        ints in proptest::collection::vec(-1000i64..1000, 1..30),
-        words in proptest::collection::vec("[a-z,\" ]{0,12}", 1..30),
-    ) {
-        let n = ints.len().min(words.len());
+#[test]
+fn csv_roundtrip_preserves_rendered_cells() {
+    check::cases(64, |rng| {
+        let n = rng.gen_range(1..30usize);
+        let ints: Vec<i64> = (0..n).map(|_| rng.gen_range(-1000i64..1000)).collect();
+        let words: Vec<String> = (0..n)
+            .map(|_| check::string_of(rng, "abcdefghijklmnopqrstuvwxyz,\" ", 12))
+            .collect();
         let df = DataFrame::from_columns(vec![
-            Column::from_i64("i", ints[..n].to_vec()),
-            Column::from_strs("s", words[..n].iter().map(|w| Some(w.clone())).collect()),
-        ]).unwrap();
+            Column::from_i64("i", ints),
+            Column::from_strs("s", words.iter().map(|w| Some(w.clone())).collect()),
+        ])
+        .unwrap();
         // Empty strings legitimately round-trip to nulls; skip those frames.
-        if words[..n].iter().all(|w| !w.is_empty()) {
-            prop_assert!(csv::roundtrip_equal(&df));
+        if words.iter().all(|w| !w.is_empty()) {
+            assert!(csv::roundtrip_equal(&df));
         }
-    }
+    });
+}
 
-    #[test]
-    fn permutation_is_bijective(n in 1usize..500, seed in 0u64..1000) {
+#[test]
+fn permutation_is_bijective() {
+    check::cases(64, |rng| {
+        let n = rng.gen_range(1..500usize);
+        let seed = rng.gen_range(0..1000u64);
         let mut p = permutation(n, seed);
         p.sort_unstable();
-        prop_assert_eq!(p, (0..n).collect::<Vec<_>>());
-    }
+        assert_eq!(p, (0..n).collect::<Vec<_>>());
+    });
+}
 
-    #[test]
-    fn split_partitions_rows(n in 4usize..200, seed in 0u64..100, frac in 0.1f64..0.9) {
-        let df = DataFrame::from_columns(vec![
-            Column::from_i64("id", (0..n as i64).collect()),
-        ]).unwrap();
+#[test]
+fn split_partitions_rows() {
+    check::cases(64, |rng| {
+        let n = rng.gen_range(4..200usize);
+        let seed = rng.gen_range(0..100u64);
+        let frac = rng.gen_range(0.1..0.9);
+        let df =
+            DataFrame::from_columns(vec![Column::from_i64("id", (0..n as i64).collect())]).unwrap();
         let (train, test) = train_test_split(&df, frac, seed).unwrap();
-        prop_assert_eq!(train.n_rows() + test.n_rows(), n);
-    }
+        assert_eq!(train.n_rows() + test.n_rows(), n);
+    });
+}
 
-    #[test]
-    fn kfold_each_row_validates_exactly_once(n in 10usize..150, k in 2usize..6, seed in 0u64..50) {
+#[test]
+fn kfold_each_row_validates_exactly_once() {
+    check::cases(64, |rng| {
+        let n = rng.gen_range(10..150usize);
+        let k = rng.gen_range(2..6usize);
+        let seed = rng.gen_range(0..50u64);
         let folds = kfold_indices(n, k, seed).unwrap();
         let mut seen = vec![0usize; n];
         for (_, valid) in &folds {
@@ -128,28 +163,31 @@ proptest! {
                 seen[i] += 1;
             }
         }
-        prop_assert!(seen.iter().all(|&c| c == 1));
-    }
+        assert!(seen.iter().all(|&c| c == 1));
+    });
+}
 
-    #[test]
-    fn pearson_is_symmetric_and_bounded(pairs in proptest::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 3..60)) {
-        let a: Vec<Option<f64>> = pairs.iter().map(|(x, _)| Some(*x)).collect();
-        let b: Vec<Option<f64>> = pairs.iter().map(|(_, y)| Some(*y)).collect();
+#[test]
+fn pearson_is_symmetric_and_bounded() {
+    check::cases(64, |rng| {
+        let n = rng.gen_range(3..60usize);
+        let a: Vec<Option<f64>> = (0..n).map(|_| Some(rng.gen_range(-100.0..100.0))).collect();
+        let b: Vec<Option<f64>> = (0..n).map(|_| Some(rng.gen_range(-100.0..100.0))).collect();
         if let Some(r) = pearson(&a, &b) {
-            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+            assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
             let r2 = pearson(&b, &a).unwrap();
-            prop_assert!((r - r2).abs() < 1e-12);
+            assert!((r - r2).abs() < 1e-12);
         }
-    }
+    });
+}
 
-    #[test]
-    fn mutual_information_nonnegative(
-        values in proptest::collection::vec(-50.0f64..50.0, 4..100),
-        labels in proptest::collection::vec(0u8..2, 4..100),
-    ) {
-        let n = values.len().min(labels.len());
-        let v: Vec<Option<f64>> = values[..n].iter().map(|x| Some(*x)).collect();
-        let mi = mutual_information(&v, &labels[..n], 8);
-        prop_assert!(mi >= 0.0);
-    }
+#[test]
+fn mutual_information_nonnegative() {
+    check::cases(64, |rng| {
+        let n = rng.gen_range(4..100usize);
+        let v: Vec<Option<f64>> = (0..n).map(|_| Some(rng.gen_range(-50.0..50.0))).collect();
+        let labels: Vec<u8> = (0..n).map(|_| rng.gen_range(0..2u8)).collect();
+        let mi = mutual_information(&v, &labels, 8);
+        assert!(mi >= 0.0);
+    });
 }

@@ -1,59 +1,69 @@
-//! Property-based tests over the ML substrate's invariants.
+//! Property-based tests over the ML substrate's invariants, driven by the
+//! in-repo `smartfeat_rng::check` harness.
 
-use proptest::prelude::*;
 use smartfeat_repro::ml::metrics::{accuracy, log_loss, median};
 use smartfeat_repro::ml::preprocess::Standardizer;
 use smartfeat_repro::ml::roc_auc;
 use smartfeat_repro::prelude::*;
+use smartfeat_repro::rng::check;
+use smartfeat_repro::rng::Rng;
 
-fn scores_and_labels() -> impl Strategy<Value = (Vec<f64>, Vec<u8>)> {
-    proptest::collection::vec((0.0f64..1.0, 0u8..2), 4..120).prop_map(|pairs| {
-        let (scores, labels): (Vec<f64>, Vec<u8>) = pairs.into_iter().unzip();
-        (scores, labels)
-    })
+fn scores_and_labels(rng: &mut Rng) -> (Vec<f64>, Vec<u8>) {
+    let n = rng.gen_range(4..120usize);
+    let scores: Vec<f64> = (0..n).map(|_| rng.gen_f64()).collect();
+    let labels: Vec<u8> = (0..n).map(|_| rng.gen_range(0..2u8)).collect();
+    (scores, labels)
 }
 
-proptest! {
-    #[test]
-    fn auc_is_bounded_and_complement_symmetric((scores, labels) in scores_and_labels()) {
+#[test]
+fn auc_is_bounded_and_complement_symmetric() {
+    check::cases(64, |rng| {
+        let (scores, labels) = scores_and_labels(rng);
         let auc = roc_auc(&labels, &scores);
-        prop_assert!((0.0..=1.0).contains(&auc));
+        assert!((0.0..=1.0).contains(&auc));
         // Inverting the scores inverts the ranking.
         let inverted: Vec<f64> = scores.iter().map(|s| 1.0 - s).collect();
         let auc_inv = roc_auc(&labels, &inverted);
         let both = labels.contains(&0) && labels.contains(&1);
         if both {
-            prop_assert!((auc + auc_inv - 1.0).abs() < 1e-9, "{auc} + {auc_inv}");
+            assert!((auc + auc_inv - 1.0).abs() < 1e-9, "{auc} + {auc_inv}");
         } else {
-            prop_assert_eq!(auc, 0.5);
+            assert_eq!(auc, 0.5);
         }
-    }
+    });
+}
 
-    #[test]
-    fn auc_invariant_under_monotone_transform((scores, labels) in scores_and_labels()) {
+#[test]
+fn auc_invariant_under_monotone_transform() {
+    check::cases(64, |rng| {
+        let (scores, labels) = scores_and_labels(rng);
         let auc = roc_auc(&labels, &scores);
         // exp is strictly increasing ⇒ identical ranking ⇒ identical AUC.
         let transformed: Vec<f64> = scores.iter().map(|s| (3.0 * s).exp()).collect();
         let auc_t = roc_auc(&labels, &transformed);
-        prop_assert!((auc - auc_t).abs() < 1e-9);
-    }
+        assert!((auc - auc_t).abs() < 1e-9);
+    });
+}
 
-    #[test]
-    fn accuracy_and_log_loss_bounded((scores, labels) in scores_and_labels()) {
+#[test]
+fn accuracy_and_log_loss_bounded() {
+    check::cases(64, |rng| {
+        let (scores, labels) = scores_and_labels(rng);
         let acc = accuracy(&labels, &scores);
-        prop_assert!((0.0..=1.0).contains(&acc));
+        assert!((0.0..=1.0).contains(&acc));
         let ll = log_loss(&labels, &scores);
-        prop_assert!(ll.is_finite());
-        prop_assert!(ll >= 0.0);
-    }
+        assert!(ll.is_finite());
+        assert!(ll >= 0.0);
+    });
+}
 
-    #[test]
-    fn standardizer_output_has_unit_stats(
-        rows in proptest::collection::vec(
-            proptest::collection::vec(-1e3f64..1e3, 3),
-            4..60,
-        )
-    ) {
+#[test]
+fn standardizer_output_has_unit_stats() {
+    check::cases(64, |rng| {
+        let n = rng.gen_range(4..60usize);
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..3).map(|_| rng.gen_range(-1e3..1e3)).collect())
+            .collect();
         let x = Matrix::from_rows(rows).unwrap();
         let s = Standardizer::fit(&x).unwrap();
         let t = s.transform(&x).unwrap();
@@ -62,30 +72,37 @@ proptest! {
             let n = col.len() as f64;
             let mean: f64 = col.iter().sum::<f64>() / n;
             let var: f64 = col.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
-            prop_assert!(mean.abs() < 1e-6, "mean {mean}");
+            assert!(mean.abs() < 1e-6, "mean {mean}");
             // Unit variance, or zero for a constant feature.
-            prop_assert!((var - 1.0).abs() < 1e-6 || var < 1e-9, "var {var}");
+            assert!((var - 1.0).abs() < 1e-6 || var < 1e-9, "var {var}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn median_lies_within_range(values in proptest::collection::vec(-1e4f64..1e4, 1..50)) {
+#[test]
+fn median_lies_within_range() {
+    check::cases(64, |rng| {
+        let values = check::vec_f64(rng, 1..50, -1e4..1e4);
         let m = median(&values);
         let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
         let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
-    }
+        assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+    });
+}
 
-    #[test]
-    fn logistic_regression_probabilities_valid(
-        seed in 0u64..30,
-        n in 10usize..60,
-    ) {
+#[test]
+fn logistic_regression_probabilities_valid() {
+    check::cases(30, |rng| {
+        let seed = rng.gen_range(0..30u64);
+        let n = rng.gen_range(10..60usize);
         // Deterministic pseudo-random training data from the seed.
         let rows: Vec<Vec<f64>> = (0..n)
             .map(|i| {
                 let h = (i as u64).wrapping_mul(seed.wrapping_add(7) * 2654435761 + 1);
-                vec![(h % 101) as f64 / 50.0 - 1.0, ((h / 101) % 89) as f64 / 44.0 - 1.0]
+                vec![
+                    (h % 101) as f64 / 50.0 - 1.0,
+                    ((h / 101) % 89) as f64 / 44.0 - 1.0,
+                ]
             })
             .collect();
         let y: Vec<u8> = (0..n).map(|i| u8::from(i % 2 == 0)).collect();
@@ -94,9 +111,9 @@ proptest! {
         use smartfeat_repro::ml::Classifier;
         lr.fit(&x, &y).unwrap();
         for p in lr.predict_proba(&x).unwrap() {
-            prop_assert!((0.0..=1.0).contains(&p));
+            assert!((0.0..=1.0).contains(&p));
         }
-    }
+    });
 }
 
 #[test]
