@@ -1,0 +1,82 @@
+//! Thread-scaling sweep for the `smartfeat-par` pool.
+//!
+//! Sweeps 1/2/4/8 worker threads over the parallel-wired hot paths:
+//! random-forest fit, extra-trees fit, and k-fold cross-validation. On a
+//! multi-core host the forest series should show ≥1.5× speedup at 4
+//! threads vs 1; on a single-core container every series is flat (the
+//! pool degenerates to the serial loop). Scores and fitted models are
+//! bit-identical across the sweep — only wall-clock moves.
+
+use smartfeat_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smartfeat_ml::{
+    kfold_cv_auc_threaded, Classifier, ExtraTrees, Matrix, ModelKind, RandomForest,
+};
+use smartfeat_rng::Rng;
+
+const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// A dense nonlinear training set big enough that per-tree work dominates
+/// pool overhead (the ≥1.5× @ 4 threads criterion needs real work to split).
+fn training_data(rows: usize, cols: usize) -> (Matrix, Vec<u8>) {
+    let mut rng = Rng::seed_from_u64(0xB0A7);
+    let data: Vec<Vec<f64>> = (0..rows)
+        .map(|_| (0..cols).map(|_| rng.gen_f64() * 10.0).collect())
+        .collect();
+    let y: Vec<u8> = data
+        .iter()
+        .map(|r| u8::from(r[0] * r[1] + r[2] > 30.0))
+        .collect();
+    (Matrix::from_rows(data).expect("rectangular"), y)
+}
+
+fn bench_forest_fit(c: &mut Criterion) {
+    let (x, y) = training_data(2000, 20);
+    let mut group = c.benchmark_group("forest_fit");
+    group.sample_size(10);
+    for &threads in &THREAD_SWEEP {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| {
+                let mut rf = RandomForest::default_params(42).with_threads(t);
+                rf.fit(&x, &y).expect("fits");
+                rf.predict_proba(&x).expect("fitted").len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_extra_trees_fit(c: &mut Criterion) {
+    let (x, y) = training_data(2000, 20);
+    let mut group = c.benchmark_group("extra_trees_fit");
+    group.sample_size(10);
+    for &threads in &THREAD_SWEEP {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| {
+                let mut et = ExtraTrees::default_params(42).with_threads(t);
+                et.fit(&x, &y).expect("fits");
+                et.predict_proba(&x).expect("fitted").len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_kfold_cv(c: &mut Criterion) {
+    let (x, y) = training_data(600, 10);
+    let mut group = c.benchmark_group("kfold_cv_rf");
+    group.sample_size(10);
+    for &threads in &THREAD_SWEEP {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| kfold_cv_auc_threaded(ModelKind::RF, &x, &y, 4, 7, t).expect("scores"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_forest_fit,
+    bench_extra_trees_fit,
+    bench_kfold_cv
+);
+criterion_main!(benches);

@@ -11,6 +11,9 @@
 //!   --model NAME          downstream model named in prompts (default RF)
 //!   --seed N              FM seed (default 42)
 //!   --budget N            sampling budget per operator family (default 10)
+//!   --threads N           worker threads for parallel compute stages
+//!                         (default 0 = auto; SMARTFEAT_THREADS overrides;
+//!                         output is identical for every value)
 //!   --no-drop             disable the original-feature drop heuristic
 //!   --fm-removal          enable the FM feature-removal extension
 //!   --transcript          print the full FM dialogue afterwards
@@ -34,6 +37,7 @@ struct Args {
     model: String,
     seed: u64,
     budget: usize,
+    threads: usize,
     drop_heuristic: bool,
     fm_removal: bool,
     transcript: bool,
@@ -47,6 +51,7 @@ fn parse_args() -> Result<Args, String> {
     let mut model = "RF".to_string();
     let mut seed = 42u64;
     let mut budget = 10usize;
+    let mut threads = 0usize;
     let mut drop_heuristic = true;
     let mut fm_removal = false;
     let mut transcript = false;
@@ -77,6 +82,11 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad --budget: {e}"))?;
             }
+            "--threads" => {
+                threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("bad --threads: {e}"))?;
+            }
             "--no-drop" => drop_heuristic = false,
             "--fm-removal" => fm_removal = true,
             "--transcript" => transcript = true,
@@ -91,6 +101,7 @@ fn parse_args() -> Result<Args, String> {
         model,
         seed,
         budget,
+        threads,
         drop_heuristic,
         fm_removal,
         transcript,
@@ -142,6 +153,7 @@ fn main() {
         sampling_budget: args.budget,
         drop_heuristic: args.drop_heuristic,
         fm_feature_removal: args.fm_removal,
+        threads: args.threads,
         seed: args.seed,
         ..SmartFeatConfig::default()
     };

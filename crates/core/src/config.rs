@@ -171,6 +171,11 @@ pub struct SmartFeatConfig {
     /// EXTENSION (paper §5 future work): after generation, ask the FM
     /// which features are unlikely to help and remove them.
     pub fm_feature_removal: bool,
+    /// Worker threads for the parallel compute stages (candidate
+    /// transforms, duplicate scans): 0 = auto-detect, 1 = exact serial
+    /// path. The `SMARTFEAT_THREADS` environment variable overrides this
+    /// at run time. Output is bit-identical for every value.
+    pub threads: usize,
     /// Seed for everything stochastic in the pipeline.
     pub seed: u64,
 }
@@ -190,6 +195,7 @@ impl Default for SmartFeatConfig {
             max_null_fraction: 0.5,
             retry_malformed: 1,
             fm_feature_removal: false,
+            threads: 0,
             seed: 0,
         }
     }
@@ -230,6 +236,7 @@ impl SmartFeatConfig {
             ("max_null_fraction", self.max_null_fraction.into()),
             ("retry_malformed", self.retry_malformed.into()),
             ("fm_feature_removal", self.fm_feature_removal.into()),
+            ("threads", self.threads.into()),
             ("seed", self.seed.into()),
         ])
     }
@@ -257,6 +264,16 @@ impl SmartFeatConfig {
             max_null_fraction: get_f64(v, "max_null_fraction")?,
             retry_malformed: get_usize(v, "retry_malformed")?,
             fm_feature_removal: get_bool(v, "fm_feature_removal")?,
+            // Absent in configs serialized before the parallel subsystem
+            // existed — default to auto rather than rejecting them.
+            threads: v
+                .get("threads")
+                .map(|t| {
+                    t.as_usize()
+                        .ok_or_else(|| JsonError::decode("non-integer field: threads"))
+                })
+                .transpose()?
+                .unwrap_or(0),
             seed: v
                 .get("seed")
                 .and_then(JsonValue::as_u64)
@@ -358,6 +375,25 @@ mod tests {
             m.remove("operators");
         }
         assert!(SmartFeatConfig::from_json(&v).is_err());
+    }
+
+    #[test]
+    fn config_without_threads_field_defaults_to_auto() {
+        let mut v = SmartFeatConfig {
+            threads: 4,
+            ..SmartFeatConfig::default()
+        }
+        .to_json();
+        if let JsonValue::Object(m) = &mut v {
+            m.remove("threads");
+        }
+        let back = SmartFeatConfig::from_json(&v).unwrap();
+        assert_eq!(back.threads, 0);
+        assert_eq!(
+            back,
+            SmartFeatConfig::default(),
+            "pre-parallelism configs parse to the auto thread count"
+        );
     }
 
     #[test]

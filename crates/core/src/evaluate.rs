@@ -15,6 +15,20 @@ pub fn check_new_column(
     df: &DataFrame,
     max_null_fraction: f64,
 ) -> Option<SkipReason> {
+    check_new_column_threaded(col, df, max_null_fraction, 1)
+}
+
+/// [`check_new_column`] with an explicit thread count for the duplicate
+/// scan (0 = auto, 1 = exact serial path). The scan compares the candidate
+/// against every existing column; columns are independent, so the pool
+/// splits them and the **lowest-index** match is reported — the same
+/// verdict the serial left-to-right scan returns.
+pub fn check_new_column_threaded(
+    col: &Column,
+    df: &DataFrame,
+    max_null_fraction: f64,
+    threads: usize,
+) -> Option<SkipReason> {
     let null_fraction = col.null_fraction();
     if null_fraction > max_null_fraction {
         return Some(SkipReason::HighNull(null_fraction));
@@ -29,28 +43,36 @@ pub fn check_new_column(
     // adds no information (identity transforms, min-max/z-score rescales
     // of a column that is still present) — it only double-counts evidence
     // for models like naive Bayes.
-    for existing in df.columns() {
-        if columns_identical(col, existing) {
-            return Some(SkipReason::Duplicate(existing.name().to_string()));
-        }
-        // Positive-affine rescales of a surviving column (min-max / z-score
-        // copies) only double-count evidence; r = +1 with ≥ 3 overlapping
-        // points identifies them. Negative-affine derivations (e.g. the
-        // paper's manufacturing year = 2024 − car age) re-express the
-        // quantity on a meaningful scale and are kept, as the paper does.
-        if existing.is_numeric() && col.is_numeric() {
-            let a = col.to_f64();
-            let b = existing.to_f64();
-            let complete = a
-                .iter()
-                .zip(&b)
-                .filter(|(x, y)| x.is_some() && y.is_some())
-                .count();
-            if complete >= 3 {
-                if let Some(r) = smartfeat_frame::stats::pearson(&a, &b) {
-                    if r > 0.9999 {
-                        return Some(SkipReason::Duplicate(existing.name().to_string()));
-                    }
+    let existing = df.columns();
+    let threads = smartfeat_par::resolve_threads(threads);
+    smartfeat_par::par_map_indexed(threads, existing.len(), |i| duplicate_of(col, &existing[i]))
+        .into_iter()
+        .flatten()
+        .next()
+}
+
+/// Is `col` an exact or positive-affine duplicate of `existing`?
+fn duplicate_of(col: &Column, existing: &Column) -> Option<SkipReason> {
+    if columns_identical(col, existing) {
+        return Some(SkipReason::Duplicate(existing.name().to_string()));
+    }
+    // Positive-affine rescales of a surviving column (min-max / z-score
+    // copies) only double-count evidence; r = +1 with ≥ 3 overlapping
+    // points identifies them. Negative-affine derivations (e.g. the
+    // paper's manufacturing year = 2024 − car age) re-express the
+    // quantity on a meaningful scale and are kept, as the paper does.
+    if existing.is_numeric() && col.is_numeric() {
+        let a = col.to_f64();
+        let b = existing.to_f64();
+        let complete = a
+            .iter()
+            .zip(&b)
+            .filter(|(x, y)| x.is_some() && y.is_some())
+            .count();
+        if complete >= 3 {
+            if let Some(r) = smartfeat_frame::stats::pearson(&a, &b) {
+                if r > 0.9999 {
+                    return Some(SkipReason::Duplicate(existing.name().to_string()));
                 }
             }
         }
@@ -170,6 +192,24 @@ mod tests {
         // affine-duplicate check, so the column passes.
         let different = Column::from_floats("z", vec![Some(1.0), Some(9.0), Some(2.0)]);
         assert_eq!(check_new_column(&different, &df, 0.5), None);
+    }
+
+    #[test]
+    fn threaded_scan_reports_lowest_index_duplicate() {
+        // Two existing columns both duplicate the candidate; the verdict
+        // must name the leftmost one regardless of worker scheduling.
+        let df = DataFrame::from_columns(vec![
+            Column::from_i64("first", vec![1, 2, 3, 4]),
+            Column::from_i64("second", vec![1, 2, 3, 4]),
+        ])
+        .unwrap();
+        let c = Column::from_i64("copy", vec![1, 2, 3, 4]);
+        for threads in [1usize, 2, 4, 8] {
+            assert!(matches!(
+                check_new_column_threaded(&c, &df, 0.5, threads),
+                Some(SkipReason::Duplicate(n)) if n == "first"
+            ));
+        }
     }
 
     #[test]

@@ -10,17 +10,17 @@
 use std::collections::HashSet;
 
 use smartfeat_fm::FoundationModel;
-use smartfeat_frame::DataFrame;
+use smartfeat_frame::{Column, DataFrame};
 
 use crate::config::{OperatorFamily, SmartFeatConfig};
 use crate::error::Result;
-use crate::evaluate::check_new_column;
+use crate::evaluate::check_new_column_threaded;
 use crate::generator::{FunctionGenerator, Generated};
 use crate::operators::Candidate;
 use crate::report::{GeneratedFeature, SkipReason, SkippedFeature, SmartFeatReport};
 use crate::schema::DataAgenda;
 use crate::selector::{OperatorSelector, Sample};
-use crate::transform;
+use crate::transform::{self, TransformFunction};
 
 /// The SMARTFEAT tool: two FM handles (selector / generator roles) plus a
 /// configuration.
@@ -52,6 +52,24 @@ pub struct SmartFeat<'a> {
     selector_fm: &'a dyn FoundationModel,
     generator_fm: &'a dyn FoundationModel,
     config: SmartFeatConfig,
+}
+
+/// One candidate's progress through [`SmartFeat::realize_batch`]'s serial
+/// FM stage, before the parallel transform stage fills the gaps.
+enum Staged {
+    /// Generation failed or yielded only a source suggestion; the skip (or
+    /// suggestion) entry is already recorded. Nothing left to do.
+    Rejected,
+    /// A pure transform waiting on the parallel execution stage.
+    Pending,
+    /// Transform execution failed; the skip entry is recorded by the
+    /// commit stage so report order follows candidate order.
+    Failed(String),
+    /// Columns ready for the serial filter-and-commit stage.
+    Ready {
+        func: TransformFunction,
+        columns: Vec<Column>,
+    },
 }
 
 /// Internal mutable state of one run.
@@ -152,14 +170,16 @@ impl<'a> SmartFeat<'a> {
     ) -> Result<()> {
         for attr in state.agenda.original_names() {
             let candidates = selector.propose_unary(&state.agenda, &attr)?;
-            for cand in candidates {
-                if !state.seen_keys.insert(cand.dedup_key()) {
-                    continue; // silently skip re-proposed operators
-                }
-                let accepted = self.realize(generator, state, &cand)?;
-                if accepted {
-                    state.unary_transformed.insert(attr.clone());
-                }
+            // Dedup serially (the seen-set is ordered state), then realize
+            // the attribute's surviving candidates as one batch: their
+            // pure transforms run concurrently on the pool.
+            let fresh: Vec<Candidate> = candidates
+                .into_iter()
+                .filter(|cand| state.seen_keys.insert(cand.dedup_key()))
+                .collect();
+            let accepted = self.realize_batch(generator, state, &fresh)?;
+            if accepted.contains(&true) {
+                state.unary_transformed.insert(attr.clone());
             }
         }
         Ok(())
@@ -214,7 +234,11 @@ impl<'a> SmartFeat<'a> {
                         });
                         continue;
                     }
-                    let accepted = self.realize(generator, state, &cand)?;
+                    // A batch of one: each sample's prompt depends on the
+                    // agenda as enriched by earlier acceptances, so the
+                    // sampling loop is inherently serial across iterations.
+                    let accepted = self
+                        .realize_batch(generator, state, std::slice::from_ref(&cand))?[0];
                     if accepted {
                         for col in &cand.columns {
                             state.referenced.insert(col.clone());
@@ -226,101 +250,166 @@ impl<'a> SmartFeat<'a> {
         Ok(())
     }
 
-    /// Generate the function for a candidate, execute it, filter the
-    /// resulting column(s), and attach survivors. Returns whether at least
-    /// one column was kept.
-    fn realize(
+    /// Realize a batch of candidates: generate each function, execute it,
+    /// filter the resulting column(s), and attach survivors. Returns, per
+    /// candidate, whether at least one column was kept.
+    ///
+    /// Three stages keep the output bit-identical for every thread count:
+    ///
+    /// 1. **Serial FM walk** in candidate order — one generation
+    ///    round-trip per candidate, with FM-backed transforms (row
+    ///    completion) executed inline, so the generator FM's call sequence
+    ///    is a pure function of the candidate list and the oracle's state
+    ///    machine never observes the thread count.
+    /// 2. **Parallel pure transforms** — the remaining functions touch no
+    ///    FM and read only columns that predate the batch, so they run
+    ///    concurrently on the pool against the frame as it stood at batch
+    ///    start.
+    /// 3. **Serial in-order commit** — filtering and attachment walk the
+    ///    candidates in order against the live frame, so duplicate
+    ///    detection sees earlier batch survivors exactly as a serial
+    ///    pipeline would, and report/agenda order never changes.
+    fn realize_batch(
         &self,
         generator: &FunctionGenerator,
         state: &mut RunState,
-        cand: &Candidate,
-    ) -> Result<bool> {
-        let generated = match generator.generate(&state.agenda, cand) {
-            Ok(g) => g,
-            Err(crate::error::CoreError::InvalidTransform(msg))
-            | Err(crate::error::CoreError::RowCompletionUnavailable(msg)) => {
-                state.skipped.push(SkippedFeature {
-                    name: cand.name.clone(),
-                    family: cand.family,
-                    reason: SkipReason::GenerationFailed(msg),
-                });
-                return Ok(false);
+        cands: &[Candidate],
+    ) -> Result<Vec<bool>> {
+        let threads = smartfeat_par::resolve_threads(self.config.threads);
+
+        // Stage 1: serial FM walk.
+        let mut staged: Vec<Staged> = Vec::with_capacity(cands.len());
+        let mut pure: Vec<(usize, TransformFunction)> = Vec::new();
+        for (i, cand) in cands.iter().enumerate() {
+            let generated = match generator.generate(&state.agenda, cand) {
+                Ok(g) => g,
+                Err(crate::error::CoreError::InvalidTransform(msg))
+                | Err(crate::error::CoreError::RowCompletionUnavailable(msg)) => {
+                    state.skipped.push(SkippedFeature {
+                        name: cand.name.clone(),
+                        family: cand.family,
+                        reason: SkipReason::GenerationFailed(msg),
+                    });
+                    staged.push(Staged::Rejected);
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            let func = match generated {
+                Generated::Function(f) => f,
+                Generated::SourceSuggestion(src) => {
+                    state
+                        .source_suggestions
+                        .push((cand.name.clone(), src.clone()));
+                    state.skipped.push(SkippedFeature {
+                        name: cand.name.clone(),
+                        family: cand.family,
+                        reason: SkipReason::SourceOnly(src),
+                    });
+                    staged.push(Staged::Rejected);
+                    continue;
+                }
+            };
+            if func.needs_fm() {
+                staged.push(
+                    match transform::apply(
+                        &func,
+                        &state.frame,
+                        &cand.name,
+                        Some(self.generator_fm),
+                        self.config.row_completion_max_distinct,
+                    ) {
+                        Ok(columns) => Staged::Ready { func, columns },
+                        Err(e) => Staged::Failed(e.to_string()),
+                    },
+                );
+            } else {
+                staged.push(Staged::Pending);
+                pure.push((i, func));
             }
-            Err(e) => return Err(e),
-        };
-        let func = match generated {
-            Generated::Function(f) => f,
-            Generated::SourceSuggestion(src) => {
-                state
-                    .source_suggestions
-                    .push((cand.name.clone(), src.clone()));
-                state.skipped.push(SkippedFeature {
-                    name: cand.name.clone(),
-                    family: cand.family,
-                    reason: SkipReason::SourceOnly(src),
-                });
-                return Ok(false);
-            }
-        };
-        let columns = match transform::apply(
-            &func,
-            &state.frame,
-            &cand.name,
-            Some(self.generator_fm),
-            self.config.row_completion_max_distinct,
-        ) {
-            Ok(cols) => cols,
-            Err(e) => {
-                state.skipped.push(SkippedFeature {
-                    name: cand.name.clone(),
-                    family: cand.family,
-                    reason: SkipReason::TransformFailed(e.to_string()),
-                });
-                return Ok(false);
-            }
-        };
-        let mut kept_any = false;
-        for col in columns {
-            if self.config.feature_filter {
-                if let Some(reason) =
-                    check_new_column(&col, &state.frame, self.config.max_null_fraction)
-                {
+        }
+
+        // Stage 2: parallel pure transforms.
+        let frame = &state.frame;
+        let max_distinct = self.config.row_completion_max_distinct;
+        let applied = smartfeat_par::par_map_indexed(threads, pure.len(), |j| {
+            let (i, func) = &pure[j];
+            transform::apply(func, frame, &cands[*i].name, None, max_distinct)
+        });
+        for ((i, func), result) in pure.into_iter().zip(applied) {
+            staged[i] = match result {
+                Ok(columns) => Staged::Ready { func, columns },
+                Err(e) => Staged::Failed(e.to_string()),
+            };
+        }
+
+        // Stage 3: serial in-order filter and commit.
+        let mut accepted = Vec::with_capacity(cands.len());
+        for (cand, slot) in cands.iter().zip(staged) {
+            let (func, columns) = match slot {
+                Staged::Rejected => {
+                    accepted.push(false);
+                    continue;
+                }
+                Staged::Pending => unreachable!("stage 2 fills every pending slot"),
+                Staged::Failed(msg) => {
+                    state.skipped.push(SkippedFeature {
+                        name: cand.name.clone(),
+                        family: cand.family,
+                        reason: SkipReason::TransformFailed(msg),
+                    });
+                    accepted.push(false);
+                    continue;
+                }
+                Staged::Ready { func, columns } => (func, columns),
+            };
+            let mut kept_any = false;
+            for col in columns {
+                if self.config.feature_filter {
+                    if let Some(reason) = check_new_column_threaded(
+                        &col,
+                        &state.frame,
+                        self.config.max_null_fraction,
+                        threads,
+                    ) {
+                        state.skipped.push(SkippedFeature {
+                            name: col.name().to_string(),
+                            family: cand.family,
+                            reason,
+                        });
+                        continue;
+                    }
+                } else if state.frame.has_column(col.name()) {
                     state.skipped.push(SkippedFeature {
                         name: col.name().to_string(),
                         family: cand.family,
-                        reason,
+                        reason: SkipReason::Duplicate(col.name().to_string()),
                     });
                     continue;
                 }
-            } else if state.frame.has_column(col.name()) {
-                state.skipped.push(SkippedFeature {
-                    name: col.name().to_string(),
+                let name = col.name().to_string();
+                let dtype = col.dtype().name().to_string();
+                let distinct = col.cardinality();
+                state.frame.add_column(col)?;
+                state.agenda.push_generated(
+                    &name,
+                    &dtype,
+                    Some(distinct),
+                    &cand.description,
+                    cand.family,
+                );
+                state.generated.push(GeneratedFeature {
+                    name,
                     family: cand.family,
-                    reason: SkipReason::Duplicate(col.name().to_string()),
+                    columns: cand.columns.clone(),
+                    description: cand.description.clone(),
+                    transform: format!("{func:?}"),
                 });
-                continue;
+                kept_any = true;
             }
-            let name = col.name().to_string();
-            let dtype = col.dtype().name().to_string();
-            let distinct = col.cardinality();
-            state.frame.add_column(col)?;
-            state.agenda.push_generated(
-                &name,
-                &dtype,
-                Some(distinct),
-                &cand.description,
-                cand.family,
-            );
-            state.generated.push(GeneratedFeature {
-                name,
-                family: cand.family,
-                columns: cand.columns.clone(),
-                description: cand.description.clone(),
-                transform: format!("{func:?}"),
-            });
-            kept_any = true;
+            accepted.push(kept_any);
         }
-        Ok(kept_any)
+        Ok(accepted)
     }
 
     /// EXTENSION (paper §5 future work): ask the FM which features are

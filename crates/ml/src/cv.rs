@@ -1,5 +1,12 @@
 //! Evaluation drivers: fit the five models on a train/test split and report
 //! AUC per model (Tables 4, 5 and 7), plus k-fold cross-validation.
+//!
+//! Model kinds and CV folds are evaluated in parallel on the
+//! [`smartfeat_par`] pool. Each unit of work (one model kind, one fold) is
+//! independently seeded, so scores are bit-identical for any thread count.
+//! The failed-training fallback (random-guess AUC of 50.0) is computed
+//! inside each model's own task with no shared mutable state, so one model
+//! kind failing to train cannot poison — or race with — the others.
 
 use crate::error::Result;
 use crate::matrix::Matrix;
@@ -49,9 +56,26 @@ pub fn evaluate_models(
     y_test: &[u8],
     seed: u64,
 ) -> Result<ModelScores> {
+    evaluate_models_threaded(models, x_train, y_train, x_test, y_test, seed, 0)
+}
+
+/// [`evaluate_models`] with an explicit thread count (0 = auto, 1 = exact
+/// serial path). Scores are bit-identical for any value: each model kind
+/// is an independently seeded task and results are collected in `models`
+/// order by the ordered `par_map`.
+pub fn evaluate_models_threaded(
+    models: &[ModelKind],
+    x_train: &Matrix,
+    y_train: &[u8],
+    x_test: &Matrix,
+    y_test: &[u8],
+    seed: u64,
+    threads: usize,
+) -> Result<ModelScores> {
     let standardized = Standardizer::fit_transform(x_train, x_test).ok();
-    let mut scores = Vec::with_capacity(models.len());
-    for (i, &kind) in models.iter().enumerate() {
+    let threads = smartfeat_par::resolve_threads(threads);
+    let scores = smartfeat_par::par_map_indexed(threads, models.len(), |i| {
+        let kind = models[i];
         let (tr, te): (&Matrix, &Matrix) = if kind.wants_standardized_input() {
             match &standardized {
                 Some((tr, te)) => (tr, te),
@@ -60,17 +84,32 @@ pub fn evaluate_models(
         } else {
             (x_train, x_test)
         };
-        let mut model = kind.build(seed.wrapping_add(i as u64 * 7919));
-        let auc = match model.fit(tr, y_train) {
-            Ok(()) => match model.predict_proba(te) {
-                Ok(p) => roc_auc(y_test, &p) * 100.0,
-                Err(_) => 50.0,
-            },
-            Err(_) => 50.0,
-        };
-        scores.push((kind, auc));
-    }
+        (kind, score_one_model(kind, tr, y_train, te, y_test, seed, i))
+    });
     Ok(ModelScores { scores })
+}
+
+/// Fit and score one model; a training or prediction failure scores 50.0
+/// (random guessing) — the paper's convention for e.g. CAAFE's Diabetes
+/// failure. Runs inside one pool task: all state is task-local, so the
+/// fallback is thread-safe by construction.
+fn score_one_model(
+    kind: ModelKind,
+    x_train: &Matrix,
+    y_train: &[u8],
+    x_test: &Matrix,
+    y_test: &[u8],
+    seed: u64,
+    index: usize,
+) -> f64 {
+    let mut model = kind.build(seed.wrapping_add(index as u64 * 7919));
+    match model.fit(x_train, y_train) {
+        Ok(()) => match model.predict_proba(x_test) {
+            Ok(p) => roc_auc(y_test, &p) * 100.0,
+            Err(_) => 50.0,
+        },
+        Err(_) => 50.0,
+    }
 }
 
 /// [`evaluate_models`] over all five paper models.
@@ -92,24 +131,43 @@ pub fn kfold_cv_auc(
     k: usize,
     seed: u64,
 ) -> Result<f64> {
+    kfold_cv_auc_threaded(kind, x, y, k, seed, 0)
+}
+
+/// [`kfold_cv_auc`] with an explicit thread count (0 = auto, 1 = exact
+/// serial path). Folds are independent — each derives its own seed from
+/// `seed + fold_id` — and fold AUCs are averaged in fold order, so the
+/// result is bit-identical for any thread count.
+pub fn kfold_cv_auc_threaded(
+    kind: ModelKind,
+    x: &Matrix,
+    y: &[u8],
+    k: usize,
+    seed: u64,
+    threads: usize,
+) -> Result<f64> {
     let folds = smartfeat_frame::sample::kfold_indices(x.rows(), k, seed)
         .map_err(|e| crate::error::MlError::InvalidParameter(e.to_string()))?;
-    let mut aucs = Vec::with_capacity(k);
-    for (fold_id, (train_idx, valid_idx)) in folds.into_iter().enumerate() {
-        let x_train = x.take_rows(&train_idx);
-        let x_valid = x.take_rows(&valid_idx);
+    let threads = smartfeat_par::resolve_threads(threads);
+    let aucs = smartfeat_par::try_par_map_indexed(threads, folds.len(), |fold_id| {
+        let (train_idx, valid_idx) = &folds[fold_id];
+        let x_train = x.take_rows(train_idx);
+        let x_valid = x.take_rows(valid_idx);
         let y_train: Vec<u8> = train_idx.iter().map(|&i| y[i]).collect();
         let y_valid: Vec<u8> = valid_idx.iter().map(|&i| y[i]).collect();
-        let s = evaluate_models(
+        // The fold's model evaluation stays serial: parallelism is at the
+        // fold level here, and nested pools would only oversubscribe.
+        evaluate_models_threaded(
             &[kind],
             &x_train,
             &y_train,
             &x_valid,
             &y_valid,
             seed.wrapping_add(fold_id as u64),
-        )?;
-        aucs.push(s.scores[0].1);
-    }
+            1,
+        )
+        .map(|s| s.scores[0].1)
+    })?;
     Ok(mean(&aucs))
 }
 
@@ -161,6 +219,25 @@ mod tests {
         let (x, y) = linear_data(120);
         let auc = kfold_cv_auc(ModelKind::LR, &x, &y, 4, 3).unwrap();
         assert!(auc > 90.0, "cv auc = {auc}");
+    }
+
+    #[test]
+    fn concurrent_failure_fallback_is_isolated_per_model() {
+        // Column 1 holds DBL_MAX-scale values: the raw matrix is finite
+        // (trees and NB train on it), but standardization overflows the
+        // column mean to infinity, poisoning LR's and the DNN's inputs
+        // with NaN — exactly one failure mode, concurrent with healthy
+        // training of the tree ensembles in sibling pool tasks.
+        let n = 60usize;
+        let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64, 1e308]).collect();
+        let x = Matrix::from_rows(rows).unwrap();
+        let y: Vec<u8> = (0..n).map(|i| u8::from(i >= n / 2)).collect();
+        let models = [ModelKind::LR, ModelKind::RF, ModelKind::ET, ModelKind::DNN];
+        let s = evaluate_models_threaded(&models, &x, &y, &x, &y, 9, 4).unwrap();
+        assert_eq!(s.get(ModelKind::LR), Some(50.0), "LR should hit the fallback");
+        assert_eq!(s.get(ModelKind::DNN), Some(50.0), "DNN should hit the fallback");
+        assert!(s.get(ModelKind::RF).unwrap() > 60.0, "RF trains on the raw matrix");
+        assert!(s.get(ModelKind::ET).unwrap() > 60.0, "ET trains on the raw matrix");
     }
 
     #[test]

@@ -1,8 +1,13 @@
 //! Extremely randomized trees ("ET"): random thresholds, no bootstrap.
+//!
+//! Trees train in parallel with per-tree SplitMix64-derived seeds (same
+//! scheme as [`crate::forest`]), so the fitted ensemble is bit-identical
+//! for any thread count.
 
 use smartfeat_rng::Rng;
 
 use crate::error::{MlError, Result};
+use crate::forest::tree_seeds;
 use crate::matrix::Matrix;
 use crate::model::Classifier;
 use crate::tree::{DecisionTree, MaxFeatures, SplitMode, TreeParams};
@@ -16,6 +21,9 @@ pub struct ExtraTrees {
     pub n_trees: usize,
     /// Per-tree parameters (split mode is forced to `Random`).
     pub tree_params: TreeParams,
+    /// Worker threads for tree training: 0 = auto (`SMARTFEAT_THREADS`
+    /// override, else hardware), 1 = exact serial path.
+    pub threads: usize,
     seed: u64,
     trees: Vec<DecisionTree>,
     n_features: usize,
@@ -33,10 +41,17 @@ impl ExtraTrees {
                 max_features: MaxFeatures::Sqrt,
                 split_mode: SplitMode::Random,
             },
+            threads: 0,
             seed,
             trees: Vec::new(),
             n_features: 0,
         }
+    }
+
+    /// Set the training thread count (builder style).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 
     /// Mean normalized impurity-decrease importances across trees.
@@ -69,15 +84,14 @@ impl Classifier for ExtraTrees {
         let mut params = self.tree_params;
         params.split_mode = SplitMode::Random;
         self.n_features = x.cols();
-        self.trees.clear();
-        self.trees.reserve(self.n_trees);
         let all: Vec<usize> = (0..x.rows()).collect();
-        let mut rng = Rng::seed_from_u64(self.seed);
-        for _ in 0..self.n_trees {
+        let seeds = tree_seeds(self.seed, self.n_trees);
+        let threads = smartfeat_par::resolve_threads(self.threads);
+        self.trees = smartfeat_par::try_par_map_indexed(threads, self.n_trees, |i| {
+            let mut rng = Rng::seed_from_u64(seeds[i]);
             let mut tree = DecisionTree::new(params);
-            tree.fit_indices(x, y, &all, &mut rng)?;
-            self.trees.push(tree);
-        }
+            tree.fit_indices(x, y, &all, &mut rng).map(|()| tree)
+        })?;
         Ok(())
     }
 
@@ -140,6 +154,20 @@ mod tests {
         a.fit(&x, &y).unwrap();
         b.fit(&x, &y).unwrap();
         assert_eq!(a.predict_proba(&x).unwrap(), b.predict_proba(&x).unwrap());
+    }
+
+    #[test]
+    fn parallel_fit_is_bit_identical_to_serial() {
+        let (x, y) = ring_data();
+        for seed in [3u64, 11, 99] {
+            let mut serial = ExtraTrees::default_params(seed).with_threads(1);
+            let mut parallel = ExtraTrees::default_params(seed).with_threads(4);
+            serial.fit(&x, &y).unwrap();
+            parallel.fit(&x, &y).unwrap();
+            let ps: Vec<u64> = serial.predict_proba(&x).unwrap().iter().map(|p| p.to_bits()).collect();
+            let pp: Vec<u64> = parallel.predict_proba(&x).unwrap().iter().map(|p| p.to_bits()).collect();
+            assert_eq!(ps, pp, "seed {seed}");
+        }
     }
 
     #[test]

@@ -1,11 +1,25 @@
 //! Random forest ("RF"): bagged CART trees with sqrt-feature subsampling.
+//!
+//! Trees are trained in parallel on the [`smartfeat_par`] pool. Each tree
+//! draws its own RNG from a per-tree seed derived off the forest seed with
+//! a SplitMix64 jump, so the fitted ensemble is **bit-identical** for any
+//! thread count (including the exact serial path at 1 thread).
 
-use smartfeat_rng::Rng;
+use smartfeat_rng::{Rng, SplitMix64};
 
 use crate::error::{MlError, Result};
 use crate::matrix::Matrix;
 use crate::model::Classifier;
 use crate::tree::{DecisionTree, MaxFeatures, SplitMode, TreeParams};
+
+/// Per-tree seeds: one SplitMix64 stream seeded by the ensemble seed,
+/// jumped once per tree. Shared by [`RandomForest`] and
+/// [`crate::extra_trees::ExtraTrees`]; part of the determinism contract —
+/// changing it shifts every seeded forest artifact in the repository.
+pub(crate) fn tree_seeds(ensemble_seed: u64, n_trees: usize) -> Vec<u64> {
+    let mut seeder = SplitMix64::new(ensemble_seed);
+    (0..n_trees).map(|_| seeder.next_u64()).collect()
+}
 
 /// Bagging ensemble of exact-split CART trees.
 #[derive(Debug, Clone)]
@@ -16,6 +30,9 @@ pub struct RandomForest {
     pub tree_params: TreeParams,
     /// Bootstrap sample fraction (with replacement).
     pub bootstrap_fraction: f64,
+    /// Worker threads for tree training: 0 = auto (`SMARTFEAT_THREADS`
+    /// override, else hardware), 1 = exact serial path.
+    pub threads: usize,
     seed: u64,
     trees: Vec<DecisionTree>,
     n_features: usize,
@@ -35,10 +52,17 @@ impl RandomForest {
                 split_mode: SplitMode::Exact,
             },
             bootstrap_fraction: 1.0,
+            threads: 0,
             seed,
             trees: Vec::new(),
             n_features: 0,
         }
+    }
+
+    /// Set the training thread count (builder style).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 
     /// Mean normalized impurity-decrease importances across trees —
@@ -73,15 +97,15 @@ impl Classifier for RandomForest {
         let n = x.rows();
         let sample_size = ((n as f64 * self.bootstrap_fraction).round() as usize).max(1);
         self.n_features = x.cols();
-        self.trees.clear();
-        self.trees.reserve(self.n_trees);
-        let mut rng = Rng::seed_from_u64(self.seed);
-        for _ in 0..self.n_trees {
+        let seeds = tree_seeds(self.seed, self.n_trees);
+        let threads = smartfeat_par::resolve_threads(self.threads);
+        let params = self.tree_params;
+        self.trees = smartfeat_par::try_par_map_indexed(threads, self.n_trees, |i| {
+            let mut rng = Rng::seed_from_u64(seeds[i]);
             let indices: Vec<usize> = (0..sample_size).map(|_| rng.gen_range(0..n)).collect();
-            let mut tree = DecisionTree::new(self.tree_params);
-            tree.fit_indices(x, y, &indices, &mut rng)?;
-            self.trees.push(tree);
-        }
+            let mut tree = DecisionTree::new(params);
+            tree.fit_indices(x, y, &indices, &mut rng).map(|()| tree)
+        })?;
         Ok(())
     }
 
@@ -148,6 +172,23 @@ mod tests {
         a.fit(&x, &y).unwrap();
         b.fit(&x, &y).unwrap();
         assert_eq!(a.predict_proba(&x).unwrap(), b.predict_proba(&x).unwrap());
+    }
+
+    #[test]
+    fn parallel_fit_is_bit_identical_to_serial() {
+        let (x, y) = noisy_threshold_data(2);
+        for seed in [1u64, 7, 42] {
+            let mut serial = RandomForest::default_params(seed).with_threads(1);
+            let mut parallel = RandomForest::default_params(seed).with_threads(4);
+            serial.fit(&x, &y).unwrap();
+            parallel.fit(&x, &y).unwrap();
+            let ps: Vec<u64> = serial.predict_proba(&x).unwrap().iter().map(|p| p.to_bits()).collect();
+            let pp: Vec<u64> = parallel.predict_proba(&x).unwrap().iter().map(|p| p.to_bits()).collect();
+            assert_eq!(ps, pp, "seed {seed}");
+            let is: Vec<u64> = serial.feature_importances().unwrap().iter().map(|v| v.to_bits()).collect();
+            let ip: Vec<u64> = parallel.feature_importances().unwrap().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(is, ip, "seed {seed}");
+        }
     }
 
     #[test]

@@ -1,0 +1,171 @@
+//! Differential test layer for the parallel execution subsystem: every
+//! parallel-wired path must produce **byte-identical** output between the
+//! exact serial path (1 thread) and a multi-threaded pool, across seeds.
+//!
+//! Caveat: when `SMARTFEAT_THREADS` is set (e.g. under the threads-matrix
+//! harness) it overrides both sides to the same count, and the cross-count
+//! comparison happens between harness runs instead.
+
+use smartfeat::{SmartFeat, SmartFeatConfig, SmartFeatReport};
+use smartfeat_fm::SimulatedFm;
+use smartfeat_frame::csv;
+use smartfeat_ml::{
+    evaluate_models_threaded, kfold_cv_auc_threaded, Classifier, ExtraTrees, Matrix, ModelKind,
+    RandomForest,
+};
+use smartfeat_rng::Rng;
+
+const SEEDS: [u64; 5] = [1, 7, 42, 123, 9999];
+const THREAD_COUNTS: [usize; 3] = [2, 4, 8];
+
+fn dense_data(seed: u64, rows: usize, cols: usize) -> (Matrix, Vec<u8>) {
+    let mut rng = Rng::seed_from_u64(seed);
+    let data: Vec<Vec<f64>> = (0..rows)
+        .map(|_| (0..cols).map(|_| rng.gen_f64() * 8.0).collect())
+        .collect();
+    let y: Vec<u8> = data.iter().map(|r| u8::from(r[0] + r[1] > 8.0)).collect();
+    (Matrix::from_rows(data).expect("rectangular"), y)
+}
+
+fn bits(xs: &[f64]) -> Vec<u64> {
+    xs.iter().map(|x| x.to_bits()).collect()
+}
+
+#[test]
+fn forest_fit_is_bit_identical_across_thread_counts() {
+    for seed in SEEDS {
+        let (x, y) = dense_data(seed, 240, 6);
+        let mut serial = RandomForest::default_params(seed).with_threads(1);
+        serial.fit(&x, &y).expect("fits");
+        let p_serial = bits(&serial.predict_proba(&x).expect("fitted"));
+        let i_serial = bits(&serial.feature_importances().expect("fitted"));
+        for threads in THREAD_COUNTS {
+            let mut par = RandomForest::default_params(seed).with_threads(threads);
+            par.fit(&x, &y).expect("fits");
+            assert_eq!(
+                bits(&par.predict_proba(&x).expect("fitted")),
+                p_serial,
+                "seed {seed}, {threads} threads"
+            );
+            assert_eq!(
+                bits(&par.feature_importances().expect("fitted")),
+                i_serial,
+                "seed {seed}, {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn extra_trees_fit_is_bit_identical_across_thread_counts() {
+    for seed in SEEDS {
+        let (x, y) = dense_data(seed.wrapping_add(31), 240, 6);
+        let mut serial = ExtraTrees::default_params(seed).with_threads(1);
+        serial.fit(&x, &y).expect("fits");
+        let p_serial = bits(&serial.predict_proba(&x).expect("fitted"));
+        for threads in THREAD_COUNTS {
+            let mut par = ExtraTrees::default_params(seed).with_threads(threads);
+            par.fit(&x, &y).expect("fits");
+            assert_eq!(
+                bits(&par.predict_proba(&x).expect("fitted")),
+                p_serial,
+                "seed {seed}, {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn kfold_cv_is_bit_identical_across_thread_counts() {
+    for seed in SEEDS {
+        let (x, y) = dense_data(seed.wrapping_add(77), 160, 4);
+        for kind in [ModelKind::RF, ModelKind::LR, ModelKind::NB] {
+            let serial = kfold_cv_auc_threaded(kind, &x, &y, 4, seed, 1)
+                .expect("scores")
+                .to_bits();
+            for threads in THREAD_COUNTS {
+                let par = kfold_cv_auc_threaded(kind, &x, &y, 4, seed, threads)
+                    .expect("scores")
+                    .to_bits();
+                assert_eq!(par, serial, "seed {seed}, {kind}, {threads} threads");
+            }
+        }
+    }
+}
+
+#[test]
+fn evaluate_all_models_is_bit_identical_across_thread_counts() {
+    for seed in SEEDS {
+        let (x, y) = dense_data(seed.wrapping_add(13), 200, 5);
+        let split = 150;
+        let train: Vec<usize> = (0..split).collect();
+        let test: Vec<usize> = (split..x.rows()).collect();
+        let (xt, xe) = (x.take_rows(&train), x.take_rows(&test));
+        let yt: Vec<u8> = train.iter().map(|&i| y[i]).collect();
+        let ye: Vec<u8> = test.iter().map(|&i| y[i]).collect();
+        let all = ModelKind::all();
+        let serial = evaluate_models_threaded(&all, &xt, &yt, &xe, &ye, seed, 1).expect("scores");
+        for threads in THREAD_COUNTS {
+            let par =
+                evaluate_models_threaded(&all, &xt, &yt, &xe, &ye, seed, threads).expect("scores");
+            for ((ks, vs), (kp, vp)) in serial.scores.iter().zip(&par.scores) {
+                assert_eq!(ks, kp, "model order, seed {seed}, {threads} threads");
+                assert_eq!(
+                    vs.to_bits(),
+                    vp.to_bits(),
+                    "seed {seed}, {ks}, {threads} threads"
+                );
+            }
+        }
+    }
+}
+
+fn run_pipeline(seed: u64, threads: usize) -> SmartFeatReport {
+    let ds = smartfeat_datasets::insurance::generate(120, seed);
+    let selector = SimulatedFm::gpt4(seed);
+    let generator = SimulatedFm::gpt35(seed.wrapping_add(1));
+    let config = SmartFeatConfig {
+        threads,
+        seed,
+        ..SmartFeatConfig::default()
+    };
+    SmartFeat::new(&selector, &generator, config)
+        .run(&ds.frame, &ds.agenda("RF"))
+        .expect("pipeline runs")
+}
+
+#[test]
+fn full_pipeline_run_is_byte_identical_across_thread_counts() {
+    for seed in SEEDS {
+        let serial = run_pipeline(seed, 1);
+        let serial_csv = csv::write_csv_str(&serial.frame);
+        for threads in THREAD_COUNTS {
+            let par = run_pipeline(seed, threads);
+            assert_eq!(
+                par.new_feature_names(),
+                serial.new_feature_names(),
+                "seed {seed}, {threads} threads"
+            );
+            assert_eq!(
+                par.summary(),
+                serial.summary(),
+                "seed {seed}, {threads} threads"
+            );
+            assert_eq!(
+                csv::write_csv_str(&par.frame),
+                serial_csv,
+                "seed {seed}, {threads} threads"
+            );
+            assert_eq!(
+                (par.selector_usage.calls, par.generator_usage.calls),
+                (serial.selector_usage.calls, serial.generator_usage.calls),
+                "FM usage attribution, seed {seed}, {threads} threads"
+            );
+            assert_eq!(
+                par.skipped.len(),
+                serial.skipped.len(),
+                "seed {seed}, {threads} threads"
+            );
+        }
+    }
+}

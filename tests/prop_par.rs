@@ -1,0 +1,114 @@
+//! Property tests for the `smartfeat-par` pool, plus a stress test of the
+//! FM usage meter under concurrent recording.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use smartfeat_fm::stats::CallRecord;
+use smartfeat_fm::UsageMeter;
+use smartfeat_rng::check;
+
+fn record(i: usize) -> CallRecord {
+    CallRecord {
+        model: "stress".to_string(),
+        prompt_tokens: 1 + i,
+        completion_tokens: 2 + i,
+        cost_usd: 1e-4,
+        latency: std::time::Duration::from_millis(3),
+        kind: "stress_task".to_string(),
+    }
+}
+
+#[test]
+fn par_map_preserves_order_and_length_for_arbitrary_shapes() {
+    check::cases(64, |rng| {
+        let n = rng.gen_range(0..200usize);
+        let threads = rng.gen_range(1..12usize);
+        let items: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(rng.next_u64() | 1)).collect();
+        let out = smartfeat_par::par_map(threads, &items, |&x| x.wrapping_add(1));
+        assert_eq!(out.len(), items.len());
+        for (o, x) in out.iter().zip(&items) {
+            assert_eq!(*o, x.wrapping_add(1));
+        }
+    });
+}
+
+#[test]
+fn par_map_matches_serial_map_exactly() {
+    check::cases(48, |rng| {
+        let n = rng.gen_range(1..150usize);
+        let threads = rng.gen_range(2..10usize);
+        let items = check::vec_f64(rng, n..n + 1, -100.0..100.0);
+        let serial: Vec<u64> = items.iter().map(|x| (x * 3.5 - 1.0).to_bits()).collect();
+        let parallel = smartfeat_par::par_map(threads, &items, |x| (x * 3.5 - 1.0).to_bits());
+        assert_eq!(parallel, serial);
+    });
+}
+
+#[test]
+fn panicking_task_propagates_without_deadlock() {
+    check::cases(24, |rng| {
+        let n = rng.gen_range(2..60usize);
+        let threads = rng.gen_range(2..8usize);
+        let bad = rng.gen_range(0..n);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            smartfeat_par::par_map_indexed(threads, n, |i| {
+                assert_ne!(i, bad, "poisoned task");
+                i
+            })
+        }));
+        assert!(result.is_err(), "panic at index {bad} must propagate");
+    });
+}
+
+#[test]
+fn nested_scopes_complete() {
+    check::cases(16, |rng| {
+        let outer = rng.gen_range(1..5usize);
+        let inner = rng.gen_range(1..5usize);
+        let count = AtomicUsize::new(0);
+        let totals = smartfeat_par::par_map_indexed(outer.min(4), outer, |_| {
+            smartfeat_par::scope(|s| {
+                let handles: Vec<_> = (0..inner)
+                    .map(|_| s.spawn(|| count.fetch_add(1, Ordering::Relaxed)))
+                    .collect();
+                handles.into_iter().map(|h| h.join()).count()
+            })
+        });
+        assert_eq!(totals, vec![inner; outer]);
+        assert_eq!(count.load(Ordering::Relaxed), outer * inner);
+    });
+}
+
+#[test]
+fn usage_meter_totals_survive_concurrent_recording() {
+    // ~100 tasks record into one shared meter from the pool; the final
+    // counts must equal the serial sum regardless of interleaving.
+    let tasks = 100usize;
+    let serial = UsageMeter::new();
+    for i in 0..tasks {
+        serial.record(record(i));
+    }
+    let expected = serial.snapshot();
+
+    for threads in [2usize, 4, 8] {
+        let meter = UsageMeter::new();
+        smartfeat_par::par_map_indexed(threads, tasks, |i| {
+            meter.record(record(i));
+        });
+        let got = meter.snapshot();
+        assert_eq!(got.calls, expected.calls, "{threads} threads");
+        assert_eq!(got.prompt_tokens, expected.prompt_tokens, "{threads} threads");
+        assert_eq!(
+            got.completion_tokens, expected.completion_tokens,
+            "{threads} threads"
+        );
+        assert_eq!(got.latency, expected.latency, "{threads} threads");
+        assert!(
+            (got.cost_usd - expected.cost_usd).abs() < 1e-12,
+            "{threads} threads: {} vs {}",
+            got.cost_usd,
+            expected.cost_usd
+        );
+    }
+}

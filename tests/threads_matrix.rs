@@ -1,0 +1,89 @@
+//! Tier-1 thread-matrix harness: run the parallel-wired stack under
+//! `SMARTFEAT_THREADS=1` and `SMARTFEAT_THREADS=4` and require
+//! byte-identical fingerprints.
+//!
+//! The matrix re-executes this test binary (filtered to the worker test)
+//! rather than invoking `cargo test` recursively — a nested cargo would
+//! contend for the target-directory lock. Each worker writes its
+//! fingerprint to the file named by `SMARTFEAT_MATRIX_OUT`; the outer test
+//! compares the two files.
+
+use std::process::Command;
+
+use smartfeat::{SmartFeat, SmartFeatConfig};
+use smartfeat_fm::SimulatedFm;
+use smartfeat_frame::csv;
+use smartfeat_ml::{kfold_cv_auc, Classifier, Matrix, ModelKind, RandomForest};
+use smartfeat_rng::Rng;
+
+/// Everything downstream of the pool, digested to a string: a full
+/// pipeline run, a forest fit, and a k-fold CV score. Thread counts come
+/// from the environment (`SmartFeatConfig::default()` leaves `threads`
+/// at auto), so the same binary produces the per-count fingerprints.
+fn fingerprint() -> String {
+    let mut out = String::new();
+    for seed in [3u64, 17] {
+        let ds = smartfeat_datasets::insurance::generate(100, seed);
+        let selector = SimulatedFm::gpt4(seed);
+        let generator = SimulatedFm::gpt35(seed.wrapping_add(1));
+        let report = SmartFeat::new(&selector, &generator, SmartFeatConfig::default())
+            .run(&ds.frame, &ds.agenda("RF"))
+            .expect("pipeline runs");
+        out.push_str(&report.summary());
+        out.push_str(&csv::write_csv_str(&report.frame));
+    }
+    let mut rng = Rng::seed_from_u64(5);
+    let rows: Vec<Vec<f64>> = (0..150)
+        .map(|_| (0..4).map(|_| rng.gen_f64() * 6.0).collect())
+        .collect();
+    let y: Vec<u8> = rows.iter().map(|r| u8::from(r[0] + r[3] > 6.0)).collect();
+    let x = Matrix::from_rows(rows).expect("rectangular");
+    let mut rf = RandomForest::default_params(5);
+    rf.fit(&x, &y).expect("fits");
+    for p in rf.predict_proba(&x).expect("fitted") {
+        out.push_str(&format!("{:016x}\n", p.to_bits()));
+    }
+    let auc = kfold_cv_auc(ModelKind::RF, &x, &y, 4, 11).expect("scores");
+    out.push_str(&format!("cv={:016x}\n", auc.to_bits()));
+    out
+}
+
+/// Inner worker: compute the fingerprint and write it to
+/// `SMARTFEAT_MATRIX_OUT`. A no-op in ordinary suite runs.
+#[test]
+fn matrix_fingerprint_worker() {
+    let Ok(path) = std::env::var("SMARTFEAT_MATRIX_OUT") else {
+        return;
+    };
+    std::fs::write(&path, fingerprint()).expect("write fingerprint");
+}
+
+#[test]
+fn suite_is_byte_identical_under_thread_matrix() {
+    if std::env::var("SMARTFEAT_MATRIX_OUT").is_ok() {
+        return; // we are the worker — don't recurse
+    }
+    let exe = std::env::current_exe().expect("current exe");
+    let mut fingerprints = Vec::new();
+    for threads in ["1", "4"] {
+        let out_path = std::env::temp_dir().join(format!(
+            "smartfeat_matrix_{}_{threads}.txt",
+            std::process::id()
+        ));
+        let status = Command::new(&exe)
+            .args(["--exact", "matrix_fingerprint_worker"])
+            .env("SMARTFEAT_THREADS", threads)
+            .env("SMARTFEAT_MATRIX_OUT", &out_path)
+            .status()
+            .expect("spawn matrix worker");
+        assert!(status.success(), "worker with SMARTFEAT_THREADS={threads} failed");
+        let fp = std::fs::read_to_string(&out_path).expect("read fingerprint");
+        let _ = std::fs::remove_file(&out_path);
+        assert!(!fp.is_empty(), "empty fingerprint at SMARTFEAT_THREADS={threads}");
+        fingerprints.push(fp);
+    }
+    assert_eq!(
+        fingerprints[0], fingerprints[1],
+        "SMARTFEAT_THREADS=1 and =4 fingerprints diverge"
+    );
+}
