@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Local CI: the exact steps .github/workflows/ci.yml runs, in the same
+# order, so a green ./ci.sh means a green pipeline. Everything is
+# --offline per the hermetic-build policy (zero registry dependencies).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> tier-1: release build"
+cargo build --release --offline
+
+echo "==> tier-1: test suite"
+cargo test -q --offline
+
+echo "==> lint: rustfmt"
+cargo fmt --check
+
+echo "==> lint: clippy (warnings are errors)"
+cargo clippy --all-targets --offline -- -D warnings
+
+echo "==> determinism matrix: SMARTFEAT_THREADS=1"
+SMARTFEAT_THREADS=1 cargo test -q --offline
+
+echo "==> determinism matrix: SMARTFEAT_THREADS=4"
+SMARTFEAT_THREADS=4 cargo test -q --offline
+
+echo "==> ci.sh: all checks passed"

@@ -106,21 +106,19 @@ impl AutoFeat {
         out
     }
 
-    fn materialize(
-        formula: &Formula,
-        cols: &[&Column],
-        index: usize,
-    ) -> Option<Column> {
+    fn materialize(formula: &Formula, cols: &[&Column], index: usize) -> Option<Column> {
         match formula {
             Formula::Unary(UnaryFn::Identity, c) => {
                 let mut col = cols[*c].clone();
                 col.set_name(format!("af_{index}_identity_{}", cols[*c].name()));
                 Some(col)
             }
-            Formula::Unary(f, c) => {
-                unary_map(cols[*c], *f, &format!("af_{index}_{}_{}", f.name(), cols[*c].name()))
-                    .ok()
-            }
+            Formula::Unary(f, c) => unary_map(
+                cols[*c],
+                *f,
+                &format!("af_{index}_{}_{}", f.name(), cols[*c].name()),
+            )
+            .ok(),
             Formula::Combo(fa, a, op, fb, b) => {
                 let left = unary_map(cols[*a], *fa, "l").ok()?;
                 let right = unary_map(cols[*b], *fb, "r").ok()?;
@@ -155,8 +153,7 @@ impl AutoFeat {
         deadline: Duration,
     ) -> Vec<usize> {
         let n = labels.len();
-        let mut rows: Vec<Vec<f64>> =
-            (0..n).map(|_| Vec::with_capacity(pool.len())).collect();
+        let mut rows: Vec<Vec<f64>> = (0..n).map(|_| Vec::with_capacity(pool.len())).collect();
         for col in pool {
             for (row, v) in rows.iter_mut().zip(col.to_f64()) {
                 row.push(v.unwrap_or(0.0));
@@ -250,8 +247,7 @@ impl AfeMethod for AutoFeat {
             }
             _ => (0..n_rows).collect(),
         };
-        let labels_sub: Vec<Option<f64>> =
-            scoring_idx.iter().map(|&i| labels[i]).collect();
+        let labels_sub: Vec<Option<f64>> = scoring_idx.iter().map(|&i| labels[i]).collect();
         let subsample = |col: &Column| -> Vec<Option<f64>> {
             let full = col.to_f64();
             scoring_idx.iter().map(|&i| full[i]).collect()
@@ -304,9 +300,9 @@ impl AfeMethod for AutoFeat {
                     break;
                 }
                 let col = &pool[idx];
-                let redundant = selected.iter().any(|s| {
-                    pearson(&col.to_f64(), &s.to_f64()).is_some_and(|r| r.abs() > 0.9)
-                });
+                let redundant = selected
+                    .iter()
+                    .any(|s| pearson(&col.to_f64(), &s.to_f64()).is_some_and(|r| r.abs() > 0.9));
                 if !redundant {
                     selected.push(col.clone());
                 }
@@ -353,10 +349,7 @@ mod tests {
             Column::from_f64("a", (0..n).map(|i| (i % 17) as f64 + 1.0).collect()),
             Column::from_f64("b", (0..n).map(|i| ((i * 5) % 23) as f64 + 1.0).collect()),
             Column::from_f64("c", (0..n).map(|i| ((i * 11) % 7) as f64 + 1.0).collect()),
-            Column::from_i64(
-                "y",
-                (0..n).map(|i| i64::from((i % 17) >= 8)).collect(),
-            ),
+            Column::from_i64("y", (0..n).map(|i| i64::from((i % 17) >= 8)).collect()),
         ])
         .unwrap()
     }
@@ -389,8 +382,7 @@ mod tests {
         let af = AutoFeat::default();
         let out = af.run(&frame(300), "y", &[], Duration::from_secs(60));
         assert!(
-            out.frame.has_column("a")
-                || out.new_features.iter().any(|f| f.contains("(a)")),
+            out.frame.has_column("a") || out.new_features.iter().any(|f| f.contains("(a)")),
             "{:?}",
             out.frame.column_names()
         );

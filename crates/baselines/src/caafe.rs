@@ -208,7 +208,9 @@ enum CaafeCandidate {
 impl CaafeCandidate {
     fn name(&self) -> String {
         match self {
-            CaafeCandidate::Binary { left, right, op, .. } => {
+            CaafeCandidate::Binary {
+                left, right, op, ..
+            } => {
                 format!("caafe_{}_{}_{}", left, op.token(), right)
             }
             CaafeCandidate::Groupby {
@@ -268,7 +270,6 @@ impl AfeMethod for Caafe<'_> {
             return out;
         };
 
-
         let mut agenda = self.agenda.clone();
         let mut features: Vec<String> = df
             .column_names()
@@ -283,8 +284,7 @@ impl AfeMethod for Caafe<'_> {
         let mut generated_count = 0usize;
         let mut timed_out = false;
 
-        let Some(mut best_auc) =
-            self.validation_auc(&train_frame, &valid_frame, target, &features)
+        let Some(mut best_auc) = self.validation_auc(&train_frame, &valid_frame, target, &features)
         else {
             let mut out = MethodOutput::passthrough(df);
             out.failure = Some("initial validation training failed".into());
@@ -366,8 +366,8 @@ impl AfeMethod for Caafe<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use smartfeat_fm::SimulatedFm;
     use smartfeat_datasets as datasets;
+    use smartfeat_fm::SimulatedFm;
 
     #[test]
     fn accepts_only_improving_features_on_housing() {

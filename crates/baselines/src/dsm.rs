@@ -78,20 +78,14 @@ impl AfeMethod for Featuretools {
                         break 'gen;
                     }
                     let (a, b) = (numeric[i], numeric[j]);
-                    if let Ok(c) = binary_op(
-                        a,
-                        b,
-                        BinaryOp::Add,
-                        &format!("{} + {}", a.name(), b.name()),
-                    ) {
+                    if let Ok(c) =
+                        binary_op(a, b, BinaryOp::Add, &format!("{} + {}", a.name(), b.name()))
+                    {
                         generated.push(c);
                     }
-                    if let Ok(c) = binary_op(
-                        a,
-                        b,
-                        BinaryOp::Mul,
-                        &format!("{} * {}", a.name(), b.name()),
-                    ) {
+                    if let Ok(c) =
+                        binary_op(a, b, BinaryOp::Mul, &format!("{} * {}", a.name(), b.name()))
+                    {
                         generated.push(c);
                     }
                 }
@@ -121,12 +115,7 @@ impl AfeMethod for Featuretools {
                             &[g],
                             v.name(),
                             func,
-                            &format!(
-                                "{}({} by {})",
-                                func.name().to_uppercase(),
-                                v.name(),
-                                g
-                            ),
+                            &format!("{}({} by {})", func.name().to_uppercase(), v.name(), g),
                         ) {
                             generated.push(c);
                         }
@@ -184,10 +173,7 @@ mod tests {
             Column::from_f64("x", (0..n).map(|i| i as f64).collect()),
             Column::from_f64("y", (0..n).map(|i| ((i * 7) % 13) as f64).collect()),
             Column::from_f64("z", (0..n).map(|i| ((i * 3) % 5) as f64).collect()),
-            Column::from_strs(
-                "g",
-                (0..n).map(|i| Some(format!("g{}", i % 4))).collect(),
-            ),
+            Column::from_strs("g", (0..n).map(|i| Some(format!("g{}", i % 4))).collect()),
             Column::from_i64("label", (0..n).map(|i| (i % 2) as i64).collect()),
         ])
         .unwrap()

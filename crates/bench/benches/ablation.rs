@@ -2,11 +2,11 @@
 //! on Tennis. Shows where the FM-call budget goes: unary (one proposal per
 //! attribute), the sampled families (budgeted), and the full pipeline.
 
-use smartfeat_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use smartfeat::config::{OperatorFamily, OperatorMask};
 use smartfeat::SmartFeatConfig;
 use smartfeat_bench::methods::run_smartfeat;
 use smartfeat_bench::prep::prepare;
+use smartfeat_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_ablation(c: &mut Criterion) {
     let ds = smartfeat_datasets::by_name("Tennis", 300, 3).expect("tennis exists");

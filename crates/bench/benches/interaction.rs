@@ -5,9 +5,9 @@
 //! printed by `repro fig1`. The shape to look for: `row_level/*` grows
 //! linearly with rows; `feature_level/*` is flat.
 
-use smartfeat_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use smartfeat::prompts;
 use smartfeat::{SmartFeat, SmartFeatConfig};
+use smartfeat_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use smartfeat_datasets::insurance;
 use smartfeat_fm::{FoundationModel, SimulatedFm};
 

@@ -5,9 +5,9 @@
 
 use std::time::Duration;
 
-use smartfeat_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use smartfeat_bench::methods::{run_method, MethodName};
 use smartfeat_bench::prep::prepare;
+use smartfeat_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use smartfeat_ml::ModelKind;
 
 fn bench_methods(c: &mut Criterion) {

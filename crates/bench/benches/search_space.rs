@@ -5,11 +5,11 @@
 
 use std::time::Duration;
 
-use smartfeat_bench::{criterion_group, criterion_main, Criterion};
 use smartfeat::SmartFeatConfig;
 use smartfeat_baselines::{AfeMethod, AutoFeat, Featuretools};
 use smartfeat_bench::methods::run_smartfeat;
 use smartfeat_bench::prep::prepare;
+use smartfeat_bench::{criterion_group, criterion_main, Criterion};
 
 fn bench_search_space(c: &mut Criterion) {
     let ds = smartfeat_datasets::by_name("Adult", 400, 3).expect("adult exists");
@@ -19,8 +19,7 @@ fn bench_search_space(c: &mut Criterion) {
 
     group.bench_function("operator_guided_smartfeat", |b| {
         b.iter(|| {
-            run_smartfeat(&prep.frame, &ds, SmartFeatConfig::default(), false, 5)
-                .generated_count
+            run_smartfeat(&prep.frame, &ds, SmartFeatConfig::default(), false, 5).generated_count
         })
     });
 

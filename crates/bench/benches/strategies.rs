@@ -3,9 +3,9 @@
 //! per call) — the paper picks proposal for small spaces (unary) and
 //! sampling for rich spaces (binary/high-order/extractor).
 
-use smartfeat_bench::{criterion_group, criterion_main, Criterion};
 use smartfeat::selector::OperatorSelector;
 use smartfeat::SmartFeatConfig;
+use smartfeat_bench::{criterion_group, criterion_main, Criterion};
 use smartfeat_fm::SimulatedFm;
 
 fn bench_strategies(c: &mut Criterion) {
@@ -19,7 +19,10 @@ fn bench_strategies(c: &mut Criterion) {
             let selector = OperatorSelector::new(&fm, &config);
             let mut total = 0usize;
             for f in &agenda.features {
-                total += selector.propose_unary(&agenda, &f.name).expect("fm ok").len();
+                total += selector
+                    .propose_unary(&agenda, &f.name)
+                    .expect("fm ok")
+                    .len();
             }
             total
         })

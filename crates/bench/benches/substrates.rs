@@ -69,13 +69,17 @@ fn bench_fm_completions(c: &mut Criterion) {
     let prompts = [
         (
             "unary_proposal",
-            format!("{card}Consider the unary operators on the attribute 'Age' that can \
-                     generate helpful features to predict Safe."),
+            format!(
+                "{card}Consider the unary operators on the attribute 'Age' that can \
+                     generate helpful features to predict Safe."
+            ),
         ),
         (
             "highorder_sample",
-            format!("{card}Generate a groupby feature for predicting Safe by applying \
-                     'df.groupby(groupby_col)[agg_col].transform(function)'."),
+            format!(
+                "{card}Generate a groupby feature for predicting Safe by applying \
+                     'df.groupby(groupby_col)[agg_col].transform(function)'."
+            ),
         ),
         (
             "row_completion",

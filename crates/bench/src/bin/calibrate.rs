@@ -5,10 +5,10 @@
 
 use std::time::Duration;
 
+use smartfeat::SmartFeatConfig;
 use smartfeat_bench::evalml::evaluate_frame;
 use smartfeat_bench::methods::{run_method, run_smartfeat, MethodName};
 use smartfeat_bench::prep::prepare;
-use smartfeat::SmartFeatConfig;
 use smartfeat_ml::ModelKind;
 
 fn main() {

@@ -1,9 +1,9 @@
 //! Dev tool: which single SMARTFEAT-added feature hurts GaussianNB?
 
+use smartfeat::SmartFeatConfig;
 use smartfeat_bench::evalml::{evaluate_frame_models, matrix_and_labels, split_indices};
 use smartfeat_bench::methods::run_smartfeat;
 use smartfeat_bench::prep::prepare;
-use smartfeat::SmartFeatConfig;
 use smartfeat_ml::ModelKind;
 
 fn main() {
@@ -20,7 +20,8 @@ fn main() {
     let out = run_smartfeat(&prep.frame, &ds, SmartFeatConfig::default(), false, 42);
     for feat in &out.new_features {
         let mut df = prep.frame.clone();
-        df.upsert_column(out.frame.column(feat).unwrap().clone()).unwrap();
+        df.upsert_column(out.frame.column(feat).unwrap().clone())
+            .unwrap();
         let auc = evaluate_frame_models(&df, &prep.target, &[ModelKind::NB], seed)
             .unwrap()
             .average();
@@ -33,5 +34,8 @@ fn main() {
         .unwrap()
         .average();
     println!("NB with all SMARTFEAT features: {full:.2}");
-    let _ = (matrix_and_labels(&prep.frame, &prep.target), split_indices(10, 1));
+    let _ = (
+        matrix_and_labels(&prep.frame, &prep.target),
+        split_indices(10, 1),
+    );
 }

@@ -69,8 +69,7 @@ mod tests {
     fn evaluates_lawschool_above_chance() {
         let ds = smartfeat_datasets::by_name("Lawschool", 600, 2).unwrap();
         let prep = prepare(&ds);
-        let scores =
-            evaluate_frame_models(&prep.frame, &prep.target, &[ModelKind::LR], 7).unwrap();
+        let scores = evaluate_frame_models(&prep.frame, &prep.target, &[ModelKind::LR], 7).unwrap();
         assert!(scores.average() > 65.0, "LR AUC = {}", scores.average());
     }
 }

@@ -83,10 +83,7 @@ pub fn run_grid(config: &GridConfig) -> GridResult {
             .filter(|d| config.datasets.iter().any(|n| n == d.name))
             .collect()
     };
-    let datasets = selected
-        .iter()
-        .map(|ds| run_dataset(ds, config))
-        .collect();
+    let datasets = selected.iter().map(|ds| run_dataset(ds, config)).collect();
     GridResult {
         datasets,
         config: config.clone(),

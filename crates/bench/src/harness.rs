@@ -46,11 +46,7 @@ impl Criterion {
     }
 
     /// Run one stand-alone benchmark.
-    pub fn bench_function(
-        &mut self,
-        name: &str,
-        f: impl FnMut(&mut Bencher),
-    ) -> &mut Self {
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
         run_benchmark(name, self.sample_size, f);
         self
     }
@@ -83,11 +79,7 @@ impl BenchmarkGroup {
     }
 
     /// Run one benchmark in the group by name.
-    pub fn bench_function(
-        &mut self,
-        name: impl Display,
-        f: impl FnMut(&mut Bencher),
-    ) -> &mut Self {
+    pub fn bench_function(&mut self, name: impl Display, f: impl FnMut(&mut Bencher)) -> &mut Self {
         let label = format!("{}/{}", self.name, name);
         run_benchmark(&label, self.sample_size, f);
         self
@@ -267,9 +259,7 @@ mod tests {
 
     #[test]
     fn calibration_and_stats_are_sane() {
-        let stats = run_benchmark("test/sum", 5, |b| {
-            b.iter(|| (0..100u64).sum::<u64>())
-        });
+        let stats = run_benchmark("test/sum", 5, |b| b.iter(|| (0..100u64).sum::<u64>()));
         assert_eq!(stats.samples, 5);
         assert!(stats.iters_per_sample >= 1);
         assert!(stats.min <= stats.median && stats.median <= stats.max);

@@ -66,11 +66,7 @@ pub fn run_smartfeat(
         Ok(report) => MethodOutput {
             selected_count: report.generated.len(),
             generated_count: report.generated.len() + report.skipped.len(),
-            new_features: report
-                .generated
-                .iter()
-                .map(|g| g.name.clone())
-                .collect(),
+            new_features: report.generated.iter().map(|g| g.name.clone()).collect(),
             frame: report.frame,
             timed_out: false,
             failure: None,
@@ -96,9 +92,7 @@ pub fn run_method(
     seed: u64,
 ) -> MethodOutput {
     match method {
-        MethodName::SmartFeat => {
-            run_smartfeat(df, ds, SmartFeatConfig::default(), false, seed)
-        }
+        MethodName::SmartFeat => run_smartfeat(df, ds, SmartFeatConfig::default(), false, seed),
         MethodName::Caafe => {
             let fm = SimulatedFm::gpt4(seed.wrapping_add(17));
             let caafe = Caafe::new(&fm, ds.agenda("RF"), caafe_validation_model, seed);

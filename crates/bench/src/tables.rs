@@ -85,11 +85,7 @@ fn grid_table(grid: &GridResult, median: bool) -> String {
 }
 
 fn names(kinds: &[ModelKind]) -> String {
-    kinds
-        .iter()
-        .map(|k| k.name())
-        .collect::<Vec<_>>()
-        .join(",")
+    kinds.iter().map(|k| k.name()).collect::<Vec<_>>().join(",")
 }
 
 /// Table 4: average-AUC grid.
@@ -151,7 +147,10 @@ pub fn table6(scale: f64, seed: u64, deadline: Duration) -> String {
             seed,
         );
         if method == MethodName::AutoFeat || method == MethodName::Featuretools {
-            counts_row.push(format!("{} (sel-{})", out.generated_count, out.selected_count));
+            counts_row.push(format!(
+                "{} (sel-{})",
+                out.generated_count, out.selected_count
+            ));
         } else {
             counts_row.push(out.selected_count.to_string());
         }
@@ -231,8 +230,8 @@ pub fn table7(scale: f64, seed: u64) -> String {
             ..SmartFeatConfig::default()
         };
         let out = run_smartfeat(&prep.frame, &ds, config, false, seed);
-        let scores = evaluate_frame(&out.frame, &prep.target, eval_seed)
-            .expect("evaluation succeeds");
+        let scores =
+            evaluate_frame(&out.frame, &prep.target, eval_seed).expect("evaluation succeeds");
         for (model, row) in ModelKind::all().iter().zip(per_model.iter_mut()) {
             row.push(format!("{:.2}", scores.get(*model).unwrap_or(f64::NAN)));
         }
@@ -337,8 +336,8 @@ pub fn descriptions(scale: f64, seed: u64) -> String {
             names_only,
             seed,
         );
-        let scores = evaluate_frame(&out.frame, &prep.target, eval_seed)
-            .expect("evaluation succeeds");
+        let scores =
+            evaluate_frame(&out.frame, &prep.target, eval_seed).expect("evaluation succeeds");
         (out.selected_count, scores)
     };
     let (full_count, full) = run(false);

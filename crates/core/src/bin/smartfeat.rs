@@ -17,6 +17,10 @@
 //!   --no-drop             disable the original-feature drop heuristic
 //!   --fm-removal          enable the FM feature-removal extension
 //!   --transcript          print the full FM dialogue afterwards
+//!   --trace-out PATH      write the JSONL observability trace here
+//!   --metrics-out PATH    write the end-of-run JSON metrics report here
+//!                         (timestamps use a deterministic logical clock;
+//!                         set SMARTFEAT_OBS_WALLCLOCK=1 for wall time)
 //! ```
 //!
 //! The FM endpoints are the in-process simulated GPT-4 / GPT-3.5 pair; to
@@ -41,6 +45,8 @@ struct Args {
     drop_heuristic: bool,
     fm_removal: bool,
     transcript: bool,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -55,6 +61,8 @@ fn parse_args() -> Result<Args, String> {
     let mut drop_heuristic = true;
     let mut fm_removal = false;
     let mut transcript = false;
+    let mut trace_out = None;
+    let mut metrics_out = None;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         let mut value = |what: &str| -> Result<String, String> {
@@ -90,6 +98,8 @@ fn parse_args() -> Result<Args, String> {
             "--no-drop" => drop_heuristic = false,
             "--fm-removal" => fm_removal = true,
             "--transcript" => transcript = true,
+            "--trace-out" => trace_out = Some(value("--trace-out")?),
+            "--metrics-out" => metrics_out = Some(value("--metrics-out")?),
             other => return Err(format!("unknown argument {other}")),
         }
     }
@@ -105,6 +115,8 @@ fn parse_args() -> Result<Args, String> {
         drop_heuristic,
         fm_removal,
         transcript,
+        trace_out,
+        metrics_out,
     })
 }
 
@@ -154,6 +166,11 @@ fn main() {
         drop_heuristic: args.drop_heuristic,
         fm_feature_removal: args.fm_removal,
         threads: args.threads,
+        observability: smartfeat::config::ObservabilityConfig {
+            enabled: false,
+            trace_out: args.trace_out.clone(),
+            metrics_out: args.metrics_out.clone(),
+        },
         seed: args.seed,
         ..SmartFeatConfig::default()
     };
@@ -189,6 +206,13 @@ fn main() {
             "\nAugmented dataset ({} columns) written to {path}",
             report.frame.n_cols()
         );
+    }
+
+    if let Some(path) = &args.metrics_out {
+        println!("Metrics report written to {path}");
+    }
+    if let Some(path) = &args.trace_out {
+        println!("Trace written to {path}");
     }
 
     if args.transcript {

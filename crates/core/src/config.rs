@@ -128,10 +128,67 @@ impl OperatorFamily {
             Some("Binary") => Ok(OperatorFamily::Binary),
             Some("HighOrder") => Ok(OperatorFamily::HighOrder),
             Some("Extractor") => Ok(OperatorFamily::Extractor),
-            _ => Err(JsonError::decode(format!(
-                "unknown operator family: {v}"
-            ))),
+            _ => Err(JsonError::decode(format!("unknown operator family: {v}"))),
         }
+    }
+}
+
+/// Observability settings: whether the run records structured telemetry
+/// and where the artifacts land. Off by default — the pipeline behaves
+/// exactly as before when disabled.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ObservabilityConfig {
+    /// Record spans, counters, and FM-budget telemetry for the run.
+    /// Implied by setting either output path.
+    pub enabled: bool,
+    /// Write the JSONL trace (one event per line) to this path.
+    pub trace_out: Option<String>,
+    /// Write the end-of-run JSON metrics report to this path.
+    pub metrics_out: Option<String>,
+}
+
+impl ObservabilityConfig {
+    /// Whether the run should record telemetry: explicitly enabled, or
+    /// implied by requesting an output artifact.
+    pub fn active(&self) -> bool {
+        self.enabled || self.trace_out.is_some() || self.metrics_out.is_some()
+    }
+
+    /// Serialize as a JSON object; `None` paths emit as `null`.
+    pub fn to_json(&self) -> JsonValue {
+        let path = |p: &Option<String>| match p {
+            Some(s) => JsonValue::Str(s.clone()),
+            None => JsonValue::Null,
+        };
+        JsonValue::object([
+            ("enabled", self.enabled.into()),
+            ("trace_out", path(&self.trace_out)),
+            ("metrics_out", path(&self.metrics_out)),
+        ])
+    }
+
+    /// Inverse of [`ObservabilityConfig::to_json`]. Lenient: missing keys
+    /// take their defaults, so hand-written configs can set only `enabled`.
+    pub fn from_json(v: &JsonValue) -> Result<Self, JsonError> {
+        let path = |key: &str| -> Result<Option<String>, JsonError> {
+            match v.get(key) {
+                None | Some(JsonValue::Null) => Ok(None),
+                Some(JsonValue::Str(s)) => Ok(Some(s.clone())),
+                Some(_) => Err(JsonError::decode(format!(
+                    "non-string field: observability.{key}"
+                ))),
+            }
+        };
+        Ok(ObservabilityConfig {
+            enabled: match v.get("enabled") {
+                None => false,
+                Some(b) => b
+                    .as_bool()
+                    .ok_or_else(|| JsonError::decode("non-bool field: observability.enabled"))?,
+            },
+            trace_out: path("trace_out")?,
+            metrics_out: path("metrics_out")?,
+        })
     }
 }
 
@@ -176,6 +233,9 @@ pub struct SmartFeatConfig {
     /// path. The `SMARTFEAT_THREADS` environment variable overrides this
     /// at run time. Output is bit-identical for every value.
     pub threads: usize,
+    /// Structured-telemetry settings (off by default; see
+    /// [`ObservabilityConfig`]).
+    pub observability: ObservabilityConfig,
     /// Seed for everything stochastic in the pipeline.
     pub seed: u64,
 }
@@ -196,6 +256,7 @@ impl Default for SmartFeatConfig {
             retry_malformed: 1,
             fm_feature_removal: false,
             threads: 0,
+            observability: ObservabilityConfig::default(),
             seed: 0,
         }
     }
@@ -237,6 +298,7 @@ impl SmartFeatConfig {
             ("retry_malformed", self.retry_malformed.into()),
             ("fm_feature_removal", self.fm_feature_removal.into()),
             ("threads", self.threads.into()),
+            ("observability", self.observability.to_json()),
             ("seed", self.seed.into()),
         ])
     }
@@ -274,6 +336,13 @@ impl SmartFeatConfig {
                 })
                 .transpose()?
                 .unwrap_or(0),
+            // Absent in configs serialized before the observability layer
+            // existed — default to off, matching the `threads` precedent.
+            observability: v
+                .get("observability")
+                .map(ObservabilityConfig::from_json)
+                .transpose()?
+                .unwrap_or_default(),
             seed: v
                 .get("seed")
                 .and_then(JsonValue::as_u64)
@@ -394,6 +463,67 @@ mod tests {
             SmartFeatConfig::default(),
             "pre-parallelism configs parse to the auto thread count"
         );
+    }
+
+    #[test]
+    fn observability_json_roundtrip() {
+        let c = SmartFeatConfig {
+            observability: ObservabilityConfig {
+                enabled: true,
+                trace_out: Some("trace.jsonl".into()),
+                metrics_out: Some("metrics.json".into()),
+            },
+            ..SmartFeatConfig::default()
+        };
+        let back = SmartFeatConfig::from_json_string(&c.to_json_string()).unwrap();
+        assert_eq!(back, c);
+        assert!(back.observability.active());
+        // Default (all off) round-trips and is inactive.
+        let d = SmartFeatConfig::default();
+        let back = SmartFeatConfig::from_json_string(&d.to_json_string()).unwrap();
+        assert_eq!(back, d);
+        assert!(!back.observability.active());
+    }
+
+    #[test]
+    fn config_without_observability_field_defaults_to_off() {
+        let mut v = SmartFeatConfig {
+            observability: ObservabilityConfig {
+                enabled: true,
+                trace_out: Some("t.jsonl".into()),
+                metrics_out: None,
+            },
+            ..SmartFeatConfig::default()
+        }
+        .to_json();
+        if let JsonValue::Object(m) = &mut v {
+            m.remove("observability");
+        }
+        let back = SmartFeatConfig::from_json(&v).unwrap();
+        assert_eq!(back.observability, ObservabilityConfig::default());
+        assert!(!back.observability.active());
+        assert_eq!(
+            back,
+            SmartFeatConfig::default(),
+            "pre-observability configs parse with telemetry off"
+        );
+    }
+
+    #[test]
+    fn observability_partial_object_is_lenient() {
+        let v = JsonValue::parse(r#"{"enabled": true}"#).unwrap();
+        let o = ObservabilityConfig::from_json(&v).unwrap();
+        assert!(o.enabled && o.active());
+        assert_eq!(o.trace_out, None);
+        assert_eq!(o.metrics_out, None);
+        // Setting only an output path implies active() without `enabled`.
+        let v = JsonValue::parse(r#"{"metrics_out": "m.json"}"#).unwrap();
+        let o = ObservabilityConfig::from_json(&v).unwrap();
+        assert!(!o.enabled);
+        assert!(o.active());
+        // Type errors are still rejected.
+        let v = JsonValue::parse(r#"{"trace_out": 3}"#).unwrap();
+        assert!(ObservabilityConfig::from_json(&v).is_err());
     }
 
     #[test]

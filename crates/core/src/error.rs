@@ -17,6 +17,8 @@ pub enum CoreError {
     InvalidConfig(String),
     /// Row-level completion was required but disabled or over budget.
     RowCompletionUnavailable(String),
+    /// Writing a run artifact (trace / metrics report) failed.
+    Io(String),
 }
 
 impl fmt::Display for CoreError {
@@ -30,6 +32,7 @@ impl fmt::Display for CoreError {
             CoreError::RowCompletionUnavailable(msg) => {
                 write!(f, "row-level completion unavailable: {msg}")
             }
+            CoreError::Io(msg) => write!(f, "io error: {msg}"),
         }
     }
 }

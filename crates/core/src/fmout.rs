@@ -66,10 +66,7 @@ pub fn parse_proposals(text: &str) -> Vec<ProposalLine> {
         let Some(confidence) = Confidence::parse(&body[open + 1..close]) else {
             continue;
         };
-        let description = body[close + 1..]
-            .trim_start_matches(':')
-            .trim()
-            .to_string();
+        let description = body[close + 1..].trim_start_matches(':').trim().to_string();
         out.push(ProposalLine {
             op,
             confidence,
@@ -387,9 +384,8 @@ mod tests {
 
     #[test]
     fn function_spec_unavailable_with_source() {
-        let spec =
-            parse_function_spec("FUNCTION: unavailable\nSOURCE: https://data.census.gov\n")
-                .unwrap();
+        let spec = parse_function_spec("FUNCTION: unavailable\nSOURCE: https://data.census.gov\n")
+            .unwrap();
         assert_eq!(spec.function, "unavailable");
         assert!(spec.source.unwrap().contains("census"));
     }
@@ -409,9 +405,10 @@ mod tests {
 
     #[test]
     fn multi_param_spec() {
-        let spec =
-            parse_function_spec("FUNCTION: weighted_index\nINPUT: a, b\nPARAMS: weights=1,-1; normalize=true\n")
-                .unwrap();
+        let spec = parse_function_spec(
+            "FUNCTION: weighted_index\nINPUT: a, b\nPARAMS: weights=1,-1; normalize=true\n",
+        )
+        .unwrap();
         assert_eq!(spec.params["weights"], "1,-1");
         assert_eq!(spec.params["normalize"], "true");
         assert_eq!(spec.inputs, vec!["a", "b"]);

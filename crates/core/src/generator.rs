@@ -10,8 +10,9 @@
 //! selector's output without an FM call — the paper calls this out
 //! explicitly — and binary candidates likewise carry their full spec.
 
-use smartfeat_frame::ops::{BinaryOp, DatePart, NormKind, UnaryFn};
 use smartfeat_fm::FoundationModel;
+use smartfeat_frame::ops::{BinaryOp, DatePart, NormKind, UnaryFn};
+use smartfeat_obs::Recorder;
 
 use crate::config::SmartFeatConfig;
 use crate::error::{CoreError, Result};
@@ -35,16 +36,40 @@ pub enum Generated {
 pub struct FunctionGenerator<'a> {
     fm: &'a dyn FoundationModel,
     config: &'a SmartFeatConfig,
+    rec: Recorder,
 }
 
 impl<'a> FunctionGenerator<'a> {
-    /// Create a generator over `fm` with `config`.
-    pub fn new(fm: &'a dyn FoundationModel, config: &'a SmartFeatConfig) -> Self {
-        FunctionGenerator { fm, config }
+    /// Create a generator over `fm` with `config`. Pass
+    /// [`Recorder::disabled`] when telemetry is off.
+    pub fn new(fm: &'a dyn FoundationModel, config: &'a SmartFeatConfig, rec: Recorder) -> Self {
+        FunctionGenerator { fm, config, rec }
     }
 
     /// Produce the transformation for one candidate.
     pub fn generate(&self, agenda: &DataAgenda, candidate: &Candidate) -> Result<Generated> {
+        let generated = self.generate_inner(agenda, candidate);
+        // Generator calls run on the serial FM walk, so event emission
+        // here is determinism-safe.
+        self.rec.event(
+            "generate.candidate",
+            &[
+                ("family", candidate.family.name().into()),
+                ("name", candidate.name.as_str().into()),
+                (
+                    "outcome",
+                    match &generated {
+                        Ok(Generated::Function(_)) => "function".into(),
+                        Ok(Generated::SourceSuggestion(_)) => "source_suggestion".into(),
+                        Err(_) => "error".into(),
+                    },
+                ),
+            ],
+        );
+        generated
+    }
+
+    fn generate_inner(&self, agenda: &DataAgenda, candidate: &Candidate) -> Result<Generated> {
         match &candidate.spec {
             // Directly constructible — no FM round-trip needed.
             OperatorSpec::Binary { op } => {
@@ -73,6 +98,9 @@ impl<'a> FunctionGenerator<'a> {
             _ => {
                 let prompt = prompts::function_generation(agenda, candidate);
                 let response = self.fm.complete(&prompt)?;
+                self.rec.family(candidate.family.name(), |f| {
+                    f.fm.add(crate::fm_usage_of(&response))
+                });
                 let Some(spec) = fmout::parse_function_spec(&response.text) else {
                     return Err(CoreError::InvalidTransform(format!(
                         "unparseable function-generation response: {:?}",
@@ -249,11 +277,7 @@ impl<'a> FunctionGenerator<'a> {
                         "row-level completion disabled by configuration".into(),
                     ));
                 }
-                let knowledge = spec
-                    .params
-                    .get("knowledge")
-                    .cloned()
-                    .unwrap_or_default();
+                let knowledge = spec.params.get("knowledge").cloned().unwrap_or_default();
                 let key_cols = if spec.inputs.is_empty() {
                     candidate.columns.clone()
                 } else {
@@ -288,8 +312,8 @@ fn truncate(text: &str, n: usize) -> String {
 mod tests {
     use super::*;
     use crate::config::OperatorFamily;
-    use smartfeat_frame::ops::AggFunc;
     use smartfeat_fm::SimulatedFm;
+    use smartfeat_frame::ops::AggFunc;
     use smartfeat_frame::{Column, DataFrame};
 
     fn agenda() -> DataAgenda {
@@ -326,7 +350,7 @@ mod tests {
     fn bucketize_age_gets_domain_boundaries() {
         let fm = SimulatedFm::gpt35(0);
         let cfg = SmartFeatConfig::default();
-        let gen = FunctionGenerator::new(&fm, &cfg);
+        let gen = FunctionGenerator::new(&fm, &cfg, Recorder::disabled());
         let cand = unary("Bucketized_Age", "Age", "bucketize", "age bands");
         match gen.generate(&agenda(), &cand).unwrap() {
             Generated::Function(TransformFunction::Bucketize {
@@ -344,7 +368,7 @@ mod tests {
     fn years_since_lowers_to_affine() {
         let fm = SimulatedFm::gpt35(0);
         let cfg = SmartFeatConfig::default();
-        let gen = FunctionGenerator::new(&fm, &cfg);
+        let gen = FunctionGenerator::new(&fm, &cfg, Recorder::disabled());
         let cand = unary(
             "YearsSince_Age_of_car",
             "Age_of_car",
@@ -364,7 +388,7 @@ mod tests {
     fn binary_constructed_without_fm_call() {
         let fm = SimulatedFm::gpt35(0);
         let cfg = SmartFeatConfig::default();
-        let gen = FunctionGenerator::new(&fm, &cfg);
+        let gen = FunctionGenerator::new(&fm, &cfg, Recorder::disabled());
         let cand = Candidate {
             name: "Age_minus_Age_of_car".into(),
             columns: vec!["Age".into(), "Age_of_car".into()],
@@ -387,7 +411,7 @@ mod tests {
     fn highorder_constructed_without_fm_call() {
         let fm = SimulatedFm::gpt35(0);
         let cfg = SmartFeatConfig::default();
-        let gen = FunctionGenerator::new(&fm, &cfg);
+        let gen = FunctionGenerator::new(&fm, &cfg, Recorder::disabled());
         let cand = Candidate {
             name: "GroupBy_City_mean_Claim".into(),
             columns: vec!["City".into(), "Claim".into()],
@@ -411,7 +435,7 @@ mod tests {
     fn external_lookup_lowers_to_row_completion() {
         let fm = SimulatedFm::gpt35(0);
         let cfg = SmartFeatConfig::default();
-        let gen = FunctionGenerator::new(&fm, &cfg);
+        let gen = FunctionGenerator::new(&fm, &cfg, Recorder::disabled());
         let cand = Candidate {
             name: "City_population_density".into(),
             columns: vec!["City".into()],
@@ -436,7 +460,7 @@ mod tests {
             allow_row_completion: false,
             ..SmartFeatConfig::default()
         };
-        let gen = FunctionGenerator::new(&fm, &cfg);
+        let gen = FunctionGenerator::new(&fm, &cfg, Recorder::disabled());
         let cand = Candidate {
             name: "City_population_density".into(),
             columns: vec!["City".into()],
@@ -456,7 +480,7 @@ mod tests {
     fn unknown_knowledge_becomes_source_suggestion() {
         let fm = SimulatedFm::gpt35(0);
         let cfg = SmartFeatConfig::default();
-        let gen = FunctionGenerator::new(&fm, &cfg);
+        let gen = FunctionGenerator::new(&fm, &cfg, Recorder::disabled());
         let cand = Candidate {
             name: "City_crime_rate".into(),
             columns: vec!["City".into()],
@@ -476,7 +500,7 @@ mod tests {
     fn weighted_index_round_trip() {
         let fm = SimulatedFm::gpt35(0);
         let cfg = SmartFeatConfig::default();
-        let gen = FunctionGenerator::new(&fm, &cfg);
+        let gen = FunctionGenerator::new(&fm, &cfg, Recorder::disabled());
         let cand = Candidate {
             name: "Perf_index".into(),
             columns: vec!["Age".into(), "Age_of_car".into()],

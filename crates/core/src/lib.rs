@@ -44,3 +44,23 @@ pub use error::{CoreError, Result};
 pub use pipeline::SmartFeat;
 pub use report::{GeneratedFeature, SkipReason, SmartFeatReport};
 pub use schema::{DataAgenda, FeatureDescription};
+
+/// One FM response as an observability usage record.
+pub(crate) fn fm_usage_of(r: &smartfeat_fm::FmResponse) -> smartfeat_obs::FmUsage {
+    smartfeat_obs::FmUsage {
+        calls: 1,
+        prompt_tokens: r.prompt_tokens as u64,
+        completion_tokens: r.completion_tokens as u64,
+        cost_usd: r.cost_usd,
+    }
+}
+
+/// A `UsageMeter` snapshot (or delta) as an observability usage record.
+pub(crate) fn fm_usage_of_snapshot(s: &smartfeat_fm::UsageSnapshot) -> smartfeat_obs::FmUsage {
+    smartfeat_obs::FmUsage {
+        calls: s.calls as u64,
+        prompt_tokens: s.prompt_tokens as u64,
+        completion_tokens: s.completion_tokens as u64,
+        cost_usd: s.cost_usd,
+    }
+}

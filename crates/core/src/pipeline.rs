@@ -11,6 +11,7 @@ use std::collections::HashSet;
 
 use smartfeat_fm::FoundationModel;
 use smartfeat_frame::{Column, DataFrame};
+use smartfeat_obs::{PoolCounters, Recorder};
 
 use crate::config::{OperatorFamily, SmartFeatConfig};
 use crate::error::Result;
@@ -84,6 +85,9 @@ struct RunState {
     unary_transformed: HashSet<String>,
     /// Original features referenced by accepted non-unary candidates.
     referenced: HashSet<String>,
+    /// Run-scoped telemetry recorder (disabled unless the config's
+    /// observability section is active).
+    rec: Recorder,
 }
 
 impl<'a> SmartFeat<'a> {
@@ -105,8 +109,16 @@ impl<'a> SmartFeat<'a> {
     /// (descriptions + target + downstream model).
     pub fn run(&self, df: &DataFrame, agenda: &DataAgenda) -> Result<SmartFeatReport> {
         self.config.validate()?;
+        let rec = if self.config.observability.active() {
+            Recorder::from_env()
+        } else {
+            Recorder::disabled()
+        };
         let selector_before = self.selector_fm.meter().snapshot();
         let generator_before = self.generator_fm.meter().snapshot();
+        let pool_before = smartfeat_par::pool_stats();
+        let work_before = smartfeat_obs::global::snapshot();
+        let run_span = rec.span("run");
 
         let mut state = RunState {
             frame: df.clone(),
@@ -117,36 +129,58 @@ impl<'a> SmartFeat<'a> {
             seen_keys: HashSet::new(),
             unary_transformed: HashSet::new(),
             referenced: HashSet::new(),
+            rec: rec.clone(),
         };
-        let selector = OperatorSelector::new(self.selector_fm, &self.config);
-        let generator = FunctionGenerator::new(self.generator_fm, &self.config);
+        let selector = OperatorSelector::new(self.selector_fm, &self.config, rec.clone());
+        let generator = FunctionGenerator::new(self.generator_fm, &self.config, rec.clone());
 
         if self.config.operators.unary {
+            let _span = rec.span("phase.unary");
             self.unary_phase(&selector, &generator, &mut state)?;
         }
         if self.config.operators.binary {
+            let _span = rec.span("phase.binary");
             self.sampling_phase(OperatorFamily::Binary, &selector, &generator, &mut state)?;
         }
         if self.config.operators.high_order {
+            let _span = rec.span("phase.high_order");
             self.sampling_phase(OperatorFamily::HighOrder, &selector, &generator, &mut state)?;
         }
         if self.config.operators.extractor {
+            let _span = rec.span("phase.extractor");
             self.sampling_phase(OperatorFamily::Extractor, &selector, &generator, &mut state)?;
         }
 
         let dropped_originals = if self.config.drop_heuristic {
+            let _span = rec.span("stage.drop_heuristic");
             self.apply_drop_heuristic(&mut state)
         } else {
             Vec::new()
         };
         let fm_removed = if self.config.fm_feature_removal {
+            let _span = rec.span("stage.fm_removal");
             self.fm_removal_pass(&mut state)?
         } else {
             Vec::new()
         };
+        drop(run_span);
 
         let selector_after = self.selector_fm.meter().snapshot();
         let generator_after = self.generator_fm.meter().snapshot();
+        let selector_usage = snapshot_delta(selector_before, selector_after);
+        let generator_usage = snapshot_delta(generator_before, generator_after);
+
+        let metrics = self.finish_observability(
+            &rec,
+            &state,
+            &dropped_originals,
+            &fm_removed,
+            &selector_usage,
+            &generator_usage,
+            pool_before,
+            work_before,
+        )?;
+
         Ok(SmartFeatReport {
             frame: state.frame,
             generated: state.generated,
@@ -155,9 +189,79 @@ impl<'a> SmartFeat<'a> {
             fm_removed,
             source_suggestions: state.source_suggestions,
             agenda: state.agenda,
-            selector_usage: snapshot_delta(selector_before, selector_after),
-            generator_usage: snapshot_delta(generator_before, generator_after),
+            selector_usage,
+            generator_usage,
+            metrics,
         })
+    }
+
+    /// Close out telemetry for the run: bridge the exact FM-meter deltas
+    /// and pool/work counters into the recorder, derive per-family outcome
+    /// stats from the report state, then write the trace / metrics
+    /// artifacts the config asks for. Returns the metrics report.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_observability(
+        &self,
+        rec: &Recorder,
+        state: &RunState,
+        dropped_originals: &[String],
+        fm_removed: &[String],
+        selector_usage: &smartfeat_fm::UsageSnapshot,
+        generator_usage: &smartfeat_fm::UsageSnapshot,
+        pool_before: smartfeat_par::PoolStats,
+        work_before: std::collections::BTreeMap<String, smartfeat_obs::global::WorkStat>,
+    ) -> Result<Option<smartfeat_frame::json::JsonValue>> {
+        if !rec.is_enabled() {
+            return Ok(None);
+        }
+        // Role-level FM usage is bridged from the meters so the report's
+        // `fm.total` equals the `crates/fm` accounting exactly. Per-family
+        // attribution accumulates separately under `families.<name>.fm`.
+        rec.set_fm_usage("selector", crate::fm_usage_of_snapshot(selector_usage));
+        rec.set_fm_usage("generator", crate::fm_usage_of_snapshot(generator_usage));
+
+        let pool_delta = smartfeat_par::pool_stats().since(&pool_before);
+        rec.set_pool(PoolCounters {
+            batches: pool_delta.batches,
+            tasks: pool_delta.tasks,
+            workers_spawned: pool_delta.workers_spawned,
+        });
+        rec.set_work(smartfeat_obs::global::delta(
+            &work_before,
+            &smartfeat_obs::global::snapshot(),
+        ));
+
+        for s in &state.skipped {
+            rec.family(s.family.name(), |f| {
+                f.skipped += 1;
+                if s.reason.is_generation_error() {
+                    f.generation_errors += 1;
+                }
+            });
+        }
+        rec.incr("features.generated", state.generated.len() as u64);
+        rec.incr("features.skipped", state.skipped.len() as u64);
+        rec.incr("features.dropped_originals", dropped_originals.len() as u64);
+        rec.incr("features.fm_removed", fm_removed.len() as u64);
+        rec.incr(
+            "features.source_suggestions",
+            state.source_suggestions.len() as u64,
+        );
+
+        if let Some(path) = &self.config.observability.trace_out {
+            std::fs::write(path, rec.trace_jsonl()).map_err(|e| {
+                crate::error::CoreError::Io(format!("writing trace to {path}: {e}"))
+            })?;
+        }
+        let report = rec.report();
+        if let Some(path) = &self.config.observability.metrics_out {
+            let mut text = report.emit();
+            text.push('\n');
+            std::fs::write(path, text).map_err(|e| {
+                crate::error::CoreError::Io(format!("writing metrics to {path}: {e}"))
+            })?;
+        }
+        Ok(Some(report))
     }
 
     /// Unary exploration with the proposal strategy, one call per original
@@ -169,7 +273,9 @@ impl<'a> SmartFeat<'a> {
         state: &mut RunState,
     ) -> Result<()> {
         for attr in state.agenda.original_names() {
+            let select_span = state.rec.span("stage.select");
             let candidates = selector.propose_unary(&state.agenda, &attr)?;
+            drop(select_span);
             // Dedup serially (the seen-set is ordered state), then realize
             // the attribute's surviving candidates as one batch: their
             // pure transforms run concurrently on the pool.
@@ -203,6 +309,7 @@ impl<'a> SmartFeat<'a> {
             // unparseable: re-ask up to `retry_malformed` times before the
             // failure counts against the error threshold.
             let mut sample = Sample::Invalid(String::new());
+            let select_span = state.rec.span("stage.select");
             for _attempt in 0..=self.config.retry_malformed {
                 sample = match family {
                     OperatorFamily::Binary => selector.sample_binary(&state.agenda)?,
@@ -214,6 +321,7 @@ impl<'a> SmartFeat<'a> {
                     break;
                 }
             }
+            drop(select_span);
             match sample {
                 Sample::Exhausted => break,
                 Sample::Invalid(_) => {
@@ -227,6 +335,13 @@ impl<'a> SmartFeat<'a> {
                 Sample::Candidate(cand) => {
                     if !state.seen_keys.insert(cand.dedup_key()) {
                         errors += 1;
+                        state.rec.event(
+                            "sample.repeated",
+                            &[
+                                ("family", family.name().into()),
+                                ("name", cand.name.as_str().into()),
+                            ],
+                        );
                         state.skipped.push(SkippedFeature {
                             name: cand.name.clone(),
                             family,
@@ -237,8 +352,8 @@ impl<'a> SmartFeat<'a> {
                     // A batch of one: each sample's prompt depends on the
                     // agenda as enriched by earlier acceptances, so the
                     // sampling loop is inherently serial across iterations.
-                    let accepted = self
-                        .realize_batch(generator, state, std::slice::from_ref(&cand))?[0];
+                    let accepted =
+                        self.realize_batch(generator, state, std::slice::from_ref(&cand))?[0];
                     if accepted {
                         for col in &cand.columns {
                             state.referenced.insert(col.clone());
@@ -278,9 +393,11 @@ impl<'a> SmartFeat<'a> {
         let threads = smartfeat_par::resolve_threads(self.config.threads);
 
         // Stage 1: serial FM walk.
+        let fm_walk_span = state.rec.span("realize.fm_walk");
         let mut staged: Vec<Staged> = Vec::with_capacity(cands.len());
         let mut pure: Vec<(usize, TransformFunction)> = Vec::new();
         for (i, cand) in cands.iter().enumerate() {
+            state.rec.family(cand.family.name(), |f| f.candidates += 1);
             let generated = match generator.generate(&state.agenda, cand) {
                 Ok(g) => g,
                 Err(crate::error::CoreError::InvalidTransform(msg))
@@ -328,8 +445,12 @@ impl<'a> SmartFeat<'a> {
                 pure.push((i, func));
             }
         }
+        drop(fm_walk_span);
 
-        // Stage 2: parallel pure transforms.
+        // Stage 2: parallel pure transforms. No events are emitted from
+        // the pool closures — only the span around the whole stage, from
+        // this serial frame (see the obs determinism contract).
+        let transforms_span = state.rec.span("realize.transforms");
         let frame = &state.frame;
         let max_distinct = self.config.row_completion_max_distinct;
         let applied = smartfeat_par::par_map_indexed(threads, pure.len(), |j| {
@@ -342,8 +463,10 @@ impl<'a> SmartFeat<'a> {
                 Err(e) => Staged::Failed(e.to_string()),
             };
         }
+        drop(transforms_span);
 
         // Stage 3: serial in-order filter and commit.
+        let commit_span = state.rec.span("realize.commit");
         let mut accepted = Vec::with_capacity(cands.len());
         for (cand, slot) in cands.iter().zip(staged) {
             let (func, columns) = match slot {
@@ -366,12 +489,23 @@ impl<'a> SmartFeat<'a> {
             let mut kept_any = false;
             for col in columns {
                 if self.config.feature_filter {
-                    if let Some(reason) = check_new_column_threaded(
+                    let eval_span = state.rec.span("stage.evaluate");
+                    let verdict = check_new_column_threaded(
                         &col,
                         &state.frame,
                         self.config.max_null_fraction,
                         threads,
-                    ) {
+                    );
+                    drop(eval_span);
+                    if let Some(reason) = verdict {
+                        state.rec.event(
+                            "candidate.skipped",
+                            &[
+                                ("family", cand.family.name().into()),
+                                ("name", col.name().into()),
+                                ("reason", reason.tag().into()),
+                            ],
+                        );
                         state.skipped.push(SkippedFeature {
                             name: col.name().to_string(),
                             family: cand.family,
@@ -390,6 +524,13 @@ impl<'a> SmartFeat<'a> {
                 let name = col.name().to_string();
                 let dtype = col.dtype().name().to_string();
                 let distinct = col.cardinality();
+                state.rec.event(
+                    "candidate.kept",
+                    &[
+                        ("family", cand.family.name().into()),
+                        ("name", name.as_str().into()),
+                    ],
+                );
                 state.frame.add_column(col)?;
                 state.agenda.push_generated(
                     &name,
@@ -407,8 +548,12 @@ impl<'a> SmartFeat<'a> {
                 });
                 kept_any = true;
             }
+            if kept_any {
+                state.rec.family(cand.family.name(), |f| f.accepted += 1);
+            }
             accepted.push(kept_any);
         }
+        drop(commit_span);
         Ok(accepted)
     }
 
@@ -417,7 +562,10 @@ impl<'a> SmartFeat<'a> {
     /// and anything the FM hallucinates are ignored.
     fn fm_removal_pass(&self, state: &mut RunState) -> Result<Vec<String>> {
         let prompt = crate::prompts::feature_removal(&state.agenda);
-        let response = self.selector_fm.complete(&prompt).map_err(crate::error::CoreError::from)?;
+        let response = self
+            .selector_fm
+            .complete(&prompt)
+            .map_err(crate::error::CoreError::from)?;
         let text = response.text.trim();
         if text.eq_ignore_ascii_case("none") {
             return Ok(Vec::new());
@@ -444,11 +592,13 @@ impl<'a> SmartFeat<'a> {
         let mut dropped = Vec::new();
         let originals = state.agenda.original_names();
         for name in originals {
-            if state.unary_transformed.contains(&name) && !state.referenced.contains(&name)
-                && state.frame.drop_column(&name).is_ok() {
-                    state.agenda.remove(&name);
-                    dropped.push(name);
-                }
+            if state.unary_transformed.contains(&name)
+                && !state.referenced.contains(&name)
+                && state.frame.drop_column(&name).is_ok()
+            {
+                state.agenda.remove(&name);
+                dropped.push(name);
+            }
         }
         dropped
     }
@@ -550,7 +700,11 @@ mod tests {
                 "generated {} missing from frame",
                 g.name
             );
-            assert!(r.agenda.has(&g.name), "generated {} missing from agenda", g.name);
+            assert!(
+                r.agenda.has(&g.name),
+                "generated {} missing from agenda",
+                g.name
+            );
         }
         assert_eq!(r.frame.n_rows(), 40);
         // No duplicate names.

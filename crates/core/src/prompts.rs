@@ -101,15 +101,9 @@ pub fn feature_removal(agenda: &DataAgenda) -> String {
 /// Row-level completion prompt: serialize one row with the new feature
 /// masked (`A1: v1, …, A_new: ?` — the paper's Section 3.3 fallback).
 pub fn row_completion(fields: &[(String, String)], new_feature: &str) -> String {
-    let mut row: Vec<String> = fields
-        .iter()
-        .map(|(k, v)| format!("{k}: {v}"))
-        .collect();
+    let mut row: Vec<String> = fields.iter().map(|(k, v)| format!("{k}: {v}")).collect();
     row.push(format!("{new_feature}: ?"));
-    format!(
-        "Complete the value of the last field.\n{}",
-        row.join(", ")
-    )
+    format!("Complete the value of the last field.\n{}", row.join(", "))
 }
 
 #[cfg(test)]
@@ -146,8 +140,9 @@ mod tests {
         let a = agenda();
         assert!(binary_sample(&a).contains("Propose one binary arithmetic feature"));
         assert!(highorder_sample(&a).contains("Generate a groupby feature"));
-        assert!(highorder_sample(&a)
-            .contains("'df.groupby(groupby_col)[agg_col].transform(function)'"));
+        assert!(
+            highorder_sample(&a).contains("'df.groupby(groupby_col)[agg_col].transform(function)'")
+        );
         assert!(extractor_sample(&a).contains("Propose one extractor feature"));
     }
 

@@ -41,6 +41,20 @@ impl SkipReason {
                 | SkipReason::GenerationFailed(_)
         )
     }
+
+    /// Stable machine-readable tag for trace events and metrics counters.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            SkipReason::HighNull(_) => "high_null",
+            SkipReason::SingleValued => "single_valued",
+            SkipReason::Duplicate(_) => "duplicate",
+            SkipReason::TransformFailed(_) => "transform_failed",
+            SkipReason::GenerationFailed(_) => "generation_failed",
+            SkipReason::SourceOnly(_) => "source_only",
+            SkipReason::InvalidSample => "invalid_sample",
+            SkipReason::RepeatedSample => "repeated_sample",
+        }
+    }
 }
 
 /// One successfully generated and kept feature.
@@ -93,6 +107,10 @@ pub struct SmartFeatReport {
     /// Function-generator FM usage during this run (includes row-level
     /// completions).
     pub generator_usage: UsageSnapshot,
+    /// The observability metrics report for this run (`None` when the
+    /// config's observability section is inactive). Same JSON document the
+    /// `--metrics-out` flag writes.
+    pub metrics: Option<smartfeat_frame::json::JsonValue>,
 }
 
 impl SmartFeatReport {
@@ -225,6 +243,7 @@ mod tests {
                 cost_usd: 0.002,
                 latency: Duration::from_secs(1),
             },
+            metrics: None,
         }
     }
 
@@ -244,6 +263,17 @@ mod tests {
         assert!(!SkipReason::HighNull(0.9).is_generation_error());
         assert!(!SkipReason::Duplicate("a".into()).is_generation_error());
         assert_eq!(report().generation_errors(), 1);
+    }
+
+    #[test]
+    fn skip_reason_tags_are_stable() {
+        assert_eq!(SkipReason::HighNull(0.9).tag(), "high_null");
+        assert_eq!(SkipReason::Duplicate("a".into()).tag(), "duplicate");
+        assert_eq!(SkipReason::InvalidSample.tag(), "invalid_sample");
+        assert_eq!(
+            SkipReason::GenerationFailed("x".into()).tag(),
+            "generation_failed"
+        );
     }
 
     #[test]

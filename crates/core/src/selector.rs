@@ -6,8 +6,9 @@
 //! - **Sampling strategy** (binary / high-order / extractor): one call
 //!   draws one candidate from the rich combination space.
 
-use smartfeat_frame::ops::{AggFunc, BinaryOp};
 use smartfeat_fm::FoundationModel;
+use smartfeat_frame::ops::{AggFunc, BinaryOp};
+use smartfeat_obs::Recorder;
 
 use crate::config::{OperatorFamily, SmartFeatConfig};
 use crate::error::Result;
@@ -54,6 +55,7 @@ fn op_label(op: &str) -> &'static str {
 pub struct OperatorSelector<'a> {
     fm: &'a dyn FoundationModel,
     config: &'a SmartFeatConfig,
+    rec: Recorder,
 }
 
 /// Outcome of one sampling call.
@@ -68,9 +70,45 @@ pub enum Sample {
 }
 
 impl<'a> OperatorSelector<'a> {
-    /// Create a selector over `fm` with `config`.
-    pub fn new(fm: &'a dyn FoundationModel, config: &'a SmartFeatConfig) -> Self {
-        OperatorSelector { fm, config }
+    /// Create a selector over `fm` with `config`. Pass
+    /// [`Recorder::disabled`] when telemetry is off.
+    pub fn new(fm: &'a dyn FoundationModel, config: &'a SmartFeatConfig, rec: Recorder) -> Self {
+        OperatorSelector { fm, config, rec }
+    }
+
+    /// Attribute one FM response's usage to `family`. Selector calls run
+    /// on the serial FM walk, so event emission here is determinism-safe.
+    fn note_fm(&self, family: OperatorFamily, response: &smartfeat_fm::FmResponse) {
+        self.rec
+            .family(family.name(), |f| f.fm.add(crate::fm_usage_of(response)));
+    }
+
+    /// Emit the per-candidate trace event for one sampling outcome.
+    fn note_sample(&self, family: OperatorFamily, sample: &Sample) {
+        match sample {
+            Sample::Candidate(c) => self.rec.event(
+                "select.sample",
+                &[
+                    ("family", family.name().into()),
+                    ("outcome", "candidate".into()),
+                    ("name", c.name.as_str().into()),
+                ],
+            ),
+            Sample::Invalid(_) => self.rec.event(
+                "select.sample",
+                &[
+                    ("family", family.name().into()),
+                    ("outcome", "invalid".into()),
+                ],
+            ),
+            Sample::Exhausted => self.rec.event(
+                "select.sample",
+                &[
+                    ("family", family.name().into()),
+                    ("outcome", "exhausted".into()),
+                ],
+            ),
+        }
     }
 
     /// Proposal strategy: all appropriate unary operators for `attribute`,
@@ -78,6 +116,7 @@ impl<'a> OperatorSelector<'a> {
     pub fn propose_unary(&self, agenda: &DataAgenda, attribute: &str) -> Result<Vec<Candidate>> {
         let prompt = prompts::unary_proposal(agenda, attribute);
         let response = self.fm.complete(&prompt)?;
+        self.note_fm(OperatorFamily::Unary, &response);
         let min_conf = if self.config.high_confidence_only {
             Confidence::High
         } else {
@@ -99,13 +138,27 @@ impl<'a> OperatorSelector<'a> {
                 family: OperatorFamily::Unary,
             });
         }
+        self.rec.event(
+            "select.proposals",
+            &[
+                ("attribute", attribute.into()),
+                ("kept", (out.len() as u64).into()),
+            ],
+        );
         Ok(out)
     }
 
     /// Sampling strategy: one binary arithmetic candidate.
     pub fn sample_binary(&self, agenda: &DataAgenda) -> Result<Sample> {
+        let sample = self.sample_binary_inner(agenda)?;
+        self.note_sample(OperatorFamily::Binary, &sample);
+        Ok(sample)
+    }
+
+    fn sample_binary_inner(&self, agenda: &DataAgenda) -> Result<Sample> {
         let prompt = prompts::binary_sample(agenda);
         let response = self.fm.complete(&prompt)?;
+        self.note_fm(OperatorFamily::Binary, &response);
         let Some(dict) = fmout::parse_dict(&response.text) else {
             return Ok(Sample::Invalid(response.text));
         };
@@ -141,8 +194,15 @@ impl<'a> OperatorSelector<'a> {
 
     /// Sampling strategy: one GroupbyThenAgg candidate.
     pub fn sample_highorder(&self, agenda: &DataAgenda) -> Result<Sample> {
+        let sample = self.sample_highorder_inner(agenda)?;
+        self.note_sample(OperatorFamily::HighOrder, &sample);
+        Ok(sample)
+    }
+
+    fn sample_highorder_inner(&self, agenda: &DataAgenda) -> Result<Sample> {
         let prompt = prompts::highorder_sample(agenda);
         let response = self.fm.complete(&prompt)?;
+        self.note_fm(OperatorFamily::HighOrder, &response);
         let Some(dict) = fmout::parse_dict(&response.text) else {
             return Ok(Sample::Invalid(response.text));
         };
@@ -195,8 +255,15 @@ impl<'a> OperatorSelector<'a> {
 
     /// Sampling strategy: one extractor candidate.
     pub fn sample_extractor(&self, agenda: &DataAgenda) -> Result<Sample> {
+        let sample = self.sample_extractor_inner(agenda)?;
+        self.note_sample(OperatorFamily::Extractor, &sample);
+        Ok(sample)
+    }
+
+    fn sample_extractor_inner(&self, agenda: &DataAgenda) -> Result<Sample> {
         let prompt = prompts::extractor_sample(agenda);
         let response = self.fm.complete(&prompt)?;
+        self.note_fm(OperatorFamily::Extractor, &response);
         let Some(dict) = fmout::parse_dict(&response.text) else {
             return Ok(Sample::Invalid(response.text));
         };
@@ -207,10 +274,7 @@ impl<'a> OperatorSelector<'a> {
         if kind == "none" {
             return Ok(Sample::Exhausted);
         }
-        let columns: Vec<String> = dict
-            .get("columns")
-            .map(|v| v.as_list())
-            .unwrap_or_default();
+        let columns: Vec<String> = dict.get("columns").map(|v| v.as_list()).unwrap_or_default();
         if columns.is_empty() || columns.iter().any(|c| !agenda.has(c)) {
             return Ok(Sample::Invalid(response.text));
         }
@@ -226,20 +290,12 @@ impl<'a> OperatorSelector<'a> {
             "weighted_index" => {
                 let weights: Vec<f64> = dict
                     .get("weights")
-                    .map(|v| {
-                        v.as_list()
-                            .iter()
-                            .filter_map(|s| s.parse().ok())
-                            .collect()
-                    })
+                    .map(|v| v.as_list().iter().filter_map(|s| s.parse().ok()).collect())
                     .unwrap_or_default();
                 if weights.len() != columns.len() {
                     return Ok(Sample::Invalid(response.text));
                 }
-                let normalize = matches!(
-                    dict.get("normalize"),
-                    Some(fmout::DictValue::Bool(true))
-                );
+                let normalize = matches!(dict.get("normalize"), Some(fmout::DictValue::Bool(true)));
                 OperatorSpec::WeightedIndex { weights, normalize }
             }
             "per_unit" => {
@@ -301,7 +357,7 @@ mod tests {
     fn unary_proposals_filtered_to_high_confidence() {
         let fm = SimulatedFm::gpt4(1);
         let cfg = SmartFeatConfig::default();
-        let sel = OperatorSelector::new(&fm, &cfg);
+        let sel = OperatorSelector::new(&fm, &cfg, Recorder::disabled());
         let cands = sel.propose_unary(&insurance_agenda(), "Age").unwrap();
         assert!(!cands.is_empty());
         assert!(cands.iter().any(|c| c.name == "Bucketized_Age"));
@@ -315,8 +371,10 @@ mod tests {
     fn unary_for_car_age_includes_years_since() {
         let fm = SimulatedFm::gpt4(1);
         let cfg = SmartFeatConfig::default();
-        let sel = OperatorSelector::new(&fm, &cfg);
-        let cands = sel.propose_unary(&insurance_agenda(), "Age_of_car").unwrap();
+        let sel = OperatorSelector::new(&fm, &cfg, Recorder::disabled());
+        let cands = sel
+            .propose_unary(&insurance_agenda(), "Age_of_car")
+            .unwrap();
         assert!(
             cands.iter().any(|c| c.name == "YearsSince_Age_of_car"),
             "{cands:?}"
@@ -327,7 +385,7 @@ mod tests {
     fn binary_sampling_yields_valid_candidates() {
         let fm = SimulatedFm::gpt4(7);
         let cfg = SmartFeatConfig::default();
-        let sel = OperatorSelector::new(&fm, &cfg);
+        let sel = OperatorSelector::new(&fm, &cfg, Recorder::disabled());
         let agenda = insurance_agenda();
         let mut got_candidate = false;
         for _ in 0..10 {
@@ -348,7 +406,7 @@ mod tests {
     fn highorder_sampling_parses_groupby() {
         let fm = SimulatedFm::gpt4(3);
         let cfg = SmartFeatConfig::default();
-        let sel = OperatorSelector::new(&fm, &cfg);
+        let sel = OperatorSelector::new(&fm, &cfg, Recorder::disabled());
         let agenda = insurance_agenda();
         let mut seen = 0;
         for _ in 0..10 {
@@ -375,7 +433,7 @@ mod tests {
     fn extractor_sampling_finds_city_lookup() {
         let fm = SimulatedFm::gpt4(5);
         let cfg = SmartFeatConfig::default();
-        let sel = OperatorSelector::new(&fm, &cfg);
+        let sel = OperatorSelector::new(&fm, &cfg, Recorder::disabled());
         match sel.sample_extractor(&insurance_agenda()).unwrap() {
             Sample::Candidate(c) => {
                 assert_eq!(c.family, OperatorFamily::Extractor);
@@ -400,7 +458,7 @@ mod tests {
             },
         );
         let cfg = SmartFeatConfig::default();
-        let sel = OperatorSelector::new(&fm, &cfg);
+        let sel = OperatorSelector::new(&fm, &cfg, Recorder::disabled());
         let agenda = insurance_agenda();
         let mut invalid = 0;
         for _ in 0..10 {
@@ -411,7 +469,10 @@ mod tests {
                 Sample::Candidate(_) | Sample::Exhausted => {}
             }
         }
-        assert!(invalid >= 3, "only {invalid} invalid under full degradation");
+        assert!(
+            invalid >= 3,
+            "only {invalid} invalid under full degradation"
+        );
     }
 
     #[test]
@@ -441,7 +502,7 @@ mod tests {
             }
         }
         let cfg = SmartFeatConfig::default();
-        let sel = OperatorSelector::new(&Canned, &cfg);
+        let sel = OperatorSelector::new(&Canned, &cfg, Recorder::disabled());
         assert!(matches!(
             sel.sample_binary(&insurance_agenda()).unwrap(),
             Sample::Invalid(_)

@@ -10,12 +10,12 @@
 
 use std::collections::HashMap;
 
+use smartfeat_fm::FoundationModel;
 use smartfeat_frame::ops::{
-    binary_op, bucketize, date_part, frequency_encode, get_dummies, groupby_transform,
-    normalize, unary_map, AggFunc, BinaryOp, DatePart, NormKind, UnaryFn,
+    binary_op, bucketize, date_part, frequency_encode, get_dummies, groupby_transform, normalize,
+    unary_map, AggFunc, BinaryOp, DatePart, NormKind, UnaryFn,
 };
 use smartfeat_frame::{Column, DataFrame};
-use smartfeat_fm::FoundationModel;
 
 use crate::error::{CoreError, Result};
 use crate::prompts;
@@ -195,9 +195,7 @@ pub fn apply(
                 .collect();
             Ok(vec![Column::from_floats(out_name, data)])
         }
-        TransformFunction::Dummies { col, limit } => {
-            Ok(get_dummies(df.column(col)?, *limit)?)
-        }
+        TransformFunction::Dummies { col, limit } => Ok(get_dummies(df.column(col)?, *limit)?),
         TransformFunction::FrequencyEncode { col } => {
             Ok(vec![frequency_encode(df.column(col)?, out_name)?])
         }
@@ -271,9 +269,7 @@ pub fn apply(
         }
         TransformFunction::RowCompletion { key_cols, .. } => {
             let fm = fm.ok_or_else(|| {
-                CoreError::RowCompletionUnavailable(
-                    "no foundation model handle provided".into(),
-                )
+                CoreError::RowCompletionUnavailable("no foundation model handle provided".into())
             })?;
             row_completion(df, key_cols, out_name, fm, max_distinct)
         }

@@ -9,12 +9,20 @@
 
 use smartfeat_frame::{Column, DataFrame};
 
-use crate::common::{category_effect, label_from_score, norm, pick, pick_weighted, rng_for, uniform, Dataset};
+use crate::common::{
+    category_effect, label_from_score, norm, pick, pick_weighted, rng_for, uniform, Dataset,
+};
 
 /// Generate the dataset.
 pub fn generate(rows: usize, seed: u64) -> Dataset {
     let mut rng = rng_for("Adult", seed);
-    let workclasses = ["private", "self-emp", "federal-gov", "state-gov", "local-gov"];
+    let workclasses = [
+        "private",
+        "self-emp",
+        "federal-gov",
+        "state-gov",
+        "local-gov",
+    ];
     let educations = [
         ("hs-grad", 10.0),
         ("some-college", 7.0),
@@ -31,15 +39,44 @@ pub fn generate(rows: usize, seed: u64) -> Dataset {
         ("widowed", 0.5),
     ];
     let occupations = [
-        "exec-managerial", "prof-specialty", "craft-repair", "adm-clerical", "sales",
-        "other-service", "machine-op", "transport", "handlers", "tech-support",
-        "protective-serv", "farming-fishing", "priv-house-serv", "armed-forces",
-        "cleaners", "drivers", "it-consulting", "legal-services", "healthcare-support",
-        "construction", "food-service", "education-aides", "finance-ops", "logistics",
+        "exec-managerial",
+        "prof-specialty",
+        "craft-repair",
+        "adm-clerical",
+        "sales",
+        "other-service",
+        "machine-op",
+        "transport",
+        "handlers",
+        "tech-support",
+        "protective-serv",
+        "farming-fishing",
+        "priv-house-serv",
+        "armed-forces",
+        "cleaners",
+        "drivers",
+        "it-consulting",
+        "legal-services",
+        "healthcare-support",
+        "construction",
+        "food-service",
+        "education-aides",
+        "finance-ops",
+        "logistics",
     ];
     let relationships = ["husband", "not-in-family", "own-child", "unmarried", "wife"];
-    let races = [("white", 8.0), ("black", 1.0), ("asian-pac", 0.5), ("other", 0.3)];
-    let countries = [("united-states", 9.0), ("mexico", 0.4), ("philippines", 0.2), ("germany", 0.2)];
+    let races = [
+        ("white", 8.0),
+        ("black", 1.0),
+        ("asian-pac", 0.5),
+        ("other", 0.3),
+    ];
+    let countries = [
+        ("united-states", 9.0),
+        ("mexico", 0.4),
+        ("philippines", 0.2),
+        ("germany", 0.2),
+    ];
 
     let edu_num = |e: &str| -> f64 {
         match e {
@@ -54,8 +91,7 @@ pub fn generate(rows: usize, seed: u64) -> Dataset {
         }
     };
 
-    let mut cat_cols: Vec<Vec<String>> =
-        (0..8).map(|_| Vec::with_capacity(rows)).collect();
+    let mut cat_cols: Vec<Vec<String>> = (0..8).map(|_| Vec::with_capacity(rows)).collect();
     let mut age = Vec::with_capacity(rows);
     let mut fnlwgt = Vec::with_capacity(rows);
     let mut education_num = Vec::with_capacity(rows);
@@ -71,7 +107,11 @@ pub fn generate(rows: usize, seed: u64) -> Dataset {
         let occ = *pick(&mut rng, &occupations);
         let rel = *pick(&mut rng, &relationships);
         let race = *pick_weighted(&mut rng, &races);
-        let sex = if uniform(&mut rng, 0.0, 1.0) < 0.67 { "male" } else { "female" };
+        let sex = if uniform(&mut rng, 0.0, 1.0) < 0.67 {
+            "male"
+        } else {
+            "female"
+        };
         let country = *pick_weighted(&mut rng, &countries);
 
         let a = (17.0 + uniform(&mut rng, 0.0, 1.0).powf(1.3) * 60.0).round();
@@ -100,7 +140,7 @@ pub fn generate(rows: usize, seed: u64) -> Dataset {
         let mut score = -2.2;
         score += 0.5 * ((1.0 + cg).ln() / 9.0); // log-gain, derived
         score += 1.6 * prosperity; // categorical mix (group-by view)
-        // Prime-age band: U-shaped in raw age, flat for linear models.
+                                   // Prime-age band: U-shaped in raw age, flat for linear models.
         score += 1.1 * f64::from((35.0..55.0).contains(&a));
         score -= 0.5 * f64::from(a < 25.0);
         score += 0.7 * f64::from(h >= 40.0); // full-time step
@@ -131,8 +171,14 @@ pub fn generate(rows: usize, seed: u64) -> Dataset {
     }
 
     let cat_names = [
-        "workclass", "education", "marital_status", "occupation", "relationship", "race",
-        "sex", "native_country",
+        "workclass",
+        "education",
+        "marital_status",
+        "occupation",
+        "relationship",
+        "race",
+        "sex",
+        "native_country",
     ];
     let mut columns = Vec::new();
     for (name, values) in cat_names.iter().zip(cat_cols) {
@@ -158,17 +204,38 @@ pub fn generate(rows: usize, seed: u64) -> Dataset {
         frame,
         descriptions: vec![
             ("workclass".into(), "Employer type of the worker".into()),
-            ("education".into(), "Highest education level attained".into()),
-            ("marital_status".into(), "Marital status of the worker".into()),
-            ("occupation".into(), "Occupation category of the worker".into()),
-            ("relationship".into(), "Relationship of the worker within the household".into()),
+            (
+                "education".into(),
+                "Highest education level attained".into(),
+            ),
+            (
+                "marital_status".into(),
+                "Marital status of the worker".into(),
+            ),
+            (
+                "occupation".into(),
+                "Occupation category of the worker".into(),
+            ),
+            (
+                "relationship".into(),
+                "Relationship of the worker within the household".into(),
+            ),
             ("race".into(), "Race of the worker".into()),
             ("sex".into(), "Sex of the worker".into()),
-            ("native_country".into(), "Native country of the worker".into()),
+            (
+                "native_country".into(),
+                "Native country of the worker".into(),
+            ),
             ("age".into(), "Age of the worker in years".into()),
             ("fnlwgt".into(), "Census final sampling weight".into()),
-            ("education_num".into(), "Years of education completed".into()),
-            ("capital_gain".into(), "Capital gains income in dollars (heavy-tailed, mostly zero)".into()),
+            (
+                "education_num".into(),
+                "Years of education completed".into(),
+            ),
+            (
+                "capital_gain".into(),
+                "Capital gains income in dollars (heavy-tailed, mostly zero)".into(),
+            ),
             ("capital_loss".into(), "Capital losses in dollars".into()),
             ("hours_per_week".into(), "Hours worked per week".into()),
         ],

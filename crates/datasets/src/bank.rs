@@ -14,8 +14,17 @@ use crate::common::{label_from_score, norm, pick, pick_weighted, rng_for, unifor
 pub fn generate(rows: usize, seed: u64) -> Dataset {
     let mut rng = rng_for("Bank", seed);
     let jobs = [
-        "admin", "blue-collar", "technician", "services", "management", "retired",
-        "entrepreneur", "self-employed", "housemaid", "unemployed", "student",
+        "admin",
+        "blue-collar",
+        "technician",
+        "services",
+        "management",
+        "retired",
+        "entrepreneur",
+        "self-employed",
+        "housemaid",
+        "unemployed",
+        "student",
     ];
     let maritals = [("married", 6.0), ("single", 3.0), ("divorced", 1.0)];
     let educations = ["basic", "highschool", "professional", "university"];
@@ -39,17 +48,37 @@ pub fn generate(rows: usize, seed: u64) -> Dataset {
         let job = *pick(&mut rng, &jobs);
         let marital = *pick_weighted(&mut rng, &maritals);
         let edu = *pick(&mut rng, &educations);
-        let default = if uniform(&mut rng, 0.0, 1.0) < 0.02 { "yes" } else { "no" };
-        let housing = if uniform(&mut rng, 0.0, 1.0) < 0.52 { "yes" } else { "no" };
-        let loan = if uniform(&mut rng, 0.0, 1.0) < 0.16 { "yes" } else { "no" };
+        let default = if uniform(&mut rng, 0.0, 1.0) < 0.02 {
+            "yes"
+        } else {
+            "no"
+        };
+        let housing = if uniform(&mut rng, 0.0, 1.0) < 0.52 {
+            "yes"
+        } else {
+            "no"
+        };
+        let loan = if uniform(&mut rng, 0.0, 1.0) < 0.16 {
+            "yes"
+        } else {
+            "no"
+        };
         let contact = *pick_weighted(&mut rng, &contacts);
         let pout = *pick_weighted(&mut rng, &poutcomes);
 
         let a = (18.0 + uniform(&mut rng, 0.0, 1.0) * 70.0).round();
         let dur = (uniform(&mut rng, 0.0, 1.0).powi(2) * 1500.0).round();
         let cam = 1.0 + (uniform(&mut rng, 0.0, 1.0).powi(3) * 10.0).round();
-        let pd = if pout == "nonexistent" { 999.0 } else { (uniform(&mut rng, 1.0, 25.0)).round() };
-        let prev = if pout == "nonexistent" { 0.0 } else { (uniform(&mut rng, 1.0, 5.0)).round() };
+        let pd = if pout == "nonexistent" {
+            999.0
+        } else {
+            (uniform(&mut rng, 1.0, 25.0)).round()
+        };
+        let prev = if pout == "nonexistent" {
+            0.0
+        } else {
+            (uniform(&mut rng, 1.0, 5.0)).round()
+        };
         // Macro indicators move together by "quarter".
         let regime = norm(&mut rng);
         let ev = (regime * 1.6).clamp(-3.4, 1.4);
@@ -94,7 +123,14 @@ pub fn generate(rows: usize, seed: u64) -> Dataset {
     }
 
     let names = [
-        "job", "marital", "education", "default", "housing", "loan", "contact", "poutcome",
+        "job",
+        "marital",
+        "education",
+        "default",
+        "housing",
+        "loan",
+        "contact",
+        "poutcome",
     ];
     let mut columns = Vec::new();
     for (name, values) in names.iter().zip(cols) {
@@ -126,21 +162,60 @@ pub fn generate(rows: usize, seed: u64) -> Dataset {
             ("job".into(), "Type of job of the client".into()),
             ("marital".into(), "Marital status of the client".into()),
             ("education".into(), "Education level of the client".into()),
-            ("default".into(), "Whether the client has credit in default".into()),
-            ("housing".into(), "Whether the client has a housing loan".into()),
-            ("loan".into(), "Whether the client has a personal loan".into()),
-            ("contact".into(), "Contact communication type used in the campaign".into()),
-            ("poutcome".into(), "Outcome of the previous marketing campaign".into()),
+            (
+                "default".into(),
+                "Whether the client has credit in default".into(),
+            ),
+            (
+                "housing".into(),
+                "Whether the client has a housing loan".into(),
+            ),
+            (
+                "loan".into(),
+                "Whether the client has a personal loan".into(),
+            ),
+            (
+                "contact".into(),
+                "Contact communication type used in the campaign".into(),
+            ),
+            (
+                "poutcome".into(),
+                "Outcome of the previous marketing campaign".into(),
+            ),
             ("age".into(), "Age of the client in years".into()),
-            ("duration".into(), "Duration of the last contact call in seconds".into()),
-            ("campaign".into(), "Number of contacts performed during this campaign".into()),
-            ("pdays".into(), "Days since the client was last contacted (999 = never)".into()),
-            ("previous".into(), "Number of contacts before this campaign".into()),
-            ("emp_var_rate".into(), "Employment variation rate (quarterly indicator)".into()),
-            ("cons_price_idx".into(), "Consumer price index (monthly indicator)".into()),
-            ("cons_conf_idx".into(), "Consumer confidence index (monthly indicator)".into()),
+            (
+                "duration".into(),
+                "Duration of the last contact call in seconds".into(),
+            ),
+            (
+                "campaign".into(),
+                "Number of contacts performed during this campaign".into(),
+            ),
+            (
+                "pdays".into(),
+                "Days since the client was last contacted (999 = never)".into(),
+            ),
+            (
+                "previous".into(),
+                "Number of contacts before this campaign".into(),
+            ),
+            (
+                "emp_var_rate".into(),
+                "Employment variation rate (quarterly indicator)".into(),
+            ),
+            (
+                "cons_price_idx".into(),
+                "Consumer price index (monthly indicator)".into(),
+            ),
+            (
+                "cons_conf_idx".into(),
+                "Consumer confidence index (monthly indicator)".into(),
+            ),
             ("euribor3m".into(), "Euribor 3 month rate".into()),
-            ("nr_employed".into(), "Number of employees (quarterly indicator, thousands)".into()),
+            (
+                "nr_employed".into(),
+                "Number of employees (quarterly indicator, thousands)".into(),
+            ),
         ],
         target: "subscribed",
     }

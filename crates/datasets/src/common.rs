@@ -1,8 +1,8 @@
 //! Shared dataset plumbing: the [`Dataset`] bundle and seeded samplers.
 
-use smartfeat_rng::Rng;
 use smartfeat::DataAgenda;
-use smartfeat_frame::{DataFrame, DType};
+use smartfeat_frame::{DType, DataFrame};
+use smartfeat_rng::Rng;
 
 /// One synthetic evaluation dataset with its data card.
 #[derive(Debug, Clone)]

@@ -31,7 +31,9 @@ pub fn generate(rows: usize, seed: u64) -> Dataset {
     for _ in 0..rows {
         let a = (21.0 + uniform(&mut rng, 0.0, 1.0).powi(2) * 50.0).round();
         let g = (85.0 + norm(&mut rng).abs() * 35.0).min(199.0).round();
-        let bp = (60.0 + norm(&mut rng) * 12.0 + a * 0.2).clamp(40.0, 120.0).round();
+        let bp = (60.0 + norm(&mut rng) * 12.0 + a * 0.2)
+            .clamp(40.0, 120.0)
+            .round();
         let s = (20.0 + norm(&mut rng) * 8.0).clamp(7.0, 60.0).round();
         // Some insulin measurements are missing-as-zero (as in Pima) —
         // rare enough that a small sample of rows usually shows none.
@@ -103,13 +105,22 @@ pub fn generate(rows: usize, seed: u64) -> Dataset {
                 "Glucose".into(),
                 "Plasma glucose concentration after an oral glucose tolerance test (mg/dL)".into(),
             ),
-            ("BloodPressure".into(), "Diastolic blood pressure (mm Hg)".into()),
-            ("SkinThickness".into(), "Triceps skin fold thickness (mm)".into()),
+            (
+                "BloodPressure".into(),
+                "Diastolic blood pressure (mm Hg)".into(),
+            ),
+            (
+                "SkinThickness".into(),
+                "Triceps skin fold thickness (mm)".into(),
+            ),
             (
                 "Insulin".into(),
                 "Two-hour serum insulin (mu U/ml); zero indicates a missing measurement".into(),
             ),
-            ("BMI".into(), "Body mass index (weight in kg / height in m squared)".into()),
+            (
+                "BMI".into(),
+                "Body mass index (weight in kg / height in m squared)".into(),
+            ),
             (
                 "DiabetesPedigree".into(),
                 "Diabetes pedigree function scoring family history".into(),

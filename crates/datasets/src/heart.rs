@@ -7,7 +7,9 @@
 
 use smartfeat_frame::{Column, DataFrame};
 
-use crate::common::{category_effect, label_from_score, norm, pick_weighted, rng_for, uniform, Dataset};
+use crate::common::{
+    category_effect, label_from_score, norm, pick_weighted, rng_for, uniform, Dataset,
+};
 
 /// Generate the dataset.
 pub fn generate(rows: usize, seed: u64) -> Dataset {
@@ -43,7 +45,11 @@ pub fn generate(rows: usize, seed: u64) -> Dataset {
     let mut label = Vec::with_capacity(rows);
 
     for _ in 0..rows {
-        let s = if uniform(&mut rng, 0.0, 1.0) < 0.45 { "M" } else { "F" };
+        let s = if uniform(&mut rng, 0.0, 1.0) < 0.45 {
+            "M"
+        } else {
+            "F"
+        };
         let edu = *pick_weighted(&mut rng, &educations);
         let a = (32.0 + uniform(&mut rng, 0.0, 1.0) * 38.0).round();
         let smk = yes_no(&mut rng, 0.49);
@@ -71,14 +77,19 @@ pub fn generate(rows: usize, seed: u64) -> Dataset {
         let hr = (72.0 + norm(&mut rng) * 11.0).clamp(44.0, 130.0).round();
         let bpm = yes_no(&mut rng, 0.03);
         let stk = yes_no(&mut rng, 0.01);
-        let hy = if dbp >= 90.0 || sbp >= 140.0 { "yes" } else { yes_no(&mut rng, 0.05) };
+        let hy = if dbp >= 90.0 || sbp >= 140.0 {
+            "yes"
+        } else {
+            yes_no(&mut rng, 0.05)
+        };
         let dia = yes_no(&mut rng, 0.03);
 
         let mut score = -2.6;
         score += 1.1 * f64::from(ch >= 240.0) + 0.5 * f64::from((200.0..240.0).contains(&ch));
         // Risk follows the *true* diastolic pressure, not the inflated
         // reading; the systolic/diastolic relation partially de-noises it.
-        score += 1.0 * f64::from(dbp_true >= 90.0) + 0.5 * f64::from((80.0..90.0).contains(&dbp_true));
+        score +=
+            1.0 * f64::from(dbp_true >= 90.0) + 0.5 * f64::from((80.0..90.0).contains(&dbp_true));
         // Wide pulse-pressure ratio: a marker carried by the observed
         // systolic/diastolic *ratio*, which the clinical-ratio operator
         // exposes as a single feature.
@@ -135,19 +146,52 @@ pub fn generate(rows: usize, seed: u64) -> Dataset {
         frame,
         descriptions: vec![
             ("sex".into(), "Sex of the participant (M/F)".into()),
-            ("education".into(), "Highest education level attained".into()),
-            ("current_smoker".into(), "Whether the participant currently smokes".into()),
-            ("bp_meds".into(), "Whether the participant takes blood pressure medication".into()),
-            ("prevalent_stroke".into(), "Whether the participant previously had a stroke".into()),
-            ("prevalent_hyp".into(), "Whether the participant is hypertensive".into()),
-            ("diabetes".into(), "Whether the participant has diabetes".into()),
+            (
+                "education".into(),
+                "Highest education level attained".into(),
+            ),
+            (
+                "current_smoker".into(),
+                "Whether the participant currently smokes".into(),
+            ),
+            (
+                "bp_meds".into(),
+                "Whether the participant takes blood pressure medication".into(),
+            ),
+            (
+                "prevalent_stroke".into(),
+                "Whether the participant previously had a stroke".into(),
+            ),
+            (
+                "prevalent_hyp".into(),
+                "Whether the participant is hypertensive".into(),
+            ),
+            (
+                "diabetes".into(),
+                "Whether the participant has diabetes".into(),
+            ),
             ("age".into(), "Age of the participant in years".into()),
-            ("cigs_per_day".into(), "Number of cigarettes smoked per day".into()),
-            ("total_cholesterol".into(), "Total cholesterol level (mg/dL)".into()),
-            ("systolic_bp".into(), "Systolic blood pressure (mm Hg)".into()),
-            ("diastolic_bp".into(), "Diastolic blood pressure (mm Hg)".into()),
+            (
+                "cigs_per_day".into(),
+                "Number of cigarettes smoked per day".into(),
+            ),
+            (
+                "total_cholesterol".into(),
+                "Total cholesterol level (mg/dL)".into(),
+            ),
+            (
+                "systolic_bp".into(),
+                "Systolic blood pressure (mm Hg)".into(),
+            ),
+            (
+                "diastolic_bp".into(),
+                "Diastolic blood pressure (mm Hg)".into(),
+            ),
             ("bmi".into(), "Body mass index".into()),
-            ("heart_rate".into(), "Resting heart rate (beats per minute)".into()),
+            (
+                "heart_rate".into(),
+                "Resting heart rate (beats per minute)".into(),
+            ),
         ],
         target: "ten_year_chd",
     }

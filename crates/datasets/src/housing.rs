@@ -8,7 +8,9 @@
 
 use smartfeat_frame::{Column, DataFrame};
 
-use crate::common::{category_effect, label_from_score, norm, pick_weighted, rng_for, uniform, Dataset};
+use crate::common::{
+    category_effect, label_from_score, norm, pick_weighted, rng_for, uniform, Dataset,
+};
 
 /// Generate the dataset.
 pub fn generate(rows: usize, seed: u64) -> Dataset {
@@ -86,15 +88,33 @@ pub fn generate(rows: usize, seed: u64) -> Dataset {
         field: "Society",
         frame,
         descriptions: vec![
-            ("ocean_proximity".into(), "Location of the block relative to the ocean".into()),
+            (
+                "ocean_proximity".into(),
+                "Location of the block relative to the ocean".into(),
+            ),
             ("longitude".into(), "Longitude of the housing block".into()),
             ("latitude".into(), "Latitude of the housing block".into()),
-            ("housing_median_age".into(), "Median age of houses in the block in years".into()),
-            ("total_rooms".into(), "Total number of rooms in the block".into()),
-            ("total_bedrooms".into(), "Total number of bedrooms in the block".into()),
+            (
+                "housing_median_age".into(),
+                "Median age of houses in the block in years".into(),
+            ),
+            (
+                "total_rooms".into(),
+                "Total number of rooms in the block".into(),
+            ),
+            (
+                "total_bedrooms".into(),
+                "Total number of bedrooms in the block".into(),
+            ),
             ("population".into(), "Total population of the block".into()),
-            ("households".into(), "Number of households in the block".into()),
-            ("median_income".into(), "Median household income of the block (tens of thousands of dollars)".into()),
+            (
+                "households".into(),
+                "Number of households in the block".into(),
+            ),
+            (
+                "median_income".into(),
+                "Median household income of the block (tens of thousands of dollars)".into(),
+            ),
         ],
         target: "above_median_value",
     }

@@ -58,7 +58,11 @@ pub fn generate(rows: usize, seed: u64) -> Dataset {
     let mut safe = Vec::with_capacity(rows);
 
     for _ in 0..rows {
-        let s = if uniform(&mut rng, 0.0, 1.0) < 0.5 { "M" } else { "F" };
+        let s = if uniform(&mut rng, 0.0, 1.0) < 0.5 {
+            "M"
+        } else {
+            "F"
+        };
         let a = (18.0 + uniform(&mut rng, 0.0, 1.0).powf(1.2) * 55.0).round();
         let ca = (1.0 + uniform(&mut rng, 0.0, 1.0) * 15.0).round();
         let m = *pick(&mut rng, &MODELS);
@@ -105,8 +109,14 @@ pub fn generate(rows: usize, seed: u64) -> Dataset {
         descriptions: vec![
             ("Sex".into(), "Sex of the policyholder (M/F)".into()),
             ("Age".into(), "Age of the policyholder in years".into()),
-            ("Age_of_car".into(), "Age of the insured car in years".into()),
-            ("Make_Model".into(), "Make and model of the insured car".into()),
+            (
+                "Age_of_car".into(),
+                "Age of the insured car in years".into(),
+            ),
+            (
+                "Make_Model".into(),
+                "Make and model of the insured car".into(),
+            ),
             (
                 "Claim".into(),
                 "Whether the policyholder filed a claim in the last 6 months".into(),
@@ -126,7 +136,15 @@ mod tests {
         let ds = generate(100, 0);
         assert_eq!(
             ds.frame.column_names(),
-            vec!["Sex", "Age", "Age_of_car", "Make_Model", "Claim", "City", "Safe"]
+            vec![
+                "Sex",
+                "Age",
+                "Age_of_car",
+                "Make_Model",
+                "Claim",
+                "City",
+                "Safe"
+            ]
         );
         assert_eq!(ds.shape_counts(), (3, 3));
     }

@@ -13,7 +13,12 @@ use crate::common::{label_from_score, norm, pick, pick_weighted, rng_for, unifor
 /// Generate the dataset.
 pub fn generate(rows: usize, seed: u64) -> Dataset {
     let mut rng = rng_for("Lawschool", seed);
-    let races = [("white", 7.0), ("black", 1.2), ("hispanic", 1.0), ("asian", 0.8)];
+    let races = [
+        ("white", 7.0),
+        ("black", 1.2),
+        ("hispanic", 1.0),
+        ("asian", 0.8),
+    ];
     let income_bands = ["low", "middle", "high"];
     let clusters = ["tier1", "tier2", "tier3", "tier4"];
 
@@ -33,8 +38,16 @@ pub fn generate(rows: usize, seed: u64) -> Dataset {
 
     for _ in 0..rows {
         let r = *pick_weighted(&mut rng, &races);
-        let s = if uniform(&mut rng, 0.0, 1.0) < 0.55 { "male" } else { "female" };
-        let ft = if uniform(&mut rng, 0.0, 1.0) < 0.9 { "yes" } else { "no" };
+        let s = if uniform(&mut rng, 0.0, 1.0) < 0.55 {
+            "male"
+        } else {
+            "female"
+        };
+        let ft = if uniform(&mut rng, 0.0, 1.0) < 0.9 {
+            "yes"
+        } else {
+            "no"
+        };
         let inc = *pick(&mut rng, &income_bands);
         let cl = *pick(&mut rng, &clusters);
 
@@ -94,16 +107,34 @@ pub fn generate(rows: usize, seed: u64) -> Dataset {
         descriptions: vec![
             ("race".into(), "Race of the student".into()),
             ("sex".into(), "Sex of the student".into()),
-            ("fulltime".into(), "Whether the student attended full time".into()),
-            ("family_income".into(), "Family income band of the student".into()),
+            (
+                "fulltime".into(),
+                "Whether the student attended full time".into(),
+            ),
+            (
+                "family_income".into(),
+                "Family income band of the student".into(),
+            ),
             ("school_cluster".into(), "Law school tier cluster".into()),
             ("lsat".into(), "LSAT score of the student".into()),
             ("ugpa".into(), "Undergraduate GPA of the student".into()),
-            ("zfygpa".into(), "Standardized first-year law school GPA".into()),
-            ("zgpa".into(), "Standardized cumulative law school GPA".into()),
+            (
+                "zfygpa".into(),
+                "Standardized first-year law school GPA".into(),
+            ),
+            (
+                "zgpa".into(),
+                "Standardized cumulative law school GPA".into(),
+            ),
             ("age".into(), "Age of the student in years".into()),
-            ("work_experience".into(), "Years of work experience before law school".into()),
-            ("decile".into(), "Class rank decile within the school".into()),
+            (
+                "work_experience".into(),
+                "Years of work experience before law school".into(),
+            ),
+            (
+                "decile".into(),
+                "Class rank decile within the school".into(),
+            ),
         ],
         target: "pass_bar",
     }

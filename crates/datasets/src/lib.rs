@@ -153,7 +153,9 @@ mod tests {
                     continue;
                 }
                 assert!(
-                    ds.descriptions.iter().any(|(n, d)| n == col && !d.is_empty()),
+                    ds.descriptions
+                        .iter()
+                        .any(|(n, d)| n == col && !d.is_empty()),
                     "{}: column {col} lacks a description",
                     ds.name
                 );

@@ -33,18 +33,28 @@ fn player(rng: &mut Rng, pace: f64) -> PlayerStats {
     let skill = norm(rng);
     PlayerStats {
         fsp: (58.0 + skill * 2.5 + pace * 8.0 + norm(rng) * 2.0).clamp(30.0, 90.0),
-        fsw: (25.0 + skill * 3.0 + pace * 10.0 + norm(rng) * 2.0).clamp(5.0, 80.0).round(),
+        fsw: (25.0 + skill * 3.0 + pace * 10.0 + norm(rng) * 2.0)
+            .clamp(5.0, 80.0)
+            .round(),
         ssp: (48.0 + skill * 2.0 + pace * 8.0 + norm(rng) * 2.5).clamp(20.0, 80.0),
-        ace: (10.0 + skill * 2.0 + pace * 6.0 + norm(rng).abs() * 1.5).clamp(1.0, 45.0).round(),
-        dbf: (8.0 - skill * 1.0 + pace * 4.0 + norm(rng).abs() * 1.0).clamp(1.0, 30.0).round(),
-        ufe: (30.0 - skill * 3.5 + pace * 12.0 + norm(rng).abs() * 2.5).clamp(2.0, 90.0).round(),
+        ace: (10.0 + skill * 2.0 + pace * 6.0 + norm(rng).abs() * 1.5)
+            .clamp(1.0, 45.0)
+            .round(),
+        dbf: (8.0 - skill * 1.0 + pace * 4.0 + norm(rng).abs() * 1.0)
+            .clamp(1.0, 30.0)
+            .round(),
+        ufe: (30.0 - skill * 3.5 + pace * 12.0 + norm(rng).abs() * 2.5)
+            .clamp(2.0, 90.0)
+            .round(),
     }
 }
 
 /// Weighted performance index over the *observed* stats — what the
 /// extractor's weighted-index feature reconstructs (up to its ±1 weights).
 fn index(p: &PlayerStats) -> f64 {
-    0.5 * (p.fsp - 58.0) / 2.5 + 0.8 * (p.fsw - 25.0) / 3.0 + 0.3 * (p.ssp - 48.0) / 2.0
+    0.5 * (p.fsp - 58.0) / 2.5
+        + 0.8 * (p.fsw - 25.0) / 3.0
+        + 0.3 * (p.ssp - 48.0) / 2.0
         + 1.0 * (p.ace - 10.0) / 2.0
         - 1.0 * (p.dbf - 8.0) / 1.0
         - 1.0 * (p.ufe - 30.0) / 3.5
@@ -69,8 +79,8 @@ pub fn generate(rows: usize, seed: u64) -> Dataset {
         label.push(label_from_score(&mut rng, score));
 
         for (i, v) in [
-            p1.fsp, p1.fsw, p1.ssp, p1.ace, p1.dbf, p1.ufe, p2.fsp, p2.fsw, p2.ssp, p2.ace,
-            p2.dbf, p2.ufe,
+            p1.fsp, p1.fsw, p1.ssp, p1.ace, p1.dbf, p1.ufe, p2.fsp, p2.fsw, p2.ssp, p2.ace, p2.dbf,
+            p2.ufe,
         ]
         .into_iter()
         .enumerate()
@@ -80,8 +90,8 @@ pub fn generate(rows: usize, seed: u64) -> Dataset {
     }
 
     let names = [
-        "FSP.1", "FSW.1", "SSP.1", "ACE.1", "DBF.1", "UFE.1", "FSP.2", "FSW.2", "SSP.2",
-        "ACE.2", "DBF.2", "UFE.2",
+        "FSP.1", "FSW.1", "SSP.1", "ACE.1", "DBF.1", "UFE.1", "FSP.2", "FSW.2", "SSP.2", "ACE.2",
+        "DBF.2", "UFE.2",
     ];
     let mut columns: Vec<Column> = names
         .iter()
@@ -135,11 +145,7 @@ mod tests {
     fn abbreviated_names_with_full_descriptions() {
         let ds = generate(200, 1);
         assert!(ds.frame.has_column("FSW.1"));
-        let (_, d) = ds
-            .descriptions
-            .iter()
-            .find(|(n, _)| n == "FSW.1")
-            .unwrap();
+        let (_, d) = ds.descriptions.iter().find(|(n, _)| n == "FSW.1").unwrap();
         assert!(d.contains("First serve"), "{d}");
     }
 
@@ -170,10 +176,10 @@ mod tests {
     #[test]
     fn mirrored_stats_have_same_marginals() {
         let ds = generate(944, 3);
-        let s1 = smartfeat_frame::stats::summarize(&ds.frame.column("FSP.1").unwrap().to_f64())
-            .unwrap();
-        let s2 = smartfeat_frame::stats::summarize(&ds.frame.column("FSP.2").unwrap().to_f64())
-            .unwrap();
+        let s1 =
+            smartfeat_frame::stats::summarize(&ds.frame.column("FSP.1").unwrap().to_f64()).unwrap();
+        let s2 =
+            smartfeat_frame::stats::summarize(&ds.frame.column("FSP.2").unwrap().to_f64()).unwrap();
         assert!((s1.mean - s2.mean).abs() < 2.0);
     }
 }

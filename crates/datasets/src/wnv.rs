@@ -9,7 +9,9 @@
 use smartfeat_frame::{Column, DataFrame};
 use smartfeat_rng::Rng;
 
-use crate::common::{category_effect, label_from_score, norm, pick_weighted, rng_for, uniform, Dataset};
+use crate::common::{
+    category_effect, label_from_score, norm, pick_weighted, rng_for, uniform, Dataset,
+};
 
 /// Generate the dataset.
 pub fn generate(rows: usize, seed: u64) -> Dataset {
@@ -102,17 +104,41 @@ pub fn generate(rows: usize, seed: u64) -> Dataset {
         field: "Disease",
         frame,
         descriptions: vec![
-            ("species".into(), "Mosquito species captured in the trap".into()),
-            ("trap".into(), "Surveillance trap in which the sample was collected".into()),
-            ("street".into(), "Street block of the collection site".into()),
+            (
+                "species".into(),
+                "Mosquito species captured in the trap".into(),
+            ),
+            (
+                "trap".into(),
+                "Surveillance trap in which the sample was collected".into(),
+            ),
+            (
+                "street".into(),
+                "Street block of the collection site".into(),
+            ),
             ("latitude".into(), "Latitude of the trap".into()),
             ("longitude".into(), "Longitude of the trap".into()),
             ("week".into(), "Week of the year of the observation".into()),
-            ("avg_temperature".into(), "Average temperature that week (Fahrenheit)".into()),
-            ("precipitation".into(), "Total precipitation that week (inches)".into()),
-            ("wind_speed".into(), "Average wind speed that week (mph)".into()),
-            ("humidity".into(), "Average relative humidity that week (percent)".into()),
-            ("num_mosquitos".into(), "Number of mosquitos caught in the collected sample".into()),
+            (
+                "avg_temperature".into(),
+                "Average temperature that week (Fahrenheit)".into(),
+            ),
+            (
+                "precipitation".into(),
+                "Total precipitation that week (inches)".into(),
+            ),
+            (
+                "wind_speed".into(),
+                "Average wind speed that week (mph)".into(),
+            ),
+            (
+                "humidity".into(),
+                "Average relative humidity that week (percent)".into(),
+            ),
+            (
+                "num_mosquitos".into(),
+                "Number of mosquitos caught in the collected sample".into(),
+            ),
         ],
         target: "wnv_present",
     }

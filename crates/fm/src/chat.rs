@@ -55,7 +55,13 @@ impl<M: FoundationModel> Transcribing<M> {
     /// `prompt_chars` characters).
     pub fn render(&self, prompt_chars: usize) -> String {
         let mut out = String::new();
-        for (i, e) in self.log.lock().expect("transcript poisoned").iter().enumerate() {
+        for (i, e) in self
+            .log
+            .lock()
+            .expect("transcript poisoned")
+            .iter()
+            .enumerate()
+        {
             let prompt: String = e.prompt.chars().take(prompt_chars).collect();
             let ellipsis = if e.prompt.chars().count() > prompt_chars {
                 "…"
@@ -87,11 +93,14 @@ impl<M: FoundationModel> FoundationModel for Transcribing<M> {
 
     fn complete(&self, prompt: &str) -> Result<FmResponse, FmError> {
         let response = self.inner.complete(prompt)?;
-        self.log.lock().expect("transcript poisoned").push(Exchange {
-            prompt: prompt.to_string(),
-            response: response.text.clone(),
-            tokens: response.prompt_tokens + response.completion_tokens,
-        });
+        self.log
+            .lock()
+            .expect("transcript poisoned")
+            .push(Exchange {
+                prompt: prompt.to_string(),
+                response: response.text.clone(),
+                tokens: response.prompt_tokens + response.completion_tokens,
+            });
         Ok(response)
     }
 

@@ -448,7 +448,10 @@ mod tests {
 
     #[test]
     fn clinical_boundaries_match_guidelines() {
-        assert_eq!(bucket_boundaries(Concept::Glucose), Some(vec![100.0, 126.0]));
+        assert_eq!(
+            bucket_boundaries(Concept::Glucose),
+            Some(vec![100.0, 126.0])
+        );
         assert_eq!(
             bucket_boundaries(Concept::Bmi),
             Some(vec![18.5, 25.0, 30.0])

@@ -305,15 +305,26 @@ fn answer_unary(prompt: &str, ctx: &PromptContext) -> String {
                          used in practice"
                     ),
                 );
-                add("normalize", 2, format!("scale {attr} to [0, 1] for distance-based models"));
+                add(
+                    "normalize",
+                    2,
+                    format!("scale {attr} to [0, 1] for distance-based models"),
+                );
             }
             Concept::ObjectAge => {
                 add(
                     "years_since",
                     3,
-                    format!("derive the manufacturing year as {} minus {attr}", knowledge::current_year()),
+                    format!(
+                        "derive the manufacturing year as {} minus {attr}",
+                        knowledge::current_year()
+                    ),
                 );
-                add("bucketize", 2, format!("band {attr} into new/recent/old (3, 5, 10 years)"));
+                add(
+                    "bucketize",
+                    2,
+                    format!("band {attr} into new/recent/old (3, 5, 10 years)"),
+                );
             }
             Concept::YearOfEvent => {
                 // Only a column whose *values* are calendar years can be
@@ -363,17 +374,37 @@ fn answer_unary(prompt: &str, ctx: &PromptContext) -> String {
                 );
             }
             Concept::Money => {
-                add("log", 3, format!("log-transform {attr}: monetary amounts are heavy-tailed"));
-                add("normalize", 2, format!("scale {attr} for comparability across features"));
+                add(
+                    "log",
+                    3,
+                    format!("log-transform {attr}: monetary amounts are heavy-tailed"),
+                );
+                add(
+                    "normalize",
+                    2,
+                    format!("scale {attr} for comparability across features"),
+                );
             }
             Concept::RatePercentage => {
-                add("normalize", 2, format!("{attr} is already bounded; min-max scale it"));
+                add(
+                    "normalize",
+                    2,
+                    format!("{attr} is already bounded; min-max scale it"),
+                );
             }
             Concept::Count => {
-                add("log", 2, format!("log(1+{attr}) tames the skew of count data"));
+                add(
+                    "log",
+                    2,
+                    format!("log(1+{attr}) tames the skew of count data"),
+                );
             }
             Concept::Hours => {
-                add("bucketize", 2, format!("band {attr} into part-time/full-time/overtime"));
+                add(
+                    "bucketize",
+                    2,
+                    format!("band {attr} into part-time/full-time/overtime"),
+                );
             }
             Concept::PersonCategory
             | Concept::Education
@@ -396,17 +427,33 @@ fn answer_unary(prompt: &str, ctx: &PromptContext) -> String {
                         Some("LR") | Some("DNN") | Some("KNN") | Some("NB") => 2,
                         _ => 1,
                     };
-                    add("dummies", level, format!("one-hot encode {attr} for linear models"));
+                    add(
+                        "dummies",
+                        level,
+                        format!("one-hot encode {attr} for linear models"),
+                    );
                 }
             }
             Concept::GeoCity => {
-                add("dummies", 1, format!("one-hot encode {attr}; a density lookup may be more informative"));
+                add(
+                    "dummies",
+                    1,
+                    format!("one-hot encode {attr}; a density lookup may be more informative"),
+                );
             }
             Concept::Identifier => {
-                add("none", 0, format!("{attr} is an identifier; no unary transform is helpful"));
+                add(
+                    "none",
+                    0,
+                    format!("{attr} is an identifier; no unary transform is helpful"),
+                );
             }
             Concept::AcademicScore => {
-                add("normalize", 2, format!("z-score {attr} so scores are comparable across scales"));
+                add(
+                    "normalize",
+                    2,
+                    format!("z-score {attr} so scores are comparable across scales"),
+                );
             }
             Concept::SportsStat | Concept::WinLoss => {
                 // Scaling only helps scale-sensitive downstream models;
@@ -548,7 +595,11 @@ fn answer_binary(ctx: &PromptContext, rng: &mut Rng, temperature: f64) -> String
                         '-',
                         format!(
                             "difference between the two players' {}",
-                            if a.description.is_empty() { &a.name } else { &a.description }
+                            if a.description.is_empty() {
+                                &a.name
+                            } else {
+                                &a.description
+                            }
                         ),
                     ),
                     20.0,
@@ -570,7 +621,9 @@ fn answer_binary(ctx: &PromptContext, rng: &mut Rng, temperature: f64) -> String
                     5.0,
                 ));
             }
-            if both(Concept::Count) || (ca.contains(&Concept::WinLoss) && cb.contains(&Concept::WinLoss)) {
+            if both(Concept::Count)
+                || (ca.contains(&Concept::WinLoss) && cb.contains(&Concept::WinLoss))
+            {
                 candidates.push((
                     (
                         a.name.clone(),
@@ -584,7 +637,11 @@ fn answer_binary(ctx: &PromptContext, rng: &mut Rng, temperature: f64) -> String
             if (ca.contains(&Concept::Money) && cb.contains(&Concept::Hours))
                 || (ca.contains(&Concept::Hours) && cb.contains(&Concept::Money))
             {
-                let (m, h) = if ca.contains(&Concept::Money) { (a, b) } else { (b, a) };
+                let (m, h) = if ca.contains(&Concept::Money) {
+                    (a, b)
+                } else {
+                    (b, a)
+                };
                 candidates.push((
                     (
                         m.name.clone(),
@@ -744,14 +801,17 @@ fn answer_highorder(ctx: &PromptContext, rng: &mut Rng, temperature: f64) -> Str
         .iter()
         .map(|f| {
             let c = f.concepts();
-            let mut w = if c.contains(&Concept::BinaryFlag) || c.contains(&Concept::RatePercentage) {
+            let mut w = if c.contains(&Concept::BinaryFlag) || c.contains(&Concept::RatePercentage)
+            {
                 5.0
             } else if c.contains(&Concept::Count) || c.contains(&Concept::Money) {
                 2.0
             } else {
                 1.0
             };
-            if c.iter().any(|cc| *cc != Concept::Generic && target_concepts.contains(cc)) {
+            if c.iter()
+                .any(|cc| *cc != Concept::Generic && target_concepts.contains(cc))
+            {
                 w *= 4.0;
             }
             (*f, w)
@@ -790,15 +850,18 @@ fn answer_highorder(ctx: &PromptContext, rng: &mut Rng, temperature: f64) -> Str
         );
     }
     let acol_concepts = acol.concepts();
-    let func_weights: Vec<(&str, f64)> =
-        if acol_concepts.contains(&Concept::BinaryFlag) || acol_concepts.contains(&Concept::RatePercentage) {
-            vec![("mean", 6.0), ("sum", 1.0), ("max", 0.5)]
-        } else if acol_concepts.contains(&Concept::Count) {
-            vec![("mean", 3.0), ("sum", 2.0), ("max", 1.0)]
-        } else {
-            vec![("mean", 3.0), ("max", 1.0), ("min", 1.0), ("std", 0.5)]
-        };
-    let func = weighted_pick(&func_weights, rng, temperature).copied().unwrap_or("mean");
+    let func_weights: Vec<(&str, f64)> = if acol_concepts.contains(&Concept::BinaryFlag)
+        || acol_concepts.contains(&Concept::RatePercentage)
+    {
+        vec![("mean", 6.0), ("sum", 1.0), ("max", 0.5)]
+    } else if acol_concepts.contains(&Concept::Count) {
+        vec![("mean", 3.0), ("sum", 2.0), ("max", 1.0)]
+    } else {
+        vec![("mean", 3.0), ("max", 1.0), ("min", 1.0), ("std", 0.5)]
+    };
+    let func = weighted_pick(&func_weights, rng, temperature)
+        .copied()
+        .unwrap_or("mean");
     // Occasionally group by two keys when a second grouping column exists
     // (a temperature-dependent exploration move; never at greedy decoding).
     let second = if g_weights.len() > 1 && rng.gen_f64() < 0.25 * temperature.min(1.0) {
@@ -893,7 +956,9 @@ fn answer_extractor(ctx: &PromptContext, rng: &mut Rng) -> String {
         .features
         .iter()
         .filter(|f| {
-            f.is_numeric() && f.name != target && !f.is_derived_code()
+            f.is_numeric()
+                && f.name != target
+                && !f.is_derived_code()
                 && f.concepts().contains(&Concept::Money)
         })
         .collect();
@@ -963,9 +1028,9 @@ fn answer_funcgen(prompt: &str, ctx: &PromptContext) -> String {
         "log" => format!("FUNCTION: log\nINPUT: {first_col}\nPARAMS: \n"),
         "dummies" => format!("FUNCTION: dummies\nINPUT: {first_col}\nPARAMS: \n"),
         "frequency" => format!("FUNCTION: frequency\nINPUT: {first_col}\nPARAMS: \n"),
-        "date_split" => format!(
-            "FUNCTION: date_split\nINPUT: {first_col}\nPARAMS: parts=year,month,weekday\n"
-        ),
+        "date_split" => {
+            format!("FUNCTION: date_split\nINPUT: {first_col}\nPARAMS: parts=year,month,weekday\n")
+        }
         "years_since" => format!(
             "FUNCTION: affine\nINPUT: {first_col}\nPARAMS: scale=-1; offset={}\n",
             knowledge::current_year()
@@ -995,7 +1060,11 @@ fn answer_funcgen(prompt: &str, ctx: &PromptContext) -> String {
                 .map(str::trim)
                 .unwrap_or("");
             let weights = if weights.is_empty() {
-                columns.iter().map(|_| "1".to_string()).collect::<Vec<_>>().join(",")
+                columns
+                    .iter()
+                    .map(|_| "1".to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
             } else {
                 weights.to_string()
             };
@@ -1094,9 +1163,10 @@ fn answer_row_completion(prompt: &str) -> String {
     let lower = new_name.to_ascii_lowercase();
     if lower.contains("density") || lower.contains("population") {
         // Find the city-ish source value among the known fields.
-        if let Some((_, city)) = fields.iter().find(|(k, v)| {
-            v != "?" && knowledge::detect(k, "").contains(&Concept::GeoCity)
-        }) {
+        if let Some((_, city)) = fields
+            .iter()
+            .find(|(k, v)| v != "?" && knowledge::detect(k, "").contains(&Concept::GeoCity))
+        {
             return format!("{}", knowledge::city_population_density(city));
         }
         // Fallback: any non-numeric value might be the city.
@@ -1140,18 +1210,15 @@ mod tests {
 
     #[test]
     fn unary_proposal_for_unknown_attribute_is_unhelpful() {
-        let prompt = format!(
-            "{CARD}Consider the unary operators on the attribute 'Nonexistent' now."
-        );
+        let prompt =
+            format!("{CARD}Consider the unary operators on the attribute 'Nonexistent' now.");
         let r = fm().complete(&prompt).unwrap();
         assert!(r.text.contains("does not appear"));
     }
 
     #[test]
     fn binary_sampling_returns_parseable_dict() {
-        let prompt = format!(
-            "{CARD}Propose one binary arithmetic feature for predicting Safe."
-        );
+        let prompt = format!("{CARD}Propose one binary arithmetic feature for predicting Safe.");
         let r = fm().complete(&prompt).unwrap();
         assert!(r.text.starts_with('{'), "{}", r.text);
         assert!(r.text.contains("\"left\""));
@@ -1160,8 +1227,10 @@ mod tests {
 
     #[test]
     fn highorder_prefers_grouping_and_flag_agg() {
-        let prompt = format!("{CARD}Generate a groupby feature for predicting Safe by applying \
-            'df.groupby(groupby_col)[agg_col].transform(function)'.");
+        let prompt = format!(
+            "{CARD}Generate a groupby feature for predicting Safe by applying \
+            'df.groupby(groupby_col)[agg_col].transform(function)'."
+        );
         // Sample several times: the flag aggregate and conceptual group key
         // should dominate.
         let model = fm();
@@ -1196,7 +1265,11 @@ mod tests {
         let prompt = format!("{card}Propose one extractor feature for predicting Result.");
         let r = fm().complete(&prompt).unwrap();
         assert!(r.text.contains("weighted_index"), "{}", r.text);
-        assert!(r.text.contains("-1"), "negative polarity for faults: {}", r.text);
+        assert!(
+            r.text.contains("-1"),
+            "negative polarity for faults: {}",
+            r.text
+        );
     }
 
     #[test]
@@ -1309,8 +1382,10 @@ mod tests {
                 ..FmConfig::default()
             },
         );
-        let p = format!("{CARD}Generate a groupby feature for predicting Safe by applying \
-            'df.groupby(groupby_col)[agg_col].transform(function)'.");
+        let p = format!(
+            "{CARD}Generate a groupby feature for predicting Safe by applying \
+            'df.groupby(groupby_col)[agg_col].transform(function)'."
+        );
         let texts: Vec<String> = (0..10).map(|_| m.complete(&p).unwrap().text).collect();
         let first = &texts[0];
         // Near-argmax sampling: the modal answer strongly dominates.

@@ -20,7 +20,11 @@ pub fn approx_tokens(text: &str) -> usize {
 
 /// Token estimate for a serialized `name: value` row as the row-level
 /// completion path produces (Figure 1's left side).
-pub fn row_serialization_tokens(n_attrs: usize, avg_name_len: usize, avg_value_len: usize) -> usize {
+pub fn row_serialization_tokens(
+    n_attrs: usize,
+    avg_name_len: usize,
+    avg_value_len: usize,
+) -> usize {
     // "name: value, " per attribute plus the masked tail "new_feat: ?".
     let per_attr = avg_name_len + avg_value_len + 4;
     approx_tokens(&"x".repeat(per_attr * n_attrs + avg_name_len + 3))

@@ -358,10 +358,7 @@ mod tests {
     #[test]
     fn numeric_rejects_strings() {
         let c = Column::from_str_slice("s", &["a", "b"]);
-        assert!(matches!(
-            c.numeric(),
-            Err(FrameError::TypeMismatch { .. })
-        ));
+        assert!(matches!(c.numeric(), Err(FrameError::TypeMismatch { .. })));
     }
 
     #[test]

@@ -44,20 +44,11 @@ fn infer_column(name: &str, cells: &[&str]) -> Column {
     let non_empty: Vec<&str> = cells.iter().copied().filter(|s| !s.is_empty()).collect();
     let all_int = !non_empty.is_empty() && non_empty.iter().all(|s| s.parse::<i64>().is_ok());
     if all_int {
-        return Column::from_ints(
-            name,
-            cells
-                .iter()
-                .map(|s| s.parse::<i64>().ok())
-                .collect(),
-        );
+        return Column::from_ints(name, cells.iter().map(|s| s.parse::<i64>().ok()).collect());
     }
     let all_float = !non_empty.is_empty() && non_empty.iter().all(|s| s.parse::<f64>().is_ok());
     if all_float {
-        return Column::from_floats(
-            name,
-            cells.iter().map(|s| s.parse::<f64>().ok()).collect(),
-        );
+        return Column::from_floats(name, cells.iter().map(|s| s.parse::<f64>().ok()).collect());
     }
     let all_bool = !non_empty.is_empty()
         && non_empty
@@ -136,13 +127,7 @@ fn parse_rows(text: &str) -> Result<Vec<Vec<String>>> {
 pub fn write_csv_str(df: &DataFrame) -> String {
     let mut out = String::new();
     let names = df.column_names();
-    out.push_str(
-        &names
-            .iter()
-            .map(|n| quote(n))
-            .collect::<Vec<_>>()
-            .join(","),
-    );
+    out.push_str(&names.iter().map(|n| quote(n)).collect::<Vec<_>>().join(","));
     out.push('\n');
     for i in 0..df.n_rows() {
         let cells: Vec<String> = df
@@ -173,8 +158,7 @@ pub fn read_csv_path(path: &std::path::Path) -> Result<DataFrame> {
 
 /// Write a frame to a CSV file on disk.
 pub fn write_csv_path(df: &DataFrame, path: &std::path::Path) -> Result<()> {
-    std::fs::write(path, write_csv_str(df))
-        .map_err(|e| FrameError::Csv(format!("{path:?}: {e}")))
+    std::fs::write(path, write_csv_str(df)).map_err(|e| FrameError::Csv(format!("{path:?}: {e}")))
 }
 
 /// Round-trip helper used by tests: frame → CSV → frame, comparing shapes

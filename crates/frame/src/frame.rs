@@ -322,7 +322,8 @@ mod tests {
     #[test]
     fn upsert_replaces() {
         let mut df = sample();
-        df.upsert_column(Column::from_i64("a", vec![7, 8, 9])).unwrap();
+        df.upsert_column(Column::from_i64("a", vec![7, 8, 9]))
+            .unwrap();
         assert_eq!(df.column("a").unwrap().get(0), Value::Int(7));
         assert_eq!(df.n_cols(), 3);
     }

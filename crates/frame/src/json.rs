@@ -146,12 +146,7 @@ impl JsonValue {
 
     /// Build an object from `(key, value)` pairs.
     pub fn object(pairs: impl IntoIterator<Item = (&'static str, JsonValue)>) -> JsonValue {
-        JsonValue::Object(
-            pairs
-                .into_iter()
-                .map(|(k, v)| (k.to_string(), v))
-                .collect(),
-        )
+        JsonValue::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
     }
 }
 
@@ -521,7 +516,16 @@ mod tests {
 
     #[test]
     fn rejects_malformed_input() {
-        for bad in ["", "{", "[1,", "\"open", "{\"a\" 1}", "tru", "1 2", "{'a': 1}"] {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "\"open",
+            "{\"a\" 1}",
+            "tru",
+            "1 2",
+            "{'a': 1}",
+        ] {
             assert!(JsonValue::parse(bad).is_err(), "should reject {bad:?}");
         }
     }

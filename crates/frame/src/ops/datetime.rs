@@ -145,10 +145,7 @@ pub fn looks_like_dates(col: &Column) -> bool {
     if non_null.is_empty() {
         return false;
     }
-    let parsed = non_null
-        .iter()
-        .filter(|s| Date::parse(s).is_some())
-        .count();
+    let parsed = non_null.iter().filter(|s| Date::parse(s).is_some()).count();
     parsed * 5 >= non_null.len() * 4
 }
 
@@ -207,7 +204,16 @@ mod tests {
 
     #[test]
     fn looks_like_dates_threshold() {
-        let mostly = Column::from_str_slice("d", &["2020-01-01", "2020-01-02", "oops", "2020-01-04", "2020-01-05"]);
+        let mostly = Column::from_str_slice(
+            "d",
+            &[
+                "2020-01-01",
+                "2020-01-02",
+                "oops",
+                "2020-01-04",
+                "2020-01-05",
+            ],
+        );
         assert!(looks_like_dates(&mostly));
         let rarely = Column::from_str_slice("d", &["a", "b", "2020-01-01"]);
         assert!(!looks_like_dates(&rarely));

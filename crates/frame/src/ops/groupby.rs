@@ -58,7 +58,11 @@ impl AggFunc {
     /// Evaluate over a group's non-null values.
     pub fn evaluate(self, values: &[f64]) -> Option<f64> {
         if values.is_empty() {
-            return if self == AggFunc::Count { Some(0.0) } else { None };
+            return if self == AggFunc::Count {
+                Some(0.0)
+            } else {
+                None
+            };
         }
         let n = values.len() as f64;
         let v = match self {

@@ -85,9 +85,7 @@ pub fn normalize(col: &Column, kind: NormKind, out_name: &str) -> Result<Column>
             let max = present.iter().copied().fold(f64::NEG_INFINITY, f64::max);
             let range = max - min;
             xs.into_iter()
-                .map(|x| {
-                    x.map(|v| if range == 0.0 { 0.0 } else { (v - min) / range })
-                })
+                .map(|x| x.map(|v| if range == 0.0 { 0.0 } else { (v - min) / range }))
                 .collect()
         }
         NormKind::ZScore => {
@@ -142,10 +140,7 @@ pub fn clip(col: &Column, lo: f64, hi: f64, out_name: &str) -> Result<Column> {
         )));
     }
     let xs = col.numeric()?;
-    let data = xs
-        .into_iter()
-        .map(|x| x.map(|v| v.clamp(lo, hi)))
-        .collect();
+    let data = xs.into_iter().map(|x| x.map(|v| v.clamp(lo, hi))).collect();
     Ok(Column::from_floats(out_name, data))
 }
 

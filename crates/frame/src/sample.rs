@@ -81,11 +81,7 @@ mod tests {
     use crate::column::Column;
 
     fn frame(n: usize) -> DataFrame {
-        DataFrame::from_columns(vec![Column::from_i64(
-            "id",
-            (0..n as i64).collect(),
-        )])
-        .unwrap()
+        DataFrame::from_columns(vec![Column::from_i64("id", (0..n as i64).collect())]).unwrap()
     }
 
     #[test]

@@ -84,7 +84,12 @@ pub fn evaluate_models_threaded(
         } else {
             (x_train, x_test)
         };
-        (kind, score_one_model(kind, tr, y_train, te, y_test, seed, i))
+        // Runs on pool workers: the work registry aggregates through
+        // order-independent counters, so this is determinism-safe.
+        let auc = smartfeat_obs::global::time("ml.eval.model", || {
+            score_one_model(kind, tr, y_train, te, y_test, seed, i)
+        });
+        (kind, auc)
     });
     Ok(ModelScores { scores })
 }
@@ -124,13 +129,7 @@ pub fn evaluate_all_models(
 }
 
 /// K-fold cross-validated AUC (× 100) for a single model kind.
-pub fn kfold_cv_auc(
-    kind: ModelKind,
-    x: &Matrix,
-    y: &[u8],
-    k: usize,
-    seed: u64,
-) -> Result<f64> {
+pub fn kfold_cv_auc(kind: ModelKind, x: &Matrix, y: &[u8], k: usize, seed: u64) -> Result<f64> {
     kfold_cv_auc_threaded(kind, x, y, k, seed, 0)
 }
 
@@ -150,23 +149,26 @@ pub fn kfold_cv_auc_threaded(
         .map_err(|e| crate::error::MlError::InvalidParameter(e.to_string()))?;
     let threads = smartfeat_par::resolve_threads(threads);
     let aucs = smartfeat_par::try_par_map_indexed(threads, folds.len(), |fold_id| {
-        let (train_idx, valid_idx) = &folds[fold_id];
-        let x_train = x.take_rows(train_idx);
-        let x_valid = x.take_rows(valid_idx);
-        let y_train: Vec<u8> = train_idx.iter().map(|&i| y[i]).collect();
-        let y_valid: Vec<u8> = valid_idx.iter().map(|&i| y[i]).collect();
-        // The fold's model evaluation stays serial: parallelism is at the
-        // fold level here, and nested pools would only oversubscribe.
-        evaluate_models_threaded(
-            &[kind],
-            &x_train,
-            &y_train,
-            &x_valid,
-            &y_valid,
-            seed.wrapping_add(fold_id as u64),
-            1,
-        )
-        .map(|s| s.scores[0].1)
+        smartfeat_obs::global::time("ml.cv.fold", || {
+            let (train_idx, valid_idx) = &folds[fold_id];
+            let x_train = x.take_rows(train_idx);
+            let x_valid = x.take_rows(valid_idx);
+            let y_train: Vec<u8> = train_idx.iter().map(|&i| y[i]).collect();
+            let y_valid: Vec<u8> = valid_idx.iter().map(|&i| y[i]).collect();
+            // The fold's model evaluation stays serial: parallelism is at
+            // the fold level here, and nested pools would only
+            // oversubscribe.
+            evaluate_models_threaded(
+                &[kind],
+                &x_train,
+                &y_train,
+                &x_valid,
+                &y_valid,
+                seed.wrapping_add(fold_id as u64),
+                1,
+            )
+            .map(|s| s.scores[0].1)
+        })
     })?;
     Ok(mean(&aucs))
 }
@@ -234,10 +236,24 @@ mod tests {
         let y: Vec<u8> = (0..n).map(|i| u8::from(i >= n / 2)).collect();
         let models = [ModelKind::LR, ModelKind::RF, ModelKind::ET, ModelKind::DNN];
         let s = evaluate_models_threaded(&models, &x, &y, &x, &y, 9, 4).unwrap();
-        assert_eq!(s.get(ModelKind::LR), Some(50.0), "LR should hit the fallback");
-        assert_eq!(s.get(ModelKind::DNN), Some(50.0), "DNN should hit the fallback");
-        assert!(s.get(ModelKind::RF).unwrap() > 60.0, "RF trains on the raw matrix");
-        assert!(s.get(ModelKind::ET).unwrap() > 60.0, "ET trains on the raw matrix");
+        assert_eq!(
+            s.get(ModelKind::LR),
+            Some(50.0),
+            "LR should hit the fallback"
+        );
+        assert_eq!(
+            s.get(ModelKind::DNN),
+            Some(50.0),
+            "DNN should hit the fallback"
+        );
+        assert!(
+            s.get(ModelKind::RF).unwrap() > 60.0,
+            "RF trains on the raw matrix"
+        );
+        assert!(
+            s.get(ModelKind::ET).unwrap() > 60.0,
+            "ET trains on the raw matrix"
+        );
     }
 
     #[test]

@@ -61,8 +61,11 @@ mod tests {
     #[test]
     fn display_messages() {
         assert!(MlError::SingleClass.to_string().contains("single class"));
-        assert!(MlError::FeatureMismatch { fitted: 3, given: 5 }
-            .to_string()
-            .contains("3"));
+        assert!(MlError::FeatureMismatch {
+            fitted: 3,
+            given: 5
+        }
+        .to_string()
+        .contains("3"));
     }
 }

@@ -87,10 +87,12 @@ impl Classifier for ExtraTrees {
         let all: Vec<usize> = (0..x.rows()).collect();
         let seeds = tree_seeds(self.seed, self.n_trees);
         let threads = smartfeat_par::resolve_threads(self.threads);
-        self.trees = smartfeat_par::try_par_map_indexed(threads, self.n_trees, |i| {
-            let mut rng = Rng::seed_from_u64(seeds[i]);
-            let mut tree = DecisionTree::new(params);
-            tree.fit_indices(x, y, &all, &mut rng).map(|()| tree)
+        self.trees = smartfeat_obs::global::time("ml.extra_trees.fit", || {
+            smartfeat_par::try_par_map_indexed(threads, self.n_trees, |i| {
+                let mut rng = Rng::seed_from_u64(seeds[i]);
+                let mut tree = DecisionTree::new(params);
+                tree.fit_indices(x, y, &all, &mut rng).map(|()| tree)
+            })
         })?;
         Ok(())
     }
@@ -164,8 +166,18 @@ mod tests {
             let mut parallel = ExtraTrees::default_params(seed).with_threads(4);
             serial.fit(&x, &y).unwrap();
             parallel.fit(&x, &y).unwrap();
-            let ps: Vec<u64> = serial.predict_proba(&x).unwrap().iter().map(|p| p.to_bits()).collect();
-            let pp: Vec<u64> = parallel.predict_proba(&x).unwrap().iter().map(|p| p.to_bits()).collect();
+            let ps: Vec<u64> = serial
+                .predict_proba(&x)
+                .unwrap()
+                .iter()
+                .map(|p| p.to_bits())
+                .collect();
+            let pp: Vec<u64> = parallel
+                .predict_proba(&x)
+                .unwrap()
+                .iter()
+                .map(|p| p.to_bits())
+                .collect();
             assert_eq!(ps, pp, "seed {seed}");
         }
     }

@@ -100,11 +100,13 @@ impl Classifier for RandomForest {
         let seeds = tree_seeds(self.seed, self.n_trees);
         let threads = smartfeat_par::resolve_threads(self.threads);
         let params = self.tree_params;
-        self.trees = smartfeat_par::try_par_map_indexed(threads, self.n_trees, |i| {
-            let mut rng = Rng::seed_from_u64(seeds[i]);
-            let indices: Vec<usize> = (0..sample_size).map(|_| rng.gen_range(0..n)).collect();
-            let mut tree = DecisionTree::new(params);
-            tree.fit_indices(x, y, &indices, &mut rng).map(|()| tree)
+        self.trees = smartfeat_obs::global::time("ml.forest.fit", || {
+            smartfeat_par::try_par_map_indexed(threads, self.n_trees, |i| {
+                let mut rng = Rng::seed_from_u64(seeds[i]);
+                let indices: Vec<usize> = (0..sample_size).map(|_| rng.gen_range(0..n)).collect();
+                let mut tree = DecisionTree::new(params);
+                tree.fit_indices(x, y, &indices, &mut rng).map(|()| tree)
+            })
         })?;
         Ok(())
     }
@@ -182,11 +184,31 @@ mod tests {
             let mut parallel = RandomForest::default_params(seed).with_threads(4);
             serial.fit(&x, &y).unwrap();
             parallel.fit(&x, &y).unwrap();
-            let ps: Vec<u64> = serial.predict_proba(&x).unwrap().iter().map(|p| p.to_bits()).collect();
-            let pp: Vec<u64> = parallel.predict_proba(&x).unwrap().iter().map(|p| p.to_bits()).collect();
+            let ps: Vec<u64> = serial
+                .predict_proba(&x)
+                .unwrap()
+                .iter()
+                .map(|p| p.to_bits())
+                .collect();
+            let pp: Vec<u64> = parallel
+                .predict_proba(&x)
+                .unwrap()
+                .iter()
+                .map(|p| p.to_bits())
+                .collect();
             assert_eq!(ps, pp, "seed {seed}");
-            let is: Vec<u64> = serial.feature_importances().unwrap().iter().map(|v| v.to_bits()).collect();
-            let ip: Vec<u64> = parallel.feature_importances().unwrap().iter().map(|v| v.to_bits()).collect();
+            let is: Vec<u64> = serial
+                .feature_importances()
+                .unwrap()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            let ip: Vec<u64> = parallel
+                .feature_importances()
+                .unwrap()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
             assert_eq!(is, ip, "seed {seed}");
         }
     }

@@ -177,10 +177,7 @@ mod tests {
     fn nonfinite_training_rejected() {
         let x = Matrix::from_rows(vec![vec![f64::INFINITY], vec![0.0]]).unwrap();
         let mut lr = LogisticRegression::default_params();
-        assert!(matches!(
-            lr.fit(&x, &[0, 1]),
-            Err(MlError::NonFinite(_))
-        ));
+        assert!(matches!(lr.fit(&x, &[0, 1]), Err(MlError::NonFinite(_))));
     }
 
     #[test]

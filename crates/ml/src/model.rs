@@ -115,7 +115,10 @@ mod tests {
             m.fit(&x, &y).unwrap();
             let p = m.predict_proba(&x).unwrap();
             assert_eq!(p.len(), 40);
-            assert!(p.iter().all(|v| (0.0..=1.0).contains(v)), "{kind} probs in range");
+            assert!(
+                p.iter().all(|v| (0.0..=1.0).contains(v)),
+                "{kind} probs in range"
+            );
         }
     }
 }

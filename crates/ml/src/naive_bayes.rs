@@ -79,10 +79,7 @@ impl Classifier for GaussianNb {
             }
         }
         let n = y.len() as f64;
-        self.class_log_prior = [
-            (counts[0] as f64 / n).ln(),
-            (counts[1] as f64 / n).ln(),
-        ];
+        self.class_log_prior = [(counts[0] as f64 / n).ln(), (counts[1] as f64 / n).ln()];
         self.means = means;
         self.vars = vars;
         self.fitted = true;
@@ -104,9 +101,7 @@ impl Classifier for GaussianNb {
             .map(|i| {
                 let row = x.row(i);
                 let mut log_like = self.class_log_prior;
-                for ((ll, means), vars) in
-                    log_like.iter_mut().zip(&self.means).zip(&self.vars)
-                {
+                for ((ll, means), vars) in log_like.iter_mut().zip(&self.means).zip(&self.vars) {
                     for ((&v, &m), &var) in row.iter().zip(means).zip(vars) {
                         *ll += -half_ln_2pi - 0.5 * var.ln() - (v - m).powi(2) / (2.0 * var);
                     }

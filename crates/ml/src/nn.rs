@@ -324,9 +324,6 @@ mod tests {
         // NaN became... Matrix doesn't normalize; check_training passes but
         // is_finite() fails.
         let mut mlp = MlpClassifier::default_params(0);
-        assert!(matches!(
-            mlp.fit(&x, &[0, 1]),
-            Err(MlError::NonFinite(_))
-        ));
+        assert!(matches!(mlp.fit(&x, &[0, 1]), Err(MlError::NonFinite(_))));
     }
 }

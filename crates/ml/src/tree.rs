@@ -171,7 +171,9 @@ impl DecisionTree {
         let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gain)
         for &f in &features {
             let candidate = match self.params.split_mode {
-                SplitMode::Exact => best_exact_split(x, y, indices, f, self.params.min_samples_leaf),
+                SplitMode::Exact => {
+                    best_exact_split(x, y, indices, f, self.params.min_samples_leaf)
+                }
                 SplitMode::Random => {
                     random_split(x, y, indices, f, self.params.min_samples_leaf, rng)
                 }
@@ -279,10 +281,7 @@ fn best_exact_split(
     min_leaf: usize,
 ) -> Option<(f64, f64)> {
     let n = indices.len();
-    let mut pairs: Vec<(f64, u8)> = indices
-        .iter()
-        .map(|&i| (x.get(i, feature), y[i]))
-        .collect();
+    let mut pairs: Vec<(f64, u8)> = indices.iter().map(|&i| (x.get(i, feature), y[i])).collect();
     pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
     let total_pos = pairs.iter().filter(|p| p.1 != 0).count();
     let parent = gini(total_pos, n);
@@ -373,7 +372,7 @@ fn partition(x: &Matrix, indices: &mut [usize], feature: usize, threshold: f64) 
 mod tests {
     use super::*;
     use crate::metrics::roc_auc;
-    
+
     fn xor_data() -> (Matrix, Vec<u8>) {
         // XOR pattern: needs depth ≥ 2 — linear models can't solve it.
         let mut rows = Vec::new();
@@ -495,4 +494,3 @@ mod tests {
         ));
     }
 }
-

@@ -1,0 +1,119 @@
+//! Process-wide work registry: order-independent aggregation for code
+//! that runs on pool workers (tree fits, CV folds), where per-event
+//! tracing would break the determinism contract.
+//!
+//! Callers record named work units with [`time`] or [`record`]; the
+//! pipeline snapshots the registry before and after a run and reports the
+//! delta. Counts are a pure function of the workload (deterministic for
+//! any thread count); nanosecond totals are wall-clock and surface only
+//! in the report's `volatile` section.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Aggregate for one named unit of work.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct WorkStat {
+    /// Times the unit ran.
+    pub count: u64,
+    /// Total wall-clock nanoseconds (saturating).
+    pub ns: u64,
+}
+
+fn registry() -> &'static Mutex<BTreeMap<&'static str, WorkStat>> {
+    static REGISTRY: OnceLock<Mutex<BTreeMap<&'static str, WorkStat>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Record one completed unit of `name` that took `elapsed`.
+pub fn record(name: &'static str, elapsed: Duration) {
+    let mut reg = registry().lock().expect("work registry poisoned");
+    let stat = reg.entry(name).or_default();
+    stat.count += 1;
+    stat.ns = stat
+        .ns
+        .saturating_add(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
+}
+
+/// Run `f`, recording its wall-clock duration under `name`. Safe to call
+/// from pool workers: aggregation is a mutex-guarded counter update, with
+/// no event emission.
+pub fn time<T>(name: &'static str, f: impl FnOnce() -> T) -> T {
+    let start = Instant::now();
+    let out = f();
+    record(name, start.elapsed());
+    out
+}
+
+/// Snapshot of the whole registry.
+pub fn snapshot() -> BTreeMap<String, WorkStat> {
+    registry()
+        .lock()
+        .expect("work registry poisoned")
+        .iter()
+        .map(|(k, v)| ((*k).to_string(), *v))
+        .collect()
+}
+
+/// Per-name difference `after - before` (saturating), dropping names
+/// whose count did not change. Bridges run-scoped deltas out of the
+/// process-wide accumulators.
+pub fn delta(
+    before: &BTreeMap<String, WorkStat>,
+    after: &BTreeMap<String, WorkStat>,
+) -> BTreeMap<String, WorkStat> {
+    let mut out = BTreeMap::new();
+    for (name, a) in after {
+        let b = before.get(name).copied().unwrap_or_default();
+        let d = WorkStat {
+            count: a.count.saturating_sub(b.count),
+            ns: a.ns.saturating_sub(b.ns),
+        };
+        if d.count > 0 {
+            out.insert(name.clone(), d);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_records_count_and_duration() {
+        let before = snapshot();
+        let v = time("obs.test.unit", || 41 + 1);
+        assert_eq!(v, 42);
+        record("obs.test.unit", Duration::from_nanos(5));
+        let after = snapshot();
+        let d = delta(&before, &after);
+        let stat = d.get("obs.test.unit").expect("unit recorded");
+        assert_eq!(stat.count, 2);
+        assert!(stat.ns >= 5);
+    }
+
+    #[test]
+    fn delta_drops_unchanged_names() {
+        record("obs.test.stable", Duration::ZERO);
+        let snap = snapshot();
+        assert!(delta(&snap, &snap).is_empty());
+    }
+
+    #[test]
+    fn concurrent_recording_is_exact() {
+        let before = snapshot();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..50 {
+                        record("obs.test.concurrent", Duration::from_nanos(1));
+                    }
+                });
+            }
+        });
+        let d = delta(&before, &snapshot());
+        assert_eq!(d.get("obs.test.concurrent").unwrap().count, 200);
+    }
+}

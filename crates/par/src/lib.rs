@@ -25,16 +25,59 @@
 //! Hermetic-build policy: this crate depends on `std` only.
 
 use std::panic::resume_unwind;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::thread;
 
 /// Name of the environment override consulted by [`resolve_threads`].
 pub const THREADS_ENV: &str = "SMARTFEAT_THREADS";
 
+// Process-wide pool telemetry, kept dependency-free (this crate stays
+// std-only; the observability layer bridges deltas out of these).
+static POOL_BATCHES: AtomicU64 = AtomicU64::new(0);
+static POOL_TASKS: AtomicU64 = AtomicU64::new(0);
+static POOL_WORKERS_SPAWNED: AtomicU64 = AtomicU64::new(0);
+
+/// Cumulative pool counters since process start; see [`pool_stats`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// `par_map`/`par_map_indexed` invocations (including serial-path runs).
+    pub batches: u64,
+    /// Total items mapped across all batches.
+    pub tasks: u64,
+    /// Worker threads spawned (0 for serial-path batches). Depends on the
+    /// resolved thread count, so observability reports treat it as volatile.
+    pub workers_spawned: u64,
+}
+
+impl PoolStats {
+    /// Counter-wise difference `self - earlier` (saturating), for
+    /// run-scoped deltas over the process-wide accumulators.
+    pub fn since(&self, earlier: &PoolStats) -> PoolStats {
+        PoolStats {
+            batches: self.batches.saturating_sub(earlier.batches),
+            tasks: self.tasks.saturating_sub(earlier.tasks),
+            workers_spawned: self.workers_spawned.saturating_sub(earlier.workers_spawned),
+        }
+    }
+}
+
+/// Snapshot the cumulative pool counters. `batches` and `tasks` are pure
+/// functions of the workload (deterministic for any thread count);
+/// `workers_spawned` varies with the resolved thread count.
+pub fn pool_stats() -> PoolStats {
+    PoolStats {
+        batches: POOL_BATCHES.load(Ordering::Relaxed),
+        tasks: POOL_TASKS.load(Ordering::Relaxed),
+        workers_spawned: POOL_WORKERS_SPAWNED.load(Ordering::Relaxed),
+    }
+}
+
 /// Number of hardware threads, with a floor of 1.
 pub fn available_threads() -> usize {
-    thread::available_parallelism().map(usize::from).unwrap_or(1)
+    thread::available_parallelism()
+        .map(usize::from)
+        .unwrap_or(1)
 }
 
 /// Effective thread count: the `SMARTFEAT_THREADS` environment override
@@ -136,9 +179,12 @@ where
     F: Fn(usize) -> R + Sync,
 {
     let workers = threads.max(1).min(n);
+    POOL_BATCHES.fetch_add(1, Ordering::Relaxed);
+    POOL_TASKS.fetch_add(n as u64, Ordering::Relaxed);
     if workers <= 1 {
         return (0..n).map(f).collect();
     }
+    POOL_WORKERS_SPAWNED.fetch_add(workers as u64, Ordering::Relaxed);
     let next = AtomicUsize::new(0);
     let (tx, rx) = mpsc::channel::<(usize, R)>();
     let f = &f;
@@ -272,16 +318,24 @@ mod tests {
 
     #[test]
     fn try_par_map_reports_lowest_index_error() {
-        let r: Result<Vec<usize>, usize> = try_par_map_indexed(4, 100, |i| {
-            if i == 7 || i == 70 {
-                Err(i)
-            } else {
-                Ok(i)
-            }
-        });
+        let r: Result<Vec<usize>, usize> =
+            try_par_map_indexed(4, 100, |i| if i == 7 || i == 70 { Err(i) } else { Ok(i) });
         assert_eq!(r.unwrap_err(), 7);
         let ok: Result<Vec<usize>, usize> = try_par_map_indexed(4, 10, Ok);
         assert_eq!(ok.unwrap(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_stats_count_batches_and_tasks() {
+        // Counters are process-wide and sibling tests run concurrently, so
+        // assert lower bounds on the delta rather than exact values.
+        let before = pool_stats();
+        par_map_indexed(1, 5, |i| i); // serial path: no workers spawned
+        par_map_indexed(4, 8, |i| i);
+        let d = pool_stats().since(&before);
+        assert!(d.batches >= 2, "batches delta {d:?}");
+        assert!(d.tasks >= 13, "tasks delta {d:?}");
+        assert!(d.workers_spawned >= 4, "workers delta {d:?}");
     }
 
     #[test]

@@ -56,9 +56,7 @@ pub fn cases(n: usize, mut f: impl FnMut(&mut Rng)) {
             f(&mut rng);
         }));
         if let Err(panic) = result {
-            eprintln!(
-                "property failed at case {i}/{n}; replay with SMARTFEAT_CHECK_SEED={seed}"
-            );
+            eprintln!("property failed at case {i}/{n}; replay with SMARTFEAT_CHECK_SEED={seed}");
             resume_unwind(panic);
         }
     }
@@ -81,7 +79,9 @@ pub fn string_of(rng: &mut Rng, charset: &str, max_len: usize) -> String {
     let chars: Vec<char> = charset.chars().collect();
     assert!(!chars.is_empty(), "string_of needs a non-empty charset");
     let n = rng.gen_range(0..=max_len);
-    (0..n).map(|_| *rng.choose(&chars).expect("non-empty")).collect()
+    (0..n)
+        .map(|_| *rng.choose(&chars).expect("non-empty"))
+        .collect()
 }
 
 /// Arbitrary text of up to `max_len` chars: printable ASCII, whitespace

@@ -139,7 +139,7 @@ impl Rng {
     /// total.
     pub fn weighted_index(&mut self, weights: &[f64]) -> Option<usize> {
         let total: f64 = weights.iter().copied().filter(|w| *w > 0.0).sum();
-        if !(total > 0.0) || !total.is_finite() {
+        if total <= 0.0 || !total.is_finite() {
             return None;
         }
         let mut draw = self.gen_f64() * total;

@@ -12,9 +12,8 @@ use smartfeat_repro::prelude::*;
 fn main() {
     // A small clinic-visits table. Note the date column and the city —
     // both trigger context-specific operators.
-    let mut csv_text = String::from(
-        "patient_age,visit_date,city,bmi,glucose_level,monthly_income,readmitted\n",
-    );
+    let mut csv_text =
+        String::from("patient_age,visit_date,city,bmi,glucose_level,monthly_income,readmitted\n");
     let cities = ["SF", "LA", "SEA", "NYC"];
     for i in 0..240u32 {
         let age = 20 + (i * 7) % 60;

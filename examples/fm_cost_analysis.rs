@@ -9,8 +9,15 @@ use smartfeat_repro::prelude::*;
 fn main() {
     println!(
         "{:>6}  {:>10} {:>12} {:>9} {:>10}   {:>10} {:>12} {:>9} {:>10}",
-        "rows", "row calls", "row tokens", "row $", "row time", "feat calls", "feat tokens",
-        "feat $", "feat time"
+        "rows",
+        "row calls",
+        "row tokens",
+        "row $",
+        "row time",
+        "feat calls",
+        "feat tokens",
+        "feat $",
+        "feat time"
     );
     for rows in [100usize, 500, 2_000, 8_000] {
         let ds = smartfeat_repro::datasets::insurance::generate(rows, 7);

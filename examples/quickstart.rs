@@ -74,8 +74,5 @@ fn main() {
     let after = auc_of(&report.frame);
     println!("\nAverage AUC (5 models) without new features: {before:.2}");
     println!("Average AUC (5 models) with    new features: {after:.2}");
-    println!(
-        "Improvement: {:+.1}%",
-        (after - before) / before * 100.0
-    );
+    println!("Improvement: {:+.1}%", (after - before) / before * 100.0);
 }

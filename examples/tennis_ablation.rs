@@ -59,8 +59,7 @@ fn main() {
         let tool = SmartFeat::new(&selector_fm, &generator_fm, config);
         let report = tool.run(&ds.frame, &agenda).expect("pipeline runs");
         let scores = evaluate(&report.frame, ds.target, 1042);
-        let avg: f64 =
-            scores.iter().map(|(_, a)| *a).sum::<f64>() / scores.len() as f64;
+        let avg: f64 = scores.iter().map(|(_, a)| *a).sum::<f64>() / scores.len() as f64;
         print!("{label:<12}");
         for (_, auc) in &scores {
             print!(" {auc:>7.2}");

@@ -34,7 +34,10 @@ fn manifest_paths() -> Vec<PathBuf> {
             out.push(manifest);
         }
     }
-    assert!(out.len() >= 10, "expected root + member manifests, got {out:?}");
+    assert!(
+        out.len() >= 11,
+        "expected root + member manifests, got {out:?}"
+    );
     out
 }
 

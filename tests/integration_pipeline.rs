@@ -8,7 +8,8 @@ fn run(ds: &Dataset, seed: u64) -> SmartFeatReport {
     let selector = SimulatedFm::gpt4(seed);
     let generator = SimulatedFm::gpt35(seed + 1);
     let tool = SmartFeat::new(&selector, &generator, SmartFeatConfig::default());
-    tool.run(&ds.frame, &ds.agenda("RF")).expect("pipeline runs")
+    tool.run(&ds.frame, &ds.agenda("RF"))
+        .expect("pipeline runs")
 }
 
 #[test]
@@ -57,7 +58,10 @@ fn insurance_example_reproduces_paper_features() {
     let report = run(&ds, 42);
     let names = report.new_feature_names().join(",");
     assert!(names.contains("Bucketized_Age"), "F1 missing: {names}");
-    assert!(names.contains("YearsSince_Age_of_car"), "F2 missing: {names}");
+    assert!(
+        names.contains("YearsSince_Age_of_car"),
+        "F2 missing: {names}"
+    );
     assert!(names.contains("GroupBy_"), "F3-style missing: {names}");
     assert!(names.contains("population_density"), "F4 missing: {names}");
 }
@@ -114,8 +118,14 @@ fn names_only_generates_no_more_than_full_descriptions() {
     // Sport-specific extraction needs the descriptions: the bare run must
     // not contain the weighted performance index.
     assert!(
-        !bare.new_feature_names().join(",").contains("Performance_index")
-            || full.new_feature_names().join(",").contains("Performance_index")
+        !bare
+            .new_feature_names()
+            .join(",")
+            .contains("Performance_index")
+            || full
+                .new_feature_names()
+                .join(",")
+                .contains("Performance_index")
     );
 }
 

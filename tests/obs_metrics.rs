@@ -1,0 +1,216 @@
+//! Tier-1 observability guards.
+//!
+//! 1. `report_fm_totals_match_usage_meters` — the metrics report's `fm`
+//!    section must equal the `crates/fm` usage meters exactly: the report
+//!    is an *accounting bridge*, not a second estimate.
+//! 2. `metrics_report_is_byte_identical_across_thread_counts` — under the
+//!    default logical clock, the metrics report and JSONL trace must be
+//!    byte-identical for `SMARTFEAT_THREADS=1/2/4`. Same re-exec harness
+//!    as `tests/threads_matrix.rs` (a nested `cargo test` would contend
+//!    for the target-directory lock), with its own env var so the two
+//!    matrices never cross-trigger each other's workers.
+
+use std::process::Command;
+
+use smartfeat::config::ObservabilityConfig;
+use smartfeat::{SmartFeat, SmartFeatConfig, SmartFeatReport};
+use smartfeat_fm::SimulatedFm;
+use smartfeat_frame::json::JsonValue;
+
+fn run_pipeline(observability: ObservabilityConfig) -> SmartFeatReport {
+    let ds = smartfeat_datasets::insurance::generate(80, 9);
+    let selector = SimulatedFm::gpt4(9);
+    let generator = SimulatedFm::gpt35(10);
+    let config = SmartFeatConfig {
+        observability,
+        ..SmartFeatConfig::default()
+    };
+    SmartFeat::new(&selector, &generator, config)
+        .run(&ds.frame, &ds.agenda("RF"))
+        .expect("pipeline runs")
+}
+
+fn enabled_in_memory() -> ObservabilityConfig {
+    ObservabilityConfig {
+        enabled: true,
+        trace_out: None,
+        metrics_out: None,
+    }
+}
+
+#[test]
+fn metrics_absent_when_observability_off() {
+    let report = run_pipeline(ObservabilityConfig::default());
+    assert!(report.metrics.is_none(), "inactive config must not record");
+}
+
+#[test]
+fn report_fm_totals_match_usage_meters() {
+    let report = run_pipeline(enabled_in_memory());
+    let metrics = report
+        .metrics
+        .as_ref()
+        .expect("metrics present when enabled");
+    let fm = metrics.get("fm").expect("fm section in report");
+
+    let roles = [
+        ("selector", &report.selector_usage),
+        ("generator", &report.generator_usage),
+    ];
+    for (role, usage) in roles {
+        let entry = fm.get(role).unwrap_or_else(|| panic!("fm.{role} present"));
+        assert_eq!(
+            entry.get("calls").and_then(JsonValue::as_u64),
+            Some(usage.calls as u64),
+            "fm.{role}.calls diverges from the usage meter"
+        );
+        assert_eq!(
+            entry.get("prompt_tokens").and_then(JsonValue::as_u64),
+            Some(usage.prompt_tokens as u64),
+            "fm.{role}.prompt_tokens diverges from the usage meter"
+        );
+        assert_eq!(
+            entry.get("completion_tokens").and_then(JsonValue::as_u64),
+            Some(usage.completion_tokens as u64),
+            "fm.{role}.completion_tokens diverges from the usage meter"
+        );
+        let cost = entry
+            .get("cost_usd")
+            .and_then(JsonValue::as_f64)
+            .unwrap_or_else(|| panic!("fm.{role}.cost_usd present"));
+        assert_eq!(
+            cost.to_bits(),
+            usage.cost_usd.to_bits(),
+            "fm.{role}.cost_usd diverges from the usage meter"
+        );
+    }
+
+    // The computed total sums exactly the two role entries, so it must
+    // equal the combined meter snapshot bit-for-bit (f64 `+` commutes).
+    let total = fm.get("total").expect("fm.total present");
+    let combined = report.total_usage();
+    assert_eq!(
+        total.get("calls").and_then(JsonValue::as_u64),
+        Some(combined.calls as u64)
+    );
+    assert_eq!(
+        total.get("prompt_tokens").and_then(JsonValue::as_u64),
+        Some(combined.prompt_tokens as u64)
+    );
+    assert_eq!(
+        total.get("completion_tokens").and_then(JsonValue::as_u64),
+        Some(combined.completion_tokens as u64)
+    );
+    let total_cost = total
+        .get("cost_usd")
+        .and_then(JsonValue::as_f64)
+        .expect("fm.total.cost_usd present");
+    assert_eq!(total_cost.to_bits(), combined.cost_usd.to_bits());
+    assert!(combined.calls > 0, "run must have made FM calls");
+}
+
+#[test]
+fn metrics_and_trace_files_are_written_and_parseable() {
+    let tmp = std::env::temp_dir();
+    let pid = std::process::id();
+    let trace = tmp.join(format!("smartfeat_obs_files_trace_{pid}.jsonl"));
+    let metrics = tmp.join(format!("smartfeat_obs_files_metrics_{pid}.json"));
+    let report = run_pipeline(ObservabilityConfig {
+        enabled: false, // either output path alone activates the section
+        trace_out: Some(trace.display().to_string()),
+        metrics_out: Some(metrics.display().to_string()),
+    });
+
+    let metrics_text = std::fs::read_to_string(&metrics).expect("metrics file written");
+    let trace_text = std::fs::read_to_string(&trace).expect("trace file written");
+    let _ = std::fs::remove_file(&metrics);
+    let _ = std::fs::remove_file(&trace);
+
+    let parsed = JsonValue::parse(&metrics_text).expect("metrics file is valid JSON");
+    assert_eq!(
+        Some(&parsed),
+        report.metrics.as_ref(),
+        "file and in-report metrics documents diverge"
+    );
+    assert_eq!(
+        parsed.get("clock").and_then(JsonValue::as_str),
+        Some("logical"),
+        "default clock is the deterministic logical counter"
+    );
+    assert!(!trace_text.is_empty());
+    for line in trace_text.lines() {
+        let event = JsonValue::parse(line).expect("each trace line is valid JSON");
+        assert!(event.get("kind").is_some(), "trace event carries a kind");
+        assert!(event.get("t").is_some(), "trace event carries a timestamp");
+    }
+}
+
+/// Metrics report + trace for one fully instrumented run, digested to a
+/// string. Thread counts come from the environment.
+fn obs_fingerprint() -> String {
+    let tmp = std::env::temp_dir();
+    let pid = std::process::id();
+    let trace = tmp.join(format!("smartfeat_obs_fp_trace_{pid}.jsonl"));
+    let metrics = tmp.join(format!("smartfeat_obs_fp_metrics_{pid}.json"));
+    let report = run_pipeline(ObservabilityConfig {
+        enabled: true,
+        trace_out: Some(trace.display().to_string()),
+        metrics_out: Some(metrics.display().to_string()),
+    });
+    let metrics_text = std::fs::read_to_string(&metrics).expect("metrics file written");
+    let trace_text = std::fs::read_to_string(&trace).expect("trace file written");
+    let _ = std::fs::remove_file(&metrics);
+    let _ = std::fs::remove_file(&trace);
+    let in_report = report.metrics.expect("metrics present when enabled").emit();
+    format!("{metrics_text}\n{trace_text}\n{in_report}\n")
+}
+
+/// Inner worker: compute the fingerprint and write it to
+/// `SMARTFEAT_OBS_MATRIX_OUT`. A no-op in ordinary suite runs.
+#[test]
+fn obs_matrix_worker() {
+    let Ok(path) = std::env::var("SMARTFEAT_OBS_MATRIX_OUT") else {
+        return;
+    };
+    std::fs::write(&path, obs_fingerprint()).expect("write fingerprint");
+}
+
+#[test]
+fn metrics_report_is_byte_identical_across_thread_counts() {
+    if std::env::var("SMARTFEAT_OBS_MATRIX_OUT").is_ok() {
+        return; // we are the worker — don't recurse
+    }
+    let exe = std::env::current_exe().expect("current exe");
+    let mut fingerprints = Vec::new();
+    for threads in ["1", "2", "4"] {
+        let out_path = std::env::temp_dir().join(format!(
+            "smartfeat_obs_matrix_{}_{threads}.txt",
+            std::process::id()
+        ));
+        let status = Command::new(&exe)
+            .args(["--exact", "obs_matrix_worker"])
+            .env("SMARTFEAT_THREADS", threads)
+            .env("SMARTFEAT_OBS_MATRIX_OUT", &out_path)
+            .env_remove("SMARTFEAT_OBS_WALLCLOCK")
+            .status()
+            .expect("spawn obs matrix worker");
+        assert!(
+            status.success(),
+            "worker with SMARTFEAT_THREADS={threads} failed"
+        );
+        let fp = std::fs::read_to_string(&out_path).expect("read fingerprint");
+        let _ = std::fs::remove_file(&out_path);
+        assert!(
+            !fp.is_empty(),
+            "empty fingerprint at SMARTFEAT_THREADS={threads}"
+        );
+        fingerprints.push((threads, fp));
+    }
+    let (base_threads, base) = &fingerprints[0];
+    for (threads, fp) in &fingerprints[1..] {
+        assert_eq!(
+            base, fp,
+            "metrics/trace diverge between SMARTFEAT_THREADS={base_threads} and ={threads}"
+        );
+    }
+}

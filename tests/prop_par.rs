@@ -24,7 +24,9 @@ fn par_map_preserves_order_and_length_for_arbitrary_shapes() {
     check::cases(64, |rng| {
         let n = rng.gen_range(0..200usize);
         let threads = rng.gen_range(1..12usize);
-        let items: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(rng.next_u64() | 1)).collect();
+        let items: Vec<u64> = (0..n as u64)
+            .map(|i| i.wrapping_mul(rng.next_u64() | 1))
+            .collect();
         let out = smartfeat_par::par_map(threads, &items, |&x| x.wrapping_add(1));
         assert_eq!(out.len(), items.len());
         for (o, x) in out.iter().zip(&items) {
@@ -72,7 +74,12 @@ fn nested_scopes_complete() {
                 let handles: Vec<_> = (0..inner)
                     .map(|_| s.spawn(|| count.fetch_add(1, Ordering::Relaxed)))
                     .collect();
-                handles.into_iter().map(|h| h.join()).count()
+                let mut joined = 0;
+                for h in handles {
+                    h.join();
+                    joined += 1;
+                }
+                joined
             })
         });
         assert_eq!(totals, vec![inner; outer]);
@@ -98,7 +105,10 @@ fn usage_meter_totals_survive_concurrent_recording() {
         });
         let got = meter.snapshot();
         assert_eq!(got.calls, expected.calls, "{threads} threads");
-        assert_eq!(got.prompt_tokens, expected.prompt_tokens, "{threads} threads");
+        assert_eq!(
+            got.prompt_tokens, expected.prompt_tokens,
+            "{threads} threads"
+        );
         assert_eq!(
             got.completion_tokens, expected.completion_tokens,
             "{threads} threads"

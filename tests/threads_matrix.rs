@@ -76,10 +76,16 @@ fn suite_is_byte_identical_under_thread_matrix() {
             .env("SMARTFEAT_MATRIX_OUT", &out_path)
             .status()
             .expect("spawn matrix worker");
-        assert!(status.success(), "worker with SMARTFEAT_THREADS={threads} failed");
+        assert!(
+            status.success(),
+            "worker with SMARTFEAT_THREADS={threads} failed"
+        );
         let fp = std::fs::read_to_string(&out_path).expect("read fingerprint");
         let _ = std::fs::remove_file(&out_path);
-        assert!(!fp.is_empty(), "empty fingerprint at SMARTFEAT_THREADS={threads}");
+        assert!(
+            !fp.is_empty(),
+            "empty fingerprint at SMARTFEAT_THREADS={threads}"
+        );
         fingerprints.push(fp);
     }
     assert_eq!(
