@@ -17,6 +17,9 @@ cargo fmt --check
 echo "==> lint: clippy (warnings are errors)"
 cargo clippy --all-targets --offline -- -D warnings
 
+echo "==> sfcheck: repo-invariant static analysis"
+cargo run -p sfcheck --offline
+
 echo "==> determinism matrix: SMARTFEAT_THREADS=1"
 SMARTFEAT_THREADS=1 cargo test -q --offline
 

@@ -10,7 +10,9 @@
 //! that selection discards are lost, which is where its AUC regressions
 //! come from.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use smartfeat_obs::global::{stopwatch, Stopwatch};
 
 use smartfeat_frame::ops::{binary_op, unary_map, BinaryOp, UnaryFn};
 use smartfeat_frame::stats::pearson;
@@ -149,7 +151,7 @@ impl AutoFeat {
         &self,
         pool: &[Column],
         labels: &[Option<f64>],
-        start: Instant,
+        start: &Stopwatch,
         deadline: Duration,
     ) -> Vec<usize> {
         let n = labels.len();
@@ -177,7 +179,7 @@ impl AutoFeat {
         lr.max_iter = self.selection_iters;
         lr.l2 = 1e-2; // strong shrinkage, L1-ish sparsity pressure
         lr.tol = 0.0; // the real tool walks the whole regularization path
-        if lr.fit(&xs, &y).is_err() || start.elapsed() > deadline {
+        if lr.fit(&xs, &y).is_err() || start.exceeded(deadline) {
             return fallback;
         }
         let mut idx: Vec<usize> = (0..pool.len()).collect();
@@ -213,7 +215,7 @@ impl AfeMethod for AutoFeat {
         categorical: &[String],
         deadline: Duration,
     ) -> MethodOutput {
-        let start = Instant::now();
+        let start = stopwatch("baselines.autofeat.run");
         // Like Featuretools, AutoFeat receives the *factorized* table the
         // paper's preprocessing produces, so category codes look like
         // ordinary numerics and enter the expansion.
@@ -259,7 +261,7 @@ impl AfeMethod for AutoFeat {
         let mut scored: Vec<(f64, Column)> = Vec::new();
         let mut timed_out = false;
         for (i, formula) in formulas.iter().enumerate() {
-            if start.elapsed() > deadline {
+            if start.exceeded(deadline) {
                 timed_out = true;
                 break;
             }
@@ -290,9 +292,9 @@ impl AfeMethod for AutoFeat {
         // not redundant with each other.
         let pool: Vec<Column> = scored.into_iter().map(|(_, c)| c).collect();
         let mut selected: Vec<Column> = Vec::new();
-        if !pool.is_empty() && start.elapsed() <= deadline {
-            let ranked = self.selection_ranking(&pool, &labels, start, deadline);
-            if start.elapsed() > deadline {
+        if !pool.is_empty() && !start.exceeded(deadline) {
+            let ranked = self.selection_ranking(&pool, &labels, &start, deadline);
+            if start.exceeded(deadline) {
                 timed_out = true;
             }
             for idx in ranked {
@@ -307,7 +309,7 @@ impl AfeMethod for AutoFeat {
                     selected.push(col.clone());
                 }
             }
-        } else if start.elapsed() > deadline {
+        } else if start.exceeded(deadline) {
             timed_out = true;
         }
 

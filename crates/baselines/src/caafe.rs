@@ -15,7 +15,9 @@
 //!   and crashes model training — the failure the paper reports on
 //!   Diabetes.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use smartfeat_obs::global::stopwatch;
 
 use smartfeat::fmout;
 use smartfeat::prompts;
@@ -262,7 +264,7 @@ impl AfeMethod for Caafe<'_> {
         _categorical: &[String],
         deadline: Duration,
     ) -> MethodOutput {
-        let start = Instant::now();
+        let start = stopwatch("baselines.caafe.run");
         let mut rng = Rng::seed_from_u64(self.seed);
         let Ok((train, valid)) = train_test_split(df, 0.75, self.seed) else {
             let mut out = MethodOutput::passthrough(df);
@@ -292,7 +294,7 @@ impl AfeMethod for Caafe<'_> {
         };
 
         for _ in 0..self.iterations {
-            if start.elapsed() > deadline {
+            if start.exceeded(deadline) {
                 timed_out = true;
                 break;
             }

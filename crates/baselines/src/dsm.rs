@@ -7,7 +7,9 @@
 //! highly-null, and highly-correlated features. No context is consulted —
 //! the defining contrast with SMARTFEAT's operator selector.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use smartfeat_obs::global::stopwatch;
 
 use smartfeat_frame::ops::{binary_op, groupby_transform, AggFunc, BinaryOp};
 use smartfeat_frame::stats::column_pearson;
@@ -48,7 +50,7 @@ impl AfeMethod for Featuretools {
         categorical: &[String],
         deadline: Duration,
     ) -> MethodOutput {
-        let start = Instant::now();
+        let start = stopwatch("baselines.dsm.run");
         // The paper's pipeline factorizes categoricals *before* feature
         // engineering; Featuretools' add/multiply primitives then see the
         // integer codes as ordinary numerics and happily combine them —
@@ -70,7 +72,7 @@ impl AfeMethod for Featuretools {
             // add_numeric + multiply_numeric over every pair, in column order.
             for i in 0..numeric.len() {
                 for j in (i + 1)..numeric.len() {
-                    if start.elapsed() > deadline {
+                    if start.exceeded(deadline) {
                         timed_out = true;
                         break 'gen;
                     }
@@ -103,7 +105,7 @@ impl AfeMethod for Featuretools {
             for g in &cats {
                 for v in &numeric {
                     for func in AGGS {
-                        if start.elapsed() > deadline {
+                        if start.exceeded(deadline) {
                             timed_out = true;
                             break 'gen;
                         }
@@ -130,7 +132,7 @@ impl AfeMethod for Featuretools {
         let mut out_frame = df.clone();
         let mut kept: Vec<String> = Vec::new();
         for col in generated {
-            if start.elapsed() > deadline {
+            if start.exceeded(deadline) {
                 timed_out = true;
                 break;
             }

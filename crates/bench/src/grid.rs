@@ -1,7 +1,9 @@
 //! The Table 4/5 evaluation grid: 8 datasets × (initial + 4 methods) ×
 //! 5 downstream models.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use smartfeat_obs::global::stopwatch;
 
 use smartfeat_datasets::Dataset;
 use smartfeat_ml::cv::ModelScores;
@@ -119,7 +121,7 @@ fn run_simple_cell(
     config: &GridConfig,
     eval_seed: u64,
 ) -> CellOutcome {
-    let start = Instant::now();
+    let start = stopwatch("bench.grid.cell");
     let out = run_method(
         method,
         &prep.frame,
@@ -176,7 +178,7 @@ fn run_caafe_cell(
     let mut generated = 0usize;
     let mut selected = 0usize;
     for kind in ModelKind::all() {
-        let start = Instant::now();
+        let start = stopwatch("bench.grid.cell");
         let out = run_method(
             MethodName::Caafe,
             &prep.frame,

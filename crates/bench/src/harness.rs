@@ -16,7 +16,9 @@
 use std::fmt::Display;
 use std::hint::black_box;
 use std::io::Write as _;
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use smartfeat_obs::global::stopwatch;
 
 /// Per-sample calibration target: grow the iteration batch until a single
 /// timed sample takes at least this long.
@@ -121,7 +123,7 @@ impl Bencher {
     /// Time `iters` calls of `f`, preventing the result from being
     /// optimized away.
     pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
-        let start = Instant::now();
+        let start = stopwatch("bench.harness.sample");
         for _ in 0..self.iters {
             black_box(f());
         }
@@ -191,6 +193,7 @@ fn run_benchmark(label: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher
         stats.samples,
         stats.iters_per_sample,
     );
+    // sfcheck:allow(env-dependence) output-sink path chosen by the operator; timings are volatile by design
     if let Ok(path) = std::env::var("SMARTFEAT_BENCH_JSON") {
         append_json_line(&path, &stats);
     }

@@ -7,7 +7,7 @@
 //! agenda; then extractors; finally the drop heuristic retires original
 //! features that were unary-transformed and never referenced again.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use smartfeat_fm::FoundationModel;
 use smartfeat_frame::{Column, DataFrame};
@@ -80,11 +80,11 @@ struct RunState {
     generated: Vec<GeneratedFeature>,
     skipped: Vec<SkippedFeature>,
     source_suggestions: Vec<(String, String)>,
-    seen_keys: HashSet<String>,
+    seen_keys: BTreeSet<String>,
     /// Original features that received a unary-derived feature.
-    unary_transformed: HashSet<String>,
+    unary_transformed: BTreeSet<String>,
     /// Original features referenced by accepted non-unary candidates.
-    referenced: HashSet<String>,
+    referenced: BTreeSet<String>,
     /// Run-scoped telemetry recorder (disabled unless the config's
     /// observability section is active).
     rec: Recorder,
@@ -126,9 +126,9 @@ impl<'a> SmartFeat<'a> {
             generated: Vec::new(),
             skipped: Vec::new(),
             source_suggestions: Vec::new(),
-            seen_keys: HashSet::new(),
-            unary_transformed: HashSet::new(),
-            referenced: HashSet::new(),
+            seen_keys: BTreeSet::new(),
+            unary_transformed: BTreeSet::new(),
+            referenced: BTreeSet::new(),
             rec: rec.clone(),
         };
         let selector = OperatorSelector::new(self.selector_fm, &self.config, rec.clone());
@@ -315,6 +315,7 @@ impl<'a> SmartFeat<'a> {
                     OperatorFamily::Binary => selector.sample_binary(&state.agenda)?,
                     OperatorFamily::HighOrder => selector.sample_highorder(&state.agenda)?,
                     OperatorFamily::Extractor => selector.sample_extractor(&state.agenda)?,
+                    // sfcheck:allow(panic-hygiene) invariant: stage dispatch routes Unary elsewhere
                     OperatorFamily::Unary => unreachable!("unary uses the proposal strategy"),
                 };
                 if !matches!(sample, Sample::Invalid(_)) {
@@ -474,6 +475,7 @@ impl<'a> SmartFeat<'a> {
                     accepted.push(false);
                     continue;
                 }
+                // sfcheck:allow(panic-hygiene) invariant: the loop above resolves every Pending
                 Staged::Pending => unreachable!("stage 2 fills every pending slot"),
                 Staged::Failed(msg) => {
                     state.skipped.push(SkippedFeature {

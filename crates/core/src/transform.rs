@@ -8,7 +8,7 @@
 //! of FM calls is bounded by the key cardinality, not the row count
 //! (the feature-level efficiency the paper's Figure 1 argues for).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use smartfeat_fm::FoundationModel;
 use smartfeat_frame::ops::{
@@ -308,7 +308,7 @@ fn row_completion(
         .map(|c| df.column(c).map(|col| col.to_keys()))
         .collect::<std::result::Result<_, _>>()?;
     let n = df.n_rows();
-    let mut distinct: HashMap<Vec<String>, Option<f64>> = HashMap::new();
+    let mut distinct: BTreeMap<Vec<String>, Option<f64>> = BTreeMap::new();
     let mut row_keys: Vec<Option<Vec<String>>> = Vec::with_capacity(n);
     for i in 0..n {
         let mut key = Vec::with_capacity(key_cols.len());
@@ -335,9 +335,9 @@ fn row_completion(
             distinct.len()
         )));
     }
-    // One FM call per distinct key, deterministic order.
-    let mut ordered: Vec<Vec<String>> = distinct.keys().cloned().collect();
-    ordered.sort();
+    // One FM call per distinct key; BTreeMap iteration is already the
+    // deterministic (sorted) order the FM-call sequence must follow.
+    let ordered: Vec<Vec<String>> = distinct.keys().cloned().collect();
     for key in ordered {
         let fields: Vec<(String, String)> = key_cols
             .iter()

@@ -3,7 +3,7 @@
 //! Enough for the examples to load user datasets and for the harness to
 //! dump generated feature matrices; not a general-purpose CSV library.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::column::Column;
 use crate::error::{FrameError, Result};
@@ -185,7 +185,7 @@ pub fn roundtrip_equal(df: &DataFrame) -> bool {
 
 /// Parse a `name=value,name=value` description of renames (tiny helper for
 /// the examples' CLI surface).
-pub fn parse_rename_spec(spec: &str) -> HashMap<String, String> {
+pub fn parse_rename_spec(spec: &str) -> BTreeMap<String, String> {
     spec.split(',')
         .filter_map(|pair| {
             let (a, b) = pair.split_once('=')?;

@@ -1,6 +1,7 @@
 //! The [`DataFrame`]: an ordered collection of equal-length named columns.
 
-use std::collections::HashMap;
+// sfcheck:allow(hash-collections) index is key->position lookup only, never iterated
+use std::collections::{BTreeMap, HashMap};
 
 use crate::column::Column;
 use crate::error::{FrameError, Result};
@@ -24,6 +25,7 @@ use crate::value::Value;
 #[derive(Debug, Clone, Default)]
 pub struct DataFrame {
     columns: Vec<Column>,
+    // sfcheck:allow(hash-collections) lookup-only; column order lives in `columns`
     index: HashMap<String, usize>,
 }
 
@@ -184,6 +186,7 @@ impl DataFrame {
         let keep: Vec<usize> = (0..self.n_rows())
             .filter(|&i| self.columns.iter().all(|c| !c.is_null(i)))
             .collect();
+        // sfcheck:allow(panic-hygiene) invariant: keep is filtered from 0..n_rows
         let df = self.take(&keep).expect("indices are in range");
         (df, keep)
     }
@@ -226,8 +229,8 @@ impl DataFrame {
     /// Replace each string column with integer codes (pandas `factorize`),
     /// leaving numeric columns untouched. Codes are assigned in first-seen
     /// order; nulls stay null. Returns the per-column code books.
-    pub fn factorize_strings(&mut self) -> HashMap<String, Vec<String>> {
-        let mut books = HashMap::new();
+    pub fn factorize_strings(&mut self) -> BTreeMap<String, Vec<String>> {
+        let mut books = BTreeMap::new();
         let names: Vec<String> = self
             .columns
             .iter()
@@ -235,9 +238,10 @@ impl DataFrame {
             .map(|c| c.name().to_string())
             .collect();
         for name in names {
+            // sfcheck:allow(panic-hygiene) invariant: name was just collected from self.columns
             let keys = self.column(&name).expect("exists").to_keys();
             let mut book: Vec<String> = Vec::new();
-            let mut lookup: HashMap<String, i64> = HashMap::new();
+            let mut lookup: BTreeMap<String, i64> = BTreeMap::new();
             let codes: Vec<Option<i64>> = keys
                 .into_iter()
                 .map(|k| {
@@ -250,6 +254,7 @@ impl DataFrame {
                 })
                 .collect();
             self.upsert_column(Column::from_ints(name.clone(), codes))
+                // sfcheck:allow(panic-hygiene) invariant: codes has one entry per key of an existing column
                 .expect("same length");
             books.insert(name, book);
         }

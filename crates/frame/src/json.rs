@@ -403,6 +403,7 @@ impl<'a> Parser<'a> {
                     // boundaries are valid by construction).
                     let rest = &self.bytes[self.pos..];
                     let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
+                    // sfcheck:allow(panic-hygiene) invariant: peek() returned Some, so rest is non-empty
                     let c = s.chars().next().expect("non-empty");
                     if (c as u32) < 0x20 {
                         return Err(self.err("unescaped control character in string"));

@@ -1,7 +1,7 @@
 //! The high-order *GroupbyThenAgg* operator:
 //! `df.groupby(group_cols)[agg_col].transform(func)`.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::column::Column;
 use crate::error::{FrameError, Result};
@@ -138,7 +138,7 @@ pub fn groupby_transform(
         })
         .collect();
 
-    let mut groups: HashMap<&str, Vec<f64>> = HashMap::new();
+    let mut groups: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
     for (key, value) in keys.iter().zip(&values) {
         if let Some(k) = key {
             let entry = groups.entry(k.as_str()).or_default();
@@ -147,7 +147,7 @@ pub fn groupby_transform(
             }
         }
     }
-    let aggregates: HashMap<&str, Option<f64>> = groups
+    let aggregates: BTreeMap<&str, Option<f64>> = groups
         .into_iter()
         .map(|(k, vals)| (k, func.evaluate(&vals)))
         .collect();
@@ -223,6 +223,48 @@ mod tests {
         assert_eq!(c.get(0), Value::Float(0.0));
         let m = groupby_transform(&df, &["g"], "v", AggFunc::Mean, "m").unwrap();
         assert!(m.is_null(0));
+    }
+
+    #[test]
+    fn output_is_stable_across_runs_and_group_orderings() {
+        // Regression for the HashMap->BTreeMap migration: group aggregation
+        // state must not leak nondeterministic iteration order into output.
+        // Many groups (beyond any small-map special case), every AggFunc,
+        // repeated runs, and a permuted-row frame that contains the same
+        // groups — per-row output must be a pure function of the row's key.
+        let n = 64;
+        let groups: Vec<String> = (0..n).map(|i| format!("g{:02}", i % 16)).collect();
+        let refs: Vec<&str> = groups.iter().map(String::as_str).collect();
+        let values: Vec<f64> = (0..n).map(|i| i as f64 * 0.5).collect();
+        let df = DataFrame::from_columns(vec![
+            Column::from_str_slice("g", &refs),
+            Column::from_f64("v", values.clone()),
+        ])
+        .unwrap();
+        for func in AggFunc::all() {
+            let a = groupby_transform(&df, &["g"], "v", func, "out").unwrap();
+            let b = groupby_transform(&df, &["g"], "v", func, "out").unwrap();
+            for i in 0..n {
+                assert_eq!(a.get(i), b.get(i), "{} row {i} differs", func.name());
+            }
+        }
+        // Reversed row order: each row still gets its own group's aggregate.
+        let rev_refs: Vec<&str> = refs.iter().rev().copied().collect();
+        let rev_values: Vec<f64> = values.iter().rev().copied().collect();
+        let rev = DataFrame::from_columns(vec![
+            Column::from_str_slice("g", &rev_refs),
+            Column::from_f64("v", rev_values),
+        ])
+        .unwrap();
+        let fwd = groupby_transform(&df, &["g"], "v", AggFunc::Sum, "out").unwrap();
+        let bwd = groupby_transform(&rev, &["g"], "v", AggFunc::Sum, "out").unwrap();
+        for i in 0..n {
+            assert_eq!(
+                fwd.get(i),
+                bwd.get(n - 1 - i),
+                "group aggregate must not depend on row discovery order"
+            );
+        }
     }
 
     #[test]

@@ -46,6 +46,48 @@ pub fn time<T>(name: &'static str, f: impl FnOnce() -> T) -> T {
     out
 }
 
+/// A running wall-clock measurement that records into the work registry
+/// when dropped. This is the sanctioned way for code outside `crates/obs`
+/// to consume wall time (deadline enforcement, bench sampling): the read
+/// stays behind the obs gate, the count lands deterministically in the
+/// registry, and the nanosecond total only surfaces under the report's
+/// `volatile` key (sfcheck lint `wall-clock` enforces the routing).
+#[derive(Debug)]
+pub struct Stopwatch {
+    name: &'static str,
+    start: Instant,
+}
+
+/// Start a stopwatch recording under `name` on drop.
+pub fn stopwatch(name: &'static str) -> Stopwatch {
+    Stopwatch {
+        name,
+        start: Instant::now(),
+    }
+}
+
+impl Stopwatch {
+    /// Wall time since the stopwatch started.
+    ///
+    /// The value is volatile by nature; callers must only compare it
+    /// against other durations (deadlines, budgets), never serialize it
+    /// outside the `volatile` report section.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Whether the stopwatch has run past `deadline`.
+    pub fn exceeded(&self, deadline: Duration) -> bool {
+        self.elapsed() > deadline
+    }
+}
+
+impl Drop for Stopwatch {
+    fn drop(&mut self) {
+        record(self.name, self.start.elapsed());
+    }
+}
+
 /// Snapshot of the whole registry.
 pub fn snapshot() -> BTreeMap<String, WorkStat> {
     registry()
@@ -92,6 +134,21 @@ mod tests {
         let stat = d.get("obs.test.unit").expect("unit recorded");
         assert_eq!(stat.count, 2);
         assert!(stat.ns >= 5);
+    }
+
+    #[test]
+    fn stopwatch_records_on_drop_and_checks_deadlines() {
+        let before = snapshot();
+        {
+            let watch = stopwatch("obs.test.stopwatch");
+            assert!(
+                watch.exceeded(Duration::ZERO) || watch.elapsed() == Duration::ZERO,
+                "a zero deadline trips as soon as any time passes"
+            );
+            assert!(!watch.exceeded(Duration::from_secs(3600)));
+        }
+        let d = delta(&before, &snapshot());
+        assert_eq!(d.get("obs.test.stopwatch").unwrap().count, 1);
     }
 
     #[test]

@@ -1,0 +1,615 @@
+//! A hand-rolled Rust lexer, just deep enough for reliable lint matching.
+//!
+//! The lints in this crate look for token *sequences* (`Instant :: now`,
+//! `. unwrap ( )`), so the lexer's one job is to never confuse code with
+//! non-code: string literals (including raw strings whose bodies may
+//! contain `//` or `"`), nested block comments, and the `'a`-lifetime vs
+//! `'x'`-char ambiguity must all tokenize correctly, or a lint would fire
+//! on a comment or miss real code. It is deliberately lossy everywhere
+//! else — keywords are just identifiers, numbers are one opaque token,
+//! and multi-character operators are emitted as single-character puncts
+//! (`::` is two `:` tokens), which keeps sequence matching trivial.
+//!
+//! The lexer is infallible: malformed input (an unterminated string or
+//! comment) tokenizes to end-of-input instead of erroring, because a lint
+//! pass must never crash on a source file the compiler itself would
+//! reject with a better message.
+
+/// What a token is. Only the distinctions the lints need are drawn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword, including raw identifiers (`r#match`
+    /// yields the text after `r#`).
+    Ident,
+    /// A lifetime such as `'a` or `'static` (text excludes the quote).
+    Lifetime,
+    /// A character or byte-character literal: `'x'`, `'\n'`, `b'{'`.
+    CharLit,
+    /// A string or byte-string literal: `"…"`, `b"…"`.
+    StrLit,
+    /// A raw (byte-)string literal: `r"…"`, `r#"…"#`, `br##"…"##`.
+    RawStrLit,
+    /// A numeric literal (integer or float, any base; one opaque token).
+    NumLit,
+    /// A single punctuation character. `::` is two `Punct(':')` tokens.
+    Punct,
+    /// A `//` line comment, text includes the slashes but not the newline.
+    LineComment,
+    /// A `/* … */` block comment, nesting handled; text includes fences.
+    BlockComment,
+}
+
+/// One token with its source position (1-based line and column).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Kind tag.
+    pub kind: TokenKind,
+    /// The token's text as written (except raw identifiers, see
+    /// [`TokenKind::Ident`]).
+    pub text: String,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// True for kinds lints match against (everything but comments).
+    pub fn is_code(&self) -> bool {
+        !matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+struct Cursor<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            chars: src.chars().peekable(),
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    /// Peek one character past the next one (clones the iterator; the
+    /// lookahead depth is bounded so this stays cheap).
+    fn peek2(&mut self) -> Option<char> {
+        let mut it = self.chars.clone();
+        it.next();
+        it.next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenize `src`. Comments are emitted as tokens (the waiver scanner
+/// needs them); whitespace is dropped.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor::new(src);
+    let mut out = Vec::new();
+    while let Some(c) = cur.peek() {
+        let (line, col) = (cur.line, cur.col);
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        let tok = match c {
+            '/' => lex_slash(&mut cur),
+            '\'' => lex_quote(&mut cur),
+            '"' => lex_string(&mut cur, String::new()),
+            'r' | 'b' => lex_prefixed(&mut cur),
+            c if is_ident_start(c) => lex_ident(&mut cur),
+            c if c.is_ascii_digit() => lex_number(&mut cur),
+            _ => {
+                cur.bump();
+                Token {
+                    kind: TokenKind::Punct,
+                    text: c.to_string(),
+                    line: 0,
+                    col: 0,
+                }
+            }
+        };
+        out.push(Token { line, col, ..tok });
+    }
+    out
+}
+
+/// `/` starts a line comment, a block comment, or is plain punctuation.
+fn lex_slash(cur: &mut Cursor) -> Token {
+    cur.bump();
+    match cur.peek() {
+        Some('/') => {
+            let mut text = String::from("/");
+            while let Some(c) = cur.peek() {
+                if c == '\n' {
+                    break;
+                }
+                text.push(c);
+                cur.bump();
+            }
+            Token {
+                kind: TokenKind::LineComment,
+                text,
+                line: 0,
+                col: 0,
+            }
+        }
+        Some('*') => {
+            let mut text = String::from("/");
+            let mut depth = 0usize;
+            // Consume `*`; depth becomes 1 when the fence completes below.
+            text.push('*');
+            cur.bump();
+            depth += 1;
+            while depth > 0 {
+                match cur.bump() {
+                    None => break, // unterminated: tolerate
+                    Some('*') if cur.peek() == Some('/') => {
+                        text.push('*');
+                        text.push('/');
+                        cur.bump();
+                        depth -= 1;
+                    }
+                    Some('/') if cur.peek() == Some('*') => {
+                        text.push('/');
+                        text.push('*');
+                        cur.bump();
+                        depth += 1;
+                    }
+                    Some(c) => text.push(c),
+                }
+            }
+            Token {
+                kind: TokenKind::BlockComment,
+                text,
+                line: 0,
+                col: 0,
+            }
+        }
+        _ => Token {
+            kind: TokenKind::Punct,
+            text: "/".into(),
+            line: 0,
+            col: 0,
+        },
+    }
+}
+
+/// `'` starts either a lifetime or a character literal.
+///
+/// Disambiguation: `'` + identifier + `'` is a char literal (`'a'`);
+/// `'` + identifier *not* followed by `'` is a lifetime (`'a`, `'static`);
+/// `'` + escape or non-identifier char is always a char literal.
+fn lex_quote(cur: &mut Cursor) -> Token {
+    cur.bump(); // the opening quote
+    let mut text = String::from("'");
+    match cur.peek() {
+        Some('\\') => {
+            // Escaped char literal: consume the escape, then to the close.
+            text.push('\\');
+            cur.bump();
+            if let Some(e) = cur.bump() {
+                text.push(e);
+                if e == 'u' {
+                    // '\u{…}': consume through the closing brace.
+                    while let Some(c) = cur.bump() {
+                        text.push(c);
+                        if c == '}' {
+                            break;
+                        }
+                    }
+                }
+            }
+            if cur.peek() == Some('\'') {
+                text.push('\'');
+                cur.bump();
+            }
+            Token {
+                kind: TokenKind::CharLit,
+                text,
+                line: 0,
+                col: 0,
+            }
+        }
+        Some(c) if is_ident_start(c) => {
+            while let Some(c) = cur.peek() {
+                if !is_ident_continue(c) {
+                    break;
+                }
+                text.push(c);
+                cur.bump();
+            }
+            if cur.peek() == Some('\'') {
+                text.push('\'');
+                cur.bump();
+                Token {
+                    kind: TokenKind::CharLit,
+                    text,
+                    line: 0,
+                    col: 0,
+                }
+            } else {
+                Token {
+                    kind: TokenKind::Lifetime,
+                    text: text[1..].to_string(),
+                    line: 0,
+                    col: 0,
+                }
+            }
+        }
+        Some(c) => {
+            // Non-identifier char literal: '(' , '0', '"', …
+            text.push(c);
+            cur.bump();
+            if cur.peek() == Some('\'') {
+                text.push('\'');
+                cur.bump();
+            }
+            Token {
+                kind: TokenKind::CharLit,
+                text,
+                line: 0,
+                col: 0,
+            }
+        }
+        None => Token {
+            kind: TokenKind::Punct,
+            text,
+            line: 0,
+            col: 0,
+        },
+    }
+}
+
+/// A `"…"` string with escape handling (an escaped quote must not close).
+fn lex_string(cur: &mut Cursor, prefix: String) -> Token {
+    let mut text = prefix;
+    text.push('"');
+    cur.bump(); // opening quote
+    while let Some(c) = cur.bump() {
+        text.push(c);
+        match c {
+            '\\' => {
+                if let Some(e) = cur.bump() {
+                    text.push(e);
+                }
+            }
+            '"' => break,
+            _ => {}
+        }
+    }
+    Token {
+        kind: TokenKind::StrLit,
+        text,
+        line: 0,
+        col: 0,
+    }
+}
+
+/// `r…` / `b…` prefixes: raw strings, byte strings, byte chars, raw
+/// identifiers — or just an identifier that happens to start with r/b.
+fn lex_prefixed(cur: &mut Cursor) -> Token {
+    let first = cur.peek().expect("caller saw a char");
+    match (first, cur.peek2()) {
+        // b'x' byte-char literal.
+        ('b', Some('\'')) => {
+            cur.bump(); // b
+            let tok = lex_quote(cur);
+            Token {
+                kind: TokenKind::CharLit,
+                text: format!("b{}", tok.text),
+                line: 0,
+                col: 0,
+            }
+        }
+        // b"…" byte string.
+        ('b', Some('"')) => {
+            cur.bump();
+            lex_string(cur, "b".into())
+        }
+        // r"…" / r#…#"…" raw string, r#ident raw identifier, br equivalents.
+        _ => {
+            // Tentatively read the whole identifier, then reinterpret if a
+            // raw-string fence follows the r/br/rb prefix.
+            let mut ident = String::new();
+            while let Some(c) = cur.peek() {
+                if !is_ident_continue(c) {
+                    break;
+                }
+                ident.push(c);
+                cur.bump();
+            }
+            let raw_prefix = ident == "r" || ident == "br";
+            if raw_prefix && cur.peek() == Some('"') {
+                return lex_raw_string(cur, ident, 0);
+            }
+            if raw_prefix && cur.peek() == Some('#') {
+                // Count fence hashes; `r#ident` (one hash, then an
+                // identifier char instead of `"`) is a raw identifier.
+                let mut hashes = 0usize;
+                while cur.peek() == Some('#') {
+                    hashes += 1;
+                    cur.bump();
+                }
+                if cur.peek() == Some('"') {
+                    return lex_raw_string(cur, ident, hashes);
+                }
+                if ident == "r" && hashes == 1 {
+                    let mut raw = String::new();
+                    while let Some(c) = cur.peek() {
+                        if !is_ident_continue(c) {
+                            break;
+                        }
+                        raw.push(c);
+                        cur.bump();
+                    }
+                    return Token {
+                        kind: TokenKind::Ident,
+                        text: raw,
+                        line: 0,
+                        col: 0,
+                    };
+                }
+                // `r## not-a-string`: surface the pieces as best we can.
+                let mut text = ident;
+                text.push_str(&"#".repeat(hashes));
+                return Token {
+                    kind: TokenKind::Ident,
+                    text,
+                    line: 0,
+                    col: 0,
+                };
+            }
+            Token {
+                kind: TokenKind::Ident,
+                text: ident,
+                line: 0,
+                col: 0,
+            }
+        }
+    }
+}
+
+/// The body of a raw string whose fence is `"` plus `hashes` hashes.
+/// Nothing inside — `//`, `"`, backslashes — terminates it except the
+/// exact closing fence.
+fn lex_raw_string(cur: &mut Cursor, prefix: String, hashes: usize) -> Token {
+    let mut text = prefix;
+    text.push_str(&"#".repeat(hashes));
+    text.push('"');
+    cur.bump(); // opening quote
+    'scan: while let Some(c) = cur.bump() {
+        text.push(c);
+        if c == '"' {
+            // A close requires `hashes` hashes immediately after.
+            let mut it = cur.chars.clone();
+            for _ in 0..hashes {
+                if it.next() != Some('#') {
+                    continue 'scan;
+                }
+            }
+            for _ in 0..hashes {
+                text.push('#');
+                cur.bump();
+            }
+            break;
+        }
+    }
+    Token {
+        kind: TokenKind::RawStrLit,
+        text,
+        line: 0,
+        col: 0,
+    }
+}
+
+fn lex_ident(cur: &mut Cursor) -> Token {
+    let mut text = String::new();
+    while let Some(c) = cur.peek() {
+        if !is_ident_continue(c) {
+            break;
+        }
+        text.push(c);
+        cur.bump();
+    }
+    Token {
+        kind: TokenKind::Ident,
+        text,
+        line: 0,
+        col: 0,
+    }
+}
+
+/// A numeric literal: digits, `_`, base prefixes and suffixes, and a
+/// fractional part — but `1..5`'s `..` is left to punctuation.
+fn lex_number(cur: &mut Cursor) -> Token {
+    let mut text = String::new();
+    let mut seen_dot = false;
+    while let Some(c) = cur.peek() {
+        if is_ident_continue(c) {
+            text.push(c);
+            cur.bump();
+        } else if c == '.' && !seen_dot && cur.peek2().is_some_and(|d| d.is_ascii_digit()) {
+            seen_dot = true;
+            text.push(c);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    Token {
+        kind: TokenKind::NumLit,
+        text,
+        line: 0,
+        col: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    fn code_texts(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(Token::is_code)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn raw_string_swallows_line_comment_and_quotes() {
+        // The `//` and `"` inside the raw string must not start a comment
+        // or terminate early; the trailing ident must still be seen.
+        let src = r##"let s = r#"// not a comment, "quoted""#; after"##;
+        let toks = kinds(src);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::RawStrLit && t.contains("not a comment")));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "after"));
+        assert!(!toks.iter().any(|(k, _)| *k == TokenKind::LineComment));
+    }
+
+    #[test]
+    fn raw_string_fence_hash_counts_must_match() {
+        // A `"#` inside an `r##"…"##` string does not close it.
+        let src = "r##\"inner \"# still inside\"## tail";
+        let toks = kinds(src);
+        assert_eq!(toks[0].0, TokenKind::RawStrLit);
+        assert!(toks[0].1.contains("still inside"));
+        assert_eq!(toks[1].1, "tail");
+    }
+
+    #[test]
+    fn nested_block_comments_balance() {
+        let src = "before /* outer /* inner */ still comment */ after";
+        let toks = kinds(src);
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[0], (TokenKind::Ident, "before".into()));
+        assert_eq!(toks[1].0, TokenKind::BlockComment);
+        assert!(toks[1].1.contains("still comment"));
+        assert_eq!(toks[2], (TokenKind::Ident, "after".into()));
+    }
+
+    #[test]
+    fn lifetime_vs_char_literal() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let s = 'static_thing; }");
+        let lifetimes: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(lifetimes, ["a", "a", "static_thing"]);
+        let chars: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::CharLit)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(chars, ["'x'"]);
+    }
+
+    #[test]
+    fn escaped_and_special_char_literals() {
+        let toks = kinds(r"let a = '\n'; let b = '\''; let c = '\u{1F980}'; let d = '0';");
+        let chars: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::CharLit)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(chars, [r"'\n'", r"'\''", r"'\u{1F980}'", "'0'"]);
+    }
+
+    #[test]
+    fn byte_literals_are_not_string_matches() {
+        // `self.expect(b'{')` — the argument must lex as a char literal,
+        // not a string, so the panic-hygiene lint can tell it apart from
+        // `Option::expect("message")`.
+        let toks = kinds("self.expect(b'{')?; let s = b\"bytes\";");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::CharLit && t == "b'{'"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::StrLit && t == "b\"bytes\""));
+    }
+
+    #[test]
+    fn string_escapes_do_not_terminate_early() {
+        let toks = kinds(r#"let s = "a \" b"; next"#);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::StrLit && t == r#""a \" b""#));
+        assert!(toks.iter().any(|(_, t)| t == "next"));
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents() {
+        let toks = kinds("let r#match = 1;");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "match"));
+    }
+
+    #[test]
+    fn double_colon_is_two_puncts_for_sequence_matching() {
+        let texts = code_texts("Instant::now()");
+        assert_eq!(texts, ["Instant", ":", ":", "now", "(", ")"]);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_range_dots() {
+        let texts = code_texts("for i in 0..5 { let x = 3.25; let h = 0xFF; }");
+        assert!(texts.contains(&"0".to_string()));
+        assert!(texts.contains(&"3.25".to_string()));
+        assert!(texts.contains(&"0xFF".to_string()));
+        // The two range dots survive as punctuation.
+        assert_eq!(texts.iter().filter(|t| *t == ".").count(), 2);
+    }
+
+    #[test]
+    fn line_and_column_positions() {
+        let toks = lex("a\n  b");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn unterminated_constructs_reach_eof_without_panic() {
+        for src in ["\"open", "/* open", "r#\"open", "'"] {
+            let toks = lex(src);
+            assert!(!toks.is_empty(), "{src:?}");
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! `sfcheck`: in-repo static analysis for the SMARTFEAT reproduction.
+//!
+//! The runtime test suite proves the repo's invariants hold *where a test
+//! happens to exercise them*; `sfcheck` proves the source cannot express
+//! the violation in the first place. It lexes every `.rs` file with a
+//! hand-rolled lexer (no syn, no registry deps — hermetic-build policy),
+//! scans every `Cargo.toml`, and reports typed diagnostics as
+//! deterministic JSON through `frame::json`.
+//!
+//! See [`lints`] for the lint suite, [`baseline`] for the checked-in
+//! finding baseline, and DESIGN.md §10 for the workflow.
+
+pub mod baseline;
+pub mod lexer;
+pub mod lints;
+pub mod report;
+pub mod walker;
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use smartfeat_frame::json::JsonValue;
+
+use baseline::Baseline;
+use lints::{scan_manifest, scan_rust, Finding, Waived};
+
+/// A tool-level failure (I/O, malformed baseline) — distinct from lint
+/// findings, which are data, not errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SfError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl SfError {
+    /// Wrap a message.
+    pub fn new(message: impl Into<String>) -> SfError {
+        SfError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for SfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for SfError {}
+
+/// Options for one check run.
+#[derive(Debug, Clone)]
+pub struct CheckOptions {
+    /// Workspace root to scan.
+    pub root: PathBuf,
+    /// Baseline path; `None` means `<root>/sfcheck.baseline.json`.
+    pub baseline_path: Option<PathBuf>,
+    /// Include the `fixes` section for mechanical lints.
+    pub fix_dry_run: bool,
+}
+
+impl CheckOptions {
+    /// Default options for a root.
+    pub fn new(root: impl Into<PathBuf>) -> CheckOptions {
+        CheckOptions {
+            root: root.into(),
+            baseline_path: None,
+            fix_dry_run: false,
+        }
+    }
+
+    fn resolved_baseline(&self) -> PathBuf {
+        self.baseline_path
+            .clone()
+            .unwrap_or_else(|| self.root.join("sfcheck.baseline.json"))
+    }
+}
+
+/// Result of a check run.
+#[derive(Debug)]
+pub struct Outcome {
+    /// Live findings (fail the gate).
+    pub findings: Vec<Finding>,
+    /// Findings matched by the baseline.
+    pub baselined: Vec<Finding>,
+    /// Waived findings with reasons.
+    pub waived: Vec<Waived>,
+    /// The full JSON report document.
+    pub report: JsonValue,
+}
+
+impl Outcome {
+    /// True when the gate passes (no live findings).
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Run every lint over the workspace at `opts.root`.
+pub fn run_check(opts: &CheckOptions) -> Result<Outcome, SfError> {
+    let sources = walker::rust_sources(&opts.root)?;
+    let manifests = walker::manifests(&opts.root)?;
+    if manifests.is_empty() {
+        // A scan that finds nothing is a misconfigured root (wrong --root,
+        // CI checkout mishap), not a clean repository.
+        return Err(SfError::new(format!(
+            "no Cargo.toml under {} — not a workspace root?",
+            opts.root.display()
+        )));
+    }
+    let files_scanned = sources.len();
+    let manifests_scanned = manifests.len();
+
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut waived: Vec<Waived> = Vec::new();
+    for file in &sources {
+        let mut result = scan_rust(file);
+        findings.append(&mut result.findings);
+        waived.append(&mut result.waived);
+    }
+    for manifest in &manifests {
+        let mut result = scan_manifest(manifest);
+        findings.append(&mut result.findings);
+        waived.append(&mut result.waived);
+    }
+    // The walk is sorted, but sort again so the report order is a
+    // contract of the output, not an accident of scan order.
+    findings.sort();
+    waived.sort();
+
+    let baseline = Baseline::load(&opts.resolved_baseline())?;
+    let (baselined, live) = baseline.partition(findings);
+
+    let report = report::build(&report::ReportInput {
+        baselined: &baselined,
+        findings: &live,
+        waived: &waived,
+        files_scanned,
+        manifests_scanned,
+        fix_dry_run: opts.fix_dry_run,
+    });
+    Ok(Outcome {
+        findings: live,
+        baselined,
+        waived,
+        report,
+    })
+}
+
+/// The workspace root enclosing `start` (nearest `[workspace]` manifest).
+pub fn workspace_root_from(start: &Path) -> Result<PathBuf, SfError> {
+    walker::find_workspace_root(start)
+        .ok_or_else(|| SfError::new(format!("no [workspace] manifest above {}", start.display())))
+}

@@ -1,0 +1,138 @@
+//! `sfcheck` CLI.
+//!
+//! ```text
+//! cargo run -p sfcheck --                 # human output, exit 1 on findings
+//! cargo run -p sfcheck -- --json          # deterministic JSON report
+//! cargo run -p sfcheck -- --fix-dry-run   # include mechanical fixes in the report
+//! cargo run -p sfcheck -- --write-baseline  # record current findings as the baseline
+//! ```
+//!
+//! Exit codes: `0` clean (or fully baselined/waived), `1` live findings,
+//! `2` tool error (I/O, malformed baseline, bad flags).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use sfcheck::baseline::Baseline;
+use sfcheck::report::human_line;
+use sfcheck::{run_check, workspace_root_from, CheckOptions, SfError};
+
+struct Cli {
+    root: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    json: bool,
+    fix_dry_run: bool,
+    write_baseline: bool,
+}
+
+fn parse_args() -> Result<Cli, SfError> {
+    let mut cli = Cli {
+        root: None,
+        baseline: None,
+        json: false,
+        fix_dry_run: false,
+        write_baseline: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => cli.json = true,
+            "--fix-dry-run" => cli.fix_dry_run = true,
+            "--write-baseline" => cli.write_baseline = true,
+            "--root" => {
+                cli.root =
+                    Some(PathBuf::from(args.next().ok_or_else(|| {
+                        SfError::new("--root requires a directory argument")
+                    })?));
+            }
+            "--baseline" => {
+                cli.baseline =
+                    Some(PathBuf::from(args.next().ok_or_else(|| {
+                        SfError::new("--baseline requires a path argument")
+                    })?));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "sfcheck: repo-invariant static analysis\n\
+                     \n\
+                     USAGE: sfcheck [--root DIR] [--baseline PATH] [--json] \
+                     [--fix-dry-run] [--write-baseline]\n\
+                     \n\
+                     Exit codes: 0 clean, 1 live findings, 2 tool error."
+                );
+                std::process::exit(0);
+            }
+            other => return Err(SfError::new(format!("unknown flag `{other}`"))),
+        }
+    }
+    Ok(cli)
+}
+
+fn run() -> Result<bool, SfError> {
+    let cli = parse_args()?;
+    let root = match cli.root {
+        Some(r) => r,
+        None => {
+            let cwd =
+                std::env::current_dir().map_err(|e| SfError::new(format!("current dir: {e}")))?;
+            workspace_root_from(&cwd)?
+        }
+    };
+    let mut opts = CheckOptions::new(root.clone());
+    opts.baseline_path = cli.baseline;
+    opts.fix_dry_run = cli.fix_dry_run;
+
+    let outcome = run_check(&opts)?;
+
+    if cli.write_baseline {
+        let path = opts
+            .baseline_path
+            .clone()
+            .unwrap_or_else(|| root.join("sfcheck.baseline.json"));
+        let doc = Baseline::to_json(&outcome.findings).emit();
+        std::fs::write(&path, doc + "\n")
+            .map_err(|e| SfError::new(format!("write baseline {}: {e}", path.display())))?;
+        eprintln!(
+            "sfcheck: wrote {} finding(s) to {}",
+            outcome.findings.len(),
+            path.display()
+        );
+        return Ok(true);
+    }
+
+    if cli.json {
+        println!("{}", outcome.report.emit());
+    } else {
+        for f in &outcome.findings {
+            println!("{}", human_line(f));
+        }
+        let summary = &outcome.report;
+        let stat = |k: &str| {
+            summary
+                .get("summary")
+                .and_then(|s| s.get(k))
+                .and_then(|v| v.as_u64())
+                .unwrap_or(0)
+        };
+        println!(
+            "sfcheck: {} finding(s), {} baselined, {} waived ({} files, {} manifests)",
+            stat("findings"),
+            stat("baselined"),
+            stat("waived"),
+            stat("files_scanned"),
+            stat("manifests_scanned"),
+        );
+    }
+    Ok(outcome.clean())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(e) => {
+            eprintln!("sfcheck: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Deterministic workspace walker: find every `.rs` file and `Cargo.toml`
+//! under the repository root and classify each one, so the lint scopes can
+//! reason about "library code of crate X" without consulting cargo.
+//!
+//! Determinism contract: the walk is sorted (byte order of relative
+//! paths, `/`-separated), so the report lists files in the same order on
+//! every run and platform.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::SfError;
+
+/// How a source file relates to shipped code; lint scopes key off this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileClass {
+    /// Library code: what downstream crates and the pipeline execute.
+    Lib,
+    /// Binary entry points (`src/bin/*`, `src/main.rs`): user-facing CLI
+    /// surface where env/config reads are the interface.
+    Bin,
+    /// Test, bench, or example code (`tests/`, `benches/`, `examples/`):
+    /// exempt from the panic-hygiene and determinism lints by design.
+    Test,
+}
+
+impl FileClass {
+    /// Report tag.
+    pub fn name(self) -> &'static str {
+        match self {
+            FileClass::Lib => "lib",
+            FileClass::Bin => "bin",
+            FileClass::Test => "test",
+        }
+    }
+}
+
+/// One discovered file, with text loaded and provenance resolved.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Path relative to the workspace root, `/`-separated.
+    pub rel_path: String,
+    /// File contents.
+    pub text: String,
+    /// Classification from the path shape.
+    pub class: FileClass,
+    /// The `crates/<name>` directory this file lives under, or `"root"`
+    /// for the workspace package's own `src/`, `tests/`, `examples/`.
+    pub crate_dir: String,
+}
+
+/// Classify a workspace-relative path (`/`-separated).
+pub fn classify(rel_path: &str) -> FileClass {
+    let parts: Vec<&str> = rel_path.split('/').collect();
+    let in_dir = |d: &str| parts.iter().rev().skip(1).any(|p| *p == d);
+    if in_dir("tests") || in_dir("benches") || in_dir("examples") {
+        return FileClass::Test;
+    }
+    if in_dir("bin") || rel_path.ends_with("src/main.rs") {
+        return FileClass::Bin;
+    }
+    FileClass::Lib
+}
+
+/// The `crates/<name>` component of a path, or `"root"`.
+pub fn crate_dir_of(rel_path: &str) -> String {
+    let mut parts = rel_path.split('/');
+    if parts.next() == Some("crates") {
+        if let Some(name) = parts.next() {
+            return name.to_string();
+        }
+    }
+    "root".to_string()
+}
+
+/// Recursively collect workspace-relative paths of files whose name
+/// matches `want`, skipping build output and VCS metadata.
+fn collect(root: &Path, dir: &Path, out: &mut Vec<String>, want: &dyn Fn(&str) -> bool) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            // `target` is cargo build output; dot-directories (.git, .idea)
+            // are never source.
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect(root, &path, out, want);
+        } else if want(&name) {
+            if let Ok(rel) = path.strip_prefix(root) {
+                let rel: Vec<String> = rel
+                    .components()
+                    .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                    .collect();
+                out.push(rel.join("/"));
+            }
+        }
+    }
+}
+
+/// All `.rs` files under `root`, sorted, loaded, classified.
+pub fn rust_sources(root: &Path) -> Result<Vec<SourceFile>, SfError> {
+    let mut paths = Vec::new();
+    collect(root, root, &mut paths, &|n| n.ends_with(".rs"));
+    paths.sort();
+    load(root, paths)
+}
+
+/// All `Cargo.toml` manifests under `root`, sorted, loaded.
+pub fn manifests(root: &Path) -> Result<Vec<SourceFile>, SfError> {
+    let mut paths = Vec::new();
+    collect(root, root, &mut paths, &|n| n == "Cargo.toml");
+    paths.sort();
+    load(root, paths)
+}
+
+fn load(root: &Path, paths: Vec<String>) -> Result<Vec<SourceFile>, SfError> {
+    let mut out = Vec::with_capacity(paths.len());
+    for rel_path in paths {
+        let full: PathBuf = root.join(&rel_path);
+        let text = fs::read_to_string(&full)
+            .map_err(|e| SfError::new(format!("read {}: {e}", full.display())))?;
+        let class = classify(&rel_path);
+        let crate_dir = crate_dir_of(&rel_path);
+        out.push(SourceFile {
+            rel_path,
+            text,
+            class,
+            crate_dir,
+        });
+    }
+    Ok(out)
+}
+
+/// Search upward from `start` for a directory whose `Cargo.toml` declares
+/// `[workspace]` — the root `cargo run -p sfcheck` should scan.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.lines().any(|l| l.trim() == "[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_follows_path_shape() {
+        assert_eq!(classify("crates/frame/src/csv.rs"), FileClass::Lib);
+        assert_eq!(classify("crates/core/src/bin/smartfeat.rs"), FileClass::Bin);
+        assert_eq!(classify("crates/sfcheck/src/main.rs"), FileClass::Bin);
+        assert_eq!(classify("tests/hermetic.rs"), FileClass::Test);
+        assert_eq!(classify("crates/par/benches/pool.rs"), FileClass::Test);
+        assert_eq!(classify("examples/quickstart.rs"), FileClass::Test);
+        // A file merely *named* tests.rs is not test code.
+        assert_eq!(classify("crates/x/src/tests.rs"), FileClass::Lib);
+    }
+
+    #[test]
+    fn crate_dir_extraction() {
+        assert_eq!(crate_dir_of("crates/frame/src/csv.rs"), "frame");
+        assert_eq!(crate_dir_of("src/lib.rs"), "root");
+        assert_eq!(crate_dir_of("tests/hermetic.rs"), "root");
+    }
+
+    #[test]
+    fn workspace_walk_is_sorted_and_finds_this_crate() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .expect("crates/sfcheck has a workspace root");
+        let sources = rust_sources(root).expect("walk succeeds");
+        let paths: Vec<&str> = sources.iter().map(|s| s.rel_path.as_str()).collect();
+        let mut sorted = paths.clone();
+        sorted.sort();
+        assert_eq!(paths, sorted, "walk output must be sorted");
+        assert!(paths.contains(&"crates/sfcheck/src/lexer.rs"));
+        assert!(!paths.iter().any(|p| p.starts_with("target/")));
+        let manifests = manifests(root).expect("manifest walk succeeds");
+        assert!(manifests.len() >= 12);
+    }
+}

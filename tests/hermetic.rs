@@ -35,7 +35,7 @@ fn manifest_paths() -> Vec<PathBuf> {
         }
     }
     assert!(
-        out.len() >= 11,
+        out.len() >= 12,
         "expected root + member manifests, got {out:?}"
     );
     out
