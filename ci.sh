@@ -20,6 +20,33 @@ cargo clippy --all-targets --offline -- -D warnings
 echo "==> sfcheck: repo-invariant static analysis"
 cargo run -p sfcheck --offline
 
+echo "==> sfcheck: SARIF artifact"
+cargo run -q -p sfcheck --offline -- --sarif > sfcheck.sarif.json
+echo "    wrote sfcheck.sarif.json ($(wc -c < sfcheck.sarif.json) bytes)"
+
+echo "==> sfcheck: --fix idempotency (double pass on a temp copy)"
+FIX_TMP="$(mktemp -d)"
+trap 'rm -rf "$FIX_TMP"' EXIT
+# Copy the tree (sans build products / VCS) so --fix never touches the
+# real checkout here; the second pass must apply zero fixes.
+rsync -a --exclude target --exclude .git ./ "$FIX_TMP/" 2>/dev/null \
+  || cp -r ./crates ./Cargo.toml ./sfcheck.baseline.json "$FIX_TMP/"
+FIRST="$(cargo run -q -p sfcheck --offline -- --fix --root "$FIX_TMP" | tail -1)"
+SECOND="$(cargo run -q -p sfcheck --offline -- --fix --root "$FIX_TMP" | tail -1)"
+echo "    first:  $FIRST"
+echo "    second: $SECOND"
+case "$SECOND" in
+  *"applied 0 fix(es) in 0 file(s)"*) ;;
+  *) echo "    ERROR: second --fix pass was not a no-op" >&2; exit 1 ;;
+esac
+if ! diff -rq --exclude target --exclude .git ./crates "$FIX_TMP/crates" > /dev/null; then
+  echo "    ERROR: --fix modified a clean tree" >&2
+  diff -rq --exclude target --exclude .git ./crates "$FIX_TMP/crates" >&2 || true
+  exit 1
+fi
+rm -rf "$FIX_TMP"
+trap - EXIT
+
 echo "==> determinism matrix: SMARTFEAT_THREADS=1"
 SMARTFEAT_THREADS=1 cargo test -q --offline
 

@@ -7,6 +7,7 @@ use smartfeat::selector::OperatorSelector;
 use smartfeat::SmartFeatConfig;
 use smartfeat_bench::{criterion_group, criterion_main, Criterion};
 use smartfeat_fm::SimulatedFm;
+use smartfeat_obs::Recorder;
 
 fn bench_strategies(c: &mut Criterion) {
     let ds = smartfeat_datasets::by_name("Tennis", 300, 3).expect("tennis exists");
@@ -16,7 +17,7 @@ fn bench_strategies(c: &mut Criterion) {
     c.bench_function("proposal/unary_all_attributes", |b| {
         b.iter(|| {
             let fm = SimulatedFm::gpt4(1);
-            let selector = OperatorSelector::new(&fm, &config);
+            let selector = OperatorSelector::new(&fm, &config, Recorder::disabled());
             let mut total = 0usize;
             for f in &agenda.features {
                 total += selector
@@ -31,7 +32,7 @@ fn bench_strategies(c: &mut Criterion) {
     c.bench_function("sampling/binary_budget_10", |b| {
         b.iter(|| {
             let fm = SimulatedFm::gpt4(1);
-            let selector = OperatorSelector::new(&fm, &config);
+            let selector = OperatorSelector::new(&fm, &config, Recorder::disabled());
             let mut accepted = 0usize;
             for _ in 0..10 {
                 if let smartfeat::selector::Sample::Candidate(_) =
@@ -49,7 +50,7 @@ fn bench_strategies(c: &mut Criterion) {
         let adult_agenda = adult.agenda("RF");
         b.iter(|| {
             let fm = SimulatedFm::gpt4(1);
-            let selector = OperatorSelector::new(&fm, &config);
+            let selector = OperatorSelector::new(&fm, &config, Recorder::disabled());
             let mut accepted = 0usize;
             for _ in 0..10 {
                 if let smartfeat::selector::Sample::Candidate(_) =

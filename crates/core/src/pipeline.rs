@@ -315,7 +315,7 @@ impl<'a> SmartFeat<'a> {
                     OperatorFamily::Binary => selector.sample_binary(&state.agenda)?,
                     OperatorFamily::HighOrder => selector.sample_highorder(&state.agenda)?,
                     OperatorFamily::Extractor => selector.sample_extractor(&state.agenda)?,
-                    // sfcheck:allow(panic-hygiene) invariant: stage dispatch routes Unary elsewhere
+                    // sfcheck:allow(panic-hygiene, panic-reachability) invariant: stage dispatch routes Unary elsewhere
                     OperatorFamily::Unary => unreachable!("unary uses the proposal strategy"),
                 };
                 if !matches!(sample, Sample::Invalid(_)) {
@@ -475,7 +475,7 @@ impl<'a> SmartFeat<'a> {
                     accepted.push(false);
                     continue;
                 }
-                // sfcheck:allow(panic-hygiene) invariant: the loop above resolves every Pending
+                // sfcheck:allow(panic-hygiene, panic-reachability) invariant: the loop above resolves every Pending
                 Staged::Pending => unreachable!("stage 2 fills every pending slot"),
                 Staged::Failed(msg) => {
                     state.skipped.push(SkippedFeature {

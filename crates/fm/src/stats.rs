@@ -96,6 +96,7 @@ impl UsageMeter {
 
     /// Current aggregate totals.
     pub fn snapshot(&self) -> UsageSnapshot {
+        // sfcheck:allow(panic-reachability) poisoned lock only re-raises a panic from another thread
         self.inner.lock().expect("meter poisoned").snapshot
     }
 

@@ -7,10 +7,10 @@
 use smartfeat_rng::Rng;
 
 use crate::error::{MlError, Result};
-use crate::forest::tree_seeds;
 use crate::matrix::Matrix;
 use crate::model::Classifier;
 use crate::tree::{DecisionTree, MaxFeatures, SplitMode, TreeParams};
+use smartfeat_rng::seed_jump;
 
 /// Extra-trees ensemble: like a random forest but with uniform random
 /// split thresholds and the full training set per tree (sklearn's
@@ -85,11 +85,11 @@ impl Classifier for ExtraTrees {
         params.split_mode = SplitMode::Random;
         self.n_features = x.cols();
         let all: Vec<usize> = (0..x.rows()).collect();
-        let seeds = tree_seeds(self.seed, self.n_trees);
+        let seed = self.seed;
         let threads = smartfeat_par::resolve_threads(self.threads);
         self.trees = smartfeat_obs::global::time("ml.extra_trees.fit", || {
             smartfeat_par::try_par_map_indexed(threads, self.n_trees, |i| {
-                let mut rng = Rng::seed_from_u64(seeds[i]);
+                let mut rng = Rng::seed_from_u64(seed_jump(seed, i as u64));
                 let mut tree = DecisionTree::new(params);
                 tree.fit_indices(x, y, &all, &mut rng).map(|()| tree)
             })

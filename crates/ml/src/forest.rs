@@ -5,21 +5,12 @@
 //! a SplitMix64 jump, so the fitted ensemble is **bit-identical** for any
 //! thread count (including the exact serial path at 1 thread).
 
-use smartfeat_rng::{Rng, SplitMix64};
+use smartfeat_rng::{seed_jump, Rng};
 
 use crate::error::{MlError, Result};
 use crate::matrix::Matrix;
 use crate::model::Classifier;
 use crate::tree::{DecisionTree, MaxFeatures, SplitMode, TreeParams};
-
-/// Per-tree seeds: one SplitMix64 stream seeded by the ensemble seed,
-/// jumped once per tree. Shared by [`RandomForest`] and
-/// [`crate::extra_trees::ExtraTrees`]; part of the determinism contract —
-/// changing it shifts every seeded forest artifact in the repository.
-pub(crate) fn tree_seeds(ensemble_seed: u64, n_trees: usize) -> Vec<u64> {
-    let mut seeder = SplitMix64::new(ensemble_seed);
-    (0..n_trees).map(|_| seeder.next_u64()).collect()
-}
 
 /// Bagging ensemble of exact-split CART trees.
 #[derive(Debug, Clone)]
@@ -97,12 +88,15 @@ impl Classifier for RandomForest {
         let n = x.rows();
         let sample_size = ((n as f64 * self.bootstrap_fraction).round() as usize).max(1);
         self.n_features = x.cols();
-        let seeds = tree_seeds(self.seed, self.n_trees);
+        // Per-tree seeds jump off the ensemble seed by tree index —
+        // `seed_jump` reproduces the historical sequential SplitMix64
+        // stream exactly, so seeded forest artifacts are unchanged.
+        let seed = self.seed;
         let threads = smartfeat_par::resolve_threads(self.threads);
         let params = self.tree_params;
         self.trees = smartfeat_obs::global::time("ml.forest.fit", || {
             smartfeat_par::try_par_map_indexed(threads, self.n_trees, |i| {
-                let mut rng = Rng::seed_from_u64(seeds[i]);
+                let mut rng = Rng::seed_from_u64(seed_jump(seed, i as u64));
                 let indices: Vec<usize> = (0..sample_size).map(|_| rng.gen_range(0..n)).collect();
                 let mut tree = DecisionTree::new(params);
                 tree.fit_indices(x, y, &indices, &mut rng).map(|()| tree)

@@ -92,6 +92,7 @@ impl Drop for Stopwatch {
 pub fn snapshot() -> BTreeMap<String, WorkStat> {
     registry()
         .lock()
+        // sfcheck:allow(panic-reachability) poisoned lock only re-raises a panic from another thread
         .expect("work registry poisoned")
         .iter()
         .map(|(k, v)| ((*k).to_string(), *v))

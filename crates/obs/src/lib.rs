@@ -232,6 +232,7 @@ impl Recorder {
     /// Increment the named counter.
     pub fn incr(&self, name: &str, by: u64) {
         if let Some(inner) = &self.inner {
+            // sfcheck:allow(panic-reachability) poisoned lock only re-raises a panic from another thread
             let mut state = inner.state.lock().expect("obs state poisoned");
             *state.counters.entry(name.to_string()).or_insert(0) += by;
         }
@@ -240,6 +241,7 @@ impl Recorder {
     /// Attribute one FM call's usage to `key` (a role or family label).
     pub fn fm_call(&self, key: &str, usage: FmUsage) {
         if let Some(inner) = &self.inner {
+            // sfcheck:allow(panic-reachability) poisoned lock only re-raises a panic from another thread
             let mut state = inner.state.lock().expect("obs state poisoned");
             state.fm.entry(key.to_string()).or_default().add(usage);
         }
@@ -249,6 +251,7 @@ impl Recorder {
     /// bridge `smartfeat_fm::UsageMeter` deltas at end of run).
     pub fn set_fm_usage(&self, key: &str, usage: FmUsage) {
         if let Some(inner) = &self.inner {
+            // sfcheck:allow(panic-reachability) poisoned lock only re-raises a panic from another thread
             let mut state = inner.state.lock().expect("obs state poisoned");
             state.fm.insert(key.to_string(), usage);
         }
@@ -257,6 +260,7 @@ impl Recorder {
     /// Mutate one family's stats through `f`.
     pub fn family(&self, family: &str, f: impl FnOnce(&mut FamilyStats)) {
         if let Some(inner) = &self.inner {
+            // sfcheck:allow(panic-reachability) poisoned lock only re-raises a panic from another thread
             let mut state = inner.state.lock().expect("obs state poisoned");
             f(state.families.entry(family.to_string()).or_default());
         }
@@ -265,6 +269,7 @@ impl Recorder {
     /// Record the pool-counter delta for this run.
     pub fn set_pool(&self, pool: PoolCounters) {
         if let Some(inner) = &self.inner {
+            // sfcheck:allow(panic-reachability) poisoned lock only re-raises a panic from another thread
             inner.state.lock().expect("obs state poisoned").pool = pool;
         }
     }
@@ -273,6 +278,7 @@ impl Recorder {
     /// deterministic; nanoseconds surface only in wall mode).
     pub fn set_work(&self, work: BTreeMap<String, global::WorkStat>) {
         if let Some(inner) = &self.inner {
+            // sfcheck:allow(panic-reachability) poisoned lock only re-raises a panic from another thread
             inner.state.lock().expect("obs state poisoned").work = work;
         }
     }
@@ -299,6 +305,7 @@ impl Recorder {
             map.insert((*k).to_string(), v.clone());
         }
         let line = JsonValue::Object(map).emit();
+        // sfcheck:allow(panic-reachability) poisoned lock only re-raises a panic from another thread
         let mut state = inner.state.lock().expect("obs state poisoned");
         state.trace.push_str(&line);
         state.trace.push('\n');
@@ -331,6 +338,7 @@ impl Recorder {
         };
         let end = self.now();
         self.emit(end, "span_end", &[("name", name.into())]);
+        // sfcheck:allow(panic-reachability) poisoned lock only re-raises a panic from another thread
         let mut state = inner.state.lock().expect("obs state poisoned");
         let agg = state.spans.entry(name.to_string()).or_default();
         agg.count += 1;
@@ -346,6 +354,7 @@ impl Recorder {
             Some(inner) => inner
                 .state
                 .lock()
+                // sfcheck:allow(panic-reachability) poisoned lock only re-raises a panic from another thread
                 .expect("obs state poisoned")
                 .trace
                 .clone(),
@@ -356,6 +365,7 @@ impl Recorder {
     pub fn events(&self) -> u64 {
         match &self.inner {
             None => 0,
+            // sfcheck:allow(panic-reachability) poisoned lock only re-raises a panic from another thread
             Some(inner) => inner.state.lock().expect("obs state poisoned").events,
         }
     }
@@ -371,6 +381,7 @@ impl Recorder {
         let Some(inner) = &self.inner else {
             return JsonValue::Null;
         };
+        // sfcheck:allow(panic-reachability) poisoned lock only re-raises a panic from another thread
         let state = inner.state.lock().expect("obs state poisoned");
         let wall = inner.mode == ClockMode::Wall;
 

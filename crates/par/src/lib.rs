@@ -135,6 +135,7 @@ impl<'scope, T> ScopedHandle<'scope, T> {
 
 impl<'scope, 'env> Scope<'scope, 'env> {
     /// Spawn a task that may borrow from the enclosing scope.
+    // sfcheck:parallel-entry
     pub fn spawn<T, F>(&self, f: F) -> ScopedHandle<'scope, T>
     where
         F: FnOnce() -> T + Send + 'scope,
@@ -150,6 +151,7 @@ impl<'scope, 'env> Scope<'scope, 'env> {
 /// All spawned tasks are joined before `scope` returns. A panic in any
 /// unjoined task is propagated to the caller — tasks never disappear
 /// silently and a panicking task cannot deadlock the scope. Scopes nest.
+// sfcheck:parallel-entry
 pub fn scope<'env, F, R>(f: F) -> R
 where
     F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
@@ -161,6 +163,7 @@ where
 /// results **in input order**. With `threads <= 1` (or fewer than two
 /// items) the serial loop runs on the calling thread. A panic in `f`
 /// propagates to the caller after the remaining workers drain.
+// sfcheck:parallel-entry
 pub fn par_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
@@ -173,6 +176,7 @@ where
 /// [`par_map`] over the index range `0..n`: `f(i)` for each index, results
 /// in index order. This is the primitive the seeded-work callers use
 /// (index → derived seed → independent computation).
+// sfcheck:parallel-entry
 pub fn par_map_indexed<R, F>(threads: usize, n: usize, f: F) -> Vec<R>
 where
     R: Send,
@@ -217,6 +221,7 @@ where
     });
     slots
         .into_iter()
+        // sfcheck:allow(panic-reachability) invariant: scope join proves every index was sent
         .map(|slot| slot.expect("par_map worker delivered every index"))
         .collect()
 }
@@ -225,6 +230,7 @@ where
 /// `Result`, and the **lowest-index** error is returned — matching what
 /// the serial loop would report — even if a later item failed first in
 /// wall-clock time.
+// sfcheck:parallel-entry
 pub fn try_par_map_indexed<R, E, F>(threads: usize, n: usize, f: F) -> Result<Vec<R>, E>
 where
     R: Send,
@@ -277,7 +283,7 @@ mod tests {
 
     #[test]
     fn scope_spawn_join_returns_values() {
-        let data = vec![1, 2, 3];
+        let data = [1, 2, 3];
         let sum = scope(|s| {
             let h1 = s.spawn(|| data.iter().sum::<i32>());
             let h2 = s.spawn(|| data.len());

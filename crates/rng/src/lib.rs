@@ -46,6 +46,29 @@ impl SplitMix64 {
     }
 }
 
+/// O(1) per-index seed derivation: the `index`-th output of the
+/// SplitMix64 stream seeded at `base`, computed without stepping through
+/// the `index - 1` earlier outputs.
+///
+/// `seed_jump(base, i) == { let mut sm = SplitMix64::new(base);
+/// (0..=i).map(|_| sm.next_u64()).last() }` — bit-identical to the
+/// sequential derivation the parallel ML substrates used before this
+/// helper existed, so adopting it shifts no seeded artifact. This is the
+/// sanctioned way to give each item of a parallel region its own RNG
+/// stream: derive `Rng::seed_from_u64(seed_jump(base, i))` from the item
+/// index `i`, never share or re-use one stream across items (the
+/// `rng-seed-discipline` lint enforces this).
+// sfcheck:seed-derivation
+pub fn seed_jump(base: u64, index: u64) -> u64 {
+    // SplitMix64's state after k calls is `base + k·γ`; output k is the
+    // mix of that state. Jumping is therefore one add and one mix.
+    let state = base.wrapping_add(index.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut z = state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// The repository's seeded PRNG: xoshiro256++ with SplitMix64 seeding.
 ///
 /// ```
@@ -281,6 +304,24 @@ mod tests {
         let mut v: Vec<u8> = (0..8).collect();
         r.shuffle(&mut v);
         assert_eq!(v, [1, 4, 6, 3, 7, 5, 0, 2]);
+    }
+
+    /// `seed_jump` must stay bit-identical to walking the SplitMix64
+    /// stream sequentially — the parallel seed derivations in `ml` rely on
+    /// this equivalence to keep pinned seeded artifacts unchanged.
+    #[test]
+    fn seed_jump_equals_sequential_splitmix() {
+        for base in [0u64, 1, 2, 42, 1234567, u64::MAX] {
+            let mut sm = SplitMix64::new(base);
+            for index in 0..64u64 {
+                let sequential = sm.next_u64();
+                assert_eq!(
+                    seed_jump(base, index),
+                    sequential,
+                    "base={base} index={index}"
+                );
+            }
+        }
     }
 
     #[test]

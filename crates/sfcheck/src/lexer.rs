@@ -39,18 +39,25 @@ pub enum TokenKind {
     BlockComment,
 }
 
-/// One token with its source position (1-based line and column).
+/// One token with its source position (1-based line and column) and its
+/// byte span in the source text.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Token {
     /// Kind tag.
     pub kind: TokenKind,
-    /// The token's text as written (except raw identifiers, see
-    /// [`TokenKind::Ident`]).
+    /// The token's text as written (except raw identifiers and lifetimes,
+    /// whose text drops the `r#` / `'` prefix — see [`TokenKind::Ident`]).
     pub text: String,
     /// 1-based source line of the token's first character.
     pub line: u32,
     /// 1-based column (in characters) of the token's first character.
     pub col: u32,
+    /// Byte offset of the token's first character in the source.
+    pub offset: u32,
+    /// Byte length of the token's source span. `offset..offset + len`
+    /// always slices the source at character boundaries and reconstructs
+    /// the token as written (the span round-trip the fuzz harness pins).
+    pub len: u32,
 }
 
 impl Token {
@@ -58,12 +65,30 @@ impl Token {
     pub fn is_code(&self) -> bool {
         !matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
     }
+
+    /// The token's byte span, `offset..offset + len`.
+    pub fn span(&self) -> std::ops::Range<usize> {
+        self.offset as usize..(self.offset + self.len) as usize
+    }
+}
+
+/// Positionless token under construction; `lex` stamps line/col/span.
+fn tok(kind: TokenKind, text: impl Into<String>) -> Token {
+    Token {
+        kind,
+        text: text.into(),
+        line: 0,
+        col: 0,
+        offset: 0,
+        len: 0,
+    }
 }
 
 struct Cursor<'a> {
     chars: std::iter::Peekable<std::str::Chars<'a>>,
     line: u32,
     col: u32,
+    pos: usize,
 }
 
 impl<'a> Cursor<'a> {
@@ -72,6 +97,7 @@ impl<'a> Cursor<'a> {
             chars: src.chars().peekable(),
             line: 1,
             col: 1,
+            pos: 0,
         }
     }
 
@@ -89,6 +115,7 @@ impl<'a> Cursor<'a> {
 
     fn bump(&mut self) -> Option<char> {
         let c = self.chars.next()?;
+        self.pos += c.len_utf8();
         if c == '\n' {
             self.line += 1;
             self.col = 1;
@@ -113,12 +140,12 @@ pub fn lex(src: &str) -> Vec<Token> {
     let mut cur = Cursor::new(src);
     let mut out = Vec::new();
     while let Some(c) = cur.peek() {
-        let (line, col) = (cur.line, cur.col);
+        let (line, col, start) = (cur.line, cur.col, cur.pos);
         if c.is_whitespace() {
             cur.bump();
             continue;
         }
-        let tok = match c {
+        let t = match c {
             '/' => lex_slash(&mut cur),
             '\'' => lex_quote(&mut cur),
             '"' => lex_string(&mut cur, String::new()),
@@ -127,15 +154,16 @@ pub fn lex(src: &str) -> Vec<Token> {
             c if c.is_ascii_digit() => lex_number(&mut cur),
             _ => {
                 cur.bump();
-                Token {
-                    kind: TokenKind::Punct,
-                    text: c.to_string(),
-                    line: 0,
-                    col: 0,
-                }
+                tok(TokenKind::Punct, c.to_string())
             }
         };
-        out.push(Token { line, col, ..tok });
+        out.push(Token {
+            line,
+            col,
+            offset: start as u32,
+            len: (cur.pos - start) as u32,
+            ..t
+        });
     }
     out
 }
@@ -153,12 +181,7 @@ fn lex_slash(cur: &mut Cursor) -> Token {
                 text.push(c);
                 cur.bump();
             }
-            Token {
-                kind: TokenKind::LineComment,
-                text,
-                line: 0,
-                col: 0,
-            }
+            tok(TokenKind::LineComment, text)
         }
         Some('*') => {
             let mut text = String::from("/");
@@ -185,19 +208,9 @@ fn lex_slash(cur: &mut Cursor) -> Token {
                     Some(c) => text.push(c),
                 }
             }
-            Token {
-                kind: TokenKind::BlockComment,
-                text,
-                line: 0,
-                col: 0,
-            }
+            tok(TokenKind::BlockComment, text)
         }
-        _ => Token {
-            kind: TokenKind::Punct,
-            text: "/".into(),
-            line: 0,
-            col: 0,
-        },
+        _ => tok(TokenKind::Punct, "/"),
     }
 }
 
@@ -230,12 +243,7 @@ fn lex_quote(cur: &mut Cursor) -> Token {
                 text.push('\'');
                 cur.bump();
             }
-            Token {
-                kind: TokenKind::CharLit,
-                text,
-                line: 0,
-                col: 0,
-            }
+            tok(TokenKind::CharLit, text)
         }
         Some(c) if is_ident_start(c) => {
             while let Some(c) = cur.peek() {
@@ -248,19 +256,9 @@ fn lex_quote(cur: &mut Cursor) -> Token {
             if cur.peek() == Some('\'') {
                 text.push('\'');
                 cur.bump();
-                Token {
-                    kind: TokenKind::CharLit,
-                    text,
-                    line: 0,
-                    col: 0,
-                }
+                tok(TokenKind::CharLit, text)
             } else {
-                Token {
-                    kind: TokenKind::Lifetime,
-                    text: text[1..].to_string(),
-                    line: 0,
-                    col: 0,
-                }
+                tok(TokenKind::Lifetime, text[1..].to_string())
             }
         }
         Some(c) => {
@@ -271,19 +269,9 @@ fn lex_quote(cur: &mut Cursor) -> Token {
                 text.push('\'');
                 cur.bump();
             }
-            Token {
-                kind: TokenKind::CharLit,
-                text,
-                line: 0,
-                col: 0,
-            }
+            tok(TokenKind::CharLit, text)
         }
-        None => Token {
-            kind: TokenKind::Punct,
-            text,
-            line: 0,
-            col: 0,
-        },
+        None => tok(TokenKind::Punct, text),
     }
 }
 
@@ -304,12 +292,7 @@ fn lex_string(cur: &mut Cursor, prefix: String) -> Token {
             _ => {}
         }
     }
-    Token {
-        kind: TokenKind::StrLit,
-        text,
-        line: 0,
-        col: 0,
-    }
+    tok(TokenKind::StrLit, text)
 }
 
 /// `r…` / `b…` prefixes: raw strings, byte strings, byte chars, raw
@@ -320,13 +303,8 @@ fn lex_prefixed(cur: &mut Cursor) -> Token {
         // b'x' byte-char literal.
         ('b', Some('\'')) => {
             cur.bump(); // b
-            let tok = lex_quote(cur);
-            Token {
-                kind: TokenKind::CharLit,
-                text: format!("b{}", tok.text),
-                line: 0,
-                col: 0,
-            }
+            let inner = lex_quote(cur);
+            tok(TokenKind::CharLit, format!("b{}", inner.text))
         }
         // b"…" byte string.
         ('b', Some('"')) => {
@@ -369,29 +347,14 @@ fn lex_prefixed(cur: &mut Cursor) -> Token {
                         raw.push(c);
                         cur.bump();
                     }
-                    return Token {
-                        kind: TokenKind::Ident,
-                        text: raw,
-                        line: 0,
-                        col: 0,
-                    };
+                    return tok(TokenKind::Ident, raw);
                 }
                 // `r## not-a-string`: surface the pieces as best we can.
                 let mut text = ident;
                 text.push_str(&"#".repeat(hashes));
-                return Token {
-                    kind: TokenKind::Ident,
-                    text,
-                    line: 0,
-                    col: 0,
-                };
+                return tok(TokenKind::Ident, text);
             }
-            Token {
-                kind: TokenKind::Ident,
-                text: ident,
-                line: 0,
-                col: 0,
-            }
+            tok(TokenKind::Ident, ident)
         }
     }
 }
@@ -421,12 +384,7 @@ fn lex_raw_string(cur: &mut Cursor, prefix: String, hashes: usize) -> Token {
             break;
         }
     }
-    Token {
-        kind: TokenKind::RawStrLit,
-        text,
-        line: 0,
-        col: 0,
-    }
+    tok(TokenKind::RawStrLit, text)
 }
 
 fn lex_ident(cur: &mut Cursor) -> Token {
@@ -438,12 +396,7 @@ fn lex_ident(cur: &mut Cursor) -> Token {
         text.push(c);
         cur.bump();
     }
-    Token {
-        kind: TokenKind::Ident,
-        text,
-        line: 0,
-        col: 0,
-    }
+    tok(TokenKind::Ident, text)
 }
 
 /// A numeric literal: digits, `_`, base prefixes and suffixes, and a
@@ -463,12 +416,7 @@ fn lex_number(cur: &mut Cursor) -> Token {
             break;
         }
     }
-    Token {
-        kind: TokenKind::NumLit,
-        text,
-        line: 0,
-        col: 0,
-    }
+    tok(TokenKind::NumLit, text)
 }
 
 #[cfg(test)]
@@ -603,6 +551,20 @@ mod tests {
         let toks = lex("a\n  b");
         assert_eq!((toks[0].line, toks[0].col), (1, 1));
         assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn spans_reconstruct_the_source_slice() {
+        let src = "fn f<'a>(x: &'a str) { let r#match = b'{'; let s = r#\"raw // \"#; x }";
+        for t in lex(src) {
+            let slice = &src[t.span()];
+            let ok = match t.kind {
+                TokenKind::Ident => slice == t.text || slice == format!("r#{}", t.text),
+                TokenKind::Lifetime => slice == format!("'{}", t.text),
+                _ => slice == t.text,
+            };
+            assert!(ok, "span {:?} sliced {slice:?} for token {t:?}", t.span());
+        }
     }
 
     #[test]

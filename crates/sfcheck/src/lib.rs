@@ -10,19 +10,27 @@
 //! See [`lints`] for the lint suite, [`baseline`] for the checked-in
 //! finding baseline, and DESIGN.md §10 for the workflow.
 
+pub mod ast;
 pub mod baseline;
+pub mod callgraph;
+pub mod dataflow;
+pub mod fix;
 pub mod lexer;
 pub mod lints;
+pub mod parser;
 pub mod report;
+pub mod resolve;
+pub mod sarif;
 pub mod walker;
 
+use std::collections::BTreeMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
 use smartfeat_frame::json::JsonValue;
 
 use baseline::Baseline;
-use lints::{scan_manifest, scan_rust, Finding, Waived};
+use lints::{scan_manifest, Finding, Waived};
 
 /// A tool-level failure (I/O, malformed baseline) — distinct from lint
 /// findings, which are data, not errors.
@@ -58,6 +66,9 @@ pub struct CheckOptions {
     pub baseline_path: Option<PathBuf>,
     /// Include the `fixes` section for mechanical lints.
     pub fix_dry_run: bool,
+    /// `old=new` path-prefix rewrites applied to baseline entries at load
+    /// (`--baseline-remap`), so file moves don't resurrect legacy findings.
+    pub baseline_remap: Vec<(String, String)>,
 }
 
 impl CheckOptions {
@@ -67,6 +78,7 @@ impl CheckOptions {
             root: root.into(),
             baseline_path: None,
             fix_dry_run: false,
+            baseline_remap: Vec::new(),
         }
     }
 
@@ -88,6 +100,8 @@ pub struct Outcome {
     pub waived: Vec<Waived>,
     /// The full JSON report document.
     pub report: JsonValue,
+    /// The SARIF 2.1.0 document for the same run.
+    pub sarif: JsonValue,
 }
 
 impl Outcome {
@@ -98,6 +112,16 @@ impl Outcome {
 }
 
 /// Run every lint over the workspace at `opts.root`.
+///
+/// Two phases. The **per-file phase** — lex, token lints, waiver
+/// collection, and the full AST parse — is embarrassingly parallel and
+/// runs on the `smartfeat_par` ordered pool (`SMARTFEAT_THREADS`
+/// honored), so output order is a function of the sorted walk, never of
+/// scheduling. The **global phase** is serial: it builds the workspace
+/// symbol table and call graph from the per-file ASTs, runs the
+/// [`dataflow`] lints, merges their findings back into each file's
+/// stream, and only then applies that file's waivers — one waiver
+/// mechanism for token and cross-file lints alike.
 pub fn run_check(opts: &CheckOptions) -> Result<Outcome, SfError> {
     let sources = walker::rust_sources(&opts.root)?;
     let manifests = walker::manifests(&opts.root)?;
@@ -112,10 +136,43 @@ pub fn run_check(opts: &CheckOptions) -> Result<Outcome, SfError> {
     let files_scanned = sources.len();
     let manifests_scanned = manifests.len();
 
+    // Per-file phase, parallel and ordered.
+    let threads = smartfeat_par::resolve_threads(0);
+    let scans: Vec<(ast::File, Vec<Finding>, Vec<lints::Waiver>)> =
+        smartfeat_par::par_map(threads, &sources, |file| {
+            let tokens = lexer::lex(&file.text);
+            let tree = parser::parse(&tokens);
+            let (raw, waivers) = lints::scan_rust_raw(file, &tokens);
+            (tree, raw, waivers)
+        });
+
+    // Global phase, serial.
+    let mut raw_by_file: Vec<Vec<Finding>> = Vec::with_capacity(scans.len());
+    let mut waivers_by_file: Vec<Vec<lints::Waiver>> = Vec::with_capacity(scans.len());
+    let mut parsed: Vec<(walker::SourceFile, ast::File)> = Vec::with_capacity(scans.len());
+    for (source, (tree, raw, waivers)) in sources.into_iter().zip(scans) {
+        raw_by_file.push(raw);
+        waivers_by_file.push(waivers);
+        parsed.push((source, tree));
+    }
+    let ws = resolve::build(parsed, &manifests);
+    let cg = callgraph::build(&ws);
+    let index_of: BTreeMap<&str, usize> = ws
+        .files
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (f.rel_path.as_str(), i))
+        .collect();
+    for finding in dataflow::run(&ws, &cg) {
+        if let Some(&i) = index_of.get(finding.file.as_str()) {
+            raw_by_file[i].push(finding);
+        }
+    }
+
     let mut findings: Vec<Finding> = Vec::new();
     let mut waived: Vec<Waived> = Vec::new();
-    for file in &sources {
-        let mut result = scan_rust(file);
+    for (raw, waivers) in raw_by_file.into_iter().zip(&waivers_by_file) {
+        let mut result = lints::apply_waivers(raw, waivers);
         findings.append(&mut result.findings);
         waived.append(&mut result.waived);
     }
@@ -129,22 +186,28 @@ pub fn run_check(opts: &CheckOptions) -> Result<Outcome, SfError> {
     findings.sort();
     waived.sort();
 
-    let baseline = Baseline::load(&opts.resolved_baseline())?;
+    let mut baseline = Baseline::load(&opts.resolved_baseline())?;
+    for (old, new) in &opts.baseline_remap {
+        baseline.remap_prefix(old, new);
+    }
     let (baselined, live) = baseline.partition(findings);
 
-    let report = report::build(&report::ReportInput {
+    let input = report::ReportInput {
         baselined: &baselined,
         findings: &live,
         waived: &waived,
         files_scanned,
         manifests_scanned,
         fix_dry_run: opts.fix_dry_run,
-    });
+    };
+    let report = report::build(&input);
+    let sarif = sarif::build(&input);
     Ok(Outcome {
         findings: live,
         baselined,
         waived,
         report,
+        sarif,
     })
 }
 

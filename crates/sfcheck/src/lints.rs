@@ -9,16 +9,25 @@
 //! | P1 | `panic-hygiene` | no `unwrap`/`expect`/`panic!` in core/frame library code |
 //! | P2 | `unsafe-binary-op` | `binary_op_unsafe` only in the CAAFE baseline |
 //! | W1 | `waiver-syntax` | every waiver names a known lint and gives a reason |
+//! | F1 | `par-capture-race` | parallel closures capture no shared-mutable bindings |
+//! | F2 | `rng-seed-discipline` | rng streams in parallel regions derive per item |
+//! | F3 | `panic-reachability` | no panic site reachable from the public pipeline API |
+//!
+//! F1–F3 are the cross-file dataflow lints ([`crate::dataflow`]); they run
+//! over the workspace symbol table and call graph rather than per-file
+//! tokens, but their findings waive identically.
 //!
 //! Findings can be waived inline with a line comment:
 //!
 //! ```text
 //! // sfcheck:allow(panic-hygiene) invariant: indices filtered from 0..n
+//! // sfcheck:allow(panic-hygiene, panic-reachability) proven unreachable
 //! ```
 //!
-//! on the offending line or the line directly above it. The reason text
-//! after the closing parenthesis is mandatory — a waiver is documentation,
-//! not suppression.
+//! on the offending line or the line directly above it. One waiver may
+//! name several comma-separated lints when one site trips overlapping
+//! invariants. The reason text after the closing parenthesis is
+//! mandatory — a waiver is documentation, not suppression.
 
 use std::collections::BTreeMap;
 
@@ -26,11 +35,14 @@ use crate::lexer::{lex, Token, TokenKind};
 use crate::walker::{FileClass, SourceFile};
 
 /// Identifiers of every shipped lint, in report order.
-pub const LINT_IDS: [&str; 7] = [
+pub const LINT_IDS: [&str; 10] = [
     "env-dependence",
     "hash-collections",
     "hermetic-manifest",
     "panic-hygiene",
+    "panic-reachability",
+    "par-capture-race",
+    "rng-seed-discipline",
     "unsafe-binary-op",
     "waiver-syntax",
     "wall-clock",
@@ -73,16 +85,21 @@ pub struct ScanResult {
     pub waived: Vec<Waived>,
 }
 
-/// A parsed `// sfcheck:allow(<lint>) <reason>` waiver.
+/// A parsed `// sfcheck:allow(<lint>[, <lint>…]) <reason>` waiver.
 #[derive(Debug, Clone)]
-struct Waiver {
-    line: u32,
-    lint: String,
-    reason: String,
+pub struct Waiver {
+    /// 1-based line of the waiver comment.
+    pub line: u32,
+    /// The lints the waiver names (comma-separated in source).
+    pub lints: Vec<String>,
+    /// Mandatory reason text after the closing parenthesis.
+    pub reason: String,
 }
 
 /// Extract waivers from comment tokens; malformed waivers become
 /// `waiver-syntax` findings so they cannot silently suppress nothing.
+/// Waivers live only in lexer comment tokens — waiver-shaped text inside
+/// string literals or code never matches.
 fn collect_waivers(file: &str, lines: &[&str], tokens: &[Token]) -> (Vec<Waiver>, Vec<Finding>) {
     let mut waivers = Vec::new();
     let mut findings = Vec::new();
@@ -90,9 +107,12 @@ fn collect_waivers(file: &str, lines: &[&str], tokens: &[Token]) -> (Vec<Waiver>
         if tok.kind != TokenKind::LineComment {
             continue;
         }
-        // Doc comments (`///`, `//!`) document the waiver syntax itself;
-        // only plain `//` comments can carry a live waiver.
-        if tok.text.starts_with("///") || tok.text.starts_with("//!") {
+        // Doc comments (`///` exactly, `//!`) document the waiver syntax
+        // itself; only plain comments — `//`, and `////`+ which rustc also
+        // treats as non-doc — can carry a live waiver.
+        let is_doc = (tok.text.starts_with("///") && !tok.text.starts_with("////"))
+            || tok.text.starts_with("//!");
+        if is_doc {
             continue;
         }
         let Some(at) = tok.text.find("sfcheck:allow") else {
@@ -101,35 +121,74 @@ fn collect_waivers(file: &str, lines: &[&str], tokens: &[Token]) -> (Vec<Waiver>
         let rest = &tok.text[at + "sfcheck:allow".len()..];
         let parsed = rest.strip_prefix('(').and_then(|r| {
             r.split_once(')')
-                .map(|(lint, reason)| (lint.trim().to_string(), reason.trim().to_string()))
+                .map(|(list, reason)| (list.trim().to_string(), reason.trim().to_string()))
         });
-        let bad = |message: String| Finding {
+        let bad = |message: String, suggestion: Option<String>| Finding {
             file: file.to_string(),
             line: tok.line,
             col: tok.col,
             lint: "waiver-syntax",
             message,
             snippet: snippet_at(lines, tok.line),
-            suggestion: None,
+            suggestion,
         };
-        match parsed {
-            None => findings.push(bad(
-                "malformed waiver: expected `sfcheck:allow(<lint>) <reason>`".into(),
-            )),
-            Some((lint, _)) if !LINT_IDS.contains(&lint.as_str()) => {
-                findings.push(bad(format!("waiver names unknown lint `{lint}`")));
-            }
-            Some((lint, reason)) if reason.is_empty() => {
-                findings.push(bad(format!(
-                    "waiver for `{lint}` is missing its mandatory reason"
-                )));
-            }
-            Some((lint, reason)) => waivers.push(Waiver {
-                line: tok.line,
-                lint,
-                reason,
-            }),
+        let Some((list, reason)) = parsed else {
+            findings.push(bad(
+                "malformed waiver: expected `sfcheck:allow(<lint>[, <lint>…]) <reason>`".into(),
+                None,
+            ));
+            continue;
+        };
+        let lints: Vec<String> = list
+            .split(',')
+            .map(|l| l.trim().to_string())
+            .filter(|l| !l.is_empty())
+            .collect();
+        if lints.is_empty() {
+            findings.push(bad(
+                "malformed waiver: empty lint list in `sfcheck:allow(…)`".into(),
+                None,
+            ));
+            continue;
         }
+        let unknown: Vec<&String> = lints
+            .iter()
+            .filter(|l| !LINT_IDS.contains(&l.as_str()))
+            .collect();
+        if let Some(first) = unknown.first() {
+            // Underscore-for-hyphen typos are machine-fixable: suggest the
+            // line with every such lint name normalized.
+            let mut fixed_line = snippet_at(lines, tok.line);
+            let mut fixable = true;
+            for u in &unknown {
+                let normalized = u.replace('_', "-");
+                if LINT_IDS.contains(&normalized.as_str()) {
+                    fixed_line = fixed_line.replace(u.as_str(), &normalized);
+                } else {
+                    fixable = false;
+                }
+            }
+            findings.push(bad(
+                format!("waiver names unknown lint `{first}`"),
+                fixable.then_some(fixed_line),
+            ));
+            continue;
+        }
+        if reason.is_empty() {
+            findings.push(bad(
+                format!(
+                    "waiver for `{}` is missing its mandatory reason",
+                    lints.join(", ")
+                ),
+                None,
+            ));
+            continue;
+        }
+        waivers.push(Waiver {
+            line: tok.line,
+            lints,
+            reason,
+        });
     }
     (waivers, findings)
 }
@@ -235,12 +294,20 @@ fn in_regions(regions: &[(u32, u32)], line: u32) -> bool {
     regions.iter().any(|&(a, b)| line >= a && line <= b)
 }
 
-/// Scan one Rust source file with every applicable lint.
+/// Scan one Rust source file with every applicable per-file lint.
 pub fn scan_rust(file: &SourceFile) -> ScanResult {
-    let tokens = lex(&file.text);
+    let (raw, waivers) = scan_rust_raw(file, &lex(&file.text));
+    apply_waivers(raw, &waivers)
+}
+
+/// The per-file phase of a scan: raw (unwaived) findings plus the file's
+/// parsed waivers. The caller applies waivers after merging in any
+/// cross-file findings for this file (the dataflow lints), so one waiver
+/// mechanism covers both.
+pub fn scan_rust_raw(file: &SourceFile, tokens: &[Token]) -> (Vec<Finding>, Vec<Waiver>) {
     let lines: Vec<&str> = file.text.lines().collect();
-    let (waivers, mut waiver_findings) = collect_waivers(&file.rel_path, &lines, &tokens);
-    let regions = test_regions(&tokens);
+    let (waivers, mut waiver_findings) = collect_waivers(&file.rel_path, &lines, tokens);
+    let regions = test_regions(tokens);
     let code: Vec<&Token> = tokens.iter().filter(|t| t.is_code()).collect();
 
     let mut raw: Vec<Finding> = Vec::new();
@@ -250,17 +317,17 @@ pub fn scan_rust(file: &SourceFile) -> ScanResult {
     env_dependence_lint(file, &lines, &regions, &code, &mut raw);
     panic_hygiene_lint(file, &lines, &regions, &code, &mut raw);
     unsafe_binary_op_lint(file, &lines, &regions, &code, &mut raw);
-
-    apply_waivers(raw, &waivers)
+    (raw, waivers)
 }
 
 /// Split raw findings into live and waived using same-line / line-above
-/// waivers whose lint id matches.
-fn apply_waivers(raw: Vec<Finding>, waivers: &[Waiver]) -> ScanResult {
+/// waivers that name the finding's lint.
+pub fn apply_waivers(raw: Vec<Finding>, waivers: &[Waiver]) -> ScanResult {
     let mut out = ScanResult::default();
     for finding in raw {
         let waiver = waivers.iter().find(|w| {
-            w.lint == finding.lint && (w.line == finding.line || w.line + 1 == finding.line)
+            w.lints.iter().any(|l| l == finding.lint)
+                && (w.line == finding.line || w.line + 1 == finding.line)
         });
         match waiver {
             Some(w) => out.waived.push(Waived {
@@ -722,6 +789,51 @@ fn lib4() { panic!("boom"); }
         let result = scan_rust(&file);
         // No waiver-syntax finding for the doc text, and no suppression.
         assert_eq!(lints_of(&result), ["panic-hygiene"]);
+    }
+
+    #[test]
+    fn waiver_text_inside_string_literals_is_inert() {
+        // Waiver-shaped text in a string is neither a live waiver (the
+        // unwrap still fires) nor a waiver-syntax finding.
+        let src = "fn f(v: Option<u32>) -> u32 {\n    let _doc = \"// sfcheck:allow(panic-hygiene) fake\";\n    v.unwrap()\n}";
+        let file = lib_file("frame", "crates/frame/src/frame.rs", src);
+        assert_eq!(lints_of(&scan_rust(&file)), ["panic-hygiene"]);
+    }
+
+    #[test]
+    fn four_slash_comments_are_plain_and_carry_waivers() {
+        // rustc: exactly three slashes is a doc comment; four or more is a
+        // regular comment, so a waiver there is live.
+        let src = "fn f(v: Option<u32>) -> u32 {\n    //// sfcheck:allow(panic-hygiene) four slashes are not docs\n    v.unwrap()\n}";
+        let file = lib_file("frame", "crates/frame/src/frame.rs", src);
+        let result = scan_rust(&file);
+        assert!(result.findings.is_empty());
+        assert_eq!(result.waived.len(), 1);
+    }
+
+    #[test]
+    fn comma_list_waiver_covers_each_named_lint() {
+        let src = "fn f(v: Option<u32>) -> u32 {\n    // sfcheck:allow(panic-hygiene, panic-reachability) invariant: checked above\n    v.unwrap()\n}";
+        let file = lib_file("frame", "crates/frame/src/frame.rs", src);
+        let result = scan_rust(&file);
+        assert!(result.findings.is_empty());
+        assert_eq!(result.waived.len(), 1);
+        // A lint outside the list is not suppressed.
+        let src = "fn f(v: Option<u32>) -> u32 {\n    // sfcheck:allow(wall-clock, env-dependence) mismatched\n    v.unwrap()\n}";
+        let file = lib_file("frame", "crates/frame/src/frame.rs", src);
+        assert_eq!(lints_of(&scan_rust(&file)), ["panic-hygiene"]);
+    }
+
+    #[test]
+    fn underscore_lint_typo_gets_a_machine_fix() {
+        let src = "// sfcheck:allow(panic_hygiene) reason text\n";
+        let file = lib_file("frame", "crates/frame/src/frame.rs", src);
+        let result = scan_rust(&file);
+        assert_eq!(lints_of(&result), ["waiver-syntax"]);
+        assert_eq!(
+            result.findings[0].suggestion.as_deref(),
+            Some("// sfcheck:allow(panic-hygiene) reason text")
+        );
     }
 
     #[test]

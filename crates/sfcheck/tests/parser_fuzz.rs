@@ -1,0 +1,148 @@
+//! Parser robustness and golden-AST pinning.
+//!
+//! Two contracts:
+//!
+//! 1. **Total on garbage** — `lex` + `parse` are fed seeded random token
+//!    soup (printable ASCII, newlines, multi-byte chars, and Rust-flavored
+//!    fragments) and must never panic; every token's byte span must
+//!    round-trip through the source.
+//! 2. **Stable on real code** — `ast::dump` of five representative
+//!    workspace files is pinned against goldens under `tests/goldens/`.
+//!    After an intentional parser or source change, regenerate with
+//!    `SFCHECK_BLESS=1 cargo test -p sfcheck --test parser_fuzz`.
+
+use std::path::{Path, PathBuf};
+
+use sfcheck::{ast, lexer, parser};
+use smartfeat_rng::check;
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/sfcheck sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+/// Rust-flavored fragments the plain `arbitrary_text` generator would
+/// almost never assemble: unbalanced delimiters, keyword runs, raw
+/// strings, attribute and macro shapes.
+const FRAGMENTS: &[&str] = &[
+    "fn ",
+    "impl ",
+    "let mut ",
+    "match ",
+    "move |x| ",
+    "::<",
+    "..=",
+    "r#\"",
+    "\"#",
+    "#[cfg(",
+    "{",
+    "}",
+    "(",
+    ")",
+    "[",
+    "]",
+    "'a",
+    "=> ",
+    "macro!(",
+    "unsafe ",
+    "//",
+    "/*",
+    "*/",
+    "b\"",
+    "\\",
+];
+
+#[test]
+fn parse_never_panics_on_token_soup() {
+    check::cases(512, |rng| {
+        let mut src = String::new();
+        for _ in 0..rng.gen_range(0..24u32) {
+            if rng.gen_bool(0.4) {
+                src.push_str(check::arbitrary_text(rng, 12).as_str());
+            } else {
+                src.push_str(rng.choose(FRAGMENTS).expect("non-empty"));
+            }
+        }
+        let tokens = lexer::lex(&src);
+        // Span round-trip: every token's byte span slices the source at
+        // char boundaries and (modulo the documented prefix-dropping for
+        // raw idents/lifetimes) reconstructs the token.
+        for t in &tokens {
+            let span = t.span();
+            assert!(
+                span.end <= src.len() && src.is_char_boundary(span.start),
+                "token span {span:?} out of bounds or off-boundary in {src:?}"
+            );
+            assert!(src.is_char_boundary(span.end));
+            let slice = &src[span];
+            assert!(
+                slice.ends_with(t.text.as_str()) || slice.starts_with(t.text.as_str()),
+                "span slice {slice:?} does not contain token text {:?}",
+                t.text
+            );
+        }
+        // The parser is total: garbage parses to *some* tree.
+        let _tree = parser::parse(&tokens);
+    });
+}
+
+/// The five pinned files: one per layer the lints reason about (rng
+/// derivation, parallel runtime, JSON emission, the pipeline itself, and
+/// sfcheck's own AST — deeply nested generics and matches).
+const GOLDEN_FILES: &[&str] = &[
+    "crates/rng/src/lib.rs",
+    "crates/par/src/lib.rs",
+    "crates/frame/src/json.rs",
+    "crates/core/src/pipeline.rs",
+    "crates/sfcheck/src/ast.rs",
+];
+
+#[test]
+fn golden_ast_dumps_are_stable() {
+    let root = workspace_root();
+    // sfcheck:allow(env-dependence) test-only bless knob; never reaches pipeline output
+    let bless = std::env::var("SFCHECK_BLESS").is_ok();
+    let mut mismatches = Vec::new();
+    for rel in GOLDEN_FILES {
+        let src = std::fs::read_to_string(root.join(rel)).expect("golden source file exists");
+        let dump = ast::dump(&parser::parse(&lexer::lex(&src)));
+        let golden_name = rel.replace('/', "__").replace(".rs", ".ast.txt");
+        let golden_path = root.join("crates/sfcheck/tests/goldens").join(&golden_name);
+        if bless {
+            std::fs::create_dir_all(golden_path.parent().expect("parent")).expect("mkdir");
+            std::fs::write(&golden_path, &dump).expect("write golden");
+            continue;
+        }
+        let expected = std::fs::read_to_string(&golden_path).unwrap_or_else(|_| {
+            panic!(
+                "missing golden {}; regenerate with SFCHECK_BLESS=1",
+                golden_path.display()
+            )
+        });
+        if dump != expected {
+            mismatches.push(rel.to_string());
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "AST dump drifted for {mismatches:?}; if intentional, regenerate with \
+         SFCHECK_BLESS=1 cargo test -p sfcheck --test parser_fuzz"
+    );
+}
+
+#[test]
+fn dump_is_deterministic_for_identical_input() {
+    check::cases(32, |rng| {
+        let src = format!(
+            "pub fn f_{}(x: u32) -> u32 {{ x + {} }}",
+            rng.gen_range(0..1000u32),
+            rng.gen_range(0..1000u32)
+        );
+        let a = ast::dump(&parser::parse(&lexer::lex(&src)));
+        let b = ast::dump(&parser::parse(&lexer::lex(&src)));
+        assert_eq!(a, b);
+    });
+}

@@ -56,35 +56,55 @@ fn json_report_is_byte_identical_across_runs() {
     assert_eq!(a, b, "report emission must be deterministic");
 }
 
+/// Run the CLI binary end-to-end with one output flag under a given
+/// `SMARTFEAT_THREADS` setting. Uses the binary cargo already built for
+/// this test run (`CARGO_BIN_EXE_*`), so no nested cargo invocation
+/// fights over the target-dir lock.
+fn run_cli(flag: &str, threads: &str) -> Vec<u8> {
+    let out = Command::new(env!("CARGO_BIN_EXE_sfcheck"))
+        .arg(flag)
+        .arg("--root")
+        .arg(workspace_root())
+        .env("SMARTFEAT_THREADS", threads)
+        .output()
+        .expect("sfcheck binary runs");
+    assert!(
+        out.status.success(),
+        "sfcheck {flag} exited {:?} under SMARTFEAT_THREADS={threads}:\n{}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out.stdout
+}
+
 /// Golden matrix: the CLI binary, run end-to-end under different
-/// `SMARTFEAT_THREADS` settings, must print byte-identical JSON. Uses the
-/// binary cargo already built for this test run (`CARGO_BIN_EXE_*`), so no
-/// nested cargo invocation fights over the target-dir lock.
+/// `SMARTFEAT_THREADS` settings, must print byte-identical JSON.
 #[test]
 fn json_report_is_byte_identical_across_thread_counts() {
-    let root = workspace_root();
-    let run = |threads: &str| -> Vec<u8> {
-        let out = Command::new(env!("CARGO_BIN_EXE_sfcheck"))
-            .arg("--json")
-            .arg("--root")
-            .arg(&root)
-            .env("SMARTFEAT_THREADS", threads)
-            .output()
-            .expect("sfcheck binary runs");
-        assert!(
-            out.status.success(),
-            "sfcheck --json exited {:?} under SMARTFEAT_THREADS={threads}:\n{}",
-            out.status.code(),
-            String::from_utf8_lossy(&out.stderr)
-        );
-        out.stdout
-    };
-    let one = run("1");
-    let four = run("4");
-    let one_again = run("1");
+    let one = run_cli("--json", "1");
+    let four = run_cli("--json", "4");
+    let eight = run_cli("--json", "8");
+    let one_again = run_cli("--json", "1");
     assert_eq!(one, four, "report differs between 1 and 4 threads");
+    assert_eq!(one, eight, "report differs between 1 and 8 threads");
     assert_eq!(one, one_again, "report differs between repeated runs");
     // Sanity: the output is the report, not an empty stream.
     let text = String::from_utf8(one).expect("report is UTF-8");
     assert!(text.contains("\"summary\""));
+}
+
+/// Same matrix for the SARIF document: byte-identical across repeated
+/// runs and across thread counts, and structurally a SARIF 2.1.0 file.
+#[test]
+fn sarif_document_is_byte_identical_across_thread_counts() {
+    let one = run_cli("--sarif", "1");
+    let four = run_cli("--sarif", "4");
+    let eight = run_cli("--sarif", "8");
+    let one_again = run_cli("--sarif", "1");
+    assert_eq!(one, four, "SARIF differs between 1 and 4 threads");
+    assert_eq!(one, eight, "SARIF differs between 1 and 8 threads");
+    assert_eq!(one, one_again, "SARIF differs between repeated runs");
+    let text = String::from_utf8(one).expect("SARIF is UTF-8");
+    assert!(text.contains("\"version\":\"2.1.0\""));
+    assert!(text.contains("\"name\":\"sfcheck\""));
 }
