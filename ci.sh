@@ -53,4 +53,22 @@ SMARTFEAT_THREADS=1 cargo test -q --offline
 echo "==> determinism matrix: SMARTFEAT_THREADS=4"
 SMARTFEAT_THREADS=4 cargo test -q --offline
 
+echo "==> bench smoke: substrates compile and run (tiny sample count)"
+# Not a perf gate — numbers from shared CI hardware are noise. This only
+# proves the harness runs end to end and emits parseable JSON lines in
+# the same shape as the checked-in BENCH_PR6.json baseline (recorded on
+# a quiet machine; regenerate per BENCHMARKS.md / EXPERIMENTS.md).
+# The sink path must be absolute: cargo runs bench binaries with the
+# package directory as cwd, not the workspace root.
+SMARTFEAT_BENCH_SAMPLES=2 SMARTFEAT_BENCH_JSON="$PWD/bench-smoke.json" \
+  cargo bench -p smartfeat-bench --bench substrates --offline > /dev/null
+SMOKE_LINES="$(wc -l < bench-smoke.json)"
+BASE_LINES="$(wc -l < BENCH_PR6.json)"
+echo "    bench-smoke.json: $SMOKE_LINES benchmarks (baseline has $BASE_LINES)"
+if [ "$SMOKE_LINES" -ne "$BASE_LINES" ]; then
+  echo "    ERROR: bench set drifted from BENCH_PR6.json — regenerate the baseline" >&2
+  exit 1
+fi
+rm -f bench-smoke.json
+
 echo "==> ci.sh: all checks passed"

@@ -1,9 +1,13 @@
 //! Substrate microbenchmarks: the frame operations, ML model fits, and
 //! simulated-FM completions everything else is built on.
 
+use std::collections::BTreeMap;
+
 use smartfeat_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use smartfeat_fm::{FoundationModel, SimulatedFm};
-use smartfeat_frame::ops::{bucketize, get_dummies, groupby_transform, AggFunc};
+use smartfeat_frame::ops::{
+    bucketize, get_dummies, groupby_transform, normalize, AggFunc, NormKind,
+};
 use smartfeat_frame::{Column, DataFrame};
 use smartfeat_ml::{roc_auc, Matrix, ModelKind};
 
@@ -96,10 +100,180 @@ fn bench_fm_completions(c: &mut Criterion) {
     group.finish();
 }
 
+// ---------------------------------------------------------------------------
+// Columnar engine v2 vs the PR-4 BTreeMap substrate.
+//
+// The `*_btree` reference bodies reproduce the pre-v2 implementations
+// (sorted-map probing over owned string keys) against the same data, so the
+// `*_v2` / `*_btree` label pairs in the bench JSON document the speedup the
+// dictionary codes + StableMap index bought.
+// ---------------------------------------------------------------------------
+
+/// PR-4-style groupby mean: BTreeMap keyed by owned strings.
+fn btree_groupby_mean(df: &DataFrame) -> Vec<Option<f64>> {
+    let keys = df.column("g").expect("exists").keys_view();
+    let vals = df
+        .column("v")
+        .expect("exists")
+        .numeric_view()
+        .expect("numeric");
+    let mut agg: BTreeMap<String, (f64, u64)> = BTreeMap::new();
+    for i in 0..keys.len() {
+        if let (Some(k), Some(v)) = (keys.get(i), vals.get(i)) {
+            let slot = agg.entry(k.to_string()).or_insert((0.0, 0));
+            slot.0 += v;
+            slot.1 += 1;
+        }
+    }
+    (0..keys.len())
+        .map(|i| {
+            keys.get(i)
+                .and_then(|k| agg.get(k).map(|&(s, c)| s / c as f64))
+        })
+        .collect()
+}
+
+/// PR-4-style factorize: first-seen codes through a BTreeMap.
+fn btree_factorize(col: &Column) -> Vec<Option<i64>> {
+    let keys = col.keys_view();
+    let mut codes: BTreeMap<String, i64> = BTreeMap::new();
+    let mut next = 0i64;
+    (0..keys.len())
+        .map(|i| {
+            keys.get(i).map(|k| match codes.get(k) {
+                Some(&c) => c,
+                None => {
+                    codes.insert(k.to_string(), next);
+                    next += 1;
+                    next - 1
+                }
+            })
+        })
+        .collect()
+}
+
+/// PR-4-style value counts: one owned string per row into a BTreeMap.
+fn btree_value_counts(col: &Column) -> BTreeMap<String, usize> {
+    let keys = col.keys_view();
+    let mut counts = BTreeMap::new();
+    for i in 0..keys.len() {
+        if let Some(k) = keys.get(i) {
+            *counts.entry(k.to_string()).or_insert(0usize) += 1;
+        }
+    }
+    counts
+}
+
+/// PR-4-style realize stage, reproduced end to end on the v1 storage
+/// shape: columns were `Vec<Option<f64>>`/`Vec<Option<i64>>` (Option-boxed
+/// cells), each transform cloned its input column out of the frame,
+/// materialized it with `numeric()`, and built Option-boxed output columns
+/// (with `from_floats`' NaN-scrub pass). Each candidate then pays the
+/// evaluation reads `check_new_column` makes — null fraction and
+/// constantness — as Option-cell scans (given best-case v1 direct scans;
+/// the shipped v1 `is_constant` rendered every row to a string). The v2
+/// ops instead read the packed value buffer + null bitmap in place through
+/// views, answer null counts by popcount, and scan constantness over the
+/// packed slice.
+fn copy_transforms_reference(stored: &[Option<f64>]) -> usize {
+    // normalize(ZScore): clone + materialize + two stat passes + emit +
+    // v1 `from_floats` NaN scrub.
+    let xs: Vec<Option<f64>> = stored.to_vec();
+    let present: Vec<f64> = xs.iter().copied().flatten().collect();
+    let n = present.len().max(1) as f64;
+    let mean = present.iter().sum::<f64>() / n;
+    let var = present.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+    let sd = var.sqrt();
+    let z: Vec<Option<f64>> = xs.iter().map(|x| x.map(|x| (x - mean) / sd)).collect();
+    let z_col: Vec<Option<f64>> = z.into_iter().map(|x| x.filter(|v| !v.is_nan())).collect();
+    // bucketize: its own clone + materialize, then emit.
+    let xs2: Vec<Option<f64>> = stored.to_vec();
+    let bounds = [10.0, 30.0, 60.0, 90.0];
+    let b_col: Vec<Option<i64>> = xs2
+        .iter()
+        .map(|x| x.map(|x| bounds.iter().filter(|&&b| x >= b).count() as i64))
+        .collect();
+    // Evaluation reads, v1 shape: null scan + first-present/all-equal scan
+    // over Option cells, per candidate.
+    let nulls =
+        z_col.iter().filter(|x| x.is_none()).count() + b_col.iter().filter(|x| x.is_none()).count();
+    let z_const = {
+        let mut it = z_col.iter().flatten();
+        match it.next() {
+            None => true,
+            Some(f) => it.all(|v| v == f),
+        }
+    };
+    let b_const = {
+        let mut it = b_col.iter().flatten();
+        match it.next() {
+            None => true,
+            Some(f) => it.all(|v| v == f),
+        }
+    };
+    z_col.len() + b_col.len() + nulls + usize::from(z_const) + usize::from(b_const)
+}
+
+/// v2 realize stage: the real ops reading through views, plus the real
+/// evaluation reads (`null_count` popcount, `is_constant` packed scan).
+fn view_transforms_v2(df: &DataFrame) -> usize {
+    let col = df.column("v").expect("exists");
+    let z = normalize(col, NormKind::ZScore, "z").expect("runs");
+    let b = bucketize(col, &[10.0, 30.0, 60.0, 90.0], "b").expect("runs");
+    let nulls = z.null_count() + b.null_count();
+    z.len() + b.len() + nulls + usize::from(z.is_constant()) + usize::from(b.is_constant())
+}
+
+fn bench_index_v2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_v2");
+    for &n in &[1_000usize, 10_000] {
+        let df = frame_of(n);
+        group.bench_with_input(BenchmarkId::new("groupby_mean_v2", n), &df, |b, df| {
+            b.iter(|| groupby_transform(df, &["g"], "v", AggFunc::Mean, "m").expect("runs"))
+        });
+        group.bench_with_input(BenchmarkId::new("groupby_mean_btree", n), &df, |b, df| {
+            b.iter(|| btree_groupby_mean(df))
+        });
+
+        let g = df.column("g").expect("exists").clone();
+        group.bench_with_input(BenchmarkId::new("factorize_v2", n), &df, |b, df| {
+            b.iter(|| df.clone().factorize_strings())
+        });
+        group.bench_with_input(BenchmarkId::new("factorize_btree", n), &df, |b, df| {
+            b.iter(|| {
+                let f = df.clone();
+                btree_factorize(f.column("g").expect("exists"))
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("value_counts_v2", n), &g, |b, g| {
+            b.iter(|| g.value_counts())
+        });
+        group.bench_with_input(BenchmarkId::new("value_counts_btree", n), &g, |b, g| {
+            b.iter(|| btree_value_counts(g))
+        });
+
+        group.bench_with_input(
+            BenchmarkId::new("realize_transforms_v2", n),
+            &df,
+            |b, df| b.iter(|| view_transforms_v2(df)),
+        );
+        // The reference's input mirrors v1 column storage: Option-boxed cells.
+        let stored_v1: Vec<Option<f64>> = df.column("v").expect("exists").to_f64();
+        group.bench_with_input(
+            BenchmarkId::new("realize_transforms_copy", n),
+            &stored_v1,
+            |b, stored| b.iter(|| copy_transforms_reference(stored)),
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_frame_ops,
     bench_model_fits,
-    bench_fm_completions
+    bench_fm_completions,
+    bench_index_v2,
 );
 criterion_main!(benches);

@@ -38,6 +38,17 @@ impl Default for Criterion {
     }
 }
 
+/// Operator override for sample counts: `SMARTFEAT_BENCH_SAMPLES=<n>` wins
+/// over both the default and explicit `sample_size()` calls, so CI smoke
+/// runs can sweep every benchmark cheaply without editing bench sources.
+fn sample_size_override() -> Option<usize> {
+    // sfcheck:allow(env-dependence) operator knob for CI smoke runs; timings are volatile by design
+    std::env::var("SMARTFEAT_BENCH_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+}
+
 impl Criterion {
     /// Start a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
@@ -149,6 +160,7 @@ pub struct BenchStats {
 }
 
 fn run_benchmark(label: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher)) -> BenchStats {
+    let sample_size = sample_size_override().unwrap_or(sample_size);
     // Calibrate: double the batch until one sample crosses the target.
     // The calibration runs double as warmup.
     let mut iters = 1u64;
@@ -178,7 +190,7 @@ fn run_benchmark(label: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher
 
     let stats = BenchStats {
         label: label.to_string(),
-        median: per_iter[per_iter.len() / 2],
+        median: median_of_sorted(&per_iter),
         min: per_iter[0],
         max: per_iter[per_iter.len() - 1],
         samples: per_iter.len(),
@@ -198,6 +210,18 @@ fn run_benchmark(label: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher
         append_json_line(&path, &stats);
     }
     stats
+}
+
+/// Median of an already-sorted, non-empty sample vector. Odd counts take
+/// the middle element; even counts average the two middle elements (the
+/// textbook midpoint, not the upper-middle sample).
+fn median_of_sorted(sorted: &[Duration]) -> Duration {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2
+    }
 }
 
 fn append_json_line(path: &str, s: &BenchStats) {
@@ -282,6 +306,19 @@ mod tests {
         assert_eq!(stats.label, "g/f/10");
         assert_eq!(BenchmarkId::from_parameter("LR").label, "LR");
         group.finish();
+    }
+
+    #[test]
+    fn median_averages_middle_pair_for_even_counts() {
+        let ms = Duration::from_millis;
+        // Odd count: exact middle element.
+        assert_eq!(median_of_sorted(&[ms(1), ms(2), ms(9)]), ms(2));
+        // Even count: midpoint of the two middle samples, NOT the
+        // upper-middle element (the regression this pins down).
+        assert_eq!(median_of_sorted(&[ms(1), ms(2), ms(4), ms(9)]), ms(3));
+        assert_eq!(median_of_sorted(&[ms(2), ms(4)]), ms(3));
+        // Single sample: that sample.
+        assert_eq!(median_of_sorted(&[ms(7)]), ms(7));
     }
 
     #[test]

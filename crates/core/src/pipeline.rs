@@ -380,7 +380,9 @@ impl<'a> SmartFeat<'a> {
     /// 2. **Parallel pure transforms** — the remaining functions touch no
     ///    FM and read only columns that predate the batch, so they run
     ///    concurrently on the pool against the frame as it stood at batch
-    ///    start.
+    ///    start. Transforms read through the frame's zero-copy column
+    ///    views (`NumericView` / `KeysView`) instead of materialising
+    ///    per-candidate copies of the input columns.
     /// 3. **Serial in-order commit** — filtering and attachment walk the
     ///    candidates in order against the live frame, so duplicate
     ///    detection sees earlier batch survivors exactly as a serial

@@ -8,14 +8,12 @@
 //! of FM calls is bounded by the key cardinality, not the row count
 //! (the feature-level efficiency the paper's Figure 1 argues for).
 
-use std::collections::BTreeMap;
-
 use smartfeat_fm::FoundationModel;
 use smartfeat_frame::ops::{
     binary_op, bucketize, date_part, frequency_encode, get_dummies, groupby_transform, normalize,
     unary_map, AggFunc, BinaryOp, DatePart, NormKind, UnaryFn,
 };
-use smartfeat_frame::{Column, DataFrame};
+use smartfeat_frame::{Column, DataFrame, KeysView, StableMap};
 
 use crate::error::{CoreError, Result};
 use crate::prompts;
@@ -188,11 +186,8 @@ pub fn apply(
             Ok(vec![unary_map(df.column(col)?, *func, out_name)?])
         }
         TransformFunction::Affine { col, scale, offset } => {
-            let xs = df.column(col)?.numeric()?;
-            let data = xs
-                .into_iter()
-                .map(|x| x.map(|v| scale * v + offset))
-                .collect();
+            let xs = df.column(col)?.numeric_view()?;
+            let data = xs.iter().map(|x| x.map(|v| scale * v + offset)).collect();
             Ok(vec![Column::from_floats(out_name, data)])
         }
         TransformFunction::Dummies { col, limit } => Ok(get_dummies(df.column(col)?, *limit)?),
@@ -303,19 +298,19 @@ fn row_completion(
     fm: &dyn FoundationModel,
     max_distinct: usize,
 ) -> Result<Vec<Column>> {
-    let keys: Vec<Vec<Option<String>>> = key_cols
+    let keys: Vec<KeysView<'_>> = key_cols
         .iter()
-        .map(|c| df.column(c).map(|col| col.to_keys()))
+        .map(|c| df.column(c).map(|col| col.keys_view()))
         .collect::<std::result::Result<_, _>>()?;
     let n = df.n_rows();
-    let mut distinct: BTreeMap<Vec<String>, Option<f64>> = BTreeMap::new();
+    let mut distinct: StableMap<Vec<String>, Option<f64>> = StableMap::new();
     let mut row_keys: Vec<Option<Vec<String>>> = Vec::with_capacity(n);
     for i in 0..n {
         let mut key = Vec::with_capacity(key_cols.len());
         let mut has_null = false;
         for col in &keys {
-            match &col[i] {
-                Some(v) => key.push(v.clone()),
+            match col.get(i) {
+                Some(v) => key.push(v.to_string()),
                 None => {
                     has_null = true;
                     break;
@@ -325,7 +320,7 @@ fn row_completion(
         if has_null {
             row_keys.push(None);
         } else {
-            distinct.entry(key.clone()).or_insert(None);
+            distinct.entry_or_insert_with(key.clone(), || None);
             row_keys.push(Some(key));
         }
     }
@@ -335,8 +330,10 @@ fn row_completion(
             distinct.len()
         )));
     }
-    // One FM call per distinct key; BTreeMap iteration is already the
-    // deterministic (sorted) order the FM-call sequence must follow.
+    // One FM call per distinct key. StableMap iterates in first-occurrence
+    // order — a pure function of row data, independent of thread count, so
+    // the FM-call sequence stays deterministic without the old BTreeMap's
+    // per-row log-cardinality lookups.
     let ordered: Vec<Vec<String>> = distinct.keys().cloned().collect();
     for key in ordered {
         let fields: Vec<(String, String)> = key_cols

@@ -6,16 +6,26 @@
 use std::collections::BTreeMap;
 
 use crate::column::Column;
+use crate::dtype::DType;
 use crate::error::{FrameError, Result};
 use crate::frame::DataFrame;
-#[cfg(test)]
 use crate::value::Value;
+
+/// One lexed CSV field: its unescaped text plus whether any part of it was
+/// quoted in the source. Quoting is the writer's dtype fidelity signal, so
+/// the reader must carry it through to inference.
+struct RawField {
+    text: String,
+    quoted: bool,
+}
 
 /// Parse CSV text (first row = header) into a frame, inferring column types.
 ///
 /// Inference: a column becomes `Int` if every non-empty cell parses as i64,
 /// else `Float` if every non-empty cell parses as f64, else `Bool` if every
-/// cell is `true`/`false`, else `Str`. Empty cells are nulls.
+/// cell is `true`/`false`, else `Str`. Empty cells are nulls. Quoted fields
+/// are inference-exempt: a column containing any quoted cell is `Str`, so a
+/// string column of numeric-looking values survives a round-trip.
 pub fn read_csv_str(text: &str) -> Result<DataFrame> {
     let mut rows = parse_rows(text)?;
     if rows.is_empty() {
@@ -34,21 +44,43 @@ pub fn read_csv_str(text: &str) -> Result<DataFrame> {
     }
     let mut df = DataFrame::new();
     for (c, name) in header.into_iter().enumerate() {
-        let cells: Vec<&str> = rows.iter().map(|r| r[c].as_str()).collect();
-        df.add_column(infer_column(&name, &cells))?;
+        let cells: Vec<&RawField> = rows.iter().map(|r| &r[c]).collect();
+        df.add_column(infer_column(&name.text, &cells))?;
     }
     Ok(df)
 }
 
-fn infer_column(name: &str, cells: &[&str]) -> Column {
-    let non_empty: Vec<&str> = cells.iter().copied().filter(|s| !s.is_empty()).collect();
+fn infer_column(name: &str, cells: &[&RawField]) -> Column {
+    // Any quoted cell pins the column to Str: the writer quotes string
+    // cells precisely so numeric-looking text is not re-inferred. A quoted
+    // empty field is an empty string, not a null.
+    if cells.iter().any(|f| f.quoted) {
+        return Column::from_strs(
+            name,
+            cells
+                .iter()
+                .map(|f| (f.quoted || !f.text.is_empty()).then(|| f.text.clone()))
+                .collect(),
+        );
+    }
+    let non_empty: Vec<&str> = cells
+        .iter()
+        .map(|f| f.text.as_str())
+        .filter(|s| !s.is_empty())
+        .collect();
     let all_int = !non_empty.is_empty() && non_empty.iter().all(|s| s.parse::<i64>().is_ok());
     if all_int {
-        return Column::from_ints(name, cells.iter().map(|s| s.parse::<i64>().ok()).collect());
+        return Column::from_ints(
+            name,
+            cells.iter().map(|f| f.text.parse::<i64>().ok()).collect(),
+        );
     }
     let all_float = !non_empty.is_empty() && non_empty.iter().all(|s| s.parse::<f64>().is_ok());
     if all_float {
-        return Column::from_floats(name, cells.iter().map(|s| s.parse::<f64>().ok()).collect());
+        return Column::from_floats(
+            name,
+            cells.iter().map(|f| f.text.parse::<f64>().ok()).collect(),
+        );
     }
     let all_bool = !non_empty.is_empty()
         && non_empty
@@ -59,7 +91,7 @@ fn infer_column(name: &str, cells: &[&str]) -> Column {
             name,
             cells
                 .iter()
-                .map(|s| match *s {
+                .map(|f| match f.text.as_str() {
                     "true" | "True" => Some(true),
                     "false" | "False" => Some(false),
                     _ => None,
@@ -71,19 +103,25 @@ fn infer_column(name: &str, cells: &[&str]) -> Column {
         name,
         cells
             .iter()
-            .map(|s| (!s.is_empty()).then(|| s.to_string()))
+            .map(|f| (!f.text.is_empty()).then(|| f.text.clone()))
             .collect(),
     )
 }
 
-/// Split CSV text into rows of unquoted fields, honoring RFC-4180 quotes.
-fn parse_rows(text: &str) -> Result<Vec<Vec<String>>> {
+/// Split CSV text into rows of unescaped fields, honoring RFC-4180 quotes
+/// and remembering which fields were quoted.
+fn parse_rows(text: &str) -> Result<Vec<Vec<RawField>>> {
     let mut rows = Vec::new();
-    let mut row: Vec<String> = Vec::new();
+    let mut row: Vec<RawField> = Vec::new();
     let mut field = String::new();
+    let mut quoted = false;
     let mut in_quotes = false;
     let mut chars = text.chars().peekable();
     let mut any = false;
+    let take_field = |field: &mut String, quoted: &mut bool| RawField {
+        text: std::mem::take(field),
+        quoted: std::mem::take(quoted),
+    };
     while let Some(c) = chars.next() {
         any = true;
         if in_quotes {
@@ -100,13 +138,16 @@ fn parse_rows(text: &str) -> Result<Vec<Vec<String>>> {
             }
         } else {
             match c {
-                '"' => in_quotes = true,
+                '"' => {
+                    in_quotes = true;
+                    quoted = true;
+                }
                 ',' => {
-                    row.push(std::mem::take(&mut field));
+                    row.push(take_field(&mut field, &mut quoted));
                 }
                 '\r' => {} // tolerate CRLF
                 '\n' => {
-                    row.push(std::mem::take(&mut field));
+                    row.push(take_field(&mut field, &mut quoted));
                     rows.push(std::mem::take(&mut row));
                 }
                 other => field.push(other),
@@ -116,14 +157,18 @@ fn parse_rows(text: &str) -> Result<Vec<Vec<String>>> {
     if in_quotes {
         return Err(FrameError::Csv("unterminated quoted field".into()));
     }
-    if any && (!field.is_empty() || !row.is_empty()) {
-        row.push(field);
+    if any && (!field.is_empty() || quoted || !row.is_empty()) {
+        row.push(take_field(&mut field, &mut quoted));
         rows.push(row);
     }
     Ok(rows)
 }
 
-/// Serialize a frame to CSV text (header + rows), quoting as needed.
+/// Serialize a frame to CSV text (header + rows). Non-null cells of `Str`
+/// columns are always quoted so the reader keeps them as strings even when
+/// they look numeric; other cells are quoted only when RFC-4180 requires it.
+/// Null cells are written as unquoted empties in every dtype, so they read
+/// back as nulls.
 pub fn write_csv_str(df: &DataFrame) -> String {
     let mut out = String::new();
     let names = df.column_names();
@@ -133,7 +178,14 @@ pub fn write_csv_str(df: &DataFrame) -> String {
         let cells: Vec<String> = df
             .columns()
             .iter()
-            .map(|c| quote(&c.get(i).render()))
+            .map(|c| {
+                let v = c.get(i);
+                if c.dtype() == DType::Str && !matches!(v, Value::Null) {
+                    force_quote(&v.render())
+                } else {
+                    quote(&v.render())
+                }
+            })
             .collect();
         out.push_str(&cells.join(","));
         out.push('\n');
@@ -143,10 +195,14 @@ pub fn write_csv_str(df: &DataFrame) -> String {
 
 fn quote(s: &str) -> String {
     if s.contains(',') || s.contains('"') || s.contains('\n') {
-        format!("\"{}\"", s.replace('"', "\"\""))
+        force_quote(s)
     } else {
         s.to_string()
     }
+}
+
+fn force_quote(s: &str) -> String {
+    format!("\"{}\"", s.replace('"', "\"\""))
 }
 
 /// Read a frame from a CSV file on disk.
@@ -161,14 +217,20 @@ pub fn write_csv_path(df: &DataFrame, path: &std::path::Path) -> Result<()> {
     std::fs::write(path, write_csv_str(df)).map_err(|e| FrameError::Csv(format!("{path:?}: {e}")))
 }
 
-/// Round-trip helper used by tests: frame → CSV → frame, comparing shapes
-/// and rendered cells (types may legitimately widen, e.g. Bool → Str never
-/// happens but Int → Float can when floats appear).
+/// Round-trip helper used by tests: frame → CSV → frame, comparing shapes,
+/// column names, dtypes, and rendered cells. Since the writer quotes string
+/// cells and the reader exempts quoted fields from inference, a round trip
+/// must preserve every column's dtype exactly.
 pub fn roundtrip_equal(df: &DataFrame) -> bool {
     match read_csv_str(&write_csv_str(df)) {
         Ok(back) => {
             if back.n_rows() != df.n_rows() || back.n_cols() != df.n_cols() {
                 return false;
+            }
+            for (a, b) in df.columns().iter().zip(back.columns()) {
+                if a.name() != b.name() || a.dtype() != b.dtype() {
+                    return false;
+                }
             }
             for i in 0..df.n_rows() {
                 let a: Vec<String> = df.columns().iter().map(|c| c.get(i).render()).collect();
@@ -269,5 +331,72 @@ mod tests {
         let df = read_csv_str("a,b\n1,\n2,\n").unwrap();
         // Column b has no non-empty cells ⇒ falls through to Str of nulls.
         assert_eq!(df.column("b").unwrap().null_count(), 2);
+    }
+
+    #[test]
+    fn str_column_of_numeric_text_keeps_dtype() {
+        // Zip-code shape: numeric-looking strings must survive a round
+        // trip as Str, not come back as Int.
+        let df = DataFrame::from_columns(vec![
+            Column::from_str_slice("zip", &["02139", "94107"]),
+            Column::from_i64("n", vec![1, 2]),
+        ])
+        .unwrap();
+        let text = write_csv_str(&df);
+        let back = read_csv_str(&text).unwrap();
+        assert_eq!(back.column("zip").unwrap().dtype(), DType::Str);
+        assert_eq!(
+            back.column("zip").unwrap().get(0),
+            Value::Str("02139".into())
+        );
+        assert_eq!(back.column("n").unwrap().dtype(), DType::Int);
+        assert!(roundtrip_equal(&df));
+    }
+
+    #[test]
+    fn quoted_numeric_field_is_inference_exempt() {
+        let df = read_csv_str("a,b\n\"1\",1\n\"2\",2\n").unwrap();
+        assert_eq!(df.column("a").unwrap().dtype(), DType::Str);
+        assert_eq!(df.column("b").unwrap().dtype(), DType::Int);
+    }
+
+    #[test]
+    fn str_nulls_and_empty_strings_roundtrip_distinctly() {
+        // A null Str cell writes as an unquoted empty; an empty-string
+        // cell writes as a quoted empty. Both must read back unchanged.
+        let df = DataFrame::from_columns(vec![Column::from_strs(
+            "s",
+            vec![Some("x".into()), None, Some(String::new())],
+        )])
+        .unwrap();
+        let text = write_csv_str(&df);
+        let back = read_csv_str(&text).unwrap();
+        let col = back.column("s").unwrap();
+        assert_eq!(col.dtype(), DType::Str);
+        assert!(col.is_null(1));
+        assert_eq!(col.get(2), Value::Str(String::new()));
+        assert_eq!(col.null_count(), 1);
+    }
+
+    #[test]
+    fn roundtrip_equal_detects_dtype_drift() {
+        // Sanity-check the helper itself: hand-built CSV without quotes
+        // collapses numeric-looking strings to Int (and drops the leading
+        // zero), exactly the drift the quoting contract prevents.
+        let df = DataFrame::from_columns(vec![Column::from_str_slice("zip", &["02139"])]).unwrap();
+        let lossy = read_csv_str("zip\n02139\n").unwrap();
+        assert_eq!(lossy.column("zip").unwrap().dtype(), DType::Int);
+        assert_eq!(lossy.column("zip").unwrap().get(0), Value::Int(2139));
+        assert!(roundtrip_equal(&df));
+    }
+
+    #[test]
+    fn bool_and_float_dtypes_roundtrip() {
+        let df = DataFrame::from_columns(vec![
+            Column::from_bools("b", vec![Some(true), None, Some(false)]),
+            Column::from_floats("f", vec![Some(1.0), Some(2.5), None]),
+        ])
+        .unwrap();
+        assert!(roundtrip_equal(&df));
     }
 }

@@ -1,0 +1,133 @@
+//! Interned string dictionaries backing `Dict`-encoded categorical columns.
+//!
+//! A [`Dictionary`] is an append-only book of distinct strings plus a
+//! [`StableMap`] from string to code. Codes are `u32` indices into the
+//! book, assigned in first-occurrence order — the same order pandas'
+//! `factorize` uses, which keeps the engine's factorize/groupby outputs
+//! bit-identical to the v1 `Vec<Option<String>>` layout.
+//!
+//! Columns share dictionaries via `Arc`: `Column::take` and `Clone` copy
+//! codes (4 bytes/row) and bump a refcount instead of cloning every string.
+
+use std::sync::Arc;
+
+use crate::index::StableMap;
+
+/// An append-only interning table: distinct strings ↔ dense `u32` codes.
+#[derive(Debug, Clone, Default)]
+pub struct Dictionary {
+    book: Vec<String>,
+    lookup: StableMap<String, u32>,
+}
+
+impl Dictionary {
+    /// An empty dictionary.
+    pub fn new() -> Self {
+        Dictionary::default()
+    }
+
+    /// Intern `s`, returning its code (existing or freshly assigned).
+    pub fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&code) = self.lookup.get(s) {
+            return code;
+        }
+        let code = self.book.len() as u32;
+        self.book.push(s.to_string());
+        self.lookup.insert(s.to_string(), code);
+        code
+    }
+
+    /// The code of `s`, if already interned.
+    pub fn code_of(&self, s: &str) -> Option<u32> {
+        self.lookup.get(s).copied()
+    }
+
+    /// The string behind `code`. Panics on an out-of-book code — codes are
+    /// produced only by `intern`, so a miss is an engine bug.
+    pub fn get(&self, code: u32) -> &str {
+        &self.book[code as usize]
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.book.len()
+    }
+
+    /// True if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.book.is_empty()
+    }
+
+    /// The book in code order (first-occurrence order of interning).
+    pub fn book(&self) -> &[String] {
+        &self.book
+    }
+
+    /// Iterate `(code, string)` in code order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.book
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as u32, s.as_str()))
+    }
+
+    /// Wrap in an [`Arc`] for sharing across columns.
+    pub fn into_shared(self) -> Arc<Dictionary> {
+        Arc::new(self)
+    }
+}
+
+/// Dictionaries compare by book content (lookup tables are derived state).
+impl PartialEq for Dictionary {
+    fn eq(&self, other: &Self) -> bool {
+        self.book == other.book
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_assigns_first_occurrence_codes() {
+        let mut d = Dictionary::new();
+        assert_eq!(d.intern("x"), 0);
+        assert_eq!(d.intern("y"), 1);
+        assert_eq!(d.intern("x"), 0);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.get(1), "y");
+        assert_eq!(d.code_of("y"), Some(1));
+        assert_eq!(d.code_of("z"), None);
+    }
+
+    #[test]
+    fn empty_string_is_a_value() {
+        let mut d = Dictionary::new();
+        assert_eq!(d.intern(""), 0);
+        assert_eq!(d.get(0), "");
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn book_order_matches_codes() {
+        let mut d = Dictionary::new();
+        for s in ["c", "a", "b", "a"] {
+            d.intern(s);
+        }
+        assert_eq!(d.book(), &["c".to_string(), "a".into(), "b".into()]);
+        let pairs: Vec<(u32, &str)> = d.iter().collect();
+        assert_eq!(pairs, vec![(0, "c"), (1, "a"), (2, "b")]);
+    }
+
+    #[test]
+    fn equality_ignores_lookup_state() {
+        let mut a = Dictionary::new();
+        a.intern("p");
+        a.intern("q");
+        let mut b = Dictionary::new();
+        b.intern("p");
+        b.intern("q");
+        b.intern("p"); // extra lookup traffic, same book
+        assert_eq!(a, b);
+    }
+}

@@ -1,10 +1,10 @@
 //! The [`DataFrame`]: an ordered collection of equal-length named columns.
 
-// sfcheck:allow(hash-collections) index is key->position lookup only, never iterated
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use crate::column::Column;
 use crate::error::{FrameError, Result};
+use crate::index::StableMap;
 use crate::value::Value;
 
 /// An ordered collection of equal-length, uniquely-named [`Column`]s.
@@ -25,8 +25,7 @@ use crate::value::Value;
 #[derive(Debug, Clone, Default)]
 pub struct DataFrame {
     columns: Vec<Column>,
-    // sfcheck:allow(hash-collections) lookup-only; column order lives in `columns`
-    index: HashMap<String, usize>,
+    index: StableMap<String, usize>,
 }
 
 impl DataFrame {
@@ -229,6 +228,11 @@ impl DataFrame {
     /// Replace each string column with integer codes (pandas `factorize`),
     /// leaving numeric columns untouched. Codes are assigned in first-seen
     /// order; nulls stay null. Returns the per-column code books.
+    ///
+    /// `Str` columns are already dictionary-encoded, so this is a dense
+    /// `O(n + k)` code remap (a `take`-derived column may share a larger
+    /// parent book, and first-seen order is a property of *this* column's
+    /// rows) — no per-row map lookups at all.
     pub fn factorize_strings(&mut self) -> BTreeMap<String, Vec<String>> {
         let mut books = BTreeMap::new();
         let names: Vec<String> = self
@@ -239,20 +243,45 @@ impl DataFrame {
             .collect();
         for name in names {
             // sfcheck:allow(panic-hygiene) invariant: name was just collected from self.columns
-            let keys = self.column(&name).expect("exists").to_keys();
-            let mut book: Vec<String> = Vec::new();
-            let mut lookup: BTreeMap<String, i64> = BTreeMap::new();
-            let codes: Vec<Option<i64>> = keys
-                .into_iter()
-                .map(|k| {
-                    k.map(|key| {
-                        *lookup.entry(key.clone()).or_insert_with(|| {
-                            book.push(key);
-                            (book.len() - 1) as i64
+            let col = self.column(&name).expect("exists");
+            let (book, codes) = if let Some((codes, validity, dict)) = col.dict_parts() {
+                const UNSEEN: i64 = -1;
+                let mut remap = vec![UNSEEN; dict.len()];
+                let mut book: Vec<String> = Vec::new();
+                let out: Vec<Option<i64>> = codes
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &c)| {
+                        validity.is_valid(i).then(|| {
+                            let slot = &mut remap[c as usize];
+                            if *slot == UNSEEN {
+                                *slot = book.len() as i64;
+                                book.push(dict.get(c).to_string());
+                            }
+                            *slot
                         })
                     })
-                })
-                .collect();
+                    .collect();
+                (book, out)
+            } else {
+                // Non-dict fallback (numeric columns never reach here, but
+                // keep the general path honest for future dtypes).
+                let keys = col.to_keys();
+                let mut book: Vec<String> = Vec::new();
+                let mut lookup: StableMap<String, i64> = StableMap::new();
+                let codes: Vec<Option<i64>> = keys
+                    .into_iter()
+                    .map(|k| {
+                        k.map(|key| {
+                            *lookup.entry_or_insert_with(key.clone(), || {
+                                book.push(key);
+                                (book.len() - 1) as i64
+                            })
+                        })
+                    })
+                    .collect();
+                (book, codes)
+            };
             self.upsert_column(Column::from_ints(name.clone(), codes))
                 // sfcheck:allow(panic-hygiene) invariant: codes has one entry per key of an existing column
                 .expect("same length");

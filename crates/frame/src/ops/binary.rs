@@ -78,17 +78,15 @@ pub fn binary_op(a: &Column, b: &Column, op: BinaryOp, out_name: &str) -> Result
             actual: b.len(),
         });
     }
-    let xs = a.numeric()?;
-    let ys = b.numeric()?;
-    let data = xs
-        .into_iter()
-        .zip(ys)
-        .map(|(x, y)| match (x, y) {
+    let xs = a.numeric_view()?;
+    let ys = b.numeric_view()?;
+    Ok(Column::from_float_iter(
+        out_name,
+        xs.iter().zip(ys.iter()).map(|(x, y)| match (x, y) {
             (Some(x), Some(y)) => op.apply(x, y),
             _ => None,
-        })
-        .collect();
-    Ok(Column::from_floats(out_name, data))
+        }),
+    ))
 }
 
 /// The *unsafe* division CAAFE-style code generation produces: division by
@@ -106,33 +104,29 @@ pub fn binary_op_unsafe(a: &Column, b: &Column, op: BinaryOp, out_name: &str) ->
             actual: b.len(),
         });
     }
-    let xs = a.numeric()?;
-    let ys = b.numeric()?;
-    let data = xs
-        .into_iter()
-        .zip(ys)
-        .map(|(x, y)| match (x, y) {
-            (Some(x), Some(y)) => {
-                if y == 0.0 {
-                    // Unguarded pandas division: x/0 → ±inf (0/0 → NaN,
-                    // which column storage normalizes to null). The infinity
-                    // poisons downstream model training, reproducing the
-                    // paper's CAAFE-on-Diabetes failure.
-                    if x == 0.0 {
-                        None
-                    } else if x > 0.0 {
-                        Some(f64::INFINITY)
-                    } else {
-                        Some(f64::NEG_INFINITY)
-                    }
+    let xs = a.numeric_view()?;
+    let ys = b.numeric_view()?;
+    let data = xs.iter().zip(ys.iter()).map(|(x, y)| match (x, y) {
+        (Some(x), Some(y)) => {
+            if y == 0.0 {
+                // Unguarded pandas division: x/0 → ±inf (0/0 → NaN,
+                // which column storage normalizes to null). The infinity
+                // poisons downstream model training, reproducing the
+                // paper's CAAFE-on-Diabetes failure.
+                if x == 0.0 {
+                    None
+                } else if x > 0.0 {
+                    Some(f64::INFINITY)
                 } else {
-                    Some(x / y)
+                    Some(f64::NEG_INFINITY)
                 }
+            } else {
+                Some(x / y)
             }
-            _ => None,
-        })
-        .collect();
-    Ok(Column::from_floats(out_name, data))
+        }
+        _ => None,
+    });
+    Ok(Column::from_float_iter(out_name, data))
 }
 
 #[cfg(test)]

@@ -126,12 +126,12 @@ pub fn date_part(col: &Column, part: DatePart, out_name: &str) -> Result<Column>
             expected: "a string date column",
         });
     }
-    let keys = col.to_keys();
-    let data = keys
-        .into_iter()
-        .map(|k| k.and_then(|s| Date::parse(&s)).map(|d| d.part(part)))
-        .collect();
-    Ok(Column::from_ints(out_name, data))
+    let keys = col.keys_view();
+    Ok(Column::from_int_iter(
+        out_name,
+        keys.iter()
+            .map(|k| k.and_then(Date::parse).map(|d| d.part(part))),
+    ))
 }
 
 /// Heuristic: does this string column look like dates? (≥80 % of non-null
@@ -140,13 +140,18 @@ pub fn looks_like_dates(col: &Column) -> bool {
     if col.is_numeric() {
         return false;
     }
-    let keys = col.to_keys();
-    let non_null: Vec<&String> = keys.iter().flatten().collect();
-    if non_null.is_empty() {
+    let keys = col.keys_view();
+    let (mut non_null, mut parsed) = (0usize, 0usize);
+    for key in keys.iter().flatten() {
+        non_null += 1;
+        if Date::parse(key).is_some() {
+            parsed += 1;
+        }
+    }
+    if non_null == 0 {
         return false;
     }
-    let parsed = non_null.iter().filter(|s| Date::parse(s).is_some()).count();
-    parsed * 5 >= non_null.len() * 4
+    parsed * 5 >= non_null * 4
 }
 
 #[cfg(test)]

@@ -30,17 +30,28 @@ pub fn get_dummies(col: &Column, max_cardinality: usize) -> Result<Vec<Column>> 
             col.name()
         )));
     }
-    let keys = col.to_keys();
+    // Sorted value order is the naming contract (pandas `get_dummies`).
     let values: Vec<String> = col.value_counts().into_keys().collect();
     let mut out = Vec::with_capacity(values.len());
+    if let Some((codes, validity, dict)) = col.dict_parts() {
+        // Dictionary fast path: one code comparison per row, no strings.
+        for v in values {
+            let target = dict.code_of(&v);
+            out.push(Column::from_int_iter(
+                format!("{}_{}", col.name(), sanitize(&v)),
+                codes
+                    .iter()
+                    .zip(validity.iter())
+                    .map(|(&c, ok)| Some(i64::from(ok && Some(c) == target))),
+            ));
+        }
+        return Ok(out);
+    }
+    let keys = col.keys_view();
     for v in values {
-        let data = keys
-            .iter()
-            .map(|k| Some(i64::from(k.as_deref() == Some(v.as_str()))))
-            .collect();
-        out.push(Column::from_ints(
+        out.push(Column::from_int_iter(
             format!("{}_{}", col.name(), sanitize(&v)),
-            data,
+            keys.iter().map(|k| Some(i64::from(k == Some(v.as_str())))),
         ));
     }
     Ok(out)
@@ -50,7 +61,31 @@ pub fn get_dummies(col: &Column, max_cardinality: usize) -> Result<Vec<Column>> 
 /// non-null cells. A common alternative to dummies for high-cardinality
 /// categoricals.
 pub fn frequency_encode(col: &Column, out_name: &str) -> Result<Column> {
-    let keys = col.to_keys();
+    if let Some((codes, validity, dict)) = col.dict_parts() {
+        // Dictionary fast path: count per code, then one indexed read per row.
+        let mut per_code = vec![0usize; dict.len()];
+        let mut total = 0usize;
+        for (i, &c) in codes.iter().enumerate() {
+            if validity.is_valid(i) {
+                per_code[c as usize] += 1;
+                total += 1;
+            }
+        }
+        if total == 0 {
+            return Err(FrameError::InvalidArgument(format!(
+                "frequency_encode on all-null column {:?}",
+                col.name()
+            )));
+        }
+        return Ok(Column::from_float_iter(
+            out_name,
+            codes
+                .iter()
+                .zip(validity.iter())
+                .map(|(&c, ok)| ok.then(|| per_code[c as usize] as f64 / total as f64)),
+        ));
+    }
+    let keys = col.keys_view();
     let counts = col.value_counts();
     let total: usize = counts.values().sum();
     if total == 0 {
@@ -59,11 +94,11 @@ pub fn frequency_encode(col: &Column, out_name: &str) -> Result<Column> {
             col.name()
         )));
     }
-    let data = keys
-        .into_iter()
-        .map(|k| k.map(|key| counts[&key] as f64 / total as f64))
-        .collect();
-    Ok(Column::from_floats(out_name, data))
+    Ok(Column::from_float_iter(
+        out_name,
+        keys.iter()
+            .map(|k| k.map(|key| counts[key] as f64 / total as f64)),
+    ))
 }
 
 /// Make a categorical value safe for use inside a column name.

@@ -1,11 +1,11 @@
 //! The high-order *GroupbyThenAgg* operator:
 //! `df.groupby(group_cols)[agg_col].transform(func)`.
 
-use std::collections::BTreeMap;
-
 use crate::column::Column;
 use crate::error::{FrameError, Result};
 use crate::frame::DataFrame;
+use crate::index::StableMap;
+use crate::view::KeysView;
 
 /// Aggregation functions the FM may choose for the high-order operator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -102,6 +102,14 @@ impl AggFunc {
 /// aligned row-for-row with `df`, where each row carries its group's
 /// aggregate. Rows with a null group key or (for non-count aggregates) an
 /// all-null group get null.
+///
+/// Grouping assigns each row a dense group slot in one pass: a single
+/// dictionary-encoded group column maps code → slot through a plain vector
+/// (no hashing at all); the general composite-key path probes a
+/// [`StableMap`] with a reused key buffer, allocating only on first sight
+/// of a group. Output is a per-row lookup of its own slot's aggregate, so
+/// slot numbering never leaks into results — determinism holds by
+/// construction.
 pub fn groupby_transform(
     df: &DataFrame,
     group_cols: &[&str],
@@ -114,52 +122,91 @@ pub fn groupby_transform(
             "groupby requires at least one group column".into(),
         ));
     }
-    let key_cols: Vec<Vec<Option<String>>> = group_cols
-        .iter()
-        .map(|&g| df.column(g).map(|c| c.to_keys()))
-        .collect::<Result<_>>()?;
-    let values = df.column(agg_col)?.numeric()?;
     let n = df.n_rows();
+    const UNSEEN: u32 = u32::MAX;
 
-    // Composite group key per row; None if any component is null.
-    let keys: Vec<Option<String>> = (0..n)
-        .map(|i| {
-            let mut key = String::new();
-            for col in &key_cols {
-                match &col[i] {
-                    Some(part) => {
-                        key.push_str(part);
-                        key.push('\u{1f}'); // unit separator: unambiguous join
-                    }
-                    None => return None,
-                }
-            }
-            Some(key)
-        })
-        .collect();
+    // Per-row dense group slot; None if any key component is null.
+    let mut n_groups: usize = 0;
+    let row_slots: Vec<Option<u32>> = if let [only] = group_cols {
+        if let Some((codes, validity, dict)) = df.column(only)?.dict_parts() {
+            // Fast path: group codes are already dense dictionary codes.
+            let mut slot_for_code = vec![UNSEEN; dict.len()];
+            codes
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| {
+                    validity.is_valid(i).then(|| {
+                        let slot = &mut slot_for_code[c as usize];
+                        if *slot == UNSEEN {
+                            *slot = n_groups as u32;
+                            n_groups += 1;
+                        }
+                        *slot
+                    })
+                })
+                .collect()
+        } else {
+            let view = df.column(only)?.keys_view();
+            slots_from_views(&[view], n, &mut n_groups)
+        }
+    } else {
+        let views: Vec<KeysView<'_>> = group_cols
+            .iter()
+            .map(|&g| df.column(g).map(|c| c.keys_view()))
+            .collect::<Result<_>>()?;
+        slots_from_views(&views, n, &mut n_groups)
+    };
 
-    let mut groups: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
-    for (key, value) in keys.iter().zip(&values) {
-        if let Some(k) = key {
-            let entry = groups.entry(k.as_str()).or_default();
-            if let Some(v) = value {
-                entry.push(*v);
+    // One pass to bucket the aggregation values, one to aggregate.
+    let values = df.column(agg_col)?.numeric_view()?;
+    let mut group_values: Vec<Vec<f64>> = vec![Vec::new(); n_groups];
+    for (i, slot) in row_slots.iter().enumerate() {
+        if let Some(s) = slot {
+            if let Some(v) = values.get(i) {
+                group_values[*s as usize].push(v);
             }
         }
     }
-    let aggregates: BTreeMap<&str, Option<f64>> = groups
-        .into_iter()
-        .map(|(k, vals)| (k, func.evaluate(&vals)))
-        .collect();
+    let aggregates: Vec<Option<f64>> = group_values.iter().map(|vs| func.evaluate(vs)).collect();
 
-    let data = keys
+    let data = row_slots
         .iter()
-        .map(|key| {
-            key.as_ref()
-                .and_then(|k| aggregates.get(k.as_str()).copied().flatten())
-        })
+        .map(|slot| slot.and_then(|s| aggregates[s as usize]))
         .collect();
     Ok(Column::from_floats(out_name, data))
+}
+
+/// Assign dense group slots from composite row keys (general path).
+fn slots_from_views(views: &[KeysView<'_>], n: usize, n_groups: &mut usize) -> Vec<Option<u32>> {
+    let mut slot_of: StableMap<String, u32> = StableMap::new();
+    let mut row_slots = Vec::with_capacity(n);
+    let mut buf = String::new();
+    'row: for i in 0..n {
+        buf.clear();
+        for view in views {
+            match view.get(i) {
+                Some(part) => {
+                    buf.push_str(part);
+                    buf.push('\u{1f}'); // unit separator: unambiguous join
+                }
+                None => {
+                    row_slots.push(None);
+                    continue 'row;
+                }
+            }
+        }
+        let slot = match slot_of.get(buf.as_str()) {
+            Some(&s) => s,
+            None => {
+                let s = slot_of.len() as u32;
+                slot_of.insert(buf.clone(), s);
+                s
+            }
+        };
+        row_slots.push(Some(slot));
+    }
+    *n_groups = slot_of.len();
+    row_slots
 }
 
 #[cfg(test)]

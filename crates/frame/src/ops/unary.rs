@@ -67,38 +67,53 @@ impl UnaryFn {
 
 /// Apply an elementwise unary function, producing `out_name`.
 pub fn unary_map(col: &Column, f: UnaryFn, out_name: &str) -> Result<Column> {
-    let xs = col.numeric()?;
-    let data = xs.into_iter().map(|x| x.and_then(|v| f.apply(v))).collect();
-    Ok(Column::from_floats(out_name, data))
+    let xs = col.numeric_view()?;
+    Ok(Column::from_float_iter(
+        out_name,
+        xs.iter().map(|x| x.and_then(|v| f.apply(v))),
+    ))
 }
 
 /// Normalize a numeric column.
 pub fn normalize(col: &Column, kind: NormKind, out_name: &str) -> Result<Column> {
-    let xs = col.numeric()?;
-    let present: Vec<f64> = xs.iter().flatten().copied().collect();
-    if present.is_empty() {
-        return Ok(Column::from_floats(out_name, vec![None; xs.len()]));
-    }
-    let data: Vec<Option<f64>> = match kind {
+    let xs = col.numeric_view()?;
+    // Stats stream through the view fold — no materialized `present` vec.
+    // Fold order is row order, so the float accumulation is bit-identical
+    // to summing a collected buffer.
+    Ok(match kind {
         NormKind::MinMax => {
-            let min = present.iter().copied().fold(f64::INFINITY, f64::min);
-            let max = present.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let n = xs.present_count();
+            let (min, max) = xs.fold_present((f64::INFINITY, f64::NEG_INFINITY), |(mn, mx), v| {
+                (mn.min(v), mx.max(v))
+            });
+            if n == 0 {
+                return Ok(Column::from_floats(out_name, vec![None; xs.len()]));
+            }
             let range = max - min;
-            xs.into_iter()
-                .map(|x| x.map(|v| if range == 0.0 { 0.0 } else { (v - min) / range }))
-                .collect()
+            let (values, validity) = if range == 0.0 {
+                xs.map_packed_f64(|_| 0.0)
+            } else {
+                xs.map_packed_f64(|v| (v - min) / range)
+            };
+            Column::from_packed_floats(out_name, values, validity)
         }
         NormKind::ZScore => {
-            let n = present.len() as f64;
-            let mean = present.iter().sum::<f64>() / n;
-            let var = present.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+            let n = xs.present_count();
+            if n == 0 {
+                return Ok(Column::from_floats(out_name, vec![None; xs.len()]));
+            }
+            let n = n as f64;
+            let mean = xs.fold_present(0.0f64, |s, v| s + v) / n;
+            let var = xs.fold_present(0.0f64, |acc, v| acc + (v - mean).powi(2)) / n;
             let std = var.sqrt();
-            xs.into_iter()
-                .map(|x| x.map(|v| if std == 0.0 { 0.0 } else { (v - mean) / std }))
-                .collect()
+            let (values, validity) = if std == 0.0 {
+                xs.map_packed_f64(|_| 0.0)
+            } else {
+                xs.map_packed_f64(|v| (v - mean) / std)
+            };
+            Column::from_packed_floats(out_name, values, validity)
         }
-    };
-    Ok(Column::from_floats(out_name, data))
+    })
 }
 
 /// Bucketize a numeric column against ascending boundaries.
@@ -117,19 +132,14 @@ pub fn bucketize(col: &Column, boundaries: &[f64], out_name: &str) -> Result<Col
             "bucketize boundaries must be strictly ascending".into(),
         ));
     }
-    let xs = col.numeric()?;
-    let data = xs
-        .into_iter()
-        .map(|x| {
-            x.map(|v| {
-                boundaries
-                    .iter()
-                    .position(|&b| v < b)
-                    .unwrap_or(boundaries.len()) as i64
-            })
-        })
-        .collect();
-    Ok(Column::from_ints(out_name, data))
+    let xs = col.numeric_view()?;
+    let (values, validity) = xs.map_packed_i64(|v| {
+        boundaries
+            .iter()
+            .position(|&b| v < b)
+            .unwrap_or(boundaries.len()) as i64
+    });
+    Ok(Column::from_packed_ints(out_name, values, validity))
 }
 
 /// Clamp a numeric column into `[lo, hi]`.
@@ -139,9 +149,9 @@ pub fn clip(col: &Column, lo: f64, hi: f64, out_name: &str) -> Result<Column> {
             "clip lower bound {lo} exceeds upper bound {hi}"
         )));
     }
-    let xs = col.numeric()?;
-    let data = xs.into_iter().map(|x| x.map(|v| v.clamp(lo, hi))).collect();
-    Ok(Column::from_floats(out_name, data))
+    let xs = col.numeric_view()?;
+    let (values, validity) = xs.map_packed_f64(|v| v.clamp(lo, hi));
+    Ok(Column::from_packed_floats(out_name, values, validity))
 }
 
 #[cfg(test)]

@@ -18,14 +18,19 @@ pub fn roc_auc(labels: &[u8], scores: &[f64]) -> f64 {
     if n_pos == 0 || n_neg == 0 {
         return 0.5;
     }
-    // Sort indices by score; assign midranks to ties.
+    // Sort indices by score; assign midranks to ties. Tie groups use the
+    // same `total_cmp` equivalence as the sort: `==` would never group NaN
+    // runs (NaN != NaN) and would merge -0.0 with 0.0, which total_cmp
+    // orders apart — either way splitting or straddling sort runs.
     let mut order: Vec<usize> = (0..scores.len()).collect();
     order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
     let mut ranks = vec![0.0f64; scores.len()];
     let mut i = 0;
     while i < order.len() {
         let mut j = i;
-        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+        while j + 1 < order.len()
+            && scores[order[j + 1]].total_cmp(&scores[order[i]]) == std::cmp::Ordering::Equal
+        {
             j += 1;
         }
         let midrank = (i + j) as f64 / 2.0 + 1.0;
@@ -137,6 +142,31 @@ mod tests {
         let s = [0.3, 0.3, 0.9];
         // Pair (neg, pos@0.3) ties → 0.5 credit; pair (neg, pos@0.9) → 1.
         assert!((roc_auc(&y, &s) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_nan_scores_form_one_tie_group() {
+        // Two NaN scores (one per class) sort adjacently under total_cmp
+        // and must share a midrank: the NaN-vs-NaN pair contributes 0.5,
+        // and both NaNs rank above every finite score. With `==` grouping
+        // they'd get distinct ranks and the tied pair full credit.
+        let y = [0, 1, 0, 1];
+        let s = [f64::NAN, f64::NAN, 0.2, 0.4];
+        // Pairs: (neg@0.2, pos@0.4) concordant = 1; (neg@0.2, pos@NaN) = 1;
+        // (neg@NaN, pos@0.4) = 0; (neg@NaN, pos@NaN) tied = 0.5. AUC = 2.5/4.
+        assert!((roc_auc(&y, &s) - 0.625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_signed_zero_scores_are_not_tied() {
+        // total_cmp orders -0.0 below 0.0, so they are distinct ranks,
+        // consistent with the sort; the ranking is deterministic and the
+        // negative at -0.0 counts as strictly below the positive at 0.0.
+        let y = [0, 1];
+        let s = [-0.0, 0.0];
+        assert_eq!(roc_auc(&y, &s), 1.0);
+        // And a same-sign zero pair is a genuine tie.
+        assert_eq!(roc_auc(&[0, 1], &[0.0, 0.0]), 0.5);
     }
 
     #[test]

@@ -434,9 +434,13 @@ fn hash_collections_lint(
         if in_regions(regions, tok.line) || tok.kind != TokenKind::Ident {
             continue;
         }
-        let replacement = match tok.text.as_str() {
-            "HashMap" => "BTreeMap",
-            "HashSet" => "BTreeSet",
+        // Blessed deterministic alternatives: sorted `BTreeMap`/`BTreeSet`
+        // (the mechanical `--fix` replacement) or the fixed-seed,
+        // first-occurrence-ordered `smartfeat_frame::StableMap`/`StableSet`
+        // for hot paths. Neither trips this lint.
+        let (replacement, stable) = match tok.text.as_str() {
+            "HashMap" => ("BTreeMap", "StableMap"),
+            "HashSet" => ("BTreeSet", "StableSet"),
             _ => continue,
         };
         let line_text = snippet_at(lines, tok.line);
@@ -448,7 +452,7 @@ fn hash_collections_lint(
             "hash-collections",
             format!(
                 "`{}` in an output-feeding module; iteration order is nondeterministic — \
-                 use `{replacement}`",
+                 use `{replacement}` or `smartfeat_frame::{stable}`",
                 tok.text
             ),
             Some(
@@ -683,9 +687,31 @@ mod tests {
             result.findings[0].suggestion.as_deref(),
             Some("use std::collections::BTreeMap;")
         );
+        assert!(result.findings[0]
+            .message
+            .contains("smartfeat_frame::StableMap"));
         // `ml` does not feed serialized output; exempt.
         let in_ml = lib_file("ml", "crates/ml/src/forest.rs", src);
         assert!(scan_rust(&in_ml).findings.is_empty());
+    }
+
+    #[test]
+    fn stable_map_is_blessed_in_output_crates() {
+        // The deterministic index type must NOT trip hash-collections even
+        // in the most output-critical crates.
+        let src = "use smartfeat_frame::{StableMap, StableSet};\n\
+                   fn f() -> StableMap<String, u32> { StableMap::new() }\n\
+                   fn g() -> StableSet<String> { StableSet::new() }";
+        for (dir, path) in [
+            ("frame", "crates/frame/src/frame.rs"),
+            ("core", "crates/core/src/transform.rs"),
+        ] {
+            let file = lib_file(dir, path, src);
+            assert!(
+                scan_rust(&file).findings.is_empty(),
+                "StableMap/StableSet flagged in {path}"
+            );
+        }
     }
 
     #[test]

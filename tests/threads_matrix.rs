@@ -1,6 +1,6 @@
 //! Tier-1 thread-matrix harness: run the parallel-wired stack under
-//! `SMARTFEAT_THREADS=1` and `SMARTFEAT_THREADS=4` and require
-//! byte-identical fingerprints.
+//! `SMARTFEAT_THREADS=1`, `=4`, and `=8` and require byte-identical
+//! fingerprints.
 //!
 //! The matrix re-executes this test binary (filtered to the worker test)
 //! rather than invoking `cargo test` recursively — a nested cargo would
@@ -65,7 +65,7 @@ fn suite_is_byte_identical_under_thread_matrix() {
     }
     let exe = std::env::current_exe().expect("current exe");
     let mut fingerprints = Vec::new();
-    for threads in ["1", "4"] {
+    for threads in ["1", "4", "8"] {
         let out_path = std::env::temp_dir().join(format!(
             "smartfeat_matrix_{}_{threads}.txt",
             std::process::id()
@@ -91,5 +91,9 @@ fn suite_is_byte_identical_under_thread_matrix() {
     assert_eq!(
         fingerprints[0], fingerprints[1],
         "SMARTFEAT_THREADS=1 and =4 fingerprints diverge"
+    );
+    assert_eq!(
+        fingerprints[0], fingerprints[2],
+        "SMARTFEAT_THREADS=1 and =8 fingerprints diverge"
     );
 }
