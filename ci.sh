@@ -53,6 +53,12 @@ SMARTFEAT_THREADS=1 cargo test -q --offline
 echo "==> determinism matrix: SMARTFEAT_THREADS=4"
 SMARTFEAT_THREADS=4 cargo test -q --offline
 
+echo "==> strategy determinism: differential oracle + 1/4/8 re-exec matrix"
+# strategy_oracle re-execs itself per SMARTFEAT_THREADS value;
+# strategy_trace pins the blessed per-strategy trace goldens and
+# prop_search the search invariants (width/population/turn/FM budget).
+cargo test -q --offline --test strategy_oracle --test strategy_trace --test prop_search
+
 echo "==> bench smoke: substrates compile and run (tiny sample count)"
 # Not a perf gate — numbers from shared CI hardware are noise. This only
 # proves the harness runs end to end and emits parseable JSON lines in
@@ -70,5 +76,17 @@ if [ "$SMOKE_LINES" -ne "$BASE_LINES" ]; then
   exit 1
 fi
 rm -f bench-smoke.json
+
+echo "==> bench smoke: strategies sweep matches BENCH_PR7.json"
+SMARTFEAT_BENCH_SAMPLES=2 SMARTFEAT_BENCH_JSON="$PWD/bench-smoke-strategies.json" \
+  cargo bench -p smartfeat-bench --bench strategies --offline > /dev/null
+SMOKE_LINES="$(wc -l < bench-smoke-strategies.json)"
+BASE_LINES="$(wc -l < BENCH_PR7.json)"
+echo "    bench-smoke-strategies.json: $SMOKE_LINES benchmarks (baseline has $BASE_LINES)"
+if [ "$SMOKE_LINES" -ne "$BASE_LINES" ]; then
+  echo "    ERROR: bench set drifted from BENCH_PR7.json — regenerate the baseline" >&2
+  exit 1
+fi
+rm -f bench-smoke-strategies.json
 
 echo "==> ci.sh: all checks passed"

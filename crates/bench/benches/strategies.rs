@@ -1,11 +1,20 @@
-//! Design-choice ablation (§3.2): the *proposal* strategy (one call
-//! enumerating all candidates) vs the *sampling* strategy (one candidate
-//! per call) — the paper picks proposal for small spaces (unary) and
-//! sampling for rich spaces (binary/high-order/extractor).
+//! Strategy benchmarks, two layers:
+//!
+//! 1. Design-choice ablation (§3.2): the *proposal* strategy (one call
+//!    enumerating all candidates) vs the *sampling* strategy (one
+//!    candidate per call) — the paper picks proposal for small spaces
+//!    (unary) and sampling for rich spaces (binary/high-order/extractor).
+//! 2. Search-strategy sweep: full pipeline runs per `--strategy` across
+//!    the width/generation/turn knobs, the timing side of the
+//!    strategy-vs-FM-cost-vs-AUC frontier in EXPERIMENTS.md. The blessed
+//!    medians live in `BENCH_PR7.json` (regenerate with
+//!    `SMARTFEAT_BENCH_JSON=$PWD/BENCH_PR7.json cargo bench -p
+//!    smartfeat-bench --bench strategies`); CI's bench-smoke job checks
+//!    the benchmark set still matches that file's line count.
 
 use smartfeat::selector::OperatorSelector;
-use smartfeat::SmartFeatConfig;
-use smartfeat_bench::{criterion_group, criterion_main, Criterion};
+use smartfeat::{SearchStrategyKind, SmartFeat, SmartFeatConfig};
+use smartfeat_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use smartfeat_fm::SimulatedFm;
 use smartfeat_obs::Recorder;
 
@@ -64,5 +73,67 @@ fn bench_strategies(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_strategies);
+/// One full pipeline run under `cfg`; returns the generated-feature
+/// count so the work cannot be optimized away.
+fn run_search(cfg: &SmartFeatConfig) -> usize {
+    let ds = smartfeat_datasets::insurance::generate(60, 7);
+    let selector = SimulatedFm::gpt4(21);
+    let generator = SimulatedFm::gpt35(22);
+    SmartFeat::new(&selector, &generator, cfg.clone())
+        .run(&ds.frame, &ds.agenda("RF"))
+        .expect("pipeline runs")
+        .generated
+        .len()
+}
+
+/// Search-strategy sweep: end-to-end pipeline cost per strategy and knob
+/// setting on the 60-row insurance dataset.
+fn bench_search_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("search");
+    group.sample_size(10);
+
+    group.bench_function("one_shot", |b| {
+        let cfg = SmartFeatConfig::default();
+        b.iter(|| run_search(&cfg))
+    });
+
+    for (width, depth) in [(2usize, 1usize), (3, 2)] {
+        let mut cfg = SmartFeatConfig::default();
+        cfg.search.strategy = SearchStrategyKind::Beam;
+        cfg.search.beam_width = width;
+        cfg.search.beam_depth = depth;
+        group.bench_with_input(
+            BenchmarkId::new("beam", format!("w{width}_d{depth}")),
+            &cfg,
+            |b, cfg| b.iter(|| run_search(cfg)),
+        );
+    }
+
+    for (generations, population) in [(2usize, 4usize), (3, 6)] {
+        let mut cfg = SmartFeatConfig::default();
+        cfg.search.strategy = SearchStrategyKind::Evolutionary;
+        cfg.search.generations = generations;
+        cfg.search.population = population;
+        group.bench_with_input(
+            BenchmarkId::new("evolutionary", format!("g{generations}_p{population}")),
+            &cfg,
+            |b, cfg| b.iter(|| run_search(cfg)),
+        );
+    }
+
+    for turns in [4usize, 8] {
+        let mut cfg = SmartFeatConfig::default();
+        cfg.search.strategy = SearchStrategyKind::React;
+        cfg.search.react_turns = turns;
+        group.bench_with_input(
+            BenchmarkId::new("react", format!("t{turns}")),
+            &cfg,
+            |b, cfg| b.iter(|| run_search(cfg)),
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies, bench_search_strategies);
 criterion_main!(benches);

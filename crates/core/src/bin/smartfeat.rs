@@ -11,6 +11,15 @@
 //!   --model NAME          downstream model named in prompts (default RF)
 //!   --seed N              FM seed (default 42)
 //!   --budget N            sampling budget per operator family (default 10)
+//!   --strategy NAME       search strategy: one_shot (default), beam,
+//!                         evolutionary, react
+//!   --beam-width N        beam: survivors kept per round (default 3)
+//!   --beam-depth N        beam: pool-score-prune rounds (default 2)
+//!   --generations N       evolutionary: generations (default 3)
+//!   --population N        evolutionary: population size (default 6)
+//!   --react-turns N       react: observe-think-act turn budget (default 8)
+//!   --fm-budget N         cap on selector FM calls for the search
+//!                         (default 0 = unlimited)
 //!   --threads N           worker threads for parallel compute stages
 //!                         (default 0 = auto; SMARTFEAT_THREADS overrides;
 //!                         output is identical for every value)
@@ -29,7 +38,7 @@
 
 use std::process::exit;
 
-use smartfeat::{DataAgenda, SmartFeat, SmartFeatConfig};
+use smartfeat::{DataAgenda, SearchConfig, SearchStrategyKind, SmartFeat, SmartFeatConfig};
 use smartfeat_fm::{SimulatedFm, Transcribing};
 use smartfeat_frame::csv;
 
@@ -42,6 +51,7 @@ struct Args {
     seed: u64,
     budget: usize,
     threads: usize,
+    search: SearchConfig,
     drop_heuristic: bool,
     fm_removal: bool,
     transcript: bool,
@@ -58,6 +68,7 @@ fn parse_args() -> Result<Args, String> {
     let mut seed = 42u64;
     let mut budget = 10usize;
     let mut threads = 0usize;
+    let mut search = SearchConfig::default();
     let mut drop_heuristic = true;
     let mut fm_removal = false;
     let mut transcript = false;
@@ -95,6 +106,47 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad --threads: {e}"))?;
             }
+            "--strategy" => {
+                let name = value("--strategy")?;
+                search.strategy = SearchStrategyKind::parse(&name).ok_or_else(|| {
+                    format!(
+                        "unknown --strategy {name:?}; choose from {}",
+                        SearchStrategyKind::all()
+                            .map(SearchStrategyKind::name)
+                            .join(", ")
+                    )
+                })?;
+            }
+            "--beam-width" => {
+                search.beam_width = value("--beam-width")?
+                    .parse()
+                    .map_err(|e| format!("bad --beam-width: {e}"))?;
+            }
+            "--beam-depth" => {
+                search.beam_depth = value("--beam-depth")?
+                    .parse()
+                    .map_err(|e| format!("bad --beam-depth: {e}"))?;
+            }
+            "--generations" => {
+                search.generations = value("--generations")?
+                    .parse()
+                    .map_err(|e| format!("bad --generations: {e}"))?;
+            }
+            "--population" => {
+                search.population = value("--population")?
+                    .parse()
+                    .map_err(|e| format!("bad --population: {e}"))?;
+            }
+            "--react-turns" => {
+                search.react_turns = value("--react-turns")?
+                    .parse()
+                    .map_err(|e| format!("bad --react-turns: {e}"))?;
+            }
+            "--fm-budget" => {
+                search.fm_call_budget = value("--fm-budget")?
+                    .parse()
+                    .map_err(|e| format!("bad --fm-budget: {e}"))?;
+            }
             "--no-drop" => drop_heuristic = false,
             "--fm-removal" => fm_removal = true,
             "--transcript" => transcript = true,
@@ -112,6 +164,7 @@ fn parse_args() -> Result<Args, String> {
         seed,
         budget,
         threads,
+        search,
         drop_heuristic,
         fm_removal,
         transcript,
@@ -163,6 +216,7 @@ fn main() {
     let generator = Transcribing::new(SimulatedFm::gpt35(args.seed.wrapping_add(1)));
     let config = SmartFeatConfig {
         sampling_budget: args.budget,
+        search: args.search,
         drop_heuristic: args.drop_heuristic,
         fm_feature_removal: args.fm_removal,
         threads: args.threads,

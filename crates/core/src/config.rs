@@ -192,6 +192,147 @@ impl ObservabilityConfig {
     }
 }
 
+/// Which [`SearchStrategy`](crate::search::SearchStrategy) drives the
+/// propose→realize→evaluate→prune loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SearchStrategyKind {
+    /// The paper's single-pass proposal/sampling walk (the default).
+    #[default]
+    OneShot,
+    /// Beam search: pool candidates per round, keep the top `beam_width`
+    /// by single-feature CV score, prune the rest.
+    Beam,
+    /// LLM-FE-style evolutionary loop: seeded population, mutation and
+    /// crossover of survivors through FM prompts.
+    Evolutionary,
+    /// ReAct-style observe-think-act agent consuming evaluation feedback.
+    React,
+}
+
+impl SearchStrategyKind {
+    /// All strategies, in documentation order.
+    pub fn all() -> [SearchStrategyKind; 4] {
+        [
+            SearchStrategyKind::OneShot,
+            SearchStrategyKind::Beam,
+            SearchStrategyKind::Evolutionary,
+            SearchStrategyKind::React,
+        ]
+    }
+
+    /// Stable identifier: the JSON tag, the CLI `--strategy` value, and
+    /// the `stage.search.<name>` obs span suffix.
+    pub fn name(self) -> &'static str {
+        match self {
+            SearchStrategyKind::OneShot => "one_shot",
+            SearchStrategyKind::Beam => "beam",
+            SearchStrategyKind::Evolutionary => "evolutionary",
+            SearchStrategyKind::React => "react",
+        }
+    }
+
+    /// Inverse of [`SearchStrategyKind::name`].
+    pub fn parse(s: &str) -> Option<Self> {
+        SearchStrategyKind::all()
+            .into_iter()
+            .find(|k| k.name() == s)
+    }
+
+    /// Serialize as a JSON string (the stable identifier).
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::Str(self.name().to_string())
+    }
+
+    /// Inverse of [`SearchStrategyKind::to_json`].
+    pub fn from_json(v: &JsonValue) -> Result<Self, JsonError> {
+        v.as_str()
+            .and_then(SearchStrategyKind::parse)
+            .ok_or_else(|| JsonError::decode(format!("unknown search strategy: {v}")))
+    }
+}
+
+/// Search-strategy settings. The knobs only apply to the strategy that
+/// reads them; `one_shot` ignores everything but `fm_call_budget`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchConfig {
+    /// Which strategy drives the search loop.
+    pub strategy: SearchStrategyKind,
+    /// Beam: survivors kept per round (and samples pooled per family).
+    pub beam_width: usize,
+    /// Beam: number of pool-score-prune rounds.
+    pub beam_depth: usize,
+    /// Evolutionary: number of mutate/crossover generations after the
+    /// seed generation.
+    pub generations: usize,
+    /// Evolutionary: population size, invariant across generations.
+    pub population: usize,
+    /// ReAct: maximum observe-think-act turns.
+    pub react_turns: usize,
+    /// Upper bound on selector-role FM calls for the whole search
+    /// (0 = unlimited). Strategies stop before a step that could
+    /// exceed it.
+    pub fm_call_budget: usize,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        SearchConfig {
+            strategy: SearchStrategyKind::OneShot,
+            beam_width: 3,
+            beam_depth: 2,
+            generations: 3,
+            population: 6,
+            react_turns: 8,
+            fm_call_budget: 0,
+        }
+    }
+}
+
+impl SearchConfig {
+    /// Serialize as a JSON object.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("strategy", self.strategy.to_json()),
+            ("beam_width", self.beam_width.into()),
+            ("beam_depth", self.beam_depth.into()),
+            ("generations", self.generations.into()),
+            ("population", self.population.into()),
+            ("react_turns", self.react_turns.into()),
+            ("fm_call_budget", self.fm_call_budget.into()),
+        ])
+    }
+
+    /// Inverse of [`SearchConfig::to_json`]. Lenient like
+    /// [`ObservabilityConfig::from_json`]: missing keys take their
+    /// defaults, so hand-written configs can set only `strategy`.
+    pub fn from_json(v: &JsonValue) -> Result<Self, JsonError> {
+        let d = SearchConfig::default();
+        let knob = |key: &str, dflt: usize| -> Result<usize, JsonError> {
+            v.get(key)
+                .map(|x| {
+                    x.as_usize().ok_or_else(|| {
+                        JsonError::decode(format!("non-integer field: search.{key}"))
+                    })
+                })
+                .transpose()
+                .map(|x| x.unwrap_or(dflt))
+        };
+        Ok(SearchConfig {
+            strategy: v
+                .get("strategy")
+                .map(SearchStrategyKind::from_json)
+                .transpose()?
+                .unwrap_or_default(),
+            beam_width: knob("beam_width", d.beam_width)?,
+            beam_depth: knob("beam_depth", d.beam_depth)?,
+            generations: knob("generations", d.generations)?,
+            population: knob("population", d.population)?,
+            react_turns: knob("react_turns", d.react_turns)?,
+            fm_call_budget: knob("fm_call_budget", d.fm_call_budget)?,
+        })
+    }
+}
+
 /// Full pipeline configuration (paper Section 3 defaults).
 #[derive(Debug, Clone, PartialEq)]
 pub struct SmartFeatConfig {
@@ -236,6 +377,9 @@ pub struct SmartFeatConfig {
     /// Structured-telemetry settings (off by default; see
     /// [`ObservabilityConfig`]).
     pub observability: ObservabilityConfig,
+    /// Search-strategy settings (the paper's one-shot walk by default;
+    /// see [`SearchConfig`]).
+    pub search: SearchConfig,
     /// Seed for everything stochastic in the pipeline.
     pub seed: u64,
 }
@@ -257,6 +401,7 @@ impl Default for SmartFeatConfig {
             fm_feature_removal: false,
             threads: 0,
             observability: ObservabilityConfig::default(),
+            search: SearchConfig::default(),
             seed: 0,
         }
     }
@@ -275,6 +420,23 @@ impl SmartFeatConfig {
                 "max_null_fraction {} outside [0, 1]",
                 self.max_null_fraction
             )));
+        }
+        for (name, value) in [
+            ("search.beam_width", self.search.beam_width),
+            ("search.beam_depth", self.search.beam_depth),
+            ("search.generations", self.search.generations),
+            ("search.react_turns", self.search.react_turns),
+        ] {
+            if value == 0 {
+                return Err(crate::error::CoreError::InvalidConfig(format!(
+                    "{name} must be positive"
+                )));
+            }
+        }
+        if self.search.population < 2 {
+            return Err(crate::error::CoreError::InvalidConfig(
+                "search.population must be at least 2".into(),
+            ));
         }
         Ok(())
     }
@@ -299,6 +461,7 @@ impl SmartFeatConfig {
             ("fm_feature_removal", self.fm_feature_removal.into()),
             ("threads", self.threads.into()),
             ("observability", self.observability.to_json()),
+            ("search", self.search.to_json()),
             ("seed", self.seed.into()),
         ])
     }
@@ -341,6 +504,13 @@ impl SmartFeatConfig {
             observability: v
                 .get("observability")
                 .map(ObservabilityConfig::from_json)
+                .transpose()?
+                .unwrap_or_default(),
+            // Absent in configs serialized before pluggable search
+            // strategies existed — default to one_shot, same precedent.
+            search: v
+                .get("search")
+                .map(SearchConfig::from_json)
                 .transpose()?
                 .unwrap_or_default(),
             seed: v
@@ -524,6 +694,98 @@ mod tests {
         // Type errors are still rejected.
         let v = JsonValue::parse(r#"{"trace_out": 3}"#).unwrap();
         assert!(ObservabilityConfig::from_json(&v).is_err());
+    }
+
+    #[test]
+    fn search_json_roundtrip() {
+        let c = SmartFeatConfig {
+            search: SearchConfig {
+                strategy: SearchStrategyKind::Evolutionary,
+                beam_width: 5,
+                generations: 2,
+                population: 4,
+                fm_call_budget: 40,
+                ..SearchConfig::default()
+            },
+            ..SmartFeatConfig::default()
+        };
+        let back = SmartFeatConfig::from_json_string(&c.to_json_string()).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn config_without_search_field_defaults_to_one_shot() {
+        let mut v = SmartFeatConfig {
+            search: SearchConfig {
+                strategy: SearchStrategyKind::Beam,
+                ..SearchConfig::default()
+            },
+            ..SmartFeatConfig::default()
+        }
+        .to_json();
+        if let JsonValue::Object(m) = &mut v {
+            m.remove("search");
+        }
+        let back = SmartFeatConfig::from_json(&v).unwrap();
+        assert_eq!(back.search.strategy, SearchStrategyKind::OneShot);
+        assert_eq!(
+            back,
+            SmartFeatConfig::default(),
+            "pre-strategy configs parse to the one-shot walk"
+        );
+    }
+
+    #[test]
+    fn search_partial_object_is_lenient() {
+        let v = JsonValue::parse(r#"{"strategy": "react"}"#).unwrap();
+        let s = SearchConfig::from_json(&v).unwrap();
+        assert_eq!(s.strategy, SearchStrategyKind::React);
+        assert_eq!(s.react_turns, SearchConfig::default().react_turns);
+        let v = JsonValue::parse(r#"{"strategy": "hill_climb"}"#).unwrap();
+        assert!(SearchConfig::from_json(&v).is_err());
+        let v = JsonValue::parse(r#"{"beam_width": "wide"}"#).unwrap();
+        assert!(SearchConfig::from_json(&v).is_err());
+    }
+
+    #[test]
+    fn strategy_names_roundtrip() {
+        for k in SearchStrategyKind::all() {
+            assert_eq!(SearchStrategyKind::parse(k.name()), Some(k));
+            assert_eq!(SearchStrategyKind::from_json(&k.to_json()).unwrap(), k);
+        }
+        assert_eq!(SearchStrategyKind::parse("simulated_annealing"), None);
+    }
+
+    #[test]
+    fn validation_rejects_bad_search_knobs() {
+        for bad in [
+            SearchConfig {
+                beam_width: 0,
+                ..SearchConfig::default()
+            },
+            SearchConfig {
+                beam_depth: 0,
+                ..SearchConfig::default()
+            },
+            SearchConfig {
+                generations: 0,
+                ..SearchConfig::default()
+            },
+            SearchConfig {
+                react_turns: 0,
+                ..SearchConfig::default()
+            },
+            SearchConfig {
+                population: 1,
+                ..SearchConfig::default()
+            },
+        ] {
+            let c = SmartFeatConfig {
+                search: bad,
+                ..SmartFeatConfig::default()
+            };
+            assert!(c.validate().is_err(), "{bad:?} should be rejected");
+        }
     }
 
     #[test]

@@ -36,10 +36,11 @@ pub mod pipeline;
 pub mod prompts;
 pub mod report;
 pub mod schema;
+pub mod search;
 pub mod selector;
 pub mod transform;
 
-pub use config::SmartFeatConfig;
+pub use config::{SearchConfig, SearchStrategyKind, SmartFeatConfig};
 pub use error::{CoreError, Result};
 pub use pipeline::SmartFeat;
 pub use report::{GeneratedFeature, SkipReason, SmartFeatReport};

@@ -13,14 +13,14 @@ use smartfeat_fm::FoundationModel;
 use smartfeat_frame::{Column, DataFrame};
 use smartfeat_obs::{PoolCounters, Recorder};
 
-use crate::config::{OperatorFamily, SmartFeatConfig};
+use crate::config::SmartFeatConfig;
 use crate::error::Result;
 use crate::evaluate::check_new_column_threaded;
 use crate::generator::{FunctionGenerator, Generated};
 use crate::operators::Candidate;
 use crate::report::{GeneratedFeature, SkipReason, SkippedFeature, SmartFeatReport};
 use crate::schema::DataAgenda;
-use crate::selector::{OperatorSelector, Sample};
+use crate::selector::OperatorSelector;
 use crate::transform::{self, TransformFunction};
 
 /// The SMARTFEAT tool: two FM handles (selector / generator roles) plus a
@@ -50,9 +50,9 @@ use crate::transform::{self, TransformFunction};
 /// assert!(report.frame.has_column("Bucketized_Age"));
 /// ```
 pub struct SmartFeat<'a> {
-    selector_fm: &'a dyn FoundationModel,
-    generator_fm: &'a dyn FoundationModel,
-    config: SmartFeatConfig,
+    pub(crate) selector_fm: &'a dyn FoundationModel,
+    pub(crate) generator_fm: &'a dyn FoundationModel,
+    pub(crate) config: SmartFeatConfig,
 }
 
 /// One candidate's progress through [`SmartFeat::realize_batch`]'s serial
@@ -73,21 +73,22 @@ enum Staged {
     },
 }
 
-/// Internal mutable state of one run.
-struct RunState {
-    frame: DataFrame,
-    agenda: DataAgenda,
-    generated: Vec<GeneratedFeature>,
-    skipped: Vec<SkippedFeature>,
-    source_suggestions: Vec<(String, String)>,
-    seen_keys: BTreeSet<String>,
+/// Internal mutable state of one run, threaded through the active
+/// [`crate::search::SearchStrategy`].
+pub(crate) struct RunState {
+    pub(crate) frame: DataFrame,
+    pub(crate) agenda: DataAgenda,
+    pub(crate) generated: Vec<GeneratedFeature>,
+    pub(crate) skipped: Vec<SkippedFeature>,
+    pub(crate) source_suggestions: Vec<(String, String)>,
+    pub(crate) seen_keys: BTreeSet<String>,
     /// Original features that received a unary-derived feature.
-    unary_transformed: BTreeSet<String>,
+    pub(crate) unary_transformed: BTreeSet<String>,
     /// Original features referenced by accepted non-unary candidates.
-    referenced: BTreeSet<String>,
+    pub(crate) referenced: BTreeSet<String>,
     /// Run-scoped telemetry recorder (disabled unless the config's
     /// observability section is active).
-    rec: Recorder,
+    pub(crate) rec: Recorder,
 }
 
 impl<'a> SmartFeat<'a> {
@@ -134,21 +135,17 @@ impl<'a> SmartFeat<'a> {
         let selector = OperatorSelector::new(self.selector_fm, &self.config, rec.clone());
         let generator = FunctionGenerator::new(self.generator_fm, &self.config, rec.clone());
 
-        if self.config.operators.unary {
-            let _span = rec.span("phase.unary");
-            self.unary_phase(&selector, &generator, &mut state)?;
-        }
-        if self.config.operators.binary {
-            let _span = rec.span("phase.binary");
-            self.sampling_phase(OperatorFamily::Binary, &selector, &generator, &mut state)?;
-        }
-        if self.config.operators.high_order {
-            let _span = rec.span("phase.high_order");
-            self.sampling_phase(OperatorFamily::HighOrder, &selector, &generator, &mut state)?;
-        }
-        if self.config.operators.extractor {
-            let _span = rec.span("phase.extractor");
-            self.sampling_phase(OperatorFamily::Extractor, &selector, &generator, &mut state)?;
+        let strategy = crate::search::strategy_for(self.config.search.strategy);
+        {
+            let _span = rec.span(&format!("stage.search.{}", strategy.name()));
+            let mut ctx = crate::search::SearchCtx {
+                sf: self,
+                selector: &selector,
+                generator: &generator,
+                state: &mut state,
+                selector_calls_start: selector_before.calls,
+            };
+            strategy.search(&mut ctx)?;
         }
 
         let dropped_originals = if self.config.drop_heuristic {
@@ -264,111 +261,25 @@ impl<'a> SmartFeat<'a> {
         Ok(Some(report))
     }
 
-    /// Unary exploration with the proposal strategy, one call per original
-    /// feature.
-    fn unary_phase(
-        &self,
-        selector: &OperatorSelector,
-        generator: &FunctionGenerator,
-        state: &mut RunState,
-    ) -> Result<()> {
-        for attr in state.agenda.original_names() {
-            let select_span = state.rec.span("stage.select");
-            let candidates = selector.propose_unary(&state.agenda, &attr)?;
-            drop(select_span);
-            // Dedup serially (the seen-set is ordered state), then realize
-            // the attribute's surviving candidates as one batch: their
-            // pure transforms run concurrently on the pool.
-            let fresh: Vec<Candidate> = candidates
-                .into_iter()
-                .filter(|cand| state.seen_keys.insert(cand.dedup_key()))
-                .collect();
-            let accepted = self.realize_batch(generator, state, &fresh)?;
-            if accepted.contains(&true) {
-                state.unary_transformed.insert(attr.clone());
-            }
-        }
-        Ok(())
-    }
-
-    /// Sampling exploration for one family: continue until the sampling
-    /// budget or the generation-error threshold is reached (paper §3.2).
-    fn sampling_phase(
-        &self,
-        family: OperatorFamily,
-        selector: &OperatorSelector,
-        generator: &FunctionGenerator,
-        state: &mut RunState,
-    ) -> Result<()> {
-        let mut errors = 0usize;
-        for _ in 0..self.config.sampling_budget {
-            if errors >= self.config.error_threshold {
-                break;
-            }
-            // One sample, with LangChain-style retries when the response is
-            // unparseable: re-ask up to `retry_malformed` times before the
-            // failure counts against the error threshold.
-            let mut sample = Sample::Invalid(String::new());
-            let select_span = state.rec.span("stage.select");
-            for _attempt in 0..=self.config.retry_malformed {
-                sample = match family {
-                    OperatorFamily::Binary => selector.sample_binary(&state.agenda)?,
-                    OperatorFamily::HighOrder => selector.sample_highorder(&state.agenda)?,
-                    OperatorFamily::Extractor => selector.sample_extractor(&state.agenda)?,
-                    // sfcheck:allow(panic-hygiene, panic-reachability) invariant: stage dispatch routes Unary elsewhere
-                    OperatorFamily::Unary => unreachable!("unary uses the proposal strategy"),
-                };
-                if !matches!(sample, Sample::Invalid(_)) {
-                    break;
-                }
-            }
-            drop(select_span);
-            match sample {
-                Sample::Exhausted => break,
-                Sample::Invalid(_) => {
-                    errors += 1;
-                    state.skipped.push(SkippedFeature {
-                        name: format!("<{} sample>", family.name()),
-                        family,
-                        reason: SkipReason::InvalidSample,
-                    });
-                }
-                Sample::Candidate(cand) => {
-                    if !state.seen_keys.insert(cand.dedup_key()) {
-                        errors += 1;
-                        state.rec.event(
-                            "sample.repeated",
-                            &[
-                                ("family", family.name().into()),
-                                ("name", cand.name.as_str().into()),
-                            ],
-                        );
-                        state.skipped.push(SkippedFeature {
-                            name: cand.name.clone(),
-                            family,
-                            reason: SkipReason::RepeatedSample,
-                        });
-                        continue;
-                    }
-                    // A batch of one: each sample's prompt depends on the
-                    // agenda as enriched by earlier acceptances, so the
-                    // sampling loop is inherently serial across iterations.
-                    let accepted =
-                        self.realize_batch(generator, state, std::slice::from_ref(&cand))?[0];
-                    if accepted {
-                        for col in &cand.columns {
-                            state.referenced.insert(col.clone());
-                        }
-                    }
-                }
-            }
-        }
-        Ok(())
-    }
-
     /// Realize a batch of candidates: generate each function, execute it,
     /// filter the resulting column(s), and attach survivors. Returns, per
     /// candidate, whether at least one column was kept.
+    pub(crate) fn realize_batch(
+        &self,
+        generator: &FunctionGenerator,
+        state: &mut RunState,
+        cands: &[Candidate],
+    ) -> Result<Vec<bool>> {
+        Ok(self
+            .realize_batch_kept(generator, state, cands)?
+            .into_iter()
+            .map(|names| !names.is_empty())
+            .collect())
+    }
+
+    /// Like [`SmartFeat::realize_batch`], but returns the kept column
+    /// names per candidate so score-guided strategies (beam, evolutionary)
+    /// can evaluate and prune exactly what each candidate contributed.
     ///
     /// Three stages keep the output bit-identical for every thread count:
     ///
@@ -387,12 +298,12 @@ impl<'a> SmartFeat<'a> {
     ///    candidates in order against the live frame, so duplicate
     ///    detection sees earlier batch survivors exactly as a serial
     ///    pipeline would, and report/agenda order never changes.
-    fn realize_batch(
+    pub(crate) fn realize_batch_kept(
         &self,
         generator: &FunctionGenerator,
         state: &mut RunState,
         cands: &[Candidate],
-    ) -> Result<Vec<bool>> {
+    ) -> Result<Vec<Vec<String>>> {
         let threads = smartfeat_par::resolve_threads(self.config.threads);
 
         // Stage 1: serial FM walk.
@@ -470,11 +381,11 @@ impl<'a> SmartFeat<'a> {
 
         // Stage 3: serial in-order filter and commit.
         let commit_span = state.rec.span("realize.commit");
-        let mut accepted = Vec::with_capacity(cands.len());
+        let mut accepted: Vec<Vec<String>> = Vec::with_capacity(cands.len());
         for (cand, slot) in cands.iter().zip(staged) {
             let (func, columns) = match slot {
                 Staged::Rejected => {
-                    accepted.push(false);
+                    accepted.push(Vec::new());
                     continue;
                 }
                 // sfcheck:allow(panic-hygiene, panic-reachability) invariant: the loop above resolves every Pending
@@ -485,12 +396,12 @@ impl<'a> SmartFeat<'a> {
                         family: cand.family,
                         reason: SkipReason::TransformFailed(msg),
                     });
-                    accepted.push(false);
+                    accepted.push(Vec::new());
                     continue;
                 }
                 Staged::Ready { func, columns } => (func, columns),
             };
-            let mut kept_any = false;
+            let mut kept: Vec<String> = Vec::new();
             for col in columns {
                 if self.config.feature_filter {
                     let eval_span = state.rec.span("stage.evaluate");
@@ -544,18 +455,18 @@ impl<'a> SmartFeat<'a> {
                     cand.family,
                 );
                 state.generated.push(GeneratedFeature {
-                    name,
+                    name: name.clone(),
                     family: cand.family,
                     columns: cand.columns.clone(),
                     description: cand.description.clone(),
                     transform: format!("{func:?}"),
                 });
-                kept_any = true;
+                kept.push(name);
             }
-            if kept_any {
+            if !kept.is_empty() {
                 state.rec.family(cand.family.name(), |f| f.accepted += 1);
             }
-            accepted.push(kept_any);
+            accepted.push(kept);
         }
         drop(commit_span);
         Ok(accepted)
@@ -624,7 +535,7 @@ fn snapshot_delta(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::OperatorMask;
+    use crate::config::{OperatorFamily, OperatorMask};
     use smartfeat_fm::{FmConfig, ModelSpec, SimulatedFm};
     use smartfeat_frame::Column;
 

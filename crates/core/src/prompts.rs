@@ -86,6 +86,66 @@ pub fn function_generation(agenda: &DataAgenda, candidate: &Candidate) -> String
     out
 }
 
+/// Evolutionary-search prompt: mutate one surviving candidate into a
+/// variant feature (LLM-FE-style, see PAPERS.md).
+pub fn mutate_candidate(agenda: &DataAgenda, parent: &Candidate) -> String {
+    format!(
+        "{}Mutate the candidate feature below into a different feature for predicting \
+         {target}: change one ingredient (an operand, the operator, or the aggregation) \
+         while keeping what makes it useful. Respond with a JSON object tagged with a \
+         \"family\" key (Binary/HighOrder/Extractor) and that family's sampling fields.\n\
+         Parent family: {family}\n\
+         Parent name: {name}\n\
+         Parent columns: {columns}\n\
+         Parent description: {description}\n",
+        agenda.render(),
+        target = agenda.target,
+        family = parent.family.name(),
+        name = parent.name,
+        columns = parent.columns.join(", "),
+        description = parent.description,
+    )
+}
+
+/// Evolutionary-search prompt: combine two surviving candidates into one
+/// offspring feature.
+pub fn crossover_candidates(agenda: &DataAgenda, a: &Candidate, b: &Candidate) -> String {
+    format!(
+        "{}Combine the two parent features below into one offspring feature for \
+         predicting {target}, inheriting ingredients from both. Respond with a JSON \
+         object tagged with a \"family\" key (Binary/HighOrder/Extractor) and that \
+         family's sampling fields.\n\
+         Parent A family: {fa}\n\
+         Parent A name: {na}\n\
+         Parent A columns: {ca}\n\
+         Parent B family: {fb}\n\
+         Parent B name: {nb}\n\
+         Parent B columns: {cb}\n",
+        agenda.render(),
+        target = agenda.target,
+        fa = a.family.name(),
+        na = a.name,
+        ca = a.columns.join(", "),
+        fb = b.family.name(),
+        nb = b.name,
+        cb = b.columns.join(", "),
+    )
+}
+
+/// ReAct-strategy prompt: show the observation from the last turn and ask
+/// for the next exploration action.
+pub fn react_decision(agenda: &DataAgenda, observation: &str) -> String {
+    format!(
+        "{}Decide the next exploration action for predicting {target}. Actions: \
+         propose_unary (with \"attribute\"), sample_binary, sample_highorder, \
+         sample_extractor, stop. Respond with a JSON object containing \"action\" \
+         and, for propose_unary, \"attribute\".\n\
+         Observation:\n{observation}",
+        agenda.render(),
+        target = agenda.target,
+    )
+}
+
 /// EXTENSION (paper §5 future work): ask the FM which features are
 /// unlikely to help the prediction and can be removed.
 pub fn feature_removal(agenda: &DataAgenda) -> String {
@@ -161,6 +221,59 @@ mod tests {
         assert!(p.contains("Provide an executable transformation function"));
         assert!(p.contains("Relevant columns: Age"));
         assert!(p.contains("Operator hint: bucketize"));
+    }
+
+    #[test]
+    fn mutation_prompt_carries_parent_and_marker() {
+        let parent = Candidate {
+            name: "Age_div_Claim".into(),
+            columns: vec!["Age".into(), "Claim".into()],
+            description: "claims per year of age".into(),
+            spec: OperatorSpec::Binary {
+                op: smartfeat_frame::ops::BinaryOp::Div,
+            },
+            family: OperatorFamily::Binary,
+        };
+        let p = mutate_candidate(&agenda(), &parent);
+        assert!(p.contains("Mutate the candidate feature"));
+        assert!(p.contains("Parent family: Binary"));
+        assert!(p.contains("Parent name: Age_div_Claim"));
+        assert!(p.contains("Parent columns: Age, Claim"));
+        assert!(p.contains("Prediction target: Safe"));
+    }
+
+    #[test]
+    fn crossover_prompt_carries_both_parents_and_marker() {
+        let mk = |name: &str| Candidate {
+            name: name.into(),
+            columns: vec!["Age".into()],
+            description: "d".into(),
+            spec: OperatorSpec::Unary {
+                op: "normalize".into(),
+            },
+            family: OperatorFamily::Unary,
+        };
+        let p = crossover_candidates(&agenda(), &mk("A_feat"), &mk("B_feat"));
+        assert!(p.contains("Combine the two parent features"));
+        assert!(p.contains("Parent A name: A_feat"));
+        assert!(p.contains("Parent B name: B_feat"));
+        assert!(p.contains("\"family\" key"));
+    }
+
+    #[test]
+    fn react_prompt_lists_actions_and_ends_with_observation() {
+        let p = react_decision(&agenda(), "Turn: 0/8\nConsecutive failures: 0\n");
+        assert!(p.contains("Decide the next exploration action"));
+        for action in [
+            "propose_unary",
+            "sample_binary",
+            "sample_highorder",
+            "sample_extractor",
+            "stop",
+        ] {
+            assert!(p.contains(action), "missing action {action}");
+        }
+        assert!(p.ends_with("Observation:\nTurn: 0/8\nConsecutive failures: 0\n"));
     }
 
     #[test]

@@ -28,6 +28,10 @@ pub enum SkipReason {
     InvalidSample,
     /// The sample duplicated an earlier candidate.
     RepeatedSample,
+    /// The feature was realized but removed again by a search strategy's
+    /// score-guided pruning (beam / evolutionary selection pressure). Not
+    /// a generation error: the candidate was valid, just outcompeted.
+    Pruned,
 }
 
 impl SkipReason {
@@ -53,6 +57,7 @@ impl SkipReason {
             SkipReason::SourceOnly(_) => "source_only",
             SkipReason::InvalidSample => "invalid_sample",
             SkipReason::RepeatedSample => "repeated_sample",
+            SkipReason::Pruned => "pruned",
         }
     }
 }
@@ -262,6 +267,7 @@ mod tests {
         assert!(SkipReason::GenerationFailed("x".into()).is_generation_error());
         assert!(!SkipReason::HighNull(0.9).is_generation_error());
         assert!(!SkipReason::Duplicate("a".into()).is_generation_error());
+        assert!(!SkipReason::Pruned.is_generation_error());
         assert_eq!(report().generation_errors(), 1);
     }
 
@@ -270,6 +276,7 @@ mod tests {
         assert_eq!(SkipReason::HighNull(0.9).tag(), "high_null");
         assert_eq!(SkipReason::Duplicate("a".into()).tag(), "duplicate");
         assert_eq!(SkipReason::InvalidSample.tag(), "invalid_sample");
+        assert_eq!(SkipReason::Pruned.tag(), "pruned");
         assert_eq!(
             SkipReason::GenerationFailed("x".into()).tag(),
             "generation_failed"

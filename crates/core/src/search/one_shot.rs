@@ -1,0 +1,126 @@
+//! The paper's single-pass walk (Section 3.2), unchanged: unary
+//! proposals per original attribute, then one sampling loop per enabled
+//! family. With `fm_call_budget = 0` (the default) this emits exactly
+//! the FM calls, events, and report rows of the pre-trait pipeline —
+//! `tests/strategy_oracle.rs` holds the byte-level proof.
+
+use crate::config::OperatorFamily;
+use crate::error::Result;
+use crate::operators::Candidate;
+use crate::report::{SkipReason, SkippedFeature};
+use crate::selector::Sample;
+
+use super::{SearchCtx, SearchStrategy};
+
+/// The default strategy: one proposal pass, one sampling pass per family.
+pub(crate) struct OneShot;
+
+impl SearchStrategy for OneShot {
+    fn name(&self) -> &'static str {
+        "one_shot"
+    }
+
+    fn search(&self, ctx: &mut SearchCtx<'_, '_>) -> Result<()> {
+        if ctx.sf.config.operators.unary {
+            let _span = ctx.state.rec.span("phase.unary");
+            unary_phase(ctx)?;
+        }
+        if ctx.sf.config.operators.binary {
+            let _span = ctx.state.rec.span("phase.binary");
+            sampling_phase(ctx, OperatorFamily::Binary)?;
+        }
+        if ctx.sf.config.operators.high_order {
+            let _span = ctx.state.rec.span("phase.high_order");
+            sampling_phase(ctx, OperatorFamily::HighOrder)?;
+        }
+        if ctx.sf.config.operators.extractor {
+            let _span = ctx.state.rec.span("phase.extractor");
+            sampling_phase(ctx, OperatorFamily::Extractor)?;
+        }
+        Ok(())
+    }
+}
+
+/// Unary exploration with the proposal strategy, one call per original
+/// feature.
+pub(crate) fn unary_phase(ctx: &mut SearchCtx<'_, '_>) -> Result<()> {
+    for attr in ctx.state.agenda.original_names() {
+        if !ctx.can_spend(1) {
+            break;
+        }
+        let select_span = ctx.state.rec.span("stage.select");
+        let candidates = ctx.selector.propose_unary(&ctx.state.agenda, &attr)?;
+        drop(select_span);
+        // Dedup serially (the seen-set is ordered state), then realize
+        // the attribute's surviving candidates as one batch: their
+        // pure transforms run concurrently on the pool.
+        let fresh: Vec<Candidate> = candidates
+            .into_iter()
+            .filter(|cand| ctx.state.seen_keys.insert(cand.dedup_key()))
+            .collect();
+        let accepted = ctx.sf.realize_batch(ctx.generator, ctx.state, &fresh)?;
+        if accepted.contains(&true) {
+            ctx.state.unary_transformed.insert(attr.clone());
+        }
+    }
+    Ok(())
+}
+
+/// Sampling exploration for one family: continue until the sampling
+/// budget or the generation-error threshold is reached (paper §3.2).
+pub(crate) fn sampling_phase(ctx: &mut SearchCtx<'_, '_>, family: OperatorFamily) -> Result<()> {
+    let mut errors = 0usize;
+    for _ in 0..ctx.sf.config.sampling_budget {
+        if errors >= ctx.sf.config.error_threshold {
+            break;
+        }
+        if !ctx.can_spend(ctx.sample_cost()) {
+            break;
+        }
+        // One sample, with LangChain-style retries when the response is
+        // unparseable: re-ask up to `retry_malformed` times before the
+        // failure counts against the error threshold.
+        let sample = ctx.draw_sample(family)?;
+        match sample {
+            Sample::Exhausted => break,
+            Sample::Invalid(_) => {
+                errors += 1;
+                ctx.state.skipped.push(SkippedFeature {
+                    name: format!("<{} sample>", family.name()),
+                    family,
+                    reason: SkipReason::InvalidSample,
+                });
+            }
+            Sample::Candidate(cand) => {
+                if !ctx.state.seen_keys.insert(cand.dedup_key()) {
+                    errors += 1;
+                    ctx.state.rec.event(
+                        "sample.repeated",
+                        &[
+                            ("family", family.name().into()),
+                            ("name", cand.name.as_str().into()),
+                        ],
+                    );
+                    ctx.state.skipped.push(SkippedFeature {
+                        name: cand.name.clone(),
+                        family,
+                        reason: SkipReason::RepeatedSample,
+                    });
+                    continue;
+                }
+                // A batch of one: each sample's prompt depends on the
+                // agenda as enriched by earlier acceptances, so the
+                // sampling loop is inherently serial across iterations.
+                let accepted =
+                    ctx.sf
+                        .realize_batch(ctx.generator, ctx.state, std::slice::from_ref(&cand))?[0];
+                if accepted {
+                    for col in &cand.columns {
+                        ctx.state.referenced.insert(col.clone());
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}

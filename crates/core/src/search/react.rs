@@ -1,0 +1,251 @@
+//! ReAct-style search: an observe-think-act loop where the FM reads the
+//! run so far (features generated, remaining attributes, the last
+//! action's outcome and CV score) and picks the next exploration move —
+//! a unary proposal on a named attribute, one sample from a family, or
+//! stop. Turns are bounded by `react_turns`; unparseable decisions and
+//! fruitless actions count as failures against `error_threshold`.
+
+use std::collections::BTreeSet;
+
+use crate::config::OperatorFamily;
+use crate::error::Result;
+use crate::operators::Candidate;
+use crate::report::{SkipReason, SkippedFeature};
+use crate::selector::{ReactDecision, Sample};
+
+use super::{SearchCtx, SearchStrategy};
+
+/// Observe-think-act agent over the operator space.
+pub(crate) struct React;
+
+impl SearchStrategy for React {
+    fn name(&self) -> &'static str {
+        "react"
+    }
+
+    fn search(&self, ctx: &mut SearchCtx<'_, '_>) -> Result<()> {
+        let turns = ctx.sf.config.search.react_turns;
+        let mut failures = 0usize;
+        let mut last_action = "start".to_string();
+        let mut last_outcome = "n/a".to_string();
+        let mut last_score = "n/a".to_string();
+        // Attributes already proposed on this run, fruitful or not —
+        // `unary_transformed` only records fruitful ones, and retrying a
+        // fruitless attribute would burn every remaining turn on it.
+        let mut explored: BTreeSet<String> = BTreeSet::new();
+        for turn in 0..turns {
+            if failures >= ctx.sf.config.error_threshold {
+                break;
+            }
+            // Worst case per turn: one decision call plus one sampling
+            // step with retries.
+            if !ctx.can_spend(1 + ctx.sample_cost()) {
+                break;
+            }
+            let turn_span = ctx.state.rec.span("search.react.turn");
+            let observation = observe(
+                ctx,
+                &explored,
+                turn,
+                turns,
+                &last_action,
+                &last_outcome,
+                &last_score,
+                failures,
+            );
+            let select_span = ctx.state.rec.span("stage.select");
+            let decision = ctx.selector.decide(&ctx.state.agenda, &observation)?;
+            drop(select_span);
+
+            let mut kept: Vec<String> = Vec::new();
+            let (action, outcome) = match decision {
+                ReactDecision::Stop => {
+                    drop(turn_span);
+                    ctx.state.rec.event(
+                        "search.react.turn",
+                        &[
+                            ("turn", (turn as u64).into()),
+                            ("action", "stop".into()),
+                            ("outcome", "stopped".into()),
+                        ],
+                    );
+                    break;
+                }
+                ReactDecision::Invalid => {
+                    failures += 1;
+                    ("invalid", "failed".to_string())
+                }
+                ReactDecision::ProposeUnary(attr) => {
+                    let attr = attr
+                        .filter(|a| unexplored(ctx, &explored).contains(a))
+                        .or_else(|| unexplored(ctx, &explored).first().cloned());
+                    match attr {
+                        None => {
+                            failures += 1;
+                            ("propose_unary", "exhausted".to_string())
+                        }
+                        Some(attr) => {
+                            explored.insert(attr.clone());
+                            kept = propose_step(ctx, &attr)?;
+                            if kept.is_empty() {
+                                failures += 1;
+                                ("propose_unary", "nothing_kept".to_string())
+                            } else {
+                                failures = 0;
+                                ("propose_unary", format!("kept {}", kept.len()))
+                            }
+                        }
+                    }
+                }
+                ReactDecision::SampleFamily(family) => {
+                    if !family_enabled(ctx, family) {
+                        failures += 1;
+                        ("sample", "family_disabled".to_string())
+                    } else {
+                        let (outcome, k) = sample_step(ctx, family)?;
+                        kept = k;
+                        if kept.is_empty() {
+                            failures += 1;
+                        } else {
+                            failures = 0;
+                        }
+                        ("sample", outcome)
+                    }
+                }
+            };
+            last_action = action.to_string();
+            last_outcome = outcome.clone();
+            last_score = if kept.is_empty() {
+                "n/a".to_string()
+            } else {
+                format!("{:.2}", ctx.best_feature_score(&kept))
+            };
+            drop(turn_span);
+            ctx.state.rec.event(
+                "search.react.turn",
+                &[
+                    ("turn", (turn as u64).into()),
+                    ("action", action.into()),
+                    ("outcome", outcome.as_str().into()),
+                ],
+            );
+        }
+        Ok(())
+    }
+}
+
+/// Original attributes not yet unary-proposed this run, in agenda order.
+fn unexplored(ctx: &SearchCtx<'_, '_>, explored: &BTreeSet<String>) -> Vec<String> {
+    ctx.state
+        .agenda
+        .original_names()
+        .into_iter()
+        .filter(|a| {
+            !explored.contains(a)
+                && !ctx.state.unary_transformed.contains(a)
+                && *a != ctx.state.agenda.target
+        })
+        .collect()
+}
+
+fn family_enabled(ctx: &SearchCtx<'_, '_>, family: OperatorFamily) -> bool {
+    let m = ctx.sf.config.operators;
+    match family {
+        OperatorFamily::Unary => m.unary,
+        OperatorFamily::Binary => m.binary,
+        OperatorFamily::HighOrder => m.high_order,
+        OperatorFamily::Extractor => m.extractor,
+    }
+}
+
+/// Render the observation block the FM sees at the top of each turn.
+#[allow(clippy::too_many_arguments)]
+fn observe(
+    ctx: &SearchCtx<'_, '_>,
+    explored: &BTreeSet<String>,
+    turn: usize,
+    turns: usize,
+    last_action: &str,
+    last_outcome: &str,
+    last_score: &str,
+    failures: usize,
+) -> String {
+    let unexplored = unexplored(ctx, explored);
+    let unexplored = if unexplored.is_empty() {
+        "none".to_string()
+    } else {
+        unexplored.join(", ")
+    };
+    format!(
+        "Turn: {turn}/{turns}\n\
+         Features generated: {}\n\
+         Unexplored attributes: {unexplored}\n\
+         Last action: {last_action}\n\
+         Last outcome: {last_outcome}\n\
+         Last feature score: {last_score}\n\
+         Consecutive failures: {failures}\n",
+        ctx.state.generated.len(),
+    )
+}
+
+/// One unary-proposal action on `attr`; returns the kept column names.
+fn propose_step(ctx: &mut SearchCtx<'_, '_>, attr: &str) -> Result<Vec<String>> {
+    let select_span = ctx.state.rec.span("stage.select");
+    let candidates = ctx.selector.propose_unary(&ctx.state.agenda, attr)?;
+    drop(select_span);
+    let fresh: Vec<Candidate> = candidates
+        .into_iter()
+        .filter(|cand| ctx.state.seen_keys.insert(cand.dedup_key()))
+        .collect();
+    let kept: Vec<String> = ctx
+        .sf
+        .realize_batch_kept(ctx.generator, ctx.state, &fresh)?
+        .into_iter()
+        .flatten()
+        .collect();
+    if !kept.is_empty() {
+        ctx.state.unary_transformed.insert(attr.to_string());
+    }
+    Ok(kept)
+}
+
+/// One sampling action from `family`; returns the outcome tag and kept
+/// column names.
+fn sample_step(
+    ctx: &mut SearchCtx<'_, '_>,
+    family: OperatorFamily,
+) -> Result<(String, Vec<String>)> {
+    match ctx.draw_sample(family)? {
+        Sample::Exhausted => Ok(("exhausted".to_string(), Vec::new())),
+        Sample::Invalid(_) => {
+            ctx.state.skipped.push(SkippedFeature {
+                name: format!("<{} sample>", family.name()),
+                family,
+                reason: SkipReason::InvalidSample,
+            });
+            Ok(("invalid_sample".to_string(), Vec::new()))
+        }
+        Sample::Candidate(cand) => {
+            if !ctx.state.seen_keys.insert(cand.dedup_key()) {
+                ctx.state.skipped.push(SkippedFeature {
+                    name: cand.name.clone(),
+                    family,
+                    reason: SkipReason::RepeatedSample,
+                });
+                return Ok(("repeated_sample".to_string(), Vec::new()));
+            }
+            let kept = ctx
+                .sf
+                .realize_batch_kept(ctx.generator, ctx.state, std::slice::from_ref(&cand))?
+                .swap_remove(0);
+            if kept.is_empty() {
+                Ok(("nothing_kept".to_string(), Vec::new()))
+            } else {
+                for col in &cand.columns {
+                    ctx.state.referenced.insert(col.clone());
+                }
+                Ok((format!("kept {}", kept.len()), kept))
+            }
+        }
+    }
+}

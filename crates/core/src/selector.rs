@@ -162,34 +162,7 @@ impl<'a> OperatorSelector<'a> {
         let Some(dict) = fmout::parse_dict(&response.text) else {
             return Ok(Sample::Invalid(response.text));
         };
-        let (Some(left), Some(op_text), Some(right)) = (
-            dict.get("left").and_then(|v| v.as_str()),
-            dict.get("op").and_then(|v| v.as_str()),
-            dict.get("right").and_then(|v| v.as_str()),
-        ) else {
-            return Ok(Sample::Invalid(response.text));
-        };
-        let op = match op_text.trim() {
-            "+" => BinaryOp::Add,
-            "-" => BinaryOp::Sub,
-            "*" => BinaryOp::Mul,
-            "/" => BinaryOp::Div,
-            _ => return Ok(Sample::Invalid(response.text)),
-        };
-        if !agenda.has(&left) || !agenda.has(&right) || left == right {
-            return Ok(Sample::Invalid(response.text));
-        }
-        let description = dict
-            .get("description")
-            .and_then(|v| v.as_str())
-            .unwrap_or_default();
-        Ok(Sample::Candidate(Box::new(Candidate {
-            name: format!("{}_{}_{}", left, op.token(), right),
-            columns: vec![left, right],
-            description,
-            spec: OperatorSpec::Binary { op },
-            family: OperatorFamily::Binary,
-        })))
+        Ok(parse_binary_dict(agenda, &dict, &response.text))
     }
 
     /// Sampling strategy: one GroupbyThenAgg candidate.
@@ -206,51 +179,7 @@ impl<'a> OperatorSelector<'a> {
         let Some(dict) = fmout::parse_dict(&response.text) else {
             return Ok(Sample::Invalid(response.text));
         };
-        let group_cols: Vec<String> = dict
-            .get("groupby_col")
-            .map(|v| v.as_list())
-            .unwrap_or_default();
-        let (Some(agg_col), Some(func_text)) = (
-            dict.get("agg_col").and_then(|v| v.as_str()),
-            dict.get("function").and_then(|v| v.as_str()),
-        ) else {
-            return Ok(Sample::Invalid(response.text));
-        };
-        let Some(func) = AggFunc::parse(&func_text) else {
-            return Ok(Sample::Invalid(response.text));
-        };
-        if group_cols.is_empty()
-            || !agenda.has(&agg_col)
-            || group_cols.iter().any(|g| !agenda.has(g))
-            || group_cols.contains(&agg_col)
-        {
-            return Ok(Sample::Invalid(response.text));
-        }
-        let name = format!(
-            "GroupBy_{}_{}_{}",
-            group_cols.join("_"),
-            func.name(),
-            agg_col
-        );
-        let description = format!(
-            "df.groupby([{}])[{}].transform({})",
-            group_cols.join(", "),
-            agg_col,
-            func.name()
-        );
-        let mut columns = group_cols.clone();
-        columns.push(agg_col.clone());
-        Ok(Sample::Candidate(Box::new(Candidate {
-            name,
-            columns,
-            description,
-            spec: OperatorSpec::HighOrder {
-                group_cols,
-                agg_col,
-                func,
-            },
-            family: OperatorFamily::HighOrder,
-        })))
+        Ok(parse_highorder_dict(agenda, &dict, &response.text))
     }
 
     /// Sampling strategy: one extractor candidate.
@@ -267,60 +196,249 @@ impl<'a> OperatorSelector<'a> {
         let Some(dict) = fmout::parse_dict(&response.text) else {
             return Ok(Sample::Invalid(response.text));
         };
-        let kind = dict
-            .get("kind")
-            .and_then(|v| v.as_str())
-            .unwrap_or_default();
-        if kind == "none" {
-            return Ok(Sample::Exhausted);
-        }
-        let columns: Vec<String> = dict.get("columns").map(|v| v.as_list()).unwrap_or_default();
-        if columns.is_empty() || columns.iter().any(|c| !agenda.has(c)) {
-            return Ok(Sample::Invalid(response.text));
-        }
-        let name = dict
-            .get("name")
-            .and_then(|v| v.as_str())
-            .unwrap_or_else(|| format!("Extracted_{}", columns.join("_")));
-        let description = dict
-            .get("description")
-            .and_then(|v| v.as_str())
-            .unwrap_or_default();
-        let spec = match kind.as_str() {
-            "weighted_index" => {
-                let weights: Vec<f64> = dict
-                    .get("weights")
-                    .map(|v| v.as_list().iter().filter_map(|s| s.parse().ok()).collect())
-                    .unwrap_or_default();
-                if weights.len() != columns.len() {
-                    return Ok(Sample::Invalid(response.text));
-                }
-                let normalize = matches!(dict.get("normalize"), Some(fmout::DictValue::Bool(true)));
-                OperatorSpec::WeightedIndex { weights, normalize }
-            }
-            "per_unit" => {
-                if columns.len() != 2 {
-                    return Ok(Sample::Invalid(response.text));
-                }
-                OperatorSpec::PerUnit
-            }
-            "external_lookup" => {
-                let knowledge = dict
-                    .get("knowledge")
-                    .and_then(|v| v.as_str())
-                    .unwrap_or_default();
-                OperatorSpec::ExternalLookup { knowledge }
-            }
-            _ => return Ok(Sample::Invalid(response.text)),
-        };
-        Ok(Sample::Candidate(Box::new(Candidate {
-            name,
-            columns,
-            description,
-            spec,
-            family: OperatorFamily::Extractor,
-        })))
+        Ok(parse_extractor_dict(agenda, &dict, &response.text))
     }
+
+    /// Evolutionary-search step: ask the FM to mutate one surviving
+    /// candidate into a variant. The offspring dict carries a `family`
+    /// tag routing it to the matching sampling parser.
+    pub fn mutate(&self, agenda: &DataAgenda, parent: &Candidate) -> Result<Sample> {
+        let prompt = prompts::mutate_candidate(agenda, parent);
+        let response = self.fm.complete(&prompt)?;
+        self.note_fm(parent.family, &response);
+        let sample = parse_offspring(agenda, &response.text);
+        self.note_sample(sample_family(&sample).unwrap_or(parent.family), &sample);
+        Ok(sample)
+    }
+
+    /// Evolutionary-search step: ask the FM to combine two surviving
+    /// candidates into one offspring feature.
+    pub fn crossover(&self, agenda: &DataAgenda, a: &Candidate, b: &Candidate) -> Result<Sample> {
+        let prompt = prompts::crossover_candidates(agenda, a, b);
+        let response = self.fm.complete(&prompt)?;
+        self.note_fm(a.family, &response);
+        let sample = parse_offspring(agenda, &response.text);
+        self.note_sample(sample_family(&sample).unwrap_or(a.family), &sample);
+        Ok(sample)
+    }
+
+    /// ReAct step: show the FM the current observation (generated
+    /// features, last outcome, remaining attributes) and parse its next
+    /// action.
+    pub fn decide(&self, agenda: &DataAgenda, observation: &str) -> Result<ReactDecision> {
+        let prompt = prompts::react_decision(agenda, observation);
+        let response = self.fm.complete(&prompt)?;
+        self.rec
+            .family("ReAct", |f| f.fm.add(crate::fm_usage_of(&response)));
+        let Some(dict) = fmout::parse_dict(&response.text) else {
+            return Ok(ReactDecision::Invalid);
+        };
+        let action = dict
+            .get("action")
+            .and_then(|v| v.as_str())
+            .unwrap_or_default();
+        Ok(match action.as_str() {
+            "propose_unary" => {
+                ReactDecision::ProposeUnary(dict.get("attribute").and_then(|v| v.as_str()))
+            }
+            "sample_binary" => ReactDecision::SampleFamily(OperatorFamily::Binary),
+            "sample_highorder" => ReactDecision::SampleFamily(OperatorFamily::HighOrder),
+            "sample_extractor" => ReactDecision::SampleFamily(OperatorFamily::Extractor),
+            "stop" => ReactDecision::Stop,
+            _ => ReactDecision::Invalid,
+        })
+    }
+}
+
+/// One parsed observe-think-act decision from the ReAct strategy's FM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReactDecision {
+    /// Run the unary proposal strategy on the named attribute (or the
+    /// first unexplored one when `None` / unknown).
+    ProposeUnary(Option<String>),
+    /// Draw one sample from the named family.
+    SampleFamily(OperatorFamily),
+    /// End the search.
+    Stop,
+    /// The decision was unparseable; counts as an error turn.
+    Invalid,
+}
+
+/// Family of a parsed sample, when it is a candidate.
+fn sample_family(sample: &Sample) -> Option<OperatorFamily> {
+    match sample {
+        Sample::Candidate(c) => Some(c.family),
+        _ => None,
+    }
+}
+
+/// Route a mutation / crossover offspring dict — tagged with a `family`
+/// key — to the matching sampling parser.
+fn parse_offspring(agenda: &DataAgenda, text: &str) -> Sample {
+    let Some(dict) = fmout::parse_dict(text) else {
+        return Sample::Invalid(text.to_string());
+    };
+    let family = dict
+        .get("family")
+        .and_then(|v| v.as_str())
+        .unwrap_or_default();
+    match family.as_str() {
+        "Binary" => parse_binary_dict(agenda, &dict, text),
+        "HighOrder" => parse_highorder_dict(agenda, &dict, text),
+        "Extractor" => parse_extractor_dict(agenda, &dict, text),
+        _ => Sample::Invalid(text.to_string()),
+    }
+}
+
+/// Validate a binary-arithmetic dict into a candidate. Shared between the
+/// sampling strategy and evolutionary offspring parsing.
+fn parse_binary_dict(
+    agenda: &DataAgenda,
+    dict: &std::collections::BTreeMap<String, fmout::DictValue>,
+    raw: &str,
+) -> Sample {
+    let (Some(left), Some(op_text), Some(right)) = (
+        dict.get("left").and_then(|v| v.as_str()),
+        dict.get("op").and_then(|v| v.as_str()),
+        dict.get("right").and_then(|v| v.as_str()),
+    ) else {
+        return Sample::Invalid(raw.to_string());
+    };
+    let op = match op_text.trim() {
+        "+" => BinaryOp::Add,
+        "-" => BinaryOp::Sub,
+        "*" => BinaryOp::Mul,
+        "/" => BinaryOp::Div,
+        _ => return Sample::Invalid(raw.to_string()),
+    };
+    if !agenda.has(&left) || !agenda.has(&right) || left == right {
+        return Sample::Invalid(raw.to_string());
+    }
+    let description = dict
+        .get("description")
+        .and_then(|v| v.as_str())
+        .unwrap_or_default();
+    Sample::Candidate(Box::new(Candidate {
+        name: format!("{}_{}_{}", left, op.token(), right),
+        columns: vec![left, right],
+        description,
+        spec: OperatorSpec::Binary { op },
+        family: OperatorFamily::Binary,
+    }))
+}
+
+/// Validate a GroupbyThenAgg dict into a candidate.
+fn parse_highorder_dict(
+    agenda: &DataAgenda,
+    dict: &std::collections::BTreeMap<String, fmout::DictValue>,
+    raw: &str,
+) -> Sample {
+    let group_cols: Vec<String> = dict
+        .get("groupby_col")
+        .map(|v| v.as_list())
+        .unwrap_or_default();
+    let (Some(agg_col), Some(func_text)) = (
+        dict.get("agg_col").and_then(|v| v.as_str()),
+        dict.get("function").and_then(|v| v.as_str()),
+    ) else {
+        return Sample::Invalid(raw.to_string());
+    };
+    let Some(func) = AggFunc::parse(&func_text) else {
+        return Sample::Invalid(raw.to_string());
+    };
+    if group_cols.is_empty()
+        || !agenda.has(&agg_col)
+        || group_cols.iter().any(|g| !agenda.has(g))
+        || group_cols.contains(&agg_col)
+    {
+        return Sample::Invalid(raw.to_string());
+    }
+    let name = format!(
+        "GroupBy_{}_{}_{}",
+        group_cols.join("_"),
+        func.name(),
+        agg_col
+    );
+    let description = format!(
+        "df.groupby([{}])[{}].transform({})",
+        group_cols.join(", "),
+        agg_col,
+        func.name()
+    );
+    let mut columns = group_cols.clone();
+    columns.push(agg_col.clone());
+    Sample::Candidate(Box::new(Candidate {
+        name,
+        columns,
+        description,
+        spec: OperatorSpec::HighOrder {
+            group_cols,
+            agg_col,
+            func,
+        },
+        family: OperatorFamily::HighOrder,
+    }))
+}
+
+/// Validate an extractor dict into a candidate.
+fn parse_extractor_dict(
+    agenda: &DataAgenda,
+    dict: &std::collections::BTreeMap<String, fmout::DictValue>,
+    raw: &str,
+) -> Sample {
+    let kind = dict
+        .get("kind")
+        .and_then(|v| v.as_str())
+        .unwrap_or_default();
+    if kind == "none" {
+        return Sample::Exhausted;
+    }
+    let columns: Vec<String> = dict.get("columns").map(|v| v.as_list()).unwrap_or_default();
+    if columns.is_empty() || columns.iter().any(|c| !agenda.has(c)) {
+        return Sample::Invalid(raw.to_string());
+    }
+    let name = dict
+        .get("name")
+        .and_then(|v| v.as_str())
+        .unwrap_or_else(|| format!("Extracted_{}", columns.join("_")));
+    let description = dict
+        .get("description")
+        .and_then(|v| v.as_str())
+        .unwrap_or_default();
+    let spec = match kind.as_str() {
+        "weighted_index" => {
+            let weights: Vec<f64> = dict
+                .get("weights")
+                .map(|v| v.as_list().iter().filter_map(|s| s.parse().ok()).collect())
+                .unwrap_or_default();
+            if weights.len() != columns.len() {
+                return Sample::Invalid(raw.to_string());
+            }
+            let normalize = matches!(dict.get("normalize"), Some(fmout::DictValue::Bool(true)));
+            OperatorSpec::WeightedIndex { weights, normalize }
+        }
+        "per_unit" => {
+            if columns.len() != 2 {
+                return Sample::Invalid(raw.to_string());
+            }
+            OperatorSpec::PerUnit
+        }
+        "external_lookup" => {
+            let knowledge = dict
+                .get("knowledge")
+                .and_then(|v| v.as_str())
+                .unwrap_or_default();
+            OperatorSpec::ExternalLookup { knowledge }
+        }
+        _ => return Sample::Invalid(raw.to_string()),
+    };
+    Sample::Candidate(Box::new(Candidate {
+        name,
+        columns,
+        description,
+        spec,
+        family: OperatorFamily::Extractor,
+    }))
 }
 
 #[cfg(test)]

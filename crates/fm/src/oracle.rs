@@ -177,6 +177,12 @@ impl SimulatedFm {
             "row_completion"
         } else if prompt.contains("unlikely to help predict") {
             "feature_removal"
+        } else if prompt.contains("Mutate the candidate feature") {
+            "mutation"
+        } else if prompt.contains("Combine the two parent features") {
+            "crossover"
+        } else if prompt.contains("Decide the next exploration action") {
+            "react_decision"
         } else {
             "generic"
         }
@@ -192,6 +198,9 @@ impl SimulatedFm {
             "function_generation" => answer_funcgen(prompt, &ctx),
             "row_completion" => answer_row_completion(prompt),
             "feature_removal" => answer_removal(&ctx),
+            "mutation" => answer_mutation(prompt, &ctx, rng, self.config.temperature),
+            "crossover" => answer_crossover(prompt, &ctx, rng, self.config.temperature),
+            "react_decision" => answer_react(prompt),
             _ => "I need more context to help with this request. Please describe the dataset \
                   features, the prediction target, and the downstream model."
                 .to_string(),
@@ -986,6 +995,65 @@ fn answer_extractor(ctx: &PromptContext, rng: &mut Rng) -> String {
     "{\"kind\": \"none\", \"description\": \"no further extractor feature is evident\"}".to_string()
 }
 
+/// Prefix a sampling-dict answer with the `family` tag the evolutionary
+/// offspring parser routes on. Error dicts get tagged too; the router
+/// still rejects them on their missing fields.
+fn tag_family(json: String, family: &str) -> String {
+    json.replacen('{', &format!("{{\"family\": \"{family}\", "), 1)
+}
+
+/// Mutation: re-draw from the parent's family over the current agenda —
+/// the family is preserved, the ingredients are re-sampled, which is
+/// exactly a one-ingredient neighborhood move in this operator space.
+fn answer_mutation(prompt: &str, ctx: &PromptContext, rng: &mut Rng, temperature: f64) -> String {
+    match field_after(prompt, "Parent family:").as_deref() {
+        Some("High-order") => tag_family(answer_highorder(ctx, rng, temperature), "HighOrder"),
+        Some("Extractor") => tag_family(answer_extractor(ctx, rng), "Extractor"),
+        _ => tag_family(answer_binary(ctx, rng, temperature), "Binary"),
+    }
+}
+
+/// Crossover: inherit one parent's family (an even seeded coin) and
+/// re-draw its ingredients over the agenda both parents enriched.
+fn answer_crossover(prompt: &str, ctx: &PromptContext, rng: &mut Rng, temperature: f64) -> String {
+    let a = field_after(prompt, "Parent A family:").unwrap_or_default();
+    let b = field_after(prompt, "Parent B family:").unwrap_or_default();
+    let pick = if rng.gen_bool(0.5) { a } else { b };
+    match pick.as_str() {
+        "High-order" => tag_family(answer_highorder(ctx, rng, temperature), "HighOrder"),
+        "Extractor" => tag_family(answer_extractor(ctx, rng), "Extractor"),
+        _ => tag_family(answer_binary(ctx, rng, temperature), "Binary"),
+    }
+}
+
+/// ReAct decision policy: deterministic in the observation. Give up
+/// after repeated failures, clear the unary backlog first, then rotate
+/// through the sampled families by turn number.
+fn answer_react(prompt: &str) -> String {
+    let turn: usize = field_after(prompt, "Turn:")
+        .and_then(|t| t.parse().ok())
+        .unwrap_or(0);
+    let failures: usize = field_after(prompt, "Consecutive failures:")
+        .and_then(|t| t.parse().ok())
+        .unwrap_or(0);
+    let first_unexplored = field_after(prompt, "Unexplored attributes:").unwrap_or_default();
+    if failures >= 3 {
+        return "{\"action\": \"stop\"}".to_string();
+    }
+    // Fresh streak and attributes left: explore them first. After a
+    // failure the policy switches to sampling rather than burning the
+    // remaining turns on fruitless proposals.
+    if failures == 0 && !first_unexplored.is_empty() && first_unexplored != "none" {
+        return format!("{{\"action\": \"propose_unary\", \"attribute\": \"{first_unexplored}\"}}");
+    }
+    match turn % 3 {
+        0 => "{\"action\": \"sample_binary\"}",
+        1 => "{\"action\": \"sample_highorder\"}",
+        _ => "{\"action\": \"sample_extractor\"}",
+    }
+    .to_string()
+}
+
 fn answer_funcgen(prompt: &str, ctx: &PromptContext) -> String {
     let hint = field_after(prompt, "Operator hint:").unwrap_or_default();
     let columns: Vec<String> = prompt
@@ -1270,6 +1338,77 @@ mod tests {
             "negative polarity for faults: {}",
             r.text
         );
+    }
+
+    #[test]
+    fn mutation_preserves_parent_family_tag() {
+        let prompt = format!(
+            "{CARD}Mutate the candidate feature below into a different feature for predicting \
+             Safe.\n\
+             Parent family: High-order\n\
+             Parent name: GroupBy_City_mean_Claim\n\
+             Parent columns: City, Claim\n\
+             Parent description: df.groupby([City])[Claim].transform(mean)\n"
+        );
+        let r = fm().complete(&prompt).unwrap();
+        assert!(r.text.contains("\"family\": \"HighOrder\""), "{}", r.text);
+        assert!(r.text.contains("groupby_col"), "{}", r.text);
+    }
+
+    #[test]
+    fn crossover_inherits_a_parent_family() {
+        let prompt = format!(
+            "{CARD}Combine the two parent features below into one offspring feature for \
+             predicting Safe.\n\
+             Parent A family: Binary\n\
+             Parent A name: Age_div_Age_of_car\n\
+             Parent A columns: Age, Age_of_car\n\
+             Parent B family: Binary\n\
+             Parent B name: Age_plus_Claim\n\
+             Parent B columns: Age, Claim\n"
+        );
+        let r = fm().complete(&prompt).unwrap();
+        assert!(r.text.contains("\"family\": \"Binary\""), "{}", r.text);
+        assert!(r.text.contains("\"left\""), "{}", r.text);
+    }
+
+    #[test]
+    fn react_policy_is_deterministic_in_the_observation() {
+        let observe = |turn: usize, unexplored: &str, failures: usize| {
+            format!(
+                "{CARD}Decide the next exploration action for predicting Safe.\n\
+                 Observation:\n\
+                 Turn: {turn}/8\n\
+                 Features generated: 3\n\
+                 Unexplored attributes: {unexplored}\n\
+                 Last action: start\n\
+                 Last outcome: n/a\n\
+                 Last feature score: n/a\n\
+                 Consecutive failures: {failures}\n"
+            )
+        };
+        let model = fm();
+        // Repeated failures end the search.
+        let r = model.complete(&observe(3, "none", 3)).unwrap();
+        assert!(r.text.contains("\"action\": \"stop\""), "{}", r.text);
+        // On a clean streak an unexplored attribute is proposed, by name.
+        let r = model.complete(&observe(1, "City, Age", 0)).unwrap();
+        assert!(
+            r.text.contains("\"action\": \"propose_unary\""),
+            "{}",
+            r.text
+        );
+        assert!(r.text.contains("\"attribute\": \"City\""), "{}", r.text);
+        // After a failure the policy samples instead of re-proposing.
+        let r = model.complete(&observe(3, "City, Age", 1)).unwrap();
+        assert!(r.text.contains("sample_binary"), "{}", r.text);
+        // Otherwise the sampled families rotate with the turn number.
+        let r = model.complete(&observe(3, "none", 0)).unwrap();
+        assert!(r.text.contains("sample_binary"), "{}", r.text);
+        let r = model.complete(&observe(4, "none", 0)).unwrap();
+        assert!(r.text.contains("sample_highorder"), "{}", r.text);
+        let r = model.complete(&observe(5, "none", 0)).unwrap();
+        assert!(r.text.contains("sample_extractor"), "{}", r.text);
     }
 
     #[test]

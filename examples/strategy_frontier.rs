@@ -1,0 +1,61 @@
+//! The search-strategy frontier: FM cost vs downstream AUC per
+//! `--strategy`, the source of the EXPERIMENTS.md "PR-7" table.
+//!
+//! Each strategy runs end-to-end on two datasets; the table reports the
+//! selector+generator FM spend and the 4-fold CV AUC of a logistic
+//! regression over the augmented frame, next to the raw-frame baseline.
+//!
+//! Run with: `cargo run --release --example strategy_frontier`
+
+use smartfeat_repro::ml::kfold_cv_auc;
+use smartfeat_repro::prelude::*;
+
+/// 4-fold logistic-regression CV AUC over every non-target column.
+fn frame_auc(df: &DataFrame, target: &str) -> f64 {
+    let features: Vec<&str> = df
+        .column_names()
+        .into_iter()
+        .filter(|n| *n != target)
+        .collect();
+    let rows = df.to_matrix(&features, 0.0).expect("frame to matrix");
+    let x = Matrix::from_rows(rows).expect("rectangular matrix");
+    let y = df.to_labels(target).expect("labels");
+    kfold_cv_auc(ModelKind::LR, &x, &y, 4, 11).expect("cv score")
+}
+
+fn main() {
+    for name in ["insurance", "Heart"] {
+        let ds = if name == "insurance" {
+            smartfeat_repro::datasets::insurance::generate(120, 7)
+        } else {
+            smartfeat_repro::datasets::by_name(name, 120, 7).expect("dataset exists")
+        };
+        let baseline = frame_auc(&ds.frame, ds.target);
+        println!("## {name} (120 rows, baseline AUC {baseline:.3})");
+        println!(
+            "{:<14} {:>6} {:>8} {:>9} {:>9} {:>7}",
+            "strategy", "calls", "tokens", "FM $", "AUC", "ΔAUC"
+        );
+        for kind in SearchStrategyKind::all() {
+            let selector = SimulatedFm::gpt4(21);
+            let generator = SimulatedFm::gpt35(22);
+            let mut cfg = SmartFeatConfig::default();
+            cfg.search.strategy = kind;
+            let report = SmartFeat::new(&selector, &generator, cfg)
+                .run(&ds.frame, &ds.agenda("RF"))
+                .expect("pipeline runs");
+            let usage = report.total_usage();
+            let auc = frame_auc(&report.frame, ds.target);
+            println!(
+                "{:<14} {:>6} {:>8} {:>9.4} {:>9.3} {:>+7.3}",
+                kind.name(),
+                usage.calls,
+                usage.total_tokens(),
+                usage.cost_usd,
+                auc,
+                auc - baseline,
+            );
+        }
+        println!();
+    }
+}

@@ -23,7 +23,8 @@ pub use smartfeat_rng as rng;
 /// The names most programs need.
 pub mod prelude {
     pub use smartfeat::{
-        DataAgenda, FeatureDescription, SmartFeat, SmartFeatConfig, SmartFeatReport,
+        DataAgenda, FeatureDescription, SearchStrategyKind, SmartFeat, SmartFeatConfig,
+        SmartFeatReport,
     };
     pub use smartfeat_datasets::Dataset;
     pub use smartfeat_fm::{FoundationModel, SimulatedFm};
