@@ -1,92 +1,176 @@
 #!/usr/bin/env bash
-# Local CI: the exact steps .github/workflows/ci.yml runs, in the same
-# order, so a green ./ci.sh means a green pipeline. Everything is
-# --offline per the hermetic-build policy (zero registry dependencies).
+# Local CI, step-runner edition: .github/workflows/ci.yml dispatches the
+# named steps below — this file is the single source of truth for what
+# CI runs, so a green `./ci.sh` locally means a green pipeline.
+# Everything is --offline per the hermetic-build policy (zero registry
+# dependencies).
+#
+# Usage: ./ci.sh [step...]       (no arguments = every step, in order)
+# Steps: build test fmt clippy sfcheck sarif fix threads strategy
+#        artifacts bench
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "==> tier-1: release build"
-cargo build --release --offline
+# One EXIT trap over a cleanup registry, so a failing step (e.g. a bench
+# count-match) never leaves stale temp files behind.
+CLEANUP_PATHS=()
+cleanup() {
+  local p
+  for p in ${CLEANUP_PATHS[@]+"${CLEANUP_PATHS[@]}"}; do rm -rf "$p"; done
+}
+trap cleanup EXIT
 
-echo "==> tier-1: test suite"
-cargo test -q --offline
+step_build() {
+  echo "==> tier-1: release build"
+  cargo build --release --offline
+}
 
-echo "==> lint: rustfmt"
-cargo fmt --check
+step_test() {
+  echo "==> tier-1: test suite"
+  cargo test -q --offline
+}
 
-echo "==> lint: clippy (warnings are errors)"
-cargo clippy --all-targets --offline -- -D warnings
+step_fmt() {
+  echo "==> lint: rustfmt"
+  cargo fmt --check
+}
 
-echo "==> sfcheck: repo-invariant static analysis"
-cargo run -p sfcheck --offline
+step_clippy() {
+  echo "==> lint: clippy (warnings are errors)"
+  cargo clippy --all-targets --offline -- -D warnings
+}
 
-echo "==> sfcheck: SARIF artifact"
-cargo run -q -p sfcheck --offline -- --sarif > sfcheck.sarif.json
-echo "    wrote sfcheck.sarif.json ($(wc -c < sfcheck.sarif.json) bytes)"
+step_sfcheck() {
+  echo "==> sfcheck: repo-invariant static analysis"
+  cargo run -p sfcheck --offline
+}
 
-echo "==> sfcheck: --fix idempotency (double pass on a temp copy)"
-FIX_TMP="$(mktemp -d)"
-trap 'rm -rf "$FIX_TMP"' EXIT
-# Copy the tree (sans build products / VCS) so --fix never touches the
-# real checkout here; the second pass must apply zero fixes.
-rsync -a --exclude target --exclude .git ./ "$FIX_TMP/" 2>/dev/null \
-  || cp -r ./crates ./Cargo.toml ./sfcheck.baseline.json "$FIX_TMP/"
-FIRST="$(cargo run -q -p sfcheck --offline -- --fix --root "$FIX_TMP" | tail -1)"
-SECOND="$(cargo run -q -p sfcheck --offline -- --fix --root "$FIX_TMP" | tail -1)"
-echo "    first:  $FIRST"
-echo "    second: $SECOND"
-case "$SECOND" in
-  *"applied 0 fix(es) in 0 file(s)"*) ;;
-  *) echo "    ERROR: second --fix pass was not a no-op" >&2; exit 1 ;;
-esac
-if ! diff -rq --exclude target --exclude .git ./crates "$FIX_TMP/crates" > /dev/null; then
-  echo "    ERROR: --fix modified a clean tree" >&2
-  diff -rq --exclude target --exclude .git ./crates "$FIX_TMP/crates" >&2 || true
-  exit 1
-fi
-rm -rf "$FIX_TMP"
-trap - EXIT
+step_sarif() {
+  echo "==> sfcheck: SARIF artifact"
+  cargo run -q -p sfcheck --offline -- --sarif > sfcheck.sarif.json
+  echo "    wrote sfcheck.sarif.json ($(wc -c < sfcheck.sarif.json) bytes)"
+}
 
-echo "==> determinism matrix: SMARTFEAT_THREADS=1"
-SMARTFEAT_THREADS=1 cargo test -q --offline
+step_fix() {
+  echo "==> sfcheck: --fix idempotency (double pass on a temp copy)"
+  local tmp first second
+  tmp="$(mktemp -d)"
+  CLEANUP_PATHS+=("$tmp")
+  # Copy the tree (sans build products / VCS) so --fix never touches the
+  # real checkout here; the second pass must apply zero fixes.
+  rsync -a --exclude target --exclude .git ./ "$tmp/" 2>/dev/null \
+    || cp -r ./crates ./Cargo.toml ./sfcheck.baseline.json "$tmp/"
+  first="$(cargo run -q -p sfcheck --offline -- --fix --root "$tmp" | tail -1)"
+  second="$(cargo run -q -p sfcheck --offline -- --fix --root "$tmp" | tail -1)"
+  echo "    first:  $first"
+  echo "    second: $second"
+  case "$second" in
+    *"applied 0 fix(es) in 0 file(s)"*) ;;
+    *) echo "    ERROR: second --fix pass was not a no-op" >&2; exit 1 ;;
+  esac
+  if ! diff -rq --exclude target --exclude .git ./crates "$tmp/crates" > /dev/null; then
+    echo "    ERROR: --fix modified a clean tree" >&2
+    diff -rq --exclude target --exclude .git ./crates "$tmp/crates" >&2 || true
+    exit 1
+  fi
+}
 
-echo "==> determinism matrix: SMARTFEAT_THREADS=4"
-SMARTFEAT_THREADS=4 cargo test -q --offline
+step_threads() {
+  local t
+  for t in 1 4; do
+    echo "==> determinism matrix: SMARTFEAT_THREADS=$t"
+    SMARTFEAT_THREADS="$t" cargo test -q --offline
+  done
+}
 
-echo "==> strategy determinism: differential oracle + 1/4/8 re-exec matrix"
-# strategy_oracle re-execs itself per SMARTFEAT_THREADS value;
-# strategy_trace pins the blessed per-strategy trace goldens and
-# prop_search the search invariants (width/population/turn/FM budget).
-cargo test -q --offline --test strategy_oracle --test strategy_trace --test prop_search
+step_strategy() {
+  echo "==> strategy + cascade determinism: differential oracles + 1/4/8 re-exec matrices"
+  # strategy_oracle and cascade re-exec themselves per SMARTFEAT_THREADS
+  # value; strategy_trace pins the blessed per-strategy trace goldens
+  # and prop_search the search invariants (width/population/turn/FM
+  # budget).
+  cargo test -q --offline \
+    --test strategy_oracle --test strategy_trace --test prop_search --test cascade
+}
 
-echo "==> bench smoke: substrates compile and run (tiny sample count)"
-# Not a perf gate — numbers from shared CI hardware are noise. This only
-# proves the harness runs end to end and emits parseable JSON lines in
-# the same shape as the checked-in BENCH_PR6.json baseline (recorded on
-# a quiet machine; regenerate per BENCHMARKS.md / EXPERIMENTS.md).
-# The sink path must be absolute: cargo runs bench binaries with the
-# package directory as cwd, not the workspace root.
-SMARTFEAT_BENCH_SAMPLES=2 SMARTFEAT_BENCH_JSON="$PWD/bench-smoke.json" \
-  cargo bench -p smartfeat-bench --bench substrates --offline > /dev/null
-SMOKE_LINES="$(wc -l < bench-smoke.json)"
-BASE_LINES="$(wc -l < BENCH_PR6.json)"
-echo "    bench-smoke.json: $SMOKE_LINES benchmarks (baseline has $BASE_LINES)"
-if [ "$SMOKE_LINES" -ne "$BASE_LINES" ]; then
-  echo "    ERROR: bench set drifted from BENCH_PR6.json — regenerate the baseline" >&2
-  exit 1
-fi
-rm -f bench-smoke.json
+step_artifacts() {
+  echo "==> observability artifacts: cascade CLI run (metrics + trace JSON)"
+  mkdir -p ci-artifacts
+  printf '%s\n' \
+    'age,bmi,smoker,children,label' \
+    '19,27.9,yes,0,1' '33,22.7,no,1,0' '28,33.0,no,3,0' '45,25.7,yes,2,1' \
+    '52,30.9,no,0,1' '23,34.4,no,0,0' '56,39.8,no,0,1' '27,42.1,yes,1,1' \
+    '19,24.6,no,1,0' '61,29.0,no,2,1' \
+    > ci-artifacts/smoke.csv
+  cargo run -q --offline -p smartfeat --bin smartfeat -- \
+    --csv ci-artifacts/smoke.csv --target label --cascade \
+    --metrics-out ci-artifacts/metrics.json \
+    --trace-out ci-artifacts/trace.jsonl > /dev/null
+  if ! grep -q '"routing"' ci-artifacts/metrics.json; then
+    echo "    ERROR: cascade metrics lack per-family routing stats" >&2
+    exit 1
+  fi
+  echo "    wrote ci-artifacts/metrics.json ($(wc -c < ci-artifacts/metrics.json) bytes)"
+  echo "    wrote ci-artifacts/trace.jsonl ($(wc -l < ci-artifacts/trace.jsonl) events)"
+}
 
-echo "==> bench smoke: strategies sweep matches BENCH_PR7.json"
-SMARTFEAT_BENCH_SAMPLES=2 SMARTFEAT_BENCH_JSON="$PWD/bench-smoke-strategies.json" \
-  cargo bench -p smartfeat-bench --bench strategies --offline > /dev/null
-SMOKE_LINES="$(wc -l < bench-smoke-strategies.json)"
-BASE_LINES="$(wc -l < BENCH_PR7.json)"
-echo "    bench-smoke-strategies.json: $SMOKE_LINES benchmarks (baseline has $BASE_LINES)"
-if [ "$SMOKE_LINES" -ne "$BASE_LINES" ]; then
-  echo "    ERROR: bench set drifted from BENCH_PR7.json — regenerate the baseline" >&2
-  exit 1
-fi
-rm -f bench-smoke-strategies.json
+step_bench() {
+  # Not a perf gate — numbers from shared CI hardware are noise. This
+  # only proves each harness runs end to end and emits one JSON line per
+  # benchmark in its checked-in BENCH_*.json baseline (recorded on a
+  # quiet machine; regenerate per EXPERIMENTS.md). Every baseline names
+  # its bench source via a "ci-baseline: <file>" marker comment, so
+  # checking in BENCH_PR9.json plus a marked bench is all a future PR
+  # needs to be gated here. KEEP_BENCH_SMOKE=1 preserves the sink files
+  # for CI artifact upload; otherwise the EXIT trap removes them even
+  # when a count-match fails.
+  local base src bench sink smoke_lines base_lines
+  for base in BENCH_*.json; do
+    src="$(grep -rl "ci-baseline: $base" crates/bench/benches || true)"
+    if [ -z "$src" ]; then
+      echo "    ERROR: no bench under crates/bench/benches carries a 'ci-baseline: $base' marker" >&2
+      exit 1
+    fi
+    if [ "$(printf '%s\n' "$src" | wc -l)" -ne 1 ]; then
+      echo "    ERROR: multiple benches claim $base: $src" >&2
+      exit 1
+    fi
+    bench="$(basename "$src" .rs)"
+    sink="$PWD/bench-smoke-$bench.json"
+    if [ "${KEEP_BENCH_SMOKE:-0}" != "1" ]; then
+      CLEANUP_PATHS+=("$sink")
+    fi
+    echo "==> bench smoke: $bench matches $base"
+    rm -f "$sink"
+    # The sink path must be absolute: cargo runs bench binaries with the
+    # package directory as cwd, not the workspace root.
+    SMARTFEAT_BENCH_SAMPLES=2 SMARTFEAT_BENCH_JSON="$sink" \
+      cargo bench -p smartfeat-bench --bench "$bench" --offline > /dev/null
+    smoke_lines="$(wc -l < "$sink")"
+    base_lines="$(wc -l < "$base")"
+    echo "    bench-smoke-$bench.json: $smoke_lines benchmarks (baseline has $base_lines)"
+    if [ "$smoke_lines" -ne "$base_lines" ]; then
+      echo "    ERROR: bench set drifted from $base — regenerate the baseline" >&2
+      exit 1
+    fi
+  done
+}
 
-echo "==> ci.sh: all checks passed"
+ALL_STEPS=(build test fmt clippy sfcheck sarif fix threads strategy artifacts bench)
+
+main() {
+  local steps=("$@") s
+  if [ "${#steps[@]}" -eq 0 ]; then
+    steps=("${ALL_STEPS[@]}")
+  fi
+  for s in "${steps[@]}"; do
+    if ! declare -F "step_$s" > /dev/null; then
+      echo "ci.sh: unknown step '$s' (known: ${ALL_STEPS[*]})" >&2
+      exit 2
+    fi
+    "step_$s"
+  done
+  echo "==> ci.sh: ${steps[*]}: passed"
+}
+
+main "$@"

@@ -1,0 +1,69 @@
+//! Cascade-routing benchmarks: end-to-end pipeline cost per FM
+//! configuration — each single simulated backend serving both roles, the
+//! paper's fixed GPT-4/GPT-3.5 pairing, and the cost-ordered cascade
+//! ladder. The timing side of the cascade-vs-single-model frontier in
+//! EXPERIMENTS.md (dollar cost and AUC come from
+//! `examples/cascade_frontier.rs`). The blessed medians live in
+//! `BENCH_PR8.json` (regenerate with
+//! `SMARTFEAT_BENCH_JSON=$PWD/BENCH_PR8.json cargo bench -p
+//! smartfeat-bench --bench cascade`); CI's bench-smoke job checks the
+//! benchmark set still matches that file's line count.
+//!
+//! ci-baseline: BENCH_PR8.json
+
+use smartfeat::{build_role_fms, BackendKind, CascadeConfig, SmartFeat, SmartFeatConfig};
+use smartfeat_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// One full pipeline run with whatever FM pairing `cfg` asks for;
+/// returns the generated-feature count so the work cannot be optimized
+/// away.
+fn run_search(cfg: &SmartFeatConfig) -> usize {
+    let ds = smartfeat_datasets::insurance::generate(60, 7);
+    let (selector, generator) = build_role_fms(cfg);
+    SmartFeat::new(&selector, &generator, cfg.clone())
+        .run(&ds.frame, &ds.agenda("RF"))
+        .expect("pipeline runs")
+        .generated
+        .len()
+}
+
+fn bench_cascade(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cascade");
+    group.sample_size(10);
+
+    group.bench_function("paper_pairing", |b| {
+        let cfg = SmartFeatConfig {
+            seed: 21,
+            ..SmartFeatConfig::default()
+        };
+        b.iter(|| run_search(&cfg))
+    });
+
+    for kind in BackendKind::all() {
+        let cfg = SmartFeatConfig {
+            backend: Some(kind),
+            seed: 21,
+            ..SmartFeatConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new("single", kind.name()), &cfg, |b, cfg| {
+            b.iter(|| run_search(cfg))
+        });
+    }
+
+    group.bench_function("ladder_default", |b| {
+        let cfg = SmartFeatConfig {
+            cascade: CascadeConfig {
+                enabled: true,
+                ..CascadeConfig::default()
+            },
+            seed: 21,
+            ..SmartFeatConfig::default()
+        };
+        b.iter(|| run_search(&cfg))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_cascade);
+criterion_main!(benches);

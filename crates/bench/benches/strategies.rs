@@ -11,6 +11,8 @@
 //!    `SMARTFEAT_BENCH_JSON=$PWD/BENCH_PR7.json cargo bench -p
 //!    smartfeat-bench --bench strategies`); CI's bench-smoke job checks
 //!    the benchmark set still matches that file's line count.
+//!
+//! ci-baseline: BENCH_PR7.json
 
 use smartfeat::selector::OperatorSelector;
 use smartfeat::{SearchStrategyKind, SmartFeat, SmartFeatConfig};

@@ -1,5 +1,7 @@
 //! Substrate microbenchmarks: the frame operations, ML model fits, and
 //! simulated-FM completions everything else is built on.
+//!
+//! ci-baseline: BENCH_PR6.json
 
 use std::collections::BTreeMap;
 

@@ -20,6 +20,13 @@
 //!   --react-turns N       react: observe-think-act turn budget (default 8)
 //!   --fm-budget N         cap on selector FM calls for the search
 //!                         (default 0 = unlimited)
+//!   --backend NAME        serve both roles from one simulated backend:
+//!                         babbage-002, gpt-3.5-turbo, gpt-4
+//!                         (default: gpt-4 selector + gpt-3.5-turbo generator)
+//!   --cascade             route every prompt through the cost-ordered
+//!                         cascade (babbage-002 -> gpt-3.5-turbo -> gpt-4),
+//!                         escalating on parse failure or hedged output;
+//!                         mutually exclusive with --backend
 //!   --threads N           worker threads for parallel compute stages
 //!                         (default 0 = auto; SMARTFEAT_THREADS overrides;
 //!                         output is identical for every value)
@@ -32,14 +39,18 @@
 //!                         set SMARTFEAT_OBS_WALLCLOCK=1 for wall time)
 //! ```
 //!
-//! The FM endpoints are the in-process simulated GPT-4 / GPT-3.5 pair; to
-//! target a real API implement `smartfeat_fm::FoundationModel` and use the
-//! library interface instead.
+//! The FM endpoints are in-process simulated model families (the GPT-4 /
+//! GPT-3.5 pair by default; see `--backend` / `--cascade`); to target a
+//! real API implement `smartfeat_fm::FoundationModel` and use the library
+//! interface instead.
 
 use std::process::exit;
 
-use smartfeat::{DataAgenda, SearchConfig, SearchStrategyKind, SmartFeat, SmartFeatConfig};
-use smartfeat_fm::{SimulatedFm, Transcribing};
+use smartfeat::{
+    build_role_fms, BackendKind, DataAgenda, SearchConfig, SearchStrategyKind, SmartFeat,
+    SmartFeatConfig,
+};
+use smartfeat_fm::{FoundationModel, Transcribing};
 use smartfeat_frame::csv;
 
 struct Args {
@@ -52,6 +63,8 @@ struct Args {
     budget: usize,
     threads: usize,
     search: SearchConfig,
+    backend: Option<BackendKind>,
+    cascade: bool,
     drop_heuristic: bool,
     fm_removal: bool,
     transcript: bool,
@@ -69,6 +82,8 @@ fn parse_args() -> Result<Args, String> {
     let mut budget = 10usize;
     let mut threads = 0usize;
     let mut search = SearchConfig::default();
+    let mut backend = None;
+    let mut cascade = false;
     let mut drop_heuristic = true;
     let mut fm_removal = false;
     let mut transcript = false;
@@ -147,6 +162,16 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad --fm-budget: {e}"))?;
             }
+            "--backend" => {
+                let name = value("--backend")?;
+                backend = Some(BackendKind::parse(&name).ok_or_else(|| {
+                    format!(
+                        "unknown --backend {name:?}; choose from {}",
+                        BackendKind::all().map(BackendKind::name).join(", ")
+                    )
+                })?);
+            }
+            "--cascade" => cascade = true,
             "--no-drop" => drop_heuristic = false,
             "--fm-removal" => fm_removal = true,
             "--transcript" => transcript = true,
@@ -165,6 +190,8 @@ fn parse_args() -> Result<Args, String> {
         budget,
         threads,
         search,
+        backend,
+        cascade,
         drop_heuristic,
         fm_removal,
         transcript,
@@ -212,11 +239,14 @@ fn main() {
         .collect();
     let agenda = DataAgenda::from_frame(&df, &pairs, &args.target, &args.model);
 
-    let selector = Transcribing::new(SimulatedFm::gpt4(args.seed));
-    let generator = Transcribing::new(SimulatedFm::gpt35(args.seed.wrapping_add(1)));
     let config = SmartFeatConfig {
         sampling_budget: args.budget,
         search: args.search,
+        backend: args.backend,
+        cascade: smartfeat::CascadeConfig {
+            enabled: args.cascade,
+            ..smartfeat::CascadeConfig::default()
+        },
         drop_heuristic: args.drop_heuristic,
         fm_feature_removal: args.fm_removal,
         threads: args.threads,
@@ -228,6 +258,9 @@ fn main() {
         seed: args.seed,
         ..SmartFeatConfig::default()
     };
+    let (selector_fm, generator_fm) = build_role_fms(&config);
+    let selector = Transcribing::new(selector_fm);
+    let generator = Transcribing::new(generator_fm);
     let report = match SmartFeat::new(&selector, &generator, config).run(&df, &agenda) {
         Ok(r) => r,
         Err(e) => {
@@ -270,9 +303,15 @@ fn main() {
     }
 
     if args.transcript {
-        println!("\n=== operator-selector dialogue (gpt-4) ===");
+        println!(
+            "\n=== operator-selector dialogue ({}) ===",
+            selector.model_name()
+        );
         println!("{}", selector.render(160));
-        println!("=== function-generator dialogue (gpt-3.5-turbo) ===");
+        println!(
+            "=== function-generator dialogue ({}) ===",
+            generator.model_name()
+        );
         println!("{}", generator.render(160));
     }
 }

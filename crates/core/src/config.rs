@@ -1,5 +1,6 @@
 //! Pipeline configuration.
 
+use smartfeat_fm::BackendKind;
 use smartfeat_frame::json::{JsonError, JsonValue};
 
 /// Which operator families run — the knob behind the paper's Table 7
@@ -333,6 +334,75 @@ impl SearchConfig {
     }
 }
 
+/// Cascade-routing settings: when enabled, both FM roles are served by a
+/// cascade that tries the cheapest eligible backend first and escalates
+/// on parse failure or low-confidence output (see
+/// `smartfeat_fm::CascadeFm`). Off by default — the paper's fixed
+/// GPT-4/GPT-3.5 pairing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CascadeConfig {
+    /// Route both FM roles through the cascade ladder.
+    pub enabled: bool,
+    /// Backends to try, in order. Must be non-empty when enabled.
+    pub ladder: Vec<BackendKind>,
+}
+
+impl Default for CascadeConfig {
+    fn default() -> Self {
+        CascadeConfig {
+            enabled: false,
+            ladder: BackendKind::all().to_vec(),
+        }
+    }
+}
+
+impl CascadeConfig {
+    /// Serialize as a JSON object; the ladder is an array of backend
+    /// names.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("enabled", self.enabled.into()),
+            (
+                "ladder",
+                JsonValue::Array(
+                    self.ladder
+                        .iter()
+                        .map(|k| JsonValue::Str(k.name().to_string()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Inverse of [`CascadeConfig::to_json`]. Lenient like
+    /// [`ObservabilityConfig::from_json`]: missing keys take their
+    /// defaults, so hand-written configs can set only `enabled`.
+    pub fn from_json(v: &JsonValue) -> Result<Self, JsonError> {
+        let d = CascadeConfig::default();
+        Ok(CascadeConfig {
+            enabled: match v.get("enabled") {
+                None => d.enabled,
+                Some(b) => b
+                    .as_bool()
+                    .ok_or_else(|| JsonError::decode("non-bool field: cascade.enabled"))?,
+            },
+            ladder: match v.get("ladder") {
+                None => d.ladder,
+                Some(l) => l
+                    .as_array()
+                    .ok_or_else(|| JsonError::decode("non-array field: cascade.ladder"))?
+                    .iter()
+                    .map(|item| {
+                        item.as_str().and_then(BackendKind::parse).ok_or_else(|| {
+                            JsonError::decode(format!("unknown cascade backend: {item}"))
+                        })
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+            },
+        })
+    }
+}
+
 /// Full pipeline configuration (paper Section 3 defaults).
 #[derive(Debug, Clone, PartialEq)]
 pub struct SmartFeatConfig {
@@ -380,6 +450,12 @@ pub struct SmartFeatConfig {
     /// Search-strategy settings (the paper's one-shot walk by default;
     /// see [`SearchConfig`]).
     pub search: SearchConfig,
+    /// Serve both FM roles from one model family instead of the paper's
+    /// GPT-4/GPT-3.5 pairing. `None` (the default) keeps the pairing.
+    /// Mutually exclusive with `cascade.enabled`.
+    pub backend: Option<BackendKind>,
+    /// Cascade-routing settings (off by default; see [`CascadeConfig`]).
+    pub cascade: CascadeConfig,
     /// Seed for everything stochastic in the pipeline.
     pub seed: u64,
 }
@@ -402,6 +478,8 @@ impl Default for SmartFeatConfig {
             threads: 0,
             observability: ObservabilityConfig::default(),
             search: SearchConfig::default(),
+            backend: None,
+            cascade: CascadeConfig::default(),
             seed: 0,
         }
     }
@@ -438,6 +516,16 @@ impl SmartFeatConfig {
                 "search.population must be at least 2".into(),
             ));
         }
+        if self.cascade.enabled && self.cascade.ladder.is_empty() {
+            return Err(crate::error::CoreError::InvalidConfig(
+                "cascade.ladder must be non-empty when cascade is enabled".into(),
+            ));
+        }
+        if self.backend.is_some() && self.cascade.enabled {
+            return Err(crate::error::CoreError::InvalidConfig(
+                "backend and cascade are mutually exclusive".into(),
+            ));
+        }
         Ok(())
     }
 
@@ -462,6 +550,14 @@ impl SmartFeatConfig {
             ("threads", self.threads.into()),
             ("observability", self.observability.to_json()),
             ("search", self.search.to_json()),
+            (
+                "backend",
+                match self.backend {
+                    Some(k) => JsonValue::Str(k.name().to_string()),
+                    None => JsonValue::Null,
+                },
+            ),
+            ("cascade", self.cascade.to_json()),
             ("seed", self.seed.into()),
         ])
     }
@@ -511,6 +607,23 @@ impl SmartFeatConfig {
             search: v
                 .get("search")
                 .map(SearchConfig::from_json)
+                .transpose()?
+                .unwrap_or_default(),
+            // Absent in configs serialized before backend selection
+            // existed — default to the paper's pairing, same precedent.
+            backend: match v.get("backend") {
+                None | Some(JsonValue::Null) => None,
+                Some(b) => Some(
+                    b.as_str()
+                        .and_then(BackendKind::parse)
+                        .ok_or_else(|| JsonError::decode(format!("unknown backend: {b}")))?,
+                ),
+            },
+            // Absent in configs serialized before cascade routing
+            // existed — default to off, same precedent.
+            cascade: v
+                .get("cascade")
+                .map(CascadeConfig::from_json)
                 .transpose()?
                 .unwrap_or_default(),
             seed: v
@@ -786,6 +899,98 @@ mod tests {
             };
             assert!(c.validate().is_err(), "{bad:?} should be rejected");
         }
+    }
+
+    #[test]
+    fn cascade_json_roundtrip() {
+        let c = SmartFeatConfig {
+            cascade: CascadeConfig {
+                enabled: true,
+                ladder: vec![BackendKind::Babbage002, BackendKind::Gpt4],
+            },
+            ..SmartFeatConfig::default()
+        };
+        let back = SmartFeatConfig::from_json_string(&c.to_json_string()).unwrap();
+        assert_eq!(back, c);
+        let c = SmartFeatConfig {
+            backend: Some(BackendKind::Gpt35Turbo),
+            ..SmartFeatConfig::default()
+        };
+        let back = SmartFeatConfig::from_json_string(&c.to_json_string()).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn config_without_cascade_or_backend_field_defaults_to_single_model() {
+        let mut v = SmartFeatConfig {
+            backend: Some(BackendKind::Gpt4),
+            cascade: CascadeConfig {
+                enabled: false,
+                ladder: vec![BackendKind::Gpt4],
+            },
+            ..SmartFeatConfig::default()
+        }
+        .to_json();
+        if let JsonValue::Object(m) = &mut v {
+            m.remove("backend");
+            m.remove("cascade");
+        }
+        let back = SmartFeatConfig::from_json(&v).unwrap();
+        assert_eq!(back.backend, None);
+        assert_eq!(back.cascade, CascadeConfig::default());
+        assert_eq!(
+            back,
+            SmartFeatConfig::default(),
+            "pre-cascade configs parse to the paper's GPT-4/GPT-3.5 pairing"
+        );
+    }
+
+    #[test]
+    fn cascade_partial_object_is_lenient() {
+        let v = JsonValue::parse(r#"{"enabled": true}"#).unwrap();
+        let c = CascadeConfig::from_json(&v).unwrap();
+        assert!(c.enabled);
+        assert_eq!(c.ladder, BackendKind::all().to_vec());
+        let v = JsonValue::parse(r#"{"ladder": ["gpt-4"]}"#).unwrap();
+        let c = CascadeConfig::from_json(&v).unwrap();
+        assert!(!c.enabled);
+        assert_eq!(c.ladder, vec![BackendKind::Gpt4]);
+        // Unknown family names and type errors are rejected.
+        let v = JsonValue::parse(r#"{"ladder": ["gpt-5"]}"#).unwrap();
+        assert!(CascadeConfig::from_json(&v).is_err());
+        let v = JsonValue::parse(r#"{"ladder": "gpt-4"}"#).unwrap();
+        assert!(CascadeConfig::from_json(&v).is_err());
+    }
+
+    #[test]
+    fn validation_rejects_bad_cascade_configs() {
+        let c = SmartFeatConfig {
+            cascade: CascadeConfig {
+                enabled: true,
+                ladder: Vec::new(),
+            },
+            ..SmartFeatConfig::default()
+        };
+        assert!(c.validate().is_err(), "empty enabled ladder rejected");
+        let c = SmartFeatConfig {
+            backend: Some(BackendKind::Gpt4),
+            cascade: CascadeConfig {
+                enabled: true,
+                ..CascadeConfig::default()
+            },
+            ..SmartFeatConfig::default()
+        };
+        assert!(c.validate().is_err(), "backend + cascade rejected");
+        // A disabled empty ladder is fine, as is backend alone.
+        let c = SmartFeatConfig {
+            cascade: CascadeConfig {
+                enabled: false,
+                ladder: Vec::new(),
+            },
+            backend: Some(BackendKind::Babbage002),
+            ..SmartFeatConfig::default()
+        };
+        assert!(c.validate().is_ok());
     }
 
     #[test]

@@ -35,16 +35,19 @@ pub mod operators;
 pub mod pipeline;
 pub mod prompts;
 pub mod report;
+pub mod routing;
 pub mod schema;
 pub mod search;
 pub mod selector;
 pub mod transform;
 
-pub use config::{SearchConfig, SearchStrategyKind, SmartFeatConfig};
+pub use config::{CascadeConfig, SearchConfig, SearchStrategyKind, SmartFeatConfig};
 pub use error::{CoreError, Result};
 pub use pipeline::SmartFeat;
 pub use report::{GeneratedFeature, SkipReason, SmartFeatReport};
+pub use routing::build_role_fms;
 pub use schema::{DataAgenda, FeatureDescription};
+pub use smartfeat_fm::BackendKind;
 
 /// One FM response as an observability usage record.
 pub(crate) fn fm_usage_of(r: &smartfeat_fm::FmResponse) -> smartfeat_obs::FmUsage {

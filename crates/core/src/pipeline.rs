@@ -117,6 +117,8 @@ impl<'a> SmartFeat<'a> {
         };
         let selector_before = self.selector_fm.meter().snapshot();
         let generator_before = self.generator_fm.meter().snapshot();
+        let selector_routing_before = self.selector_fm.routing();
+        let generator_routing_before = self.generator_fm.routing();
         let pool_before = smartfeat_par::pool_stats();
         let work_before = smartfeat_obs::global::snapshot();
         let run_span = rec.span("run");
@@ -166,6 +168,12 @@ impl<'a> SmartFeat<'a> {
         let generator_after = self.generator_fm.meter().snapshot();
         let selector_usage = snapshot_delta(selector_before, selector_after);
         let generator_usage = snapshot_delta(generator_before, generator_after);
+        // Cascade runs expose per-backend routing stats; merge the two
+        // roles' deltas into one map (empty for single-model runs).
+        let routing = crate::routing::merge_routing(
+            crate::routing::routing_delta(&selector_routing_before, &self.selector_fm.routing()),
+            crate::routing::routing_delta(&generator_routing_before, &self.generator_fm.routing()),
+        );
 
         let metrics = self.finish_observability(
             &rec,
@@ -174,6 +182,7 @@ impl<'a> SmartFeat<'a> {
             &fm_removed,
             &selector_usage,
             &generator_usage,
+            &routing,
             pool_before,
             work_before,
         )?;
@@ -205,6 +214,7 @@ impl<'a> SmartFeat<'a> {
         fm_removed: &[String],
         selector_usage: &smartfeat_fm::UsageSnapshot,
         generator_usage: &smartfeat_fm::UsageSnapshot,
+        routing: &smartfeat_fm::RoutingSnapshot,
         pool_before: smartfeat_par::PoolStats,
         work_before: std::collections::BTreeMap<String, smartfeat_obs::global::WorkStat>,
     ) -> Result<Option<smartfeat_frame::json::JsonValue>> {
@@ -216,6 +226,25 @@ impl<'a> SmartFeat<'a> {
         // attribution accumulates separately under `families.<name>.fm`.
         rec.set_fm_usage("selector", crate::fm_usage_of_snapshot(selector_usage));
         rec.set_fm_usage("generator", crate::fm_usage_of_snapshot(generator_usage));
+        if !routing.is_empty() {
+            rec.set_routing(
+                routing
+                    .iter()
+                    .map(|(name, s)| {
+                        (
+                            name.clone(),
+                            smartfeat_obs::RouteUsage {
+                                calls: s.calls as u64,
+                                escalations: s.escalations as u64,
+                                prompt_tokens: s.prompt_tokens as u64,
+                                completion_tokens: s.completion_tokens as u64,
+                                cost_usd: s.cost_usd,
+                            },
+                        )
+                    })
+                    .collect(),
+            );
+        }
 
         let pool_delta = smartfeat_par::pool_stats().since(&pool_before);
         rec.set_pool(PoolCounters {

@@ -8,7 +8,7 @@
 use std::sync::Mutex;
 
 use crate::oracle::{FmError, FmResponse, FoundationModel};
-use crate::stats::UsageMeter;
+use crate::stats::{RoutingSnapshot, UsageMeter};
 
 /// One prompt/response exchange.
 #[derive(Debug, Clone, PartialEq)]
@@ -106,6 +106,10 @@ impl<M: FoundationModel> FoundationModel for Transcribing<M> {
 
     fn meter(&self) -> &UsageMeter {
         self.inner.meter()
+    }
+
+    fn routing(&self) -> Option<RoutingSnapshot> {
+        self.inner.routing()
     }
 }
 

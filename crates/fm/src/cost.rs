@@ -46,6 +46,19 @@ impl ModelSpec {
         }
     }
 
+    /// Babbage-002 (a cheap base-model tier: shallow knowledge, fast,
+    /// an order of magnitude below GPT-3.5-turbo on price).
+    pub fn babbage_002() -> ModelSpec {
+        ModelSpec {
+            name: "babbage-002",
+            usd_per_1k_prompt: 0.0004,
+            usd_per_1k_completion: 0.0004,
+            base_latency_ms: 120.0,
+            ms_per_completion_token: 4.0,
+            ms_per_prompt_token: 0.1,
+        }
+    }
+
     /// Cost in USD for one call.
     pub fn cost_usd(&self, prompt_tokens: usize, completion_tokens: usize) -> f64 {
         prompt_tokens as f64 / 1000.0 * self.usd_per_1k_prompt
@@ -70,6 +83,14 @@ mod tests {
         let g4 = ModelSpec::gpt4();
         let g35 = ModelSpec::gpt35_turbo();
         assert!(g4.cost_usd(1000, 1000) > 10.0 * g35.cost_usd(1000, 1000));
+    }
+
+    #[test]
+    fn babbage_is_the_cheapest_and_fastest_tier() {
+        let b = ModelSpec::babbage_002();
+        let g35 = ModelSpec::gpt35_turbo();
+        assert!(b.cost_usd(1000, 1000) < g35.cost_usd(1000, 1000));
+        assert!(b.latency(100, 100) < g35.latency(100, 100));
     }
 
     #[test]

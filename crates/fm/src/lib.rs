@@ -27,6 +27,8 @@
 //! Determinism: all sampling is driven by a seeded RNG in the oracle, so
 //! identical call sequences produce identical transcripts.
 
+pub mod backend;
+pub mod cascade;
 pub mod chat;
 pub mod cost;
 pub mod knowledge;
@@ -35,7 +37,9 @@ pub mod parse;
 pub mod stats;
 pub mod token;
 
+pub use backend::{BackendKind, FmBackend, KnowledgeCoverage, SimulatedBackend};
+pub use cascade::CascadeFm;
 pub use chat::{Exchange, Transcribing};
 pub use cost::ModelSpec;
-pub use oracle::{FmConfig, FmError, FmResponse, FoundationModel, SimulatedFm};
-pub use stats::{UsageMeter, UsageSnapshot};
+pub use oracle::{prompt_kind, FmConfig, FmError, FmResponse, FoundationModel, SimulatedFm};
+pub use stats::{RouteStat, RoutingSnapshot, UsageMeter, UsageSnapshot};

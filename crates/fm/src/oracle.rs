@@ -6,11 +6,41 @@ use std::sync::{Arc, Mutex};
 
 use smartfeat_rng::Rng;
 
+use crate::backend::KnowledgeCoverage;
 use crate::cost::ModelSpec;
 use crate::knowledge::{self, Concept};
 use crate::parse::{field_after, FeatureInfo, PromptContext};
-use crate::stats::{CallRecord, UsageMeter};
+use crate::stats::{CallRecord, RoutingSnapshot, UsageMeter};
 use crate::token::approx_tokens;
+
+/// Classify a prompt by the task template it carries. The label feeds
+/// the accounting log and the cascade router's eligibility/acceptance
+/// policies, so it is part of the crate's public surface.
+pub fn prompt_kind(prompt: &str) -> &'static str {
+    if prompt.contains("Consider the unary operators on the attribute") {
+        "unary_proposal"
+    } else if prompt.contains("Propose one binary arithmetic feature") {
+        "binary_sample"
+    } else if prompt.contains("Generate a groupby feature") {
+        "highorder_sample"
+    } else if prompt.contains("Propose one extractor feature") {
+        "extractor_sample"
+    } else if prompt.contains("Provide an executable transformation function") {
+        "function_generation"
+    } else if prompt.contains("Complete the value of the last field") {
+        "row_completion"
+    } else if prompt.contains("unlikely to help predict") {
+        "feature_removal"
+    } else if prompt.contains("Mutate the candidate feature") {
+        "mutation"
+    } else if prompt.contains("Combine the two parent features") {
+        "crossover"
+    } else if prompt.contains("Decide the next exploration action") {
+        "react_decision"
+    } else {
+        "generic"
+    }
+}
 
 /// Transport-level errors. Output-quality problems (malformed text,
 /// refusals, repeats) are *not* errors — they arrive as ordinary responses
@@ -61,6 +91,32 @@ pub trait FoundationModel: Send + Sync {
 
     /// Shared usage meter.
     fn meter(&self) -> &UsageMeter;
+
+    /// Per-backend routing stats, when this model routes between several
+    /// backends (see `CascadeFm`). Plain single-model FMs return `None`.
+    fn routing(&self) -> Option<RoutingSnapshot> {
+        None
+    }
+}
+
+/// Boxed trait objects answer prompts like the model they wrap, so
+/// callers can pick a backend at runtime and still use `&dyn`-based APIs.
+impl<M: FoundationModel + ?Sized> FoundationModel for Box<M> {
+    fn model_name(&self) -> &str {
+        (**self).model_name()
+    }
+
+    fn complete(&self, prompt: &str) -> Result<FmResponse, FmError> {
+        (**self).complete(prompt)
+    }
+
+    fn meter(&self) -> &UsageMeter {
+        (**self).meter()
+    }
+
+    fn routing(&self) -> Option<RoutingSnapshot> {
+        (**self).routing()
+    }
 }
 
 /// Configuration of a [`SimulatedFm`].
@@ -77,6 +133,10 @@ pub struct FmConfig {
     pub error_rate: f64,
     /// Optional hard cap on total calls.
     pub call_budget: Option<usize>,
+    /// How much of the [`crate::knowledge`] base this model family can
+    /// see. Shallow models parrot the answer formats but hedge on the
+    /// domain facts behind them.
+    pub coverage: KnowledgeCoverage,
 }
 
 impl Default for FmConfig {
@@ -86,6 +146,7 @@ impl Default for FmConfig {
             temperature: 0.7,
             error_rate: 0.0,
             call_budget: None,
+            coverage: KnowledgeCoverage::Deep,
         }
     }
 }
@@ -161,36 +222,10 @@ impl SimulatedFm {
         Arc::clone(&self.meter)
     }
 
-    /// Classify the request for the accounting log.
-    fn kind_of(prompt: &str) -> &'static str {
-        if prompt.contains("Consider the unary operators on the attribute") {
-            "unary_proposal"
-        } else if prompt.contains("Propose one binary arithmetic feature") {
-            "binary_sample"
-        } else if prompt.contains("Generate a groupby feature") {
-            "highorder_sample"
-        } else if prompt.contains("Propose one extractor feature") {
-            "extractor_sample"
-        } else if prompt.contains("Provide an executable transformation function") {
-            "function_generation"
-        } else if prompt.contains("Complete the value of the last field") {
-            "row_completion"
-        } else if prompt.contains("unlikely to help predict") {
-            "feature_removal"
-        } else if prompt.contains("Mutate the candidate feature") {
-            "mutation"
-        } else if prompt.contains("Combine the two parent features") {
-            "crossover"
-        } else if prompt.contains("Decide the next exploration action") {
-            "react_decision"
-        } else {
-            "generic"
-        }
-    }
-
     fn answer(&self, prompt: &str, rng: &mut Rng) -> String {
         let ctx = PromptContext::parse(prompt);
-        match Self::kind_of(prompt) {
+        let kind = prompt_kind(prompt);
+        let text = match kind {
             "unary_proposal" => answer_unary(prompt, &ctx),
             "binary_sample" => answer_binary(&ctx, rng, self.config.temperature),
             "highorder_sample" => answer_highorder(&ctx, rng, self.config.temperature),
@@ -204,6 +239,10 @@ impl SimulatedFm {
             _ => "I need more context to help with this request. Please describe the dataset \
                   features, the prediction target, and the downstream model."
                 .to_string(),
+        };
+        match self.config.coverage {
+            KnowledgeCoverage::Deep => text,
+            KnowledgeCoverage::Shallow => shallow_degrade(kind, text),
         }
     }
 
@@ -258,7 +297,7 @@ impl FoundationModel for SimulatedFm {
             completion_tokens,
             cost_usd,
             latency,
-            kind: Self::kind_of(prompt).to_string(),
+            kind: prompt_kind(prompt).to_string(),
         });
         Ok(FmResponse {
             text,
@@ -277,6 +316,37 @@ impl FoundationModel for SimulatedFm {
 // ---------------------------------------------------------------------------
 // Task answers
 // ---------------------------------------------------------------------------
+
+/// Shallow-coverage degradation: the cheap base-model family knows the
+/// answer *formats* but not the domain facts behind them, so its output
+/// is well-formed yet hedged — exactly what a cascade's confidence and
+/// completeness checks exist to catch.
+fn shallow_degrade(kind: &str, text: String) -> String {
+    match kind {
+        // Domain confidence collapses: nothing is "certain" or "high"
+        // without the knowledge base behind the proposal.
+        "unary_proposal" => text
+            .replace("(certain)", "(medium)")
+            .replace("(high)", "(medium)"),
+        // World-knowledge lookups are simply absent.
+        "row_completion" => "unknown".to_string(),
+        // Domain bucket boundaries degrade to the "auto" placeholder.
+        "function_generation" => match text.find("boundaries=") {
+            Some(pos) => {
+                let start = pos + "boundaries=".len();
+                let end = text[start..]
+                    .find('\n')
+                    .map(|i| start + i)
+                    .unwrap_or(text.len());
+                let mut t = text;
+                t.replace_range(start..end, "auto");
+                t
+            }
+            None => text,
+        },
+        _ => text,
+    }
+}
 
 /// Confidence labels matching the paper's prompt template.
 fn conf(level: u8) -> &'static str {
@@ -1503,6 +1573,41 @@ mod tests {
         let good = SimulatedFm::gpt4(3).complete(&p).unwrap().text;
         let bad = m.complete(&p).unwrap().text;
         assert_ne!(good, bad);
+    }
+
+    #[test]
+    fn shallow_coverage_hedges_knowledge_heavy_answers() {
+        let shallow = SimulatedFm::new(
+            ModelSpec::babbage_002(),
+            FmConfig {
+                seed: 42,
+                coverage: KnowledgeCoverage::Shallow,
+                ..FmConfig::default()
+            },
+        );
+        // Domain confidence collapses to medium.
+        let unary = format!(
+            "{CARD}Consider the unary operators on the attribute 'Age' that can generate \
+             helpful features to predict Safe. List all possible appropriate operators."
+        );
+        let r = shallow.complete(&unary).unwrap();
+        assert!(!r.text.contains("(certain)"), "{}", r.text);
+        assert!(!r.text.contains("(high)"), "{}", r.text);
+        assert!(r.text.contains("(medium)"), "{}", r.text);
+        // World-knowledge lookups are absent.
+        let row = "Complete the value of the last field.\n\
+            City: SF, City_population_density: ?";
+        assert_eq!(shallow.complete(row).unwrap().text, "unknown");
+        // Bucket boundaries degrade to the auto placeholder.
+        let funcgen = format!(
+            "{CARD}Provide an executable transformation function for the feature 'Bucketized_Age'.\n\
+             Feature name: Bucketized_Age\n\
+             Relevant columns: Age\n\
+             Feature description: group ages into insurance bands\n\
+             Operator hint: bucketize\n"
+        );
+        let r = shallow.complete(&funcgen).unwrap();
+        assert!(r.text.contains("boundaries=auto"), "{}", r.text);
     }
 
     #[test]

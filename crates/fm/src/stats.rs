@@ -4,6 +4,7 @@
 //! `std::sync::Mutex`, so concurrent benchmark harnesses can hammer one
 //! simulated endpoint and still get exact totals.
 
+use std::collections::BTreeMap;
 use std::time::Duration;
 
 use std::sync::Mutex;
@@ -46,6 +47,55 @@ impl UsageSnapshot {
         self.prompt_tokens + self.completion_tokens
     }
 }
+
+/// Per-backend routing accounting for a cascade router: how many
+/// attempts each model family served, how many of those were rejected
+/// and escalated past, and what they cost.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RouteStat {
+    /// Attempts served by this family (accepted or not).
+    pub calls: usize,
+    /// Attempts whose output was rejected, escalating to the next rung.
+    pub escalations: usize,
+    /// Prompt tokens billed by this family.
+    pub prompt_tokens: usize,
+    /// Completion tokens billed by this family.
+    pub completion_tokens: usize,
+    /// USD billed by this family.
+    pub cost_usd: f64,
+}
+
+impl RouteStat {
+    /// Accumulate another stat into this one.
+    pub fn add(&mut self, other: &RouteStat) {
+        self.calls += other.calls;
+        self.escalations += other.escalations;
+        self.prompt_tokens += other.prompt_tokens;
+        self.completion_tokens += other.completion_tokens;
+        self.cost_usd += other.cost_usd;
+    }
+
+    /// `self - earlier`, for snapshot-delta bookkeeping.
+    pub fn delta(&self, earlier: &RouteStat) -> RouteStat {
+        RouteStat {
+            calls: self.calls.saturating_sub(earlier.calls),
+            escalations: self.escalations.saturating_sub(earlier.escalations),
+            prompt_tokens: self.prompt_tokens.saturating_sub(earlier.prompt_tokens),
+            completion_tokens: self
+                .completion_tokens
+                .saturating_sub(earlier.completion_tokens),
+            cost_usd: self.cost_usd - earlier.cost_usd,
+        }
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.calls == 0 && self.escalations == 0
+    }
+}
+
+/// Routing stats keyed by backend name, in sorted (deterministic) order.
+pub type RoutingSnapshot = BTreeMap<String, RouteStat>;
 
 /// Thread-safe accumulating usage meter with a bounded call log.
 #[derive(Debug, Default)]

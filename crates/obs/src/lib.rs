@@ -133,6 +133,35 @@ impl FamilyStats {
     }
 }
 
+/// Per-backend routing usage bridged from a cascade FM's
+/// `RoutingSnapshot` delta (defined here natively — this crate depends
+/// only on `smartfeat-frame`; the pipeline converts).
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct RouteUsage {
+    /// Attempts served by this backend family.
+    pub calls: u64,
+    /// Attempts rejected by the cascade's acceptance policy.
+    pub escalations: u64,
+    /// Prompt tokens billed by this family.
+    pub prompt_tokens: u64,
+    /// Completion tokens billed by this family.
+    pub completion_tokens: u64,
+    /// Simulated USD billed by this family.
+    pub cost_usd: f64,
+}
+
+impl RouteUsage {
+    fn to_json(self) -> JsonValue {
+        JsonValue::object([
+            ("calls", self.calls.into()),
+            ("escalations", self.escalations.into()),
+            ("prompt_tokens", self.prompt_tokens.into()),
+            ("completion_tokens", self.completion_tokens.into()),
+            ("cost_usd", self.cost_usd.into()),
+        ])
+    }
+}
+
 /// Pool counters bridged from `smartfeat_par` (the pipeline snapshots the
 /// process-wide counters before and after a run and records the delta).
 #[derive(Debug, Default, Clone, Copy, PartialEq)]
@@ -161,6 +190,7 @@ struct State {
     spans: BTreeMap<String, SpanAgg>,
     work: BTreeMap<String, global::WorkStat>,
     pool: PoolCounters,
+    routing: BTreeMap<String, RouteUsage>,
     trace: String,
     events: u64,
 }
@@ -271,6 +301,16 @@ impl Recorder {
         if let Some(inner) = &self.inner {
             // sfcheck:allow(panic-reachability) poisoned lock only re-raises a panic from another thread
             inner.state.lock().expect("obs state poisoned").pool = pool;
+        }
+    }
+
+    /// Record per-backend cascade routing stats for this run. Single-model
+    /// runs never call this, so the report omits its `routing` key and
+    /// stays byte-identical to pre-cascade reports.
+    pub fn set_routing(&self, routing: BTreeMap<String, RouteUsage>) {
+        if let Some(inner) = &self.inner {
+            // sfcheck:allow(panic-reachability) poisoned lock only re-raises a panic from another thread
+            inner.state.lock().expect("obs state poisoned").routing = routing;
         }
     }
 
@@ -453,6 +493,21 @@ impl Recorder {
             ("spans", spans),
             ("work", work),
         ];
+        if !state.routing.is_empty() {
+            // Only cascade runs carry routing stats; omitting the key
+            // otherwise keeps single-model reports byte-identical to
+            // pre-cascade ones.
+            report.push((
+                "routing",
+                JsonValue::Object(
+                    state
+                        .routing
+                        .iter()
+                        .map(|(k, v)| (k.clone(), v.to_json()))
+                        .collect(),
+                ),
+            ));
+        }
         if wall {
             let work_ns = JsonValue::Object(
                 state
@@ -671,6 +726,41 @@ mod tests {
                 .as_u64(),
             Some(5)
         );
+    }
+
+    #[test]
+    fn routing_key_appears_only_when_stats_were_set() {
+        let rec = Recorder::new(ClockMode::Logical);
+        assert!(rec.report().get("routing").is_none());
+        // An explicitly empty map still omits the key.
+        rec.set_routing(BTreeMap::new());
+        assert!(rec.report().get("routing").is_none());
+        let mut routing = BTreeMap::new();
+        routing.insert(
+            "babbage-002".to_string(),
+            RouteUsage {
+                calls: 10,
+                escalations: 3,
+                prompt_tokens: 1000,
+                completion_tokens: 200,
+                cost_usd: 0.0005,
+            },
+        );
+        rec.set_routing(routing);
+        let report = rec.report();
+        let entry = report
+            .get("routing")
+            .expect("routing key present")
+            .get("babbage-002")
+            .expect("family entry");
+        assert_eq!(entry.get("calls").unwrap().as_u64(), Some(10));
+        assert_eq!(entry.get("escalations").unwrap().as_u64(), Some(3));
+        // Keys are emitted sorted: routing sits between pool and spans.
+        let text = rec.report_string();
+        let pool = text.find("\"pool\"").unwrap();
+        let routing_pos = text.find("\"routing\"").unwrap();
+        let spans = text.find("\"spans\"").unwrap();
+        assert!(pool < routing_pos && routing_pos < spans, "{text}");
     }
 
     #[test]

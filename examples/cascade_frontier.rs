@@ -1,0 +1,130 @@
+//! The cascade-vs-single-model frontier: FM cost vs downstream AUC per
+//! backend configuration, the source of the EXPERIMENTS.md "PR-8" table.
+//!
+//! Each configuration — every single simulated backend serving both
+//! roles, the paper's fixed GPT-4/GPT-3.5 pairing, and the cost-ordered
+//! cascade ladder — runs the default one-shot pipeline end-to-end on two
+//! datasets, averaged over 20 seeds (single-seed AUC is noisy: which
+//! candidates an FM happens to sample moves downstream AUC by several
+//! points either way — std ≈ 5 on insurance). The table reports mean FM
+//! calls (cascade
+//! calls count every rung attempt), token volume, dollar spend, and the
+//! 4-fold CV AUC of a logistic regression over the augmented frame.
+//! Cascade runs also print their per-family routing split, summed over
+//! the seeds.
+//!
+//! Run with: `cargo run --release --example cascade_frontier`
+
+use smartfeat_repro::ml::kfold_cv_auc;
+use smartfeat_repro::prelude::*;
+
+/// 4-fold logistic-regression CV AUC over every non-target column.
+fn frame_auc(df: &DataFrame, target: &str) -> f64 {
+    let features: Vec<&str> = df
+        .column_names()
+        .into_iter()
+        .filter(|n| *n != target)
+        .collect();
+    let rows = df.to_matrix(&features, 0.0).expect("frame to matrix");
+    let x = Matrix::from_rows(rows).expect("rectangular matrix");
+    let y = df.to_labels(target).expect("labels");
+    kfold_cv_auc(ModelKind::LR, &x, &y, 4, 11).expect("cv score")
+}
+
+const SEED_BASE: u64 = 21;
+const N_SEEDS: u64 = 20;
+
+fn seeds() -> impl Iterator<Item = u64> {
+    SEED_BASE..SEED_BASE + N_SEEDS
+}
+
+fn configs(seed: u64) -> Vec<(String, SmartFeatConfig)> {
+    let base = SmartFeatConfig {
+        seed,
+        ..SmartFeatConfig::default()
+    };
+    let mut out = Vec::new();
+    for kind in BackendKind::all() {
+        out.push((
+            format!("single/{}", kind.name()),
+            SmartFeatConfig {
+                backend: Some(kind),
+                ..base.clone()
+            },
+        ));
+    }
+    out.push(("paper-pairing".to_string(), base.clone()));
+    out.push((
+        "cascade".to_string(),
+        SmartFeatConfig {
+            cascade: CascadeConfig {
+                enabled: true,
+                ..CascadeConfig::default()
+            },
+            ..base
+        },
+    ));
+    out
+}
+
+fn main() {
+    for name in ["insurance", "Heart"] {
+        let ds = if name == "insurance" {
+            smartfeat_repro::datasets::insurance::generate(120, 7)
+        } else {
+            smartfeat_repro::datasets::by_name(name, 120, 7).expect("dataset exists")
+        };
+        let baseline = frame_auc(&ds.frame, ds.target);
+        println!("## {name} (120 rows, baseline AUC {baseline:.3}, mean over {N_SEEDS} seeds)");
+        println!(
+            "{:<22} {:>6} {:>8} {:>9} {:>9} {:>7}",
+            "config", "calls", "tokens", "FM $", "AUC", "ΔAUC"
+        );
+        let labels: Vec<String> = configs(SEED_BASE).into_iter().map(|(l, _)| l).collect();
+        for label in labels {
+            let n = N_SEEDS as f64;
+            let mut calls = 0usize;
+            let mut tokens = 0usize;
+            let mut cost = 0.0f64;
+            let mut auc = 0.0f64;
+            let mut routing = smartfeat_repro::fm::RoutingSnapshot::new();
+            for seed in seeds() {
+                let cfg = configs(seed)
+                    .into_iter()
+                    .find(|(l, _)| *l == label)
+                    .expect("label exists")
+                    .1;
+                let (selector, generator) = build_role_fms(&cfg);
+                let report = SmartFeat::new(&selector, &generator, cfg)
+                    .run(&ds.frame, &ds.agenda("RF"))
+                    .expect("pipeline runs");
+                let usage = report.total_usage();
+                calls += usage.calls;
+                tokens += usage.total_tokens();
+                cost += usage.cost_usd;
+                auc += frame_auc(&report.frame, ds.target);
+                for fm in [&selector, &generator] {
+                    for (family, stat) in fm.routing().unwrap_or_default() {
+                        routing.entry(family).or_default().add(&stat);
+                    }
+                }
+            }
+            println!(
+                "{:<22} {:>6.0} {:>8.0} {:>9.4} {:>9.3} {:>+7.3}",
+                label,
+                calls as f64 / n,
+                tokens as f64 / n,
+                cost / n,
+                auc / n,
+                auc / n - baseline,
+            );
+            for (family, stat) in &routing {
+                println!(
+                    "    {:<20} calls={:<4} escalations={:<3} ${:.4}",
+                    family, stat.calls, stat.escalations, stat.cost_usd
+                );
+            }
+        }
+        println!();
+    }
+}

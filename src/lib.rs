@@ -23,11 +23,11 @@ pub use smartfeat_rng as rng;
 /// The names most programs need.
 pub mod prelude {
     pub use smartfeat::{
-        DataAgenda, FeatureDescription, SearchStrategyKind, SmartFeat, SmartFeatConfig,
-        SmartFeatReport,
+        build_role_fms, CascadeConfig, DataAgenda, FeatureDescription, SearchStrategyKind,
+        SmartFeat, SmartFeatConfig, SmartFeatReport,
     };
     pub use smartfeat_datasets::Dataset;
-    pub use smartfeat_fm::{FoundationModel, SimulatedFm};
+    pub use smartfeat_fm::{BackendKind, CascadeFm, FmBackend, FoundationModel, SimulatedFm};
     pub use smartfeat_frame::{Column, DataFrame, Value};
     pub use smartfeat_ml::{Classifier, Matrix, ModelKind};
 }

@@ -1,0 +1,284 @@
+//! Cascade-routing integration layer.
+//!
+//! 1. `config_without_cascade_keys_reproduces_single_model_bytes` — a
+//!    config JSON serialized before `backend`/`cascade` existed must load
+//!    as the single-model default AND reproduce the default pipeline's
+//!    report digest byte-for-byte (the PR-7 compatibility contract).
+//! 2. `cascade_metrics_report_per_family_routing_stats` — a cascade run
+//!    emits a `routing` section in the JSON metrics report whose per-call
+//!    totals reconcile exactly with the FM usage meters; single-model
+//!    runs emit no `routing` key at all.
+//! 3. `cascade_is_byte_identical_under_thread_matrix` — all four search
+//!    strategies under the cascade, re-executed with
+//!    `SMARTFEAT_THREADS=1/4/8`, produce byte-identical fingerprints
+//!    (report digest + metrics report bytes).
+//! 4. `single_backend_override_serves_both_roles` — `--backend`-style
+//!    configs run end to end on one family.
+
+use std::fmt::Write as _;
+use std::process::Command;
+
+use smartfeat::{
+    build_role_fms, BackendKind, CascadeConfig, SearchStrategyKind, SmartFeat, SmartFeatConfig,
+    SmartFeatReport,
+};
+use smartfeat_fm::FoundationModel;
+use smartfeat_frame::csv;
+use smartfeat_frame::json::JsonValue;
+use smartfeat_ml::{kfold_cv_auc, Matrix, ModelKind};
+
+/// Downstream CV score of an engineered frame: logistic regression,
+/// 4-fold, fixed seed — deterministic and bit-identical across threads.
+fn frame_auc(df: &smartfeat_frame::DataFrame, target: &str) -> f64 {
+    let features: Vec<&str> = df
+        .column_names()
+        .into_iter()
+        .filter(|n| *n != target)
+        .collect();
+    let rows = df.to_matrix(&features, 0.0).expect("frame to matrix");
+    let x = Matrix::from_rows(rows).expect("rectangular matrix");
+    let y = df.to_labels(target).expect("labels");
+    kfold_cv_auc(ModelKind::LR, &x, &y, 4, 11).expect("cv score")
+}
+
+/// Digest one report to text: summary, full frame CSV, exact FM meter
+/// deltas (cost as bit pattern), and the downstream AUC bit pattern.
+fn digest(report: &SmartFeatReport, target: &str, out: &mut String) {
+    out.push_str(&report.summary());
+    out.push_str(&csv::write_csv_str(&report.frame));
+    for (role, u) in [
+        ("selector", &report.selector_usage),
+        ("generator", &report.generator_usage),
+    ] {
+        writeln!(
+            out,
+            "{role} calls={} prompt={} completion={} cost={:016x}",
+            u.calls,
+            u.prompt_tokens,
+            u.completion_tokens,
+            u.cost_usd.to_bits()
+        )
+        .expect("write digest");
+    }
+    writeln!(
+        out,
+        "auc={:016x}",
+        frame_auc(&report.frame, target).to_bits()
+    )
+    .expect("write digest");
+}
+
+/// Run the pipeline with whatever FM pairing `config` asks for.
+fn run_with_config(config: SmartFeatConfig) -> SmartFeatReport {
+    let ds = smartfeat_datasets::insurance::generate(60, 7);
+    let (selector, generator) = build_role_fms(&config);
+    SmartFeat::new(&selector, &generator, config)
+        .run(&ds.frame, &ds.agenda("RF"))
+        .expect("pipeline runs")
+}
+
+#[test]
+fn config_without_cascade_keys_reproduces_single_model_bytes() {
+    // Strip the PR-8 keys the way a pre-cascade serializer would have:
+    // they simply would not be in the object.
+    let text = SmartFeatConfig::default().to_json_string();
+    let mut v = JsonValue::parse(&text).expect("default config parses");
+    let JsonValue::Object(map) = &mut v else {
+        panic!("config JSON is an object");
+    };
+    assert!(map.remove("backend").is_some(), "backend key serialized");
+    assert!(map.remove("cascade").is_some(), "cascade key serialized");
+    let back = SmartFeatConfig::from_json_string(&v.to_string()).expect("old-shape config loads");
+    assert_eq!(
+        back,
+        SmartFeatConfig::default(),
+        "a config without backend/cascade keys must load as the single-model default"
+    );
+
+    let mut old = String::new();
+    let mut new = String::new();
+    digest(&run_with_config(back), "Safe", &mut old);
+    digest(
+        &run_with_config(SmartFeatConfig::default()),
+        "Safe",
+        &mut new,
+    );
+    assert_eq!(
+        old, new,
+        "pre-cascade config shape must reproduce the default report byte-for-byte"
+    );
+}
+
+fn cascade_config() -> SmartFeatConfig {
+    SmartFeatConfig {
+        cascade: CascadeConfig {
+            enabled: true,
+            ..CascadeConfig::default()
+        },
+        ..SmartFeatConfig::default()
+    }
+}
+
+#[test]
+fn cascade_metrics_report_per_family_routing_stats() {
+    let dir = std::env::temp_dir();
+    let cascade_path = dir.join(format!(
+        "smartfeat_cascade_metrics_{}.json",
+        std::process::id()
+    ));
+    let single_path = dir.join(format!(
+        "smartfeat_single_metrics_{}.json",
+        std::process::id()
+    ));
+
+    let mut config = cascade_config();
+    config.observability.metrics_out = Some(cascade_path.display().to_string());
+    let report = run_with_config(config);
+    let metrics = std::fs::read_to_string(&cascade_path).expect("metrics written");
+    let _ = std::fs::remove_file(&cascade_path);
+    let v = JsonValue::parse(&metrics).expect("metrics parse");
+    let Some(JsonValue::Object(routing)) = v.get("routing") else {
+        panic!("cascade metrics must contain a routing object; got {metrics}");
+    };
+    assert!(
+        routing.len() >= 2,
+        "cascade should exercise at least two families: {routing:?}"
+    );
+    let field = |o: &JsonValue, k: &str| -> f64 {
+        match o.get(k) {
+            Some(JsonValue::Num(n)) => *n,
+            other => panic!("routing entry field {k} missing: {other:?}"),
+        }
+    };
+    let mut calls = 0.0;
+    let mut escalations = 0.0;
+    for stat in routing.values() {
+        calls += field(stat, "calls");
+        escalations += field(stat, "escalations");
+        assert!(field(stat, "cost_usd") > 0.0, "every used family has cost");
+    }
+    assert!(
+        escalations > 0.0,
+        "the ladder should escalate at least once"
+    );
+    // Every rung attempt is one metered call on the shared meter, so the
+    // routing totals must reconcile exactly with the role usage deltas.
+    assert_eq!(
+        calls as u64,
+        (report.selector_usage.calls + report.generator_usage.calls) as u64,
+        "routing calls must equal the summed role meter calls"
+    );
+
+    let mut config = SmartFeatConfig::default();
+    config.observability.metrics_out = Some(single_path.display().to_string());
+    run_with_config(config);
+    let metrics = std::fs::read_to_string(&single_path).expect("metrics written");
+    let _ = std::fs::remove_file(&single_path);
+    let v = JsonValue::parse(&metrics).expect("metrics parse");
+    assert!(
+        v.get("routing").is_none(),
+        "single-model runs must not grow a routing key (PR-7 byte compatibility)"
+    );
+}
+
+/// Fingerprint all four strategies under the cascade, plus the metrics
+/// report bytes of the last run.
+fn cascade_fingerprint() -> String {
+    let mut out = String::new();
+    let metrics_path = std::env::temp_dir().join(format!(
+        "smartfeat_cascade_fp_metrics_{}.json",
+        std::process::id()
+    ));
+    for kind in SearchStrategyKind::all() {
+        let ds = smartfeat_datasets::insurance::generate(60, 7);
+        let mut config = cascade_config();
+        config.search.strategy = kind;
+        config.observability.metrics_out = Some(metrics_path.display().to_string());
+        let (selector, generator) = build_role_fms(&config);
+        let report = SmartFeat::new(&selector, &generator, config)
+            .run(&ds.frame, &ds.agenda("RF"))
+            .expect("pipeline runs");
+        writeln!(out, "## cascade {}", kind.name()).expect("write header");
+        digest(&report, ds.target, &mut out);
+        out.push_str(&std::fs::read_to_string(&metrics_path).expect("metrics written"));
+        out.push('\n');
+    }
+    let _ = std::fs::remove_file(&metrics_path);
+    out
+}
+
+/// Inner worker for the re-exec matrix: write the cascade fingerprint to
+/// `SMARTFEAT_CASCADE_MATRIX_OUT`. A no-op in ordinary suite runs.
+#[test]
+fn cascade_matrix_worker() {
+    let Ok(path) = std::env::var("SMARTFEAT_CASCADE_MATRIX_OUT") else {
+        return;
+    };
+    std::fs::write(&path, cascade_fingerprint()).expect("write fingerprint");
+}
+
+#[test]
+fn cascade_is_byte_identical_under_thread_matrix() {
+    if std::env::var("SMARTFEAT_CASCADE_MATRIX_OUT").is_ok() {
+        return; // we are the worker — don't recurse
+    }
+    let exe = std::env::current_exe().expect("current exe");
+    let mut fingerprints = Vec::new();
+    for threads in ["1", "4", "8"] {
+        let out_path = std::env::temp_dir().join(format!(
+            "smartfeat_cascade_matrix_{}_{threads}.txt",
+            std::process::id()
+        ));
+        let status = Command::new(&exe)
+            .args(["--exact", "cascade_matrix_worker"])
+            .env("SMARTFEAT_THREADS", threads)
+            .env("SMARTFEAT_CASCADE_MATRIX_OUT", &out_path)
+            .status()
+            .expect("spawn cascade matrix worker");
+        assert!(
+            status.success(),
+            "worker with SMARTFEAT_THREADS={threads} failed"
+        );
+        let fp = std::fs::read_to_string(&out_path).expect("read fingerprint");
+        let _ = std::fs::remove_file(&out_path);
+        assert!(
+            fp.contains("\"routing\""),
+            "cascade fingerprint at SMARTFEAT_THREADS={threads} lacks routing stats"
+        );
+        fingerprints.push(fp);
+    }
+    for kind in SearchStrategyKind::all() {
+        assert!(
+            fingerprints[0].contains(&format!("## cascade {}", kind.name())),
+            "{} missing from the cascade fingerprint",
+            kind.name()
+        );
+    }
+    assert_eq!(
+        fingerprints[0], fingerprints[1],
+        "SMARTFEAT_THREADS=1 and =4 cascade fingerprints diverge"
+    );
+    assert_eq!(
+        fingerprints[0], fingerprints[2],
+        "SMARTFEAT_THREADS=1 and =8 cascade fingerprints diverge"
+    );
+}
+
+#[test]
+fn single_backend_override_serves_both_roles() {
+    for kind in BackendKind::all() {
+        let config = SmartFeatConfig {
+            backend: Some(kind),
+            ..SmartFeatConfig::default()
+        };
+        let (selector, generator) = build_role_fms(&config);
+        assert_eq!(selector.model_name(), kind.name());
+        assert_eq!(generator.model_name(), kind.name());
+        let report = run_with_config(config);
+        assert!(
+            report.selector_usage.calls > 0,
+            "{} selector made no calls",
+            kind.name()
+        );
+    }
+}
