@@ -6,7 +6,7 @@
 # dependencies).
 #
 # Usage: ./ci.sh [step...]       (no arguments = every step, in order)
-# Steps: build test fmt clippy sfcheck sarif fix threads strategy
+# Steps: build test fmt clippy sfcheck sarif fix cache threads strategy
 #        artifacts bench
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -73,6 +73,51 @@ step_fix() {
     diff -rq --exclude target --exclude .git ./crates "$tmp/crates" >&2 || true
     exit 1
   fi
+}
+
+step_cache() {
+  echo "==> sfcheck: incremental cache (cold vs warm, byte-identity + speedup)"
+  local bin=target/release/sfcheck cold_json warm_json cold_sarif warm_sarif
+  local t0 t1 cold_ms warm_ms t
+  cargo build -q --release --offline -p sfcheck
+  cold_json="$(mktemp)"; warm_json="$(mktemp)"
+  cold_sarif="$(mktemp)"; warm_sarif="$(mktemp)"
+  CLEANUP_PATHS+=("$cold_json" "$warm_json" "$cold_sarif" "$warm_sarif")
+  rm -rf target/sfcheck-cache
+  t0="$(date +%s%N)"; "$bin" --json > "$cold_json"; t1="$(date +%s%N)"
+  cold_ms=$(( (t1 - t0) / 1000000 ))
+  "$bin" --sarif > "$cold_sarif"
+  t0="$(date +%s%N)"; "$bin" --json > "$warm_json"; t1="$(date +%s%N)"
+  warm_ms=$(( (t1 - t0) / 1000000 ))
+  "$bin" --sarif > "$warm_sarif"
+  echo "    cold: ${cold_ms}ms, warm: ${warm_ms}ms"
+  if ! cmp -s "$cold_json" "$warm_json"; then
+    echo "    ERROR: warm --json output differs from cold" >&2
+    diff "$cold_json" "$warm_json" | head >&2 || true
+    exit 1
+  fi
+  if ! cmp -s "$cold_sarif" "$warm_sarif"; then
+    echo "    ERROR: warm --sarif output differs from cold" >&2
+    exit 1
+  fi
+  # The warm path skips every per-file scan and the global passes; if it
+  # is not clearly faster than cold, the cache is not actually being hit.
+  if [ $(( warm_ms * 3 )) -gt "$cold_ms" ]; then
+    echo "    ERROR: warm run (${warm_ms}ms) is not >=3x faster than cold (${cold_ms}ms)" >&2
+    exit 1
+  fi
+  # Warm hits must be thread-count independent, like everything else.
+  for t in 1 4 8; do
+    SMARTFEAT_THREADS="$t" "$bin" --json > "$warm_json"
+    if ! cmp -s "$cold_json" "$warm_json"; then
+      echo "    ERROR: warm --json under SMARTFEAT_THREADS=$t differs from cold" >&2
+      exit 1
+    fi
+  done
+  echo "    byte-identical across cold/warm and SMARTFEAT_THREADS=1/4/8"
+  mkdir -p ci-artifacts
+  cp target/sfcheck-cache/stats.json ci-artifacts/sfcheck-cache-stats.json
+  echo "    wrote ci-artifacts/sfcheck-cache-stats.json ($(cat ci-artifacts/sfcheck-cache-stats.json))"
 }
 
 step_threads() {
@@ -156,7 +201,7 @@ step_bench() {
   done
 }
 
-ALL_STEPS=(build test fmt clippy sfcheck sarif fix threads strategy artifacts bench)
+ALL_STEPS=(build test fmt clippy sfcheck sarif fix cache threads strategy artifacts bench)
 
 main() {
   local steps=("$@") s

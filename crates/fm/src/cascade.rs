@@ -62,6 +62,7 @@ impl CascadeFm {
             .map(|(i, &kind)| {
                 Box::new(SimulatedBackend::new(
                     kind,
+                    // sfcheck:seed-stream(311..327)
                     seed_jump(seed, CASCADE_STREAM + i as u64),
                     Arc::clone(&meter),
                 )) as Box<dyn FmBackend>

@@ -95,7 +95,11 @@ impl JsonValue {
     /// Parse a JSON document. Trailing non-whitespace is an error.
     pub fn parse(text: &str) -> Result<JsonValue, JsonError> {
         let bytes = text.as_bytes();
-        let mut p = Parser { bytes, pos: 0 };
+        let mut p = Parser {
+            bytes,
+            text,
+            pos: 0,
+        };
         p.skip_ws();
         let v = p.value()?;
         p.skip_ws();
@@ -247,6 +251,11 @@ fn emit_string(s: &str, out: &mut String) {
 
 struct Parser<'a> {
     bytes: &'a [u8],
+    /// The same input as a `&str`; `pos` always sits on a char boundary,
+    /// so one-char decodes can slice this directly instead of
+    /// re-validating the whole tail as UTF-8 per character (which made
+    /// string-heavy documents parse in quadratic time).
+    text: &'a str,
     pos: usize,
 }
 
@@ -398,16 +407,19 @@ impl<'a> Parser<'a> {
                     }
                     self.pos += 1;
                 }
-                Some(_) => {
-                    // Consume one UTF-8 encoded char (input is a &str, so
-                    // boundaries are valid by construction).
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
-                    // sfcheck:allow(panic-hygiene) invariant: peek() returned Some, so rest is non-empty
-                    let c = s.chars().next().expect("non-empty");
-                    if (c as u32) < 0x20 {
+                Some(b) if b < 0x80 => {
+                    if b < 0x20 {
                         return Err(self.err("unescaped control character in string"));
                     }
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one multi-byte char. The input is a &str
+                    // and `pos` is a char boundary, so slicing decodes
+                    // exactly one char in O(1).
+                    // sfcheck:allow(panic-hygiene) invariant: peek() returned Some, so the tail is non-empty
+                    let c = self.text[self.pos..].chars().next().expect("non-empty");
                     out.push(c);
                     self.pos += c.len_utf8();
                 }

@@ -96,6 +96,7 @@ impl Classifier for RandomForest {
         let params = self.tree_params;
         self.trees = smartfeat_obs::global::time("ml.forest.fit", || {
             smartfeat_par::try_par_map_indexed(threads, self.n_trees, |i| {
+                // sfcheck:seed-stream(0..100)
                 let mut rng = Rng::seed_from_u64(seed_jump(seed, i as u64));
                 let indices: Vec<usize> = (0..sample_size).map(|_| rng.gen_range(0..n)).collect();
                 let mut tree = DecisionTree::new(params);

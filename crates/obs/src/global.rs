@@ -18,6 +18,7 @@ pub struct WorkStat {
     /// Times the unit ran.
     pub count: u64,
     /// Total wall-clock nanoseconds (saturating).
+    // sfcheck:volatile-field(ns)
     pub ns: u64,
 }
 

@@ -172,6 +172,7 @@ pub struct PoolCounters {
     pub tasks: u64,
     /// Worker threads spawned (occupancy). Thread-count dependent, so it
     /// is reported only under the `volatile` key in wall mode.
+    // sfcheck:volatile-field(workers_spawned)
     pub workers_spawned: u64,
 }
 
@@ -260,6 +261,7 @@ impl Recorder {
     }
 
     /// Increment the named counter.
+    // sfcheck:output-sink
     pub fn incr(&self, name: &str, by: u64) {
         if let Some(inner) = &self.inner {
             // sfcheck:allow(panic-reachability) poisoned lock only re-raises a panic from another thread
@@ -327,6 +329,7 @@ impl Recorder {
     ///
     /// Must only be called from serial code — see the crate-level
     /// determinism contract.
+    // sfcheck:output-sink
     pub fn event(&self, kind: &str, fields: &[(&str, JsonValue)]) {
         if self.inner.is_some() {
             let t = self.now();
@@ -417,6 +420,7 @@ impl Recorder {
     /// tick totals, pool batch/task counts, work-registry counts. Wall
     /// mode adds a `volatile` section (span/work nanoseconds, worker
     /// occupancy) that differential tests must strip.
+    // sfcheck:metrics-report
     pub fn report(&self) -> JsonValue {
         let Some(inner) = &self.inner else {
             return JsonValue::Null;

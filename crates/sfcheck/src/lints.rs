@@ -12,10 +12,15 @@
 //! | F1 | `par-capture-race` | parallel closures capture no shared-mutable bindings |
 //! | F2 | `rng-seed-discipline` | rng streams in parallel regions derive per item |
 //! | F3 | `panic-reachability` | no panic site reachable from the public pipeline API |
+//! | T1 | `determinism-taint` | no wall/env/thread/hash-order value reaches an output sink |
+//! | T2 | `seed-stream-collision` | every `seed_jump` stream claims a disjoint index range |
+//! | T3 | `obs-volatile-discipline` | volatile fields reach the report only under `volatile` |
 //!
 //! F1–F3 are the cross-file dataflow lints ([`crate::dataflow`]); they run
 //! over the workspace symbol table and call graph rather than per-file
-//! tokens, but their findings waive identically.
+//! tokens, but their findings waive identically. T1 and T3 are the
+//! interprocedural taint lints ([`crate::taint`]) and T2 the seed-stream
+//! registry ([`crate::streams`]), added in v3 — same waiver mechanism.
 //!
 //! Findings can be waived inline with a line comment:
 //!
@@ -35,14 +40,17 @@ use crate::lexer::{lex, Token, TokenKind};
 use crate::walker::{FileClass, SourceFile};
 
 /// Identifiers of every shipped lint, in report order.
-pub const LINT_IDS: [&str; 10] = [
+pub const LINT_IDS: [&str; 13] = [
+    "determinism-taint",
     "env-dependence",
     "hash-collections",
     "hermetic-manifest",
+    "obs-volatile-discipline",
     "panic-hygiene",
     "panic-reachability",
     "par-capture-race",
     "rng-seed-discipline",
+    "seed-stream-collision",
     "unsafe-binary-op",
     "waiver-syntax",
     "wall-clock",

@@ -8,6 +8,8 @@
 //! cargo run -p sfcheck -- --fix           # apply mechanical fixes to the tree
 //! cargo run -p sfcheck -- --write-baseline  # record current findings as the baseline
 //! cargo run -p sfcheck -- --baseline-remap crates/old=crates/new  # follow a move
+//! cargo run -p sfcheck -- --no-cache       # ignore target/sfcheck-cache
+//! cargo run -p sfcheck -- --cache-dir DIR  # cache somewhere else
 //! ```
 //!
 //! Exit codes: `0` clean (or fully baselined/waived), `1` live findings,
@@ -29,6 +31,8 @@ struct Cli {
     fix_dry_run: bool,
     fix: bool,
     write_baseline: bool,
+    no_cache: bool,
+    cache_dir: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Cli, SfError> {
@@ -41,6 +45,8 @@ fn parse_args() -> Result<Cli, SfError> {
         fix_dry_run: false,
         fix: false,
         write_baseline: false,
+        no_cache: false,
+        cache_dir: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -50,6 +56,13 @@ fn parse_args() -> Result<Cli, SfError> {
             "--fix-dry-run" => cli.fix_dry_run = true,
             "--fix" => cli.fix = true,
             "--write-baseline" => cli.write_baseline = true,
+            "--no-cache" => cli.no_cache = true,
+            "--cache-dir" => {
+                cli.cache_dir =
+                    Some(PathBuf::from(args.next().ok_or_else(|| {
+                        SfError::new("--cache-dir requires a directory argument")
+                    })?));
+            }
             "--root" => {
                 cli.root =
                     Some(PathBuf::from(args.next().ok_or_else(|| {
@@ -77,7 +90,8 @@ fn parse_args() -> Result<Cli, SfError> {
                      \n\
                      USAGE: sfcheck [--root DIR] [--baseline PATH] \
                      [--baseline-remap OLD=NEW]... [--json] [--sarif] \
-                     [--fix-dry-run] [--fix] [--write-baseline]\n\
+                     [--fix-dry-run] [--fix] [--write-baseline] \
+                     [--no-cache] [--cache-dir DIR]\n\
                      \n\
                      Exit codes: 0 clean, 1 live findings, 2 tool error."
                 );
@@ -106,6 +120,8 @@ fn run() -> Result<bool, SfError> {
     opts.baseline_path = cli.baseline;
     opts.fix_dry_run = cli.fix_dry_run;
     opts.baseline_remap = cli.baseline_remap;
+    opts.no_cache = cli.no_cache;
+    opts.cache_dir = cli.cache_dir;
 
     let outcome = run_check(&opts)?;
 

@@ -802,9 +802,15 @@ impl Parser {
                 ":" if depth == 0 && self.text_at(1) != ":" => break,
                 "=" | ";" if depth == 0 => break,
                 _ => {
+                    // An ident before `:` is a struct-pattern field label
+                    // (`Point { x: px }`) — except at depth 0, where a
+                    // single `:` is the let's type annotation and the
+                    // ident is the binding itself (`let x: T = …`).
+                    let field_label =
+                        self.text_at(1) == ":" && (depth > 0 || self.text_at(2) == ":");
                     if t.kind == TokenKind::Ident
                         && !matches!(t.text.as_str(), "mut" | "ref" | "box" | "_")
-                        && self.text_at(1) != ":"
+                        && !field_label
                         && !matches!(self.text_at(1), "(" | "{" | "!")
                         && !t.text.starts_with(|c: char| c.is_ascii_uppercase())
                     {
@@ -947,7 +953,13 @@ impl Parser {
                     expect_operand = false;
                     continue;
                 }
+                // `||` lexes as two `|` tokens; consume both here so the
+                // second is not mistaken for a closure opener.
+                let was_pipe = text == "|";
                 self.i += 1;
+                if was_pipe && self.text() == "|" {
+                    self.i += 1;
+                }
                 expect_operand = true;
             }
         }

@@ -28,6 +28,8 @@ pub struct ParsedFile {
     pub text: String,
     /// Classification from the path shape.
     pub class: FileClass,
+    /// The `crates/<name>` directory (or `"root"`), from the walker.
+    pub crate_dir: String,
     /// Crate name, underscore-normalized (`smartfeat_par`); empty when the
     /// file is under no manifest.
     pub crate_name: String,
@@ -179,6 +181,7 @@ pub fn build(parsed: Vec<(SourceFile, File)>, manifests: &[SourceFile]) -> Works
             rel_path: src.rel_path,
             text: src.text,
             class: src.class,
+            crate_dir: src.crate_dir,
             crate_name,
             module,
             ast: tree,

@@ -16,13 +16,16 @@ use crate::report::ReportInput;
 /// Stable one-line description per lint id, for the SARIF rule metadata.
 fn describe(lint: &str) -> &'static str {
     match lint {
+        "determinism-taint" => "no wall/env/thread/hash-order value reaches an output sink",
         "env-dependence" => "environment reads only at the sanctioned resolution points",
         "hash-collections" => "no HashMap/HashSet in output-feeding crates",
         "hermetic-manifest" => "zero registry dependencies in any manifest",
+        "obs-volatile-discipline" => "volatile fields reach the metrics report only under volatile",
         "panic-hygiene" => "no unwrap/expect/panic! in core/frame library code",
         "panic-reachability" => "no panic site reachable from the public pipeline API",
         "par-capture-race" => "parallel closures capture no shared-mutable bindings",
         "rng-seed-discipline" => "rng streams in parallel regions derive per item",
+        "seed-stream-collision" => "every seed_jump stream claims a disjoint index range",
         "unsafe-binary-op" => "binary_op_unsafe only in the CAAFE baseline",
         "waiver-syntax" => "every waiver names a known lint and gives a reason",
         "wall-clock" => "wall-clock reads only inside the obs gate",

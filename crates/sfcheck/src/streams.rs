@@ -1,0 +1,594 @@
+//! The seed-stream registry: the `seed-stream-collision` lint.
+//!
+//! Every deterministic subsystem derives its RNG streams with
+//! `smartfeat_rng::seed_jump(base, STREAM)`, and the stream index space is
+//! a single global namespace per base seed — two subsystems jumping to
+//! the same index silently share a stream, which is exactly the collision
+//! shape PRs 7–8 made easy (`SCORE_STREAM=101`, `EVOLUTION_STREAM=211`,
+//! `CASCADE_STREAM=311+rung`, raw per-tree `seed_jump(seed, i)` in
+//! `crates/ml`). This pass harvests every call site of a
+//! `// sfcheck:seed-derivation` fn workspace-wide and checks the claimed
+//! indices for overlap:
+//!
+//! - a **constant** stream argument (integer literal or `const` path)
+//!   claims the single index `[v, v+1)`;
+//! - a **dynamic** argument (`CONST + i`, `i as u64`, …) must declare its
+//!   reserved range on the call line or the line above with
+//!   `// sfcheck:seed-stream(start..end)`, and any constant it mentions
+//!   must fall inside that range;
+//! - call sites whose *base* argument is itself a `seed_jump(..)` result
+//!   are exempt — they index a derived namespace, not the root one.
+//!
+//! Claims merge into families (same const definition, same literal per
+//! crate, same declared range per crate); ranges of *distinct* families
+//! must be pairwise disjoint. Malformed annotations are findings, never
+//! silently inert — the underscore typo `sfcheck:seed_stream` carries a
+//! mechanical `--fix` suggestion, mirroring the waiver-syntax one.
+
+use std::collections::BTreeMap;
+
+use crate::ast::{Expr, Pos};
+use crate::dataflow::{finding_at, SEED_DERIVATION};
+use crate::lexer::{lex, Token, TokenKind};
+use crate::lints::Finding;
+use crate::resolve::{FnId, Workspace};
+use crate::walker::FileClass;
+
+const LINT: &str = "seed-stream-collision";
+
+/// A declared `// sfcheck:seed-stream(start..end)` reservation.
+#[derive(Debug, Clone)]
+struct Annotation {
+    line: u32,
+    start: u64,
+    end: u64,
+}
+
+/// One stream claim at a `seed_jump` call site.
+#[derive(Debug)]
+struct Claim {
+    file: usize,
+    pos: Pos,
+    /// Family identity: claims with equal keys are one reservation.
+    key: String,
+    start: u64,
+    end: u64,
+    /// Human description for overlap messages (`` `SCORE_STREAM` (=101) ``).
+    desc: String,
+}
+
+/// Is this line comment a plain (non-doc) comment? Mirrors the waiver
+/// collector: `///` (but not `////`) and `//!` are documentation.
+fn is_plain_comment(tok: &Token) -> bool {
+    tok.kind == TokenKind::LineComment
+        && !((tok.text.starts_with("///") && !tok.text.starts_with("////"))
+            || tok.text.starts_with("//!"))
+}
+
+/// Parse a decimal integer literal, tolerating `_` separators and a type
+/// suffix (`101u64`). Non-decimal radixes are not stream constants here.
+fn parse_decimal(text: &str) -> Option<u64> {
+    let cleaned: String = text.chars().filter(|c| *c != '_').collect();
+    if cleaned.starts_with("0x") || cleaned.starts_with("0b") || cleaned.starts_with("0o") {
+        return None;
+    }
+    let digits: String = cleaned.chars().take_while(char::is_ascii_digit).collect();
+    let suffix = &cleaned[digits.len()..];
+    let suffix_ok = matches!(
+        suffix,
+        "" | "u8"
+            | "u16"
+            | "u32"
+            | "u64"
+            | "u128"
+            | "usize"
+            | "i8"
+            | "i16"
+            | "i32"
+            | "i64"
+            | "i128"
+            | "isize"
+    );
+    if digits.is_empty() || !suffix_ok {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// Harvest `const NAME: TY = <int>;` definitions from one file's tokens.
+fn harvest_consts(tokens: &[Token]) -> Vec<(String, u64)> {
+    let code: Vec<&Token> = tokens.iter().filter(|t| t.is_code()).collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        if code[i].kind == TokenKind::Ident
+            && code[i].text == "const"
+            && i + 1 < code.len()
+            && code[i + 1].kind == TokenKind::Ident
+        {
+            let name = code[i + 1].text.clone();
+            // Scan to the `=` of this item (stop at `;` — an associated
+            // const without an initializer, or a malformed item).
+            let mut j = i + 2;
+            while j < code.len() && !matches!(code[j].text.as_str(), "=" | ";") {
+                j += 1;
+            }
+            if j + 2 < code.len()
+                && code[j].text == "="
+                && code[j + 1].kind == TokenKind::NumLit
+                && code[j + 2].kind == TokenKind::Punct
+                && code[j + 2].text == ";"
+            {
+                if let Some(v) = parse_decimal(&code[j + 1].text) {
+                    out.push((name, v));
+                }
+            }
+            i = j;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Harvest `sfcheck:seed-stream(start..end)` annotations from one file's
+/// comments; malformed ones (and the `seed_stream` underscore typo)
+/// become findings.
+fn harvest_annotations(
+    ws: &Workspace,
+    file_idx: usize,
+    tokens: &[Token],
+    out: &mut Vec<Finding>,
+) -> Vec<Annotation> {
+    let mut annos = Vec::new();
+    for tok in tokens {
+        if !is_plain_comment(tok) {
+            continue;
+        }
+        let pos = Pos {
+            line: tok.line,
+            col: tok.col,
+        };
+        if let Some(at) = tok.text.find("sfcheck:seed_stream") {
+            let fixed = tok
+                .text
+                .replacen("sfcheck:seed_stream", "sfcheck:seed-stream", 1);
+            let mut f = finding_at(
+                ws,
+                file_idx,
+                pos,
+                LINT,
+                format!(
+                    "`{}` is not a recognized annotation — the reserved-range marker is \
+                     spelled `sfcheck:seed-stream(start..end)`",
+                    &tok.text[at..at + "sfcheck:seed_stream".len()]
+                ),
+            );
+            // The snippet is the whole trimmed line; rewrite the typo in
+            // place so `--fix` can apply it mechanically.
+            f.suggestion = Some(f.snippet.replace(&tok.text, fixed.as_str()));
+            out.push(f);
+            continue;
+        }
+        let Some(at) = tok.text.find("sfcheck:seed-stream") else {
+            continue;
+        };
+        let rest = &tok.text[at + "sfcheck:seed-stream".len()..];
+        let parsed = rest
+            .strip_prefix('(')
+            .and_then(|r| r.split_once(')'))
+            .and_then(|(range, _reason)| range.trim().split_once(".."))
+            .and_then(|(a, b)| Some((parse_decimal(a.trim())?, parse_decimal(b.trim())?)));
+        match parsed {
+            Some((start, end)) if start < end => annos.push(Annotation {
+                line: tok.line,
+                start,
+                end,
+            }),
+            _ => out.push(finding_at(
+                ws,
+                file_idx,
+                pos,
+                LINT,
+                "malformed seed-stream annotation: expected \
+                 `sfcheck:seed-stream(start..end)` with start < end"
+                    .into(),
+            )),
+        }
+    }
+    annos
+}
+
+/// How a stream argument claims index space.
+enum ArgClass {
+    /// A bare integer literal.
+    Literal(u64),
+    /// A bare path to a known stream constant.
+    Const(String, u64),
+    /// Anything else; carries the constants the expression mentions.
+    Dynamic(Vec<(String, u64)>),
+}
+
+fn classify_arg(
+    arg: &Expr,
+    local: &BTreeMap<String, u64>,
+    global: &BTreeMap<String, Option<u64>>,
+) -> ArgClass {
+    let lookup = |name: &str| -> Option<u64> {
+        local
+            .get(name)
+            .copied()
+            .or_else(|| global.get(name).copied().flatten())
+    };
+    match arg {
+        Expr::Lit(l) => {
+            if let Some(v) = parse_decimal(&l.text) {
+                return ArgClass::Literal(v);
+            }
+        }
+        Expr::Path(p) => {
+            if let Some(last) = p.segments.last() {
+                if let Some(v) = lookup(last) {
+                    return ArgClass::Const(last.clone(), v);
+                }
+            }
+        }
+        _ => {}
+    }
+    let mut mentioned = Vec::new();
+    arg.walk(&mut |e| {
+        if let Expr::Path(p) = e {
+            if let Some(last) = p.segments.last() {
+                if let Some(v) = lookup(last) {
+                    if !mentioned.iter().any(|(n, _)| n == last) {
+                        mentioned.push((last.clone(), v));
+                    }
+                }
+            }
+        }
+    });
+    ArgClass::Dynamic(mentioned)
+}
+
+/// Does this expression contain a call to a seed-derivation fn? Used to
+/// exempt derived namespaces (`seed_jump(seed_jump(seed, S), g)`).
+fn contains_derivation(ws: &Workspace, caller: FnId, e: &Expr, derivations: &[FnId]) -> bool {
+    let info = &ws.fns[caller];
+    let mut found = false;
+    e.walk(&mut |sub| {
+        if let Expr::Call(c) = sub {
+            if let Expr::Path(p) = &*c.callee {
+                let resolved = ws.resolve_path(
+                    info.file,
+                    &info.module,
+                    info.impl_ty.as_deref(),
+                    &p.segments,
+                );
+                if resolved.iter().any(|t| derivations.contains(t)) {
+                    found = true;
+                }
+            }
+        }
+    });
+    found
+}
+
+/// Run the seed-stream registry lint over the whole workspace. Always a
+/// full pass — claims in unconnected crates still collide, so there is
+/// no call-graph locality to exploit (and the token harvest is cheap).
+pub fn run(ws: &Workspace) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let derivations: Vec<FnId> = ws.marked(SEED_DERIVATION);
+
+    // Token harvest: per-file consts and annotations.
+    let mut consts_by_file: Vec<BTreeMap<String, u64>> = Vec::with_capacity(ws.files.len());
+    let mut annos_by_file: Vec<Vec<Annotation>> = Vec::with_capacity(ws.files.len());
+    // Workspace-wide const table; a name defined with two different
+    // values maps to `None` (ambiguous — never resolved cross-file).
+    let mut global_consts: BTreeMap<String, Option<u64>> = BTreeMap::new();
+    for (idx, file) in ws.files.iter().enumerate() {
+        let tokens = lex(&file.text);
+        let consts = harvest_consts(&tokens);
+        let annos = if file.class == FileClass::Test {
+            Vec::new()
+        } else {
+            harvest_annotations(ws, idx, &tokens, &mut out)
+        };
+        let mut map = BTreeMap::new();
+        for (name, v) in consts {
+            match global_consts.get(&name) {
+                Some(Some(prev)) if *prev != v => {
+                    global_consts.insert(name.clone(), None);
+                }
+                Some(_) => {}
+                None => {
+                    global_consts.insert(name.clone(), Some(v));
+                }
+            }
+            map.insert(name, v);
+        }
+        consts_by_file.push(map);
+        annos_by_file.push(annos);
+    }
+
+    // AST harvest: every derivation call site in non-test library code.
+    let mut claims: Vec<Claim> = Vec::new();
+    for id in 0..ws.fns.len() {
+        let info = &ws.fns[id];
+        let file = &ws.files[info.file];
+        if info.is_test || file.class == FileClass::Test || file.crate_name == "smartfeat_rng" {
+            // The rng crate defines the derivation fns (and documents them
+            // with example indices); claims start at the consumers.
+            continue;
+        }
+        let Some(body) = ws.body_of(id) else { continue };
+        let file_idx = info.file;
+        crate::ast::walk_block(body, &mut |e| {
+            let Expr::Call(c) = e else { return };
+            let Expr::Path(p) = &*c.callee else { return };
+            let resolved = ws.resolve_path(
+                info.file,
+                &info.module,
+                info.impl_ty.as_deref(),
+                &p.segments,
+            );
+            if !resolved.iter().any(|t| derivations.contains(t)) || c.args.len() < 2 {
+                return;
+            }
+            if contains_derivation(ws, id, &c.args[0], &derivations) {
+                return; // derived namespace, not the root index space
+            }
+            let crate_dir = &file.crate_dir;
+            let pos = e.pos();
+            match classify_arg(&c.args[1], &consts_by_file[file_idx], &global_consts) {
+                ArgClass::Literal(v) => claims.push(Claim {
+                    file: file_idx,
+                    pos,
+                    key: format!("lit:{crate_dir}:{v}"),
+                    start: v,
+                    end: v + 1,
+                    desc: format!("literal stream `{v}`"),
+                }),
+                ArgClass::Const(name, v) => claims.push(Claim {
+                    file: file_idx,
+                    pos,
+                    key: format!("const:{name}:{v}"),
+                    start: v,
+                    end: v + 1,
+                    desc: format!("`{name}` (={v})"),
+                }),
+                ArgClass::Dynamic(mentioned) => {
+                    let anno = annos_by_file[file_idx]
+                        .iter()
+                        .find(|a| a.line + 1 == pos.line || a.line == pos.line);
+                    let Some(anno) = anno else {
+                        out.push(finding_at(
+                            ws,
+                            file_idx,
+                            pos,
+                            LINT,
+                            "dynamic seed-stream argument has no reserved range; declare \
+                             the family with `// sfcheck:seed-stream(start..end)` on this \
+                             line or the line above"
+                                .into(),
+                        ));
+                        return;
+                    };
+                    for (name, v) in &mentioned {
+                        if *v < anno.start || *v >= anno.end {
+                            out.push(finding_at(
+                                ws,
+                                file_idx,
+                                pos,
+                                LINT,
+                                format!(
+                                    "seed-stream annotation `{}..{}` does not cover `{name}` \
+                                     (={v}) mentioned by the stream expression",
+                                    anno.start, anno.end
+                                ),
+                            ));
+                        }
+                    }
+                    claims.push(Claim {
+                        file: file_idx,
+                        pos,
+                        key: format!("range:{crate_dir}:{}..{}", anno.start, anno.end),
+                        start: anno.start,
+                        end: anno.end,
+                        desc: format!("declared range `{}..{}`", anno.start, anno.end),
+                    });
+                }
+            }
+        });
+    }
+
+    // Merge claims into families and flag overlaps across families.
+    let mut families: BTreeMap<&str, &Claim> = BTreeMap::new();
+    for claim in &claims {
+        families.entry(claim.key.as_str()).or_insert(claim);
+    }
+    let reps: Vec<&Claim> = families.into_values().collect();
+    for (i, a) in reps.iter().enumerate() {
+        for b in reps.iter().skip(i + 1) {
+            if a.start < b.end && b.start < a.end {
+                for (this, other) in [(a, b), (b, a)] {
+                    out.push(finding_at(
+                        ws,
+                        this.file,
+                        this.pos,
+                        LINT,
+                        format!(
+                            "seed-stream claim {} overlaps {} claimed at {}:{}; reserve \
+                             disjoint index ranges so subsystems never share an RNG stream",
+                            this.desc, other.desc, ws.files[other.file].rel_path, other.pos.line
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+    use crate::walker::{classify, SourceFile};
+
+    fn file(rel: &str, text: &str) -> (SourceFile, crate::ast::File) {
+        (
+            SourceFile {
+                rel_path: rel.to_string(),
+                text: text.to_string(),
+                class: classify(rel),
+                crate_dir: crate::walker::crate_dir_of(rel),
+            },
+            parse(&lex(text)),
+        )
+    }
+
+    fn manifest(rel: &str, name: &str) -> SourceFile {
+        SourceFile {
+            rel_path: rel.to_string(),
+            text: format!("[package]\nname = \"{name}\"\n"),
+            class: classify(rel),
+            crate_dir: crate::walker::crate_dir_of(rel),
+        }
+    }
+
+    /// An rng crate exporting `seed_jump` plus two consumer crates.
+    fn ws_of(core: &str, ml: &str) -> Workspace {
+        let manifests = vec![
+            manifest("crates/rng/Cargo.toml", "smartfeat-rng"),
+            manifest("crates/core/Cargo.toml", "smartfeat"),
+            manifest("crates/ml/Cargo.toml", "smartfeat-ml"),
+        ];
+        let parsed = vec![
+            file(
+                "crates/rng/src/lib.rs",
+                "// sfcheck:seed-derivation\npub fn seed_jump(base: u64, index: u64) -> u64 { base }",
+            ),
+            file("crates/core/src/lib.rs", core),
+            file("crates/ml/src/lib.rs", ml),
+        ];
+        crate::resolve::build(parsed, &manifests)
+    }
+
+    fn messages(findings: &[Finding]) -> Vec<&str> {
+        findings.iter().map(|f| f.message.as_str()).collect()
+    }
+
+    #[test]
+    fn disjoint_constant_streams_are_clean() {
+        let ws = ws_of(
+            "use smartfeat_rng::seed_jump;\npub const A_STREAM: u64 = 101;\n\
+             pub fn run(seed: u64) -> u64 { seed_jump(seed, A_STREAM) }",
+            "use smartfeat_rng::seed_jump;\npub fn run(seed: u64) -> u64 { seed_jump(seed, 7) }",
+        );
+        let findings = run(&ws);
+        assert!(findings.is_empty(), "{:?}", messages(&findings));
+    }
+
+    #[test]
+    fn equal_constant_values_in_two_crates_collide() {
+        let ws = ws_of(
+            "use smartfeat_rng::seed_jump;\npub const A_STREAM: u64 = 101;\n\
+             pub fn run(seed: u64) -> u64 { seed_jump(seed, A_STREAM) }",
+            "use smartfeat_rng::seed_jump;\npub const B_STREAM: u64 = 101;\n\
+             pub fn run(seed: u64) -> u64 { seed_jump(seed, B_STREAM) }",
+        );
+        let findings = run(&ws);
+        assert_eq!(findings.len(), 2, "one finding per family");
+        assert!(findings[0].message.contains("overlaps"));
+    }
+
+    #[test]
+    fn dynamic_stream_requires_annotation() {
+        let ws = ws_of(
+            "pub fn nothing() {}",
+            "use smartfeat_rng::seed_jump;\npub fn run(seed: u64, i: u64) -> u64 {\n\
+             seed_jump(seed, i)\n}",
+        );
+        let findings = run(&ws);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("no reserved range"));
+        assert_eq!(findings[0].file, "crates/ml/src/lib.rs");
+    }
+
+    #[test]
+    fn annotated_dynamic_family_merges_within_crate_and_collides_across() {
+        // Two ml sites share 0..100 (one family); core claims 50 → overlap.
+        let ws = ws_of(
+            "use smartfeat_rng::seed_jump;\n\
+             pub fn run(seed: u64) -> u64 { seed_jump(seed, 50) }",
+            "use smartfeat_rng::seed_jump;\npub fn a(seed: u64, i: u64) -> u64 {\n\
+             // sfcheck:seed-stream(0..100) per-tree streams\n\
+             seed_jump(seed, i)\n}\n\
+             pub fn b(seed: u64, i: u64) -> u64 {\n\
+             // sfcheck:seed-stream(0..100) per-tree streams\n\
+             seed_jump(seed, i)\n}",
+        );
+        let findings = run(&ws);
+        assert_eq!(findings.len(), 2, "{:?}", messages(&findings));
+        assert!(findings.iter().all(|f| f.message.contains("overlaps")));
+        // The two annotated ml sites merged: only one ml representative.
+        assert_eq!(
+            findings
+                .iter()
+                .filter(|f| f.file == "crates/ml/src/lib.rs")
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn annotation_must_cover_mentioned_const() {
+        let ws = ws_of(
+            "pub fn nothing() {}",
+            "use smartfeat_rng::seed_jump;\npub const C_STREAM: u64 = 311;\n\
+             pub fn run(seed: u64, i: u64) -> u64 {\n\
+             // sfcheck:seed-stream(0..16) rungs\n\
+             seed_jump(seed, C_STREAM + i)\n}",
+        );
+        let findings = run(&ws);
+        assert_eq!(findings.len(), 1, "{:?}", messages(&findings));
+        assert!(findings[0].message.contains("does not cover `C_STREAM`"));
+    }
+
+    #[test]
+    fn derived_namespace_outer_jump_is_exempt() {
+        let ws = ws_of(
+            "use smartfeat_rng::seed_jump;\npub const E_STREAM: u64 = 211;\n\
+             pub fn run(seed: u64, g: u64) -> u64 {\n\
+             seed_jump(seed_jump(seed, E_STREAM), g)\n}",
+            "pub fn nothing() {}",
+        );
+        let findings = run(&ws);
+        assert!(findings.is_empty(), "{:?}", messages(&findings));
+    }
+
+    #[test]
+    fn malformed_annotation_is_a_finding_and_typo_gets_a_fix() {
+        let ws = ws_of(
+            "pub fn a() {}\n// sfcheck:seed-stream(10..) oops\npub fn b() {}",
+            "pub fn c() {}\n// sfcheck:seed_stream(0..4) typo\npub fn d() {}",
+        );
+        let findings = run(&ws);
+        assert_eq!(findings.len(), 2, "{:?}", messages(&findings));
+        let typo = findings
+            .iter()
+            .find(|f| f.file == "crates/ml/src/lib.rs")
+            .unwrap();
+        assert!(typo
+            .suggestion
+            .as_deref()
+            .unwrap()
+            .contains("sfcheck:seed-stream("));
+        let malformed = findings
+            .iter()
+            .find(|f| f.file == "crates/core/src/lib.rs")
+            .unwrap();
+        assert!(malformed.message.contains("malformed"));
+    }
+}

@@ -1,0 +1,181 @@
+//! Incremental-cache contracts, end-to-end on throwaway workspaces:
+//! warm output is byte-identical to cold, a cross-crate edit invalidates
+//! exactly through the call graph (the unchanged caller's verdict still
+//! updates), and every warm mode matches a cache-free rerun.
+
+use std::path::{Path, PathBuf};
+
+use sfcheck::{run_check, CheckOptions};
+use smartfeat_frame::json::JsonValue;
+
+/// A three-crate fixture with a cross-crate taint chain:
+/// core reads the environment, launders it through util's `decorate`,
+/// and hands the result to frame's sink.
+const FIXTURE: &[(&str, &str)] = &[
+    (
+        "crates/frame/Cargo.toml",
+        "[package]\nname = \"smartfeat-frame\"\n",
+    ),
+    (
+        "crates/util/Cargo.toml",
+        "[package]\nname = \"smartfeat-util\"\n",
+    ),
+    (
+        "crates/core/Cargo.toml",
+        "[package]\nname = \"smartfeat\"\n",
+    ),
+    (
+        "crates/frame/src/csv.rs",
+        "// sfcheck:output-sink\npub fn write_csv(text: &str) {}\n",
+    ),
+    (
+        "crates/util/src/lib.rs",
+        "pub fn decorate(s: String) -> String { s }\n",
+    ),
+    (
+        "crates/core/src/lib.rs",
+        "use smartfeat_frame::csv::write_csv;\nuse smartfeat_util::decorate;\n\
+         // sfcheck:allow(env-dependence) fixture exercises the taint chain, not the env lint\n\
+         pub fn dump() {\nlet p = std::env::var(\"OUT\").unwrap_or_default();\n\
+         let d = decorate(p);\nwrite_csv(&d);\n}\n",
+    ),
+];
+
+/// `decorate` rewritten to return a constant: the taint chain breaks in
+/// `crates/util`, and the verdict must flip at the *unchanged* caller in
+/// `crates/core`.
+const UTIL_CONSTANT: &str = "pub fn decorate(s: String) -> String { String::new() }\n";
+
+fn write_fixture(name: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("sfcheck-cache-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    for (rel, text) in FIXTURE {
+        let path = root.join(rel);
+        std::fs::create_dir_all(path.parent().expect("parent")).expect("mkdir");
+        std::fs::write(&path, text).expect("write fixture");
+    }
+    root
+}
+
+fn opts(root: &Path, no_cache: bool) -> CheckOptions {
+    let mut o = CheckOptions::new(root);
+    o.no_cache = no_cache;
+    o
+}
+
+/// `(report, sarif)` emissions for one run.
+fn emits(root: &Path, no_cache: bool) -> (String, String) {
+    let outcome = run_check(&opts(root, no_cache)).expect("fixture scan runs");
+    (outcome.report.emit(), outcome.sarif.emit())
+}
+
+/// Live `determinism-taint` findings in an emitted report document.
+/// (String matching won't do: the summary lists every lint zero-filled.)
+fn live_taint_count(report: &str) -> usize {
+    let doc = JsonValue::parse(report).expect("report parse");
+    let Some(JsonValue::Array(findings)) = doc.get("findings") else {
+        panic!("report has a findings array");
+    };
+    findings
+        .iter()
+        .filter(|f| f.get("lint").and_then(JsonValue::as_str) == Some("determinism-taint"))
+        .count()
+}
+
+fn stats_mode(root: &Path) -> String {
+    let text = std::fs::read_to_string(root.join("target/sfcheck-cache/stats.json"))
+        .expect("stats.json written");
+    let doc = JsonValue::parse(&text).expect("stats parse");
+    doc.get("mode")
+        .and_then(JsonValue::as_str)
+        .expect("mode field")
+        .to_string()
+}
+
+#[test]
+fn warm_full_run_is_byte_identical_to_cold() {
+    let root = write_fixture("warmfull");
+    let cold = emits(&root, false);
+    assert_eq!(stats_mode(&root), "cold");
+    let warm = emits(&root, false);
+    assert_eq!(stats_mode(&root), "warm-full");
+    assert_eq!(
+        cold.0, warm.0,
+        "report must not change between cold and warm"
+    );
+    assert_eq!(
+        cold.1, warm.1,
+        "SARIF must not change between cold and warm"
+    );
+    // The fixture actually exercises the cross-file machinery: the taint
+    // chain produces a live finding through two crate boundaries.
+    assert_eq!(live_taint_count(&cold.0), 1);
+    assert!(cold.0.contains("crates/core/src/lib.rs"));
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn cross_crate_edit_invalidates_the_callers_verdict() {
+    let root = write_fixture("invalidate");
+    let cold = emits(&root, false);
+    assert_eq!(live_taint_count(&cold.0), 1);
+
+    // Break the chain in util; core/lib.rs is untouched, so only the
+    // call-graph closure can carry the change to its verdict.
+    std::fs::write(root.join("crates/util/src/lib.rs"), UTIL_CONSTANT).expect("edit util");
+    let warm = emits(&root, false);
+    assert_eq!(stats_mode(&root), "warm-partial");
+    assert_eq!(
+        live_taint_count(&warm.0),
+        0,
+        "the unchanged caller's stale finding survived the edit:\n{}",
+        warm.0
+    );
+
+    // The incremental result must be indistinguishable from a cache-free
+    // analysis of the same tree.
+    let fresh = emits(&root, true);
+    assert_eq!(
+        warm.0, fresh.0,
+        "warm-partial report diverged from no-cache"
+    );
+    assert_eq!(warm.1, fresh.1, "warm-partial SARIF diverged from no-cache");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn edit_back_and_forth_restores_the_cold_output() {
+    let root = write_fixture("roundtrip");
+    let original = emits(&root, false);
+    std::fs::write(root.join("crates/util/src/lib.rs"), UTIL_CONSTANT).expect("edit util");
+    let edited = emits(&root, false);
+    assert_ne!(original.0, edited.0, "the edit must change the verdict");
+    // Restore the original text: content-hash keying means the warm run
+    // reproduces the first report byte-for-byte.
+    std::fs::write(
+        root.join("crates/util/src/lib.rs"),
+        FIXTURE
+            .iter()
+            .find(|(rel, _)| *rel == "crates/util/src/lib.rs")
+            .expect("fixture has util")
+            .1,
+    )
+    .expect("restore util");
+    let restored = emits(&root, false);
+    assert_eq!(original.0, restored.0);
+    assert_eq!(original.1, restored.1);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn no_cache_runs_leave_no_cache_directory() {
+    let root = write_fixture("nocache");
+    let a = emits(&root, true);
+    let b = emits(&root, true);
+    assert_eq!(a.0, b.0);
+    assert!(
+        !root.join("target/sfcheck-cache").exists(),
+        "--no-cache must not create cache state"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
