@@ -76,9 +76,9 @@ step_fix() {
 }
 
 step_cache() {
-  echo "==> sfcheck: incremental cache (cold vs warm, byte-identity + speedup)"
+  echo "==> sfcheck: incremental cache (cold vs warm, byte-identity + hit mode + speedup)"
   local bin=target/release/sfcheck cold_json warm_json cold_sarif warm_sarif
-  local t0 t1 cold_ms warm_ms t
+  local t0 t1 cold_ms warm_ms best_warm_ms i t mode
   cargo build -q --release --offline -p sfcheck
   cold_json="$(mktemp)"; warm_json="$(mktemp)"
   cold_sarif="$(mktemp)"; warm_sarif="$(mktemp)"
@@ -87,10 +87,19 @@ step_cache() {
   t0="$(date +%s%N)"; "$bin" --json > "$cold_json"; t1="$(date +%s%N)"
   cold_ms=$(( (t1 - t0) / 1000000 ))
   "$bin" --sarif > "$cold_sarif"
-  t0="$(date +%s%N)"; "$bin" --json > "$warm_json"; t1="$(date +%s%N)"
-  warm_ms=$(( (t1 - t0) / 1000000 ))
+  # Best of three warm runs: end-to-end millisecond timings are noisy on
+  # loaded runners, so the wall-clock bound below is a loose sanity check
+  # — the hard gate is the stats.json hit mode.
+  best_warm_ms=""
+  for i in 1 2 3; do
+    t0="$(date +%s%N)"; "$bin" --json > "$warm_json"; t1="$(date +%s%N)"
+    warm_ms=$(( (t1 - t0) / 1000000 ))
+    if [ -z "$best_warm_ms" ] || [ "$warm_ms" -lt "$best_warm_ms" ]; then
+      best_warm_ms="$warm_ms"
+    fi
+  done
   "$bin" --sarif > "$warm_sarif"
-  echo "    cold: ${cold_ms}ms, warm: ${warm_ms}ms"
+  echo "    cold: ${cold_ms}ms, warm (best of 3): ${best_warm_ms}ms"
   if ! cmp -s "$cold_json" "$warm_json"; then
     echo "    ERROR: warm --json output differs from cold" >&2
     diff "$cold_json" "$warm_json" | head >&2 || true
@@ -100,10 +109,16 @@ step_cache() {
     echo "    ERROR: warm --sarif output differs from cold" >&2
     exit 1
   fi
-  # The warm path skips every per-file scan and the global passes; if it
-  # is not clearly faster than cold, the cache is not actually being hit.
-  if [ $(( warm_ms * 3 )) -gt "$cold_ms" ]; then
-    echo "    ERROR: warm run (${warm_ms}ms) is not >=3x faster than cold (${cold_ms}ms)" >&2
+  # The semantic cache gate: an unchanged tree must take the full-skip
+  # path, and stats.json records which path ran. Wall clock can lie on a
+  # loaded runner; the recorded mode cannot.
+  mode="$(sed -n 's/.*"mode"[[:space:]]*:[[:space:]]*"\([^"]*\)".*/\1/p' target/sfcheck-cache/stats.json)"
+  if [ "$mode" != "warm-full" ]; then
+    echo "    ERROR: expected a warm-full cache hit on the unchanged tree, stats.json says mode='$mode'" >&2
+    exit 1
+  fi
+  if [ $(( best_warm_ms * 2 )) -gt "$cold_ms" ]; then
+    echo "    ERROR: best warm run (${best_warm_ms}ms) is not >=2x faster than cold (${cold_ms}ms)" >&2
     exit 1
   fi
   # Warm hits must be thread-count independent, like everything else.

@@ -1,8 +1,9 @@
 //! Analyzer benchmarks for the sfcheck v3 pipeline: per-file lex+parse
 //! throughput, the cross-file passes (symbol resolution, call graph,
 //! dataflow, taint, stream registry) over a synthetic workspace, and the
-//! end-to-end `run_check` cost cold vs warm — the pair the CI `cache`
-//! step asserts a ≥3x ratio on. The blessed medians live in
+//! end-to-end `run_check` cost cold vs warm — the pair behind the CI
+//! `cache` step's warm-full-hit assertion and its loose ≥2x
+//! best-of-three wall-clock bound. The blessed medians live in
 //! `BENCH_PR9.json` (regenerate with `SMARTFEAT_BENCH_JSON=$PWD/BENCH_PR9.json
 //! cargo bench -p smartfeat-bench --bench sfcheck`); CI's bench-smoke job
 //! checks the benchmark set still matches that file's line count.
@@ -94,6 +95,7 @@ fn bench_global_passes(c: &mut Criterion) {
             let cg = callgraph::build(&ws);
             let mut findings = dataflow::run_scoped(&ws, &cg, None);
             findings.extend(taint::run(&ws, None));
+            findings.extend(taint::run_volatile(&ws));
             findings.extend(streams::run(&ws));
             findings.len()
         })

@@ -23,8 +23,11 @@
 //!   statics, crate names, file membership, manifest hashes) guards the
 //!   partial path — any signature-level change falls back to a full
 //!   re-analysis. The seed-stream and volatile-discipline passes are
-//!   global by nature (claims in unconnected crates collide) and cheap,
-//!   so they always re-run.
+//!   global by nature — stream claims in unconnected crates collide, and
+//!   the volatile-field set comes from comment annotations invisible to
+//!   both the fingerprint and the call graph — and cheap, so they always
+//!   re-run un-scoped and their findings never enter the cached
+//!   `global_findings` bucket.
 //!
 //! Writes are temp-file + rename, so concurrent sfcheck processes (the
 //! repo gate runs several) never observe torn entries; any read that
@@ -44,8 +47,11 @@ use crate::lints::{Finding, Waived, Waiver, LINT_IDS};
 use crate::resolve::Workspace;
 use crate::walker::SourceFile;
 
-/// Schema revision; bump when the cached shapes change.
-const SCHEMA: &str = "v3.1";
+/// Schema revision; bump when the cached shapes change. (v3.2: the
+/// `global_findings` bucket no longer holds `obs-volatile-discipline`
+/// findings — that pass always re-runs, so replaying a v3.1 bucket
+/// would double-count them.)
+const SCHEMA: &str = "v3.2";
 
 static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
 

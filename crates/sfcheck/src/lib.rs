@@ -130,7 +130,8 @@ impl Outcome {
 /// scheduling. The **global phase** is serial: it builds the workspace
 /// symbol table and call graph from the per-file ASTs, runs the
 /// [`dataflow`] and [`taint`] lints over the dirty file set and the
-/// [`streams`] registry over everything, merges their findings back into
+/// [`streams`] registry plus the obs-volatile discipline over
+/// everything, merges their findings back into
 /// each file's stream, and only then applies that file's waivers — one
 /// waiver mechanism for token and cross-file lints alike.
 ///
@@ -236,12 +237,15 @@ fn analyze(
     let cg = callgraph::build(&ws);
     let plan = cache.plan_global(&sources, manifests, &ws, &cg);
 
-    // Cross-file passes. Dataflow and taint findings are cacheable per
-    // file — each finding's file is call-graph-connected to the function
-    // that produced it, so the dirty closure re-derives exactly the
-    // affected set. The seed-stream registry is global by nature (claims
-    // in unconnected crates collide) and cheap, so it always re-runs and
-    // its findings stay out of the cached bucket.
+    // Cross-file passes. Dataflow and determinism-taint findings are
+    // cacheable per file — each finding's file is call-graph-connected to
+    // the function that produced it, so the dirty closure re-derives
+    // exactly the affected set. The seed-stream registry and the
+    // obs-volatile discipline are global by nature — stream claims in
+    // unconnected crates collide, and the volatile-field set is harvested
+    // from comment annotations that neither the global fingerprint nor
+    // the call graph can see — and cheap, so both always re-run un-scoped
+    // and their findings stay out of the cached bucket.
     let index_of: BTreeMap<&str, usize> = ws
         .files
         .iter()
@@ -257,10 +261,12 @@ fn analyze(
             global_by_file.entry(i).or_default().push(finding);
         }
     }
-    let mut stream_by_file: BTreeMap<usize, Vec<Finding>> = BTreeMap::new();
-    for finding in streams::run(&ws) {
+    let mut uncached = streams::run(&ws);
+    uncached.extend(taint::run_volatile(&ws));
+    let mut uncached_by_file: BTreeMap<usize, Vec<Finding>> = BTreeMap::new();
+    for finding in uncached {
         if let Some(&i) = index_of.get(finding.file.as_str()) {
-            stream_by_file.entry(i).or_default().push(finding);
+            uncached_by_file.entry(i).or_default().push(finding);
         }
     }
 
@@ -271,7 +277,7 @@ fn analyze(
         if let Some(extra) = global_by_file.get(&idx) {
             merged.extend(extra.iter().cloned());
         }
-        if let Some(extra) = stream_by_file.get(&idx) {
+        if let Some(extra) = uncached_by_file.get(&idx) {
             merged.extend(extra.iter().cloned());
         }
         let mut result = lints::apply_waivers(merged, waivers);

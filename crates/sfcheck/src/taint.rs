@@ -18,8 +18,14 @@
 //!   - `HashIter` — iteration over a std `HashMap`/`HashSet` local.
 //! - **propagation** — through let-bindings and pattern binds, field and
 //!   index projections, method receivers, call arguments (when the callee
-//!   returns a param-derived value), and fn returns via per-fn summaries
-//!   computed to a fixpoint over the call graph.
+//!   returns a param-derived value), fn returns via per-fn summaries
+//!   computed to a fixpoint over the call graph, and macro invocations:
+//!   a macro's value carries the union of its argument taints plus any
+//!   local interpolated by name inside a literal argument
+//!   (`format!("{threads}")`). Macros are plain transformations — never
+//!   a source or sink themselves — and tokens that parse as neither an
+//!   argument expression nor a `{ident}` interpolation stay a blind
+//!   spot.
 //! - **sinks** — fns marked `// sfcheck:output-sink` (and the
 //!   `// sfcheck:metrics-report` recorder), plus any fn that forwards a
 //!   parameter to a sink (a positionless summary, also a fixpoint).
@@ -201,7 +207,28 @@ impl<'a> FnPass<'a> {
 
     fn expr(&mut self, e: &Expr) -> Taints {
         match e {
-            Expr::Lit(_) | Expr::Macro(_) => Taints::new(),
+            Expr::Lit(_) => Taints::new(),
+            Expr::Macro(m) => {
+                // Taint flows through macros: parsed args directly
+                // (`format!("{}", x)`) and locals interpolated inside
+                // literal args (`format!("{x}")`).
+                let mut t = Taints::new();
+                let mut names: Vec<String> = Vec::new();
+                for a in &m.args {
+                    t.extend(self.expr(a));
+                    a.walk(&mut |sub| {
+                        if let Expr::Lit(l) = sub {
+                            interpolated_idents(&l.text, &mut names);
+                        }
+                    });
+                }
+                for name in names {
+                    if let Some(extra) = self.env.get(&name) {
+                        t.extend(extra.iter().copied());
+                    }
+                }
+                t
+            }
             Expr::Path(p) => {
                 if p.segments.len() == 1 {
                     self.env.get(&p.segments[0]).cloned().unwrap_or_default()
@@ -336,18 +363,67 @@ impl<'a> FnPass<'a> {
     }
 }
 
-/// Does the expression mention a parameter of `id` (or `self`)?
+/// Identifiers interpolated format-style inside a literal's text:
+/// `"{threads}"` and `"{threads:>8}"` name `threads`; `{{` escapes are
+/// skipped and positional or empty braces (`{}`, `{0}`) name nothing.
+fn interpolated_idents(text: &str, names: &mut Vec<String>) {
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] != b'{' {
+            i += 1;
+            continue;
+        }
+        if bytes.get(i + 1) == Some(&b'{') {
+            i += 2;
+            continue;
+        }
+        let start = i + 1;
+        let mut j = start;
+        while j < bytes.len() && bytes[j] != b'}' && bytes[j] != b':' {
+            j += 1;
+        }
+        let name = &text[start..j];
+        if !name.is_empty()
+            && !name.starts_with(|c: char| c.is_ascii_digit())
+            && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+        {
+            names.push(name.to_string());
+        }
+        i = j + 1;
+    }
+}
+
+/// Does the expression mention a parameter of `id` (or `self`)? Macro
+/// arguments count both as parsed expressions (via the walk) and as
+/// `{ident}` interpolations inside literal arguments, so
+/// `format!("{text}")` forwards `text` like `format!("{}", text)` does.
 fn mentions_param(ws: &Workspace, id: FnId, e: &Expr) -> bool {
     let info = &ws.fns[id];
+    let named = |head: &str| head == "self" || info.params.iter().any(|prm| prm.name == head);
     let mut hit = false;
-    e.walk(&mut |sub| {
-        if let Expr::Path(p) = sub {
+    e.walk(&mut |sub| match sub {
+        Expr::Path(p) => {
             if let Some(head) = p.segments.first() {
-                if head == "self" || info.params.iter().any(|prm| prm.name == *head) {
+                if named(head) {
                     hit = true;
                 }
             }
         }
+        Expr::Macro(m) => {
+            let mut names: Vec<String> = Vec::new();
+            for a in &m.args {
+                a.walk(&mut |inner| {
+                    if let Expr::Lit(l) = inner {
+                        interpolated_idents(&l.text, &mut names);
+                    }
+                });
+            }
+            if names.iter().any(|n| named(n)) {
+                hit = true;
+            }
+        }
+        _ => {}
     });
     hit
 }
@@ -443,10 +519,14 @@ fn build_summaries(ws: &Workspace) -> Summaries {
     sums
 }
 
-/// Run both taint-family lints. `dirty` scopes *emission* (and the
+/// Run the `determinism-taint` lint. `dirty` scopes *emission* (and the
 /// per-fn walks that produce it) to the given files; summaries are
 /// always computed over the whole workspace, so a clean file's cached
 /// findings stay byte-identical to a cold run's.
+///
+/// The companion `obs-volatile-discipline` lint is [`run_volatile`], not
+/// part of this pass: its verdicts depend on comment annotations the
+/// cache's dirty closure cannot see, so it must never be scoped.
 pub fn run(ws: &Workspace, dirty: Option<&BTreeSet<usize>>) -> Vec<Finding> {
     let mut out = Vec::new();
     let sums = build_summaries(ws);
@@ -477,7 +557,18 @@ pub fn run(ws: &Workspace, dirty: Option<&BTreeSet<usize>>) -> Vec<Finding> {
             ));
         }
     }
-    volatile_discipline(ws, dirty, &mut out);
+    out
+}
+
+/// Run the `obs-volatile-discipline` lint, always over the whole
+/// workspace. The volatile-field set is harvested from `// sfcheck:…`
+/// comments, which are invisible to both the cache's global fingerprint
+/// and its call-graph dirty closure — an annotation edit in one obs file
+/// must flip verdicts in another, so this pass is never scoped to a
+/// dirty set and its findings are never replayed from the cache.
+pub fn run_volatile(ws: &Workspace) -> Vec<Finding> {
+    let mut out = Vec::new();
+    volatile_discipline(ws, &mut out);
     out
 }
 
@@ -514,14 +605,14 @@ fn volatile_fields(ws: &Workspace) -> BTreeSet<String> {
 /// `"volatile"` key — statement granularity, so the one conditional that
 /// builds the volatile section passes and a field smuggled into another
 /// section fires.
-fn volatile_discipline(ws: &Workspace, dirty: Option<&BTreeSet<usize>>, out: &mut Vec<Finding>) {
+fn volatile_discipline(ws: &Workspace, out: &mut Vec<Finding>) {
     let fields = volatile_fields(ws);
     if fields.is_empty() {
         return;
     }
     for id in ws.marked(METRICS_REPORT) {
         let info = &ws.fns[id];
-        if info.is_test || dirty.is_some_and(|d| !d.contains(&info.file)) {
+        if info.is_test {
             continue;
         }
         let Some(body) = ws.body_of(id) else { continue };
@@ -625,8 +716,15 @@ mod tests {
         crate::resolve::build(parsed, &manifests)
     }
 
+    /// Both taint-family lints over a workspace, like the pipeline runs.
+    fn run_all(ws: &Workspace) -> Vec<Finding> {
+        let mut out = run(ws, None);
+        out.extend(run_volatile(ws));
+        out
+    }
+
     fn run_on(core: &str) -> Vec<Finding> {
-        run(&ws_of(core), None)
+        run_all(&ws_of(core))
     }
 
     fn lints_of(findings: &[Finding]) -> Vec<&'static str> {
@@ -739,7 +837,7 @@ mod tests {
              pub fn report(&self, v: WorkStat) -> u64 {\nlet leak = v.ns;\nleak\n}\n}",
         )];
         let ws = crate::resolve::build(parsed, &manifests);
-        let findings = run(&ws, None);
+        let findings = run_all(&ws);
         assert_eq!(lints_of(&findings), ["obs-volatile-discipline"]);
         assert!(findings[0].message.contains("`ns`"));
     }
@@ -748,5 +846,59 @@ mod tests {
     fn volatile_field_inside_volatile_statement_is_clean() {
         let findings = run_on("pub fn nothing() {}");
         assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn taint_flows_through_macro_arguments() {
+        let findings = run_on(
+            "use smartfeat_par::resolve_threads;\nuse smartfeat_frame::csv::write_csv;\n\
+             pub fn dump() {\nlet threads = resolve_threads(0);\n\
+             let line = format!(\"{}\", threads);\nwrite_csv(&line);\n}",
+        );
+        assert_eq!(lints_of(&findings), ["determinism-taint"]);
+        assert!(findings[0].message.contains("thread-count"));
+    }
+
+    #[test]
+    fn taint_flows_through_format_interpolation() {
+        let findings = run_on(
+            "use smartfeat_par::resolve_threads;\nuse smartfeat_frame::csv::write_csv;\n\
+             pub fn dump() {\nlet threads = resolve_threads(0);\n\
+             let line = format!(\"threads={threads:>4}\");\nwrite_csv(&line);\n}",
+        );
+        assert_eq!(lints_of(&findings), ["determinism-taint"]);
+    }
+
+    #[test]
+    fn interpolating_helper_forwards_param_taint() {
+        // `fmt` returns a param-derived value only via `format!("{n}")`;
+        // the summary must still mark param_to_ret so the sink call sees
+        // the thread count.
+        let findings = run_on(
+            "use smartfeat_par::resolve_threads;\nuse smartfeat_frame::csv::write_csv;\n\
+             fn fmt(n: usize) -> String { format!(\"{n}\") }\n\
+             pub fn dump() {\nlet threads = resolve_threads(0);\n\
+             let line = fmt(threads);\nwrite_csv(&line);\n}",
+        );
+        assert_eq!(lints_of(&findings), ["determinism-taint"]);
+    }
+
+    #[test]
+    fn untainted_macro_and_escaped_braces_stay_clean() {
+        let findings = run_on(
+            "use smartfeat_frame::csv::write_csv;\npub fn dump(rows: usize) {\n\
+             let line = format!(\"rows={rows} {{threads}}\");\nwrite_csv(&line);\n}",
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn interpolated_idents_parses_format_braces() {
+        let mut names = Vec::new();
+        interpolated_idents(
+            "\"a={alpha} b={beta:>8} c={} d={0} e={{gamma}} f={x.y}\"",
+            &mut names,
+        );
+        assert_eq!(names, ["alpha", "beta"]);
     }
 }

@@ -69,17 +69,21 @@ fn emits(root: &Path, no_cache: bool) -> (String, String) {
     (outcome.report.emit(), outcome.sarif.emit())
 }
 
-/// Live `determinism-taint` findings in an emitted report document.
+/// Live findings of one lint in an emitted report document.
 /// (String matching won't do: the summary lists every lint zero-filled.)
-fn live_taint_count(report: &str) -> usize {
+fn live_count(report: &str, lint: &str) -> usize {
     let doc = JsonValue::parse(report).expect("report parse");
     let Some(JsonValue::Array(findings)) = doc.get("findings") else {
         panic!("report has a findings array");
     };
     findings
         .iter()
-        .filter(|f| f.get("lint").and_then(JsonValue::as_str) == Some("determinism-taint"))
+        .filter(|f| f.get("lint").and_then(JsonValue::as_str) == Some(lint))
         .count()
+}
+
+fn live_taint_count(report: &str) -> usize {
+    live_count(report, "determinism-taint")
 }
 
 fn stats_mode(root: &Path) -> String {
@@ -164,6 +168,70 @@ fn edit_back_and_forth_restores_the_cold_output() {
     let restored = emits(&root, false);
     assert_eq!(original.0, restored.0);
     assert_eq!(original.1, restored.1);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// The volatile-field set is harvested from comments, which neither the
+/// global fingerprint nor the call-graph dirty closure can see: an
+/// annotation-only edit in an obs file with no call edges into the
+/// metrics report must still flip the report's verdict on a warm-partial
+/// run, byte-identically to a cache-free analysis of the same tree.
+#[test]
+fn annotation_only_obs_edit_updates_volatile_verdict() {
+    let root = std::env::temp_dir().join(format!("sfcheck-cache-volatile-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let files: &[(&str, &str)] = &[
+        (
+            "crates/obs/Cargo.toml",
+            "[package]\nname = \"smartfeat-obs\"\n",
+        ),
+        (
+            "crates/obs/src/report.rs",
+            "pub struct WorkStat {\npub ns: u64,\n}\npub struct Rec;\nimpl Rec {\n\
+             // sfcheck:metrics-report\n\
+             pub fn report(&self, v: WorkStat) -> u64 {\nlet leak = v.ns;\nleak\n}\n}\n",
+        ),
+        (
+            "crates/obs/src/fields.rs",
+            "pub struct Stats {\npub ns: u64,\n}\n",
+        ),
+    ];
+    for (rel, text) in files {
+        let path = root.join(rel);
+        std::fs::create_dir_all(path.parent().expect("parent")).expect("mkdir");
+        std::fs::write(&path, text).expect("write fixture");
+    }
+
+    let cold = emits(&root, false);
+    assert_eq!(
+        live_count(&cold.0, "obs-volatile-discipline"),
+        0,
+        "no field is volatile-annotated yet:\n{}",
+        cold.0
+    );
+
+    // Annotate `ns` in a file the report's file has no call edges to;
+    // the edit is comment-only, so the global fingerprint is unchanged
+    // and the partial path stays eligible.
+    std::fs::write(
+        root.join("crates/obs/src/fields.rs"),
+        "pub struct Stats {\n// sfcheck:volatile-field(ns)\npub ns: u64,\n}\n",
+    )
+    .expect("edit fields");
+    let warm = emits(&root, false);
+    assert_eq!(stats_mode(&root), "warm-partial");
+    assert_eq!(
+        live_count(&warm.0, "obs-volatile-discipline"),
+        1,
+        "the annotation edit must reach the unchanged report file:\n{}",
+        warm.0
+    );
+    let fresh = emits(&root, true);
+    assert_eq!(
+        warm.0, fresh.0,
+        "warm-partial report diverged from no-cache"
+    );
+    assert_eq!(warm.1, fresh.1, "warm-partial SARIF diverged from no-cache");
     let _ = std::fs::remove_dir_all(&root);
 }
 

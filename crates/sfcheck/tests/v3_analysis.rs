@@ -85,6 +85,7 @@ fn fixture_ws(extra: &[(&str, &str)]) -> Workspace {
 fn verdict(extra: &[(&str, &str)]) -> Vec<&'static str> {
     let ws = fixture_ws(extra);
     let mut findings = taint::run(&ws, None);
+    findings.extend(taint::run_volatile(&ws));
     findings.extend(streams::run(&ws));
     let mut lints: Vec<&'static str> = findings.iter().map(|f| f.lint).collect();
     lints.sort_unstable();
@@ -149,6 +150,7 @@ fn v3_passes_never_panic_on_token_soup() {
         let _ = dataflow::run_scoped(&ws, &cg, Some(&dirty));
         let _ = taint::run(&ws, None);
         let _ = taint::run(&ws, Some(&dirty));
+        let _ = taint::run_volatile(&ws);
         let _ = streams::run(&ws);
     });
 }
