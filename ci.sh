@@ -133,6 +133,98 @@ step_cache() {
   mkdir -p ci-artifacts
   cp target/sfcheck-cache/stats.json ci-artifacts/sfcheck-cache-stats.json
   echo "    wrote ci-artifacts/sfcheck-cache-stats.json ($(cat ci-artifacts/sfcheck-cache-stats.json))"
+
+  # v4 lock lints through the full binary: a fixture tree tripping all
+  # four, cold/warm byte-identity, the partial path for a non-lock edit,
+  # and the forced-full path for a lock-relevant edit (DESIGN.md §16).
+  echo "==> sfcheck: lock-lint fixture tree (cold/warm identity + invalidation paths)"
+  local fixroot lockfile fix_cold fix_warm fix_ref fmode lint
+  fixroot="$(mktemp -d)"
+  fix_cold="$(mktemp)"; fix_warm="$(mktemp)"; fix_ref="$(mktemp)"
+  CLEANUP_PATHS+=("$fixroot" "$fix_cold" "$fix_warm" "$fix_ref")
+  mkdir -p "$fixroot/crates/app/src"
+  printf '[package]\nname = "app"\n' > "$fixroot/crates/app/Cargo.toml"
+  lockfile="$fixroot/crates/app/src/lib.rs"
+  cat > "$lockfile" <<'FIXTURE'
+use std::sync::Mutex;
+static ALPHA: Mutex<u64> = Mutex::new(0);
+static BETA: Mutex<u64> = Mutex::new(0);
+pub fn ordered() {
+    let a = ALPHA.lock().unwrap();
+    let b = BETA.lock().unwrap();
+    drop(b);
+    drop(a);
+}
+pub fn reversed() {
+    let b = BETA.lock().unwrap();
+    let a = ALPHA.lock().unwrap();
+    drop(a);
+    drop(b);
+}
+pub fn twice() {
+    let a = ALPHA.lock().unwrap();
+    let b = ALPHA.lock().unwrap();
+    drop(b);
+    drop(a);
+}
+pub fn held(worker: std::thread::JoinHandle<()>) {
+    let a = ALPHA.lock().unwrap();
+    let _r = worker.join();
+    drop(a);
+}
+pub fn forgotten() {
+    let _ = ALPHA.lock();
+}
+FIXTURE
+  printf 'pub fn plain(n: u64) -> u64 { n + 1 }\n' > "$fixroot/crates/app/src/plain.rs"
+  "$bin" --root "$fixroot" --json > "$fix_cold" || true
+  for lint in lock-order-inversion double-lock held-lock-blocking guard-discipline; do
+    if ! grep -q "\"$lint\"" "$fix_cold"; then
+      echo "    ERROR: lock fixture did not trip $lint" >&2
+      exit 1
+    fi
+  done
+  for t in 1 4 8; do
+    SMARTFEAT_THREADS="$t" "$bin" --root "$fixroot" --json > "$fix_warm" || true
+    if ! cmp -s "$fix_cold" "$fix_warm"; then
+      echo "    ERROR: warm lock-fixture --json under SMARTFEAT_THREADS=$t differs from cold" >&2
+      exit 1
+    fi
+    SMARTFEAT_THREADS="$t" "$bin" --root "$fixroot" --sarif > "$fix_warm" || true
+    "$bin" --root "$fixroot" --no-cache --sarif > "$fix_ref" || true
+    if ! cmp -s "$fix_warm" "$fix_ref"; then
+      echo "    ERROR: warm lock-fixture --sarif under SMARTFEAT_THREADS=$t differs from --no-cache" >&2
+      exit 1
+    fi
+  done
+  # A non-lock edit keeps the scoped partial path...
+  printf '// trailing comment, no lock relevance\n' >> "$fixroot/crates/app/src/plain.rs"
+  "$bin" --root "$fixroot" --json > "$fix_warm" || true
+  fmode="$(sed -n 's/.*"mode"[[:space:]]*:[[:space:]]*"\([^"]*\)".*/\1/p' "$fixroot/target/sfcheck-cache/stats.json")"
+  if [ "$fmode" != "warm-partial" ]; then
+    echo "    ERROR: non-lock edit should take the partial path, stats.json says mode='$fmode'" >&2
+    exit 1
+  fi
+  "$bin" --root "$fixroot" --no-cache --json > "$fix_ref" || true
+  if ! cmp -s "$fix_warm" "$fix_ref"; then
+    echo "    ERROR: partial-path lock-fixture --json differs from --no-cache" >&2
+    exit 1
+  fi
+  # ...while a lock-relevant edit forces full re-analysis (order pairs
+  # can span call-graph-disconnected files, so scoping would be unsound).
+  printf '// touched: still mentions Mutex\n' >> "$lockfile"
+  "$bin" --root "$fixroot" --json > "$fix_warm" || true
+  fmode="$(sed -n 's/.*"mode"[[:space:]]*:[[:space:]]*"\([^"]*\)".*/\1/p' "$fixroot/target/sfcheck-cache/stats.json")"
+  if [ "$fmode" != "cold" ]; then
+    echo "    ERROR: lock-relevant edit must force full re-analysis, stats.json says mode='$fmode'" >&2
+    exit 1
+  fi
+  "$bin" --root "$fixroot" --no-cache --json > "$fix_ref" || true
+  if ! cmp -s "$fix_warm" "$fix_ref"; then
+    echo "    ERROR: post-lock-edit --json differs from --no-cache" >&2
+    exit 1
+  fi
+  echo "    lock fixture: all four lints live, identity holds, invalidation paths verified"
 }
 
 step_threads() {
@@ -180,7 +272,7 @@ step_bench() {
   # benchmark in its checked-in BENCH_*.json baseline (recorded on a
   # quiet machine; regenerate per EXPERIMENTS.md). Every baseline names
   # its bench source via a "ci-baseline: <file>" marker comment, so
-  # checking in BENCH_PR9.json plus a marked bench is all a future PR
+  # checking in BENCH_PR10.json plus a marked bench is all a future PR
   # needs to be gated here. KEEP_BENCH_SMOKE=1 preserves the sink files
   # for CI artifact upload; otherwise the EXIT trap removes them even
   # when a count-match fails.

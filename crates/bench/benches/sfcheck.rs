@@ -1,20 +1,23 @@
-//! Analyzer benchmarks for the sfcheck v3 pipeline: per-file lex+parse
-//! throughput, the cross-file passes (symbol resolution, call graph,
-//! dataflow, taint, stream registry) over a synthetic workspace, and the
+//! Analyzer benchmarks for the sfcheck v3/v4 pipeline: per-file
+//! lex+parse throughput, CFG construction over every parsed body, the
+//! cross-file passes (symbol resolution, call graph, dataflow, taint,
+//! stream registry, lock discipline) over a synthetic workspace, the
+//! lock-pass interprocedural fixpoint on a lock-heavy tree, and the
 //! end-to-end `run_check` cost cold vs warm — the pair behind the CI
 //! `cache` step's warm-full-hit assertion and its loose ≥2x
 //! best-of-three wall-clock bound. The blessed medians live in
-//! `BENCH_PR9.json` (regenerate with `SMARTFEAT_BENCH_JSON=$PWD/BENCH_PR9.json
+//! `BENCH_PR10.json` (regenerate with `SMARTFEAT_BENCH_JSON=$PWD/BENCH_PR10.json
 //! cargo bench -p smartfeat-bench --bench sfcheck`); CI's bench-smoke job
 //! checks the benchmark set still matches that file's line count.
 //!
-//! ci-baseline: BENCH_PR9.json
+//! ci-baseline: BENCH_PR10.json
 
 use std::path::PathBuf;
 
 use sfcheck::walker::{classify, crate_dir_of, SourceFile};
 use sfcheck::{
-    callgraph, dataflow, lexer, parser, resolve, run_check, streams, taint, CheckOptions,
+    callgraph, cfg, dataflow, lexer, locks, parser, resolve, run_check, streams, taint,
+    CheckOptions,
 };
 use smartfeat_bench::{criterion_group, criterion_main, Criterion};
 
@@ -59,6 +62,34 @@ fn manifest(rel: &str, name: &str) -> SourceFile {
     source(rel, format!("[package]\nname = \"{name}\"\n"))
 }
 
+/// A lock-flavored module body: a per-instance static acquired before
+/// the shared one, plus a relay holding the shared lock across a call —
+/// double-lock chains, order pairs, and the interprocedural fixpoint
+/// all get real work.
+const LOCK_TEMPLATE: &str = "\
+static GATE_NNN: Mutex<u64> = Mutex::new(0);\n\
+pub fn stage_NNN() {\n\
+    let a = GATE_NNN.lock().unwrap();\n\
+    let b = SHARED.lock().unwrap();\n\
+    drop(b);\n\
+    drop(a);\n\
+}\n\
+pub fn relay_NNN() {\n\
+    let g = SHARED.lock().unwrap();\n\
+    stage_NNN();\n\
+    drop(g);\n\
+}\n";
+
+/// `count` lock-template instances behind one shared static.
+fn synthetic_lock_module(count: usize) -> String {
+    let mut text =
+        String::from("use std::sync::Mutex;\nstatic SHARED: Mutex<u64> = Mutex::new(0);\n");
+    for i in 0..count {
+        text.push_str(&LOCK_TEMPLATE.replace("NNN", &i.to_string()));
+    }
+    text
+}
+
 fn bench_per_file(c: &mut Criterion) {
     let text = synthetic_module(64);
     c.bench_function("perfile/lex_parse_64_fns", |b| {
@@ -66,6 +97,29 @@ fn bench_per_file(c: &mut Criterion) {
             let tokens = lexer::lex(&text);
             let tree = parser::parse(&tokens);
             (tokens.len(), tree.items.len())
+        })
+    });
+}
+
+/// Statement-level CFG construction for every body in a 193-fn file —
+/// the fixed per-fn cost the v4 lock pass adds before any lint logic.
+fn bench_cfg_build(c: &mut Criterion) {
+    let manifests = vec![manifest("crates/core/Cargo.toml", "smartfeat")];
+    let text = synthetic_module(64);
+    let parsed = vec![(
+        source("crates/core/src/lib.rs", text.clone()),
+        parser::parse(&lexer::lex(&text)),
+    )];
+    let ws = resolve::build(parsed, &manifests);
+    c.bench_function("cfg/build_all_bodies", |b| {
+        b.iter(|| {
+            let mut blocks = 0usize;
+            for id in 0..ws.fns.len() {
+                if let Some(body) = ws.body_of(id) {
+                    blocks += cfg::Cfg::build(body).blocks.len();
+                }
+            }
+            blocks
         })
     });
 }
@@ -97,8 +151,37 @@ fn bench_global_passes(c: &mut Criterion) {
             findings.extend(taint::run(&ws, None));
             findings.extend(taint::run_volatile(&ws));
             findings.extend(streams::run(&ws));
+            findings.extend(locks::run(&ws, &cg, None));
             findings.len()
         })
+    });
+}
+
+/// The lock pass alone — per-fn CFG fixpoints plus the interprocedural
+/// held-lock summary fixpoint — on an eight-file lock-heavy workspace
+/// (resolution and call graph prebuilt, so only `locks::run` is timed).
+fn bench_lock_fixpoint(c: &mut Criterion) {
+    let manifests = vec![
+        manifest("crates/core/Cargo.toml", "smartfeat"),
+        manifest("crates/frame/Cargo.toml", "smartfeat-frame"),
+        manifest("crates/ml/Cargo.toml", "smartfeat-ml"),
+        manifest("crates/rng/Cargo.toml", "smartfeat-rng"),
+    ];
+    let parsed = (0..8)
+        .map(|i| {
+            let dir = ["core", "frame", "ml", "rng"][i % 4];
+            let f = source(
+                &format!("crates/{dir}/src/mod{i}.rs"),
+                synthetic_lock_module(16),
+            );
+            let tree = parser::parse(&lexer::lex(&f.text));
+            (f, tree)
+        })
+        .collect();
+    let ws = resolve::build(parsed, &manifests);
+    let cg = callgraph::build(&ws);
+    c.bench_function("locks/fixpoint_8_files", |b| {
+        b.iter(|| locks::run(&ws, &cg, None).len())
     });
 }
 
@@ -153,7 +236,9 @@ fn bench_end_to_end(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_per_file,
+    bench_cfg_build,
     bench_global_passes,
+    bench_lock_fixpoint,
     bench_end_to_end
 );
 criterion_main!(benches);

@@ -27,6 +27,7 @@
 
 use std::sync::{Arc, Mutex};
 
+use smartfeat_par::lock_or_poison;
 use smartfeat_rng::seed_jump;
 
 use crate::backend::{BackendKind, FmBackend, KnowledgeCoverage, SimulatedBackend};
@@ -195,7 +196,7 @@ impl FoundationModel for CascadeFm {
             // (their degenerate-output failure mode repeats the
             // previous answer verbatim).
             let repeated = {
-                let mut lasts = self.last_texts.lock().expect("last_texts poisoned");
+                let mut lasts = lock_or_poison(&self.last_texts);
                 let repeated = shallow && lasts[i].as_deref() == Some(resp.text.as_str());
                 lasts[i] = Some(resp.text.clone());
                 repeated
@@ -207,7 +208,7 @@ impl FoundationModel for CascadeFm {
             };
             let accepted = i == last || quality;
             {
-                let mut routing = self.routing.lock().expect("routing poisoned");
+                let mut routing = lock_or_poison(&self.routing);
                 let stat = routing.entry(rung.name().to_string()).or_default();
                 stat.add(&RouteStat {
                     calls: 1,
@@ -236,7 +237,7 @@ impl FoundationModel for CascadeFm {
     }
 
     fn routing(&self) -> Option<RoutingSnapshot> {
-        Some(self.routing.lock().expect("routing poisoned").clone())
+        Some(lock_or_poison(&self.routing).clone())
     }
 }
 

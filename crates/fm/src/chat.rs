@@ -7,6 +7,8 @@
 
 use std::sync::Mutex;
 
+use smartfeat_par::lock_or_poison;
+
 use crate::oracle::{FmError, FmResponse, FoundationModel};
 use crate::stats::{RoutingSnapshot, UsageMeter};
 
@@ -38,30 +40,24 @@ impl<M: FoundationModel> Transcribing<M> {
 
     /// Clone of all recorded exchanges, in call order.
     pub fn transcript(&self) -> Vec<Exchange> {
-        self.log.lock().expect("transcript poisoned").clone()
+        lock_or_poison(&self.log).clone()
     }
 
     /// Number of recorded exchanges.
     pub fn len(&self) -> usize {
-        self.log.lock().expect("transcript poisoned").len()
+        lock_or_poison(&self.log).len()
     }
 
     /// True if nothing has been recorded.
     pub fn is_empty(&self) -> bool {
-        self.log.lock().expect("transcript poisoned").is_empty()
+        lock_or_poison(&self.log).is_empty()
     }
 
     /// Render the transcript as readable text (prompts truncated to
     /// `prompt_chars` characters).
     pub fn render(&self, prompt_chars: usize) -> String {
         let mut out = String::new();
-        for (i, e) in self
-            .log
-            .lock()
-            .expect("transcript poisoned")
-            .iter()
-            .enumerate()
-        {
+        for (i, e) in lock_or_poison(&self.log).iter().enumerate() {
             let prompt: String = e.prompt.chars().take(prompt_chars).collect();
             let ellipsis = if e.prompt.chars().count() > prompt_chars {
                 "…"
@@ -93,14 +89,11 @@ impl<M: FoundationModel> FoundationModel for Transcribing<M> {
 
     fn complete(&self, prompt: &str) -> Result<FmResponse, FmError> {
         let response = self.inner.complete(prompt)?;
-        self.log
-            .lock()
-            .expect("transcript poisoned")
-            .push(Exchange {
-                prompt: prompt.to_string(),
-                response: response.text.clone(),
-                tokens: response.prompt_tokens + response.completion_tokens,
-            });
+        lock_or_poison(&self.log).push(Exchange {
+            prompt: prompt.to_string(),
+            response: response.text.clone(),
+            tokens: response.prompt_tokens + response.completion_tokens,
+        });
         Ok(response)
     }
 

@@ -4,6 +4,7 @@
 
 use std::sync::{Arc, Mutex};
 
+use smartfeat_par::lock_or_poison;
 use smartfeat_rng::Rng;
 
 use crate::backend::KnowledgeCoverage;
@@ -271,7 +272,7 @@ impl FoundationModel for SimulatedFm {
     }
 
     fn complete(&self, prompt: &str) -> Result<FmResponse, FmError> {
-        let mut state = self.state.lock().expect("oracle state poisoned");
+        let mut state = lock_or_poison(&self.state);
         if let Some(budget) = self.config.call_budget {
             if state.calls >= budget {
                 return Err(FmError::BudgetExhausted { budget });

@@ -9,6 +9,8 @@ use std::time::Duration;
 
 use std::sync::Mutex;
 
+use smartfeat_par::lock_or_poison;
+
 /// One API call's accounting record.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CallRecord {
@@ -129,7 +131,7 @@ impl UsageMeter {
 
     /// Record one call.
     pub fn record(&self, rec: CallRecord) {
-        let mut inner = self.inner.lock().expect("meter poisoned");
+        let mut inner = lock_or_poison(&self.inner);
         inner.snapshot.calls += 1;
         inner.snapshot.prompt_tokens += rec.prompt_tokens;
         inner.snapshot.completion_tokens += rec.completion_tokens;
@@ -146,18 +148,17 @@ impl UsageMeter {
 
     /// Current aggregate totals.
     pub fn snapshot(&self) -> UsageSnapshot {
-        // sfcheck:allow(panic-reachability) poisoned lock only re-raises a panic from another thread
-        self.inner.lock().expect("meter poisoned").snapshot
+        lock_or_poison(&self.inner).snapshot
     }
 
     /// Clone of the retained call log.
     pub fn log(&self) -> Vec<CallRecord> {
-        self.inner.lock().expect("meter poisoned").log.clone()
+        lock_or_poison(&self.inner).log.clone()
     }
 
     /// Reset everything to zero.
     pub fn reset(&self) {
-        let mut inner = self.inner.lock().expect("meter poisoned");
+        let mut inner = lock_or_poison(&self.inner);
         inner.snapshot = UsageSnapshot::default();
         inner.log.clear();
     }

@@ -10,6 +10,8 @@
 
 use std::collections::BTreeMap;
 use std::sync::{Mutex, OnceLock};
+
+use smartfeat_par::lock_or_poison;
 use std::time::{Duration, Instant};
 
 /// Aggregate for one named unit of work.
@@ -29,7 +31,7 @@ fn registry() -> &'static Mutex<BTreeMap<&'static str, WorkStat>> {
 
 /// Record one completed unit of `name` that took `elapsed`.
 pub fn record(name: &'static str, elapsed: Duration) {
-    let mut reg = registry().lock().expect("work registry poisoned");
+    let mut reg = lock_or_poison(registry());
     let stat = reg.entry(name).or_default();
     stat.count += 1;
     stat.ns = stat
@@ -91,10 +93,7 @@ impl Drop for Stopwatch {
 
 /// Snapshot of the whole registry.
 pub fn snapshot() -> BTreeMap<String, WorkStat> {
-    registry()
-        .lock()
-        // sfcheck:allow(panic-reachability) poisoned lock only re-raises a panic from another thread
-        .expect("work registry poisoned")
+    lock_or_poison(registry())
         .iter()
         .map(|(k, v)| ((*k).to_string(), *v))
         .collect()

@@ -36,6 +36,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use smartfeat_frame::json::JsonValue;
+use smartfeat_par::lock_or_poison;
 
 /// Environment variable that opts span/event timestamps into wall-clock
 /// nanoseconds (`1`/`true`). Unset or anything else keeps the
@@ -264,8 +265,7 @@ impl Recorder {
     // sfcheck:output-sink
     pub fn incr(&self, name: &str, by: u64) {
         if let Some(inner) = &self.inner {
-            // sfcheck:allow(panic-reachability) poisoned lock only re-raises a panic from another thread
-            let mut state = inner.state.lock().expect("obs state poisoned");
+            let mut state = lock_or_poison(&inner.state);
             *state.counters.entry(name.to_string()).or_insert(0) += by;
         }
     }
@@ -273,8 +273,7 @@ impl Recorder {
     /// Attribute one FM call's usage to `key` (a role or family label).
     pub fn fm_call(&self, key: &str, usage: FmUsage) {
         if let Some(inner) = &self.inner {
-            // sfcheck:allow(panic-reachability) poisoned lock only re-raises a panic from another thread
-            let mut state = inner.state.lock().expect("obs state poisoned");
+            let mut state = lock_or_poison(&inner.state);
             state.fm.entry(key.to_string()).or_default().add(usage);
         }
     }
@@ -283,8 +282,7 @@ impl Recorder {
     /// bridge `smartfeat_fm::UsageMeter` deltas at end of run).
     pub fn set_fm_usage(&self, key: &str, usage: FmUsage) {
         if let Some(inner) = &self.inner {
-            // sfcheck:allow(panic-reachability) poisoned lock only re-raises a panic from another thread
-            let mut state = inner.state.lock().expect("obs state poisoned");
+            let mut state = lock_or_poison(&inner.state);
             state.fm.insert(key.to_string(), usage);
         }
     }
@@ -292,8 +290,7 @@ impl Recorder {
     /// Mutate one family's stats through `f`.
     pub fn family(&self, family: &str, f: impl FnOnce(&mut FamilyStats)) {
         if let Some(inner) = &self.inner {
-            // sfcheck:allow(panic-reachability) poisoned lock only re-raises a panic from another thread
-            let mut state = inner.state.lock().expect("obs state poisoned");
+            let mut state = lock_or_poison(&inner.state);
             f(state.families.entry(family.to_string()).or_default());
         }
     }
@@ -301,8 +298,7 @@ impl Recorder {
     /// Record the pool-counter delta for this run.
     pub fn set_pool(&self, pool: PoolCounters) {
         if let Some(inner) = &self.inner {
-            // sfcheck:allow(panic-reachability) poisoned lock only re-raises a panic from another thread
-            inner.state.lock().expect("obs state poisoned").pool = pool;
+            lock_or_poison(&inner.state).pool = pool;
         }
     }
 
@@ -311,8 +307,7 @@ impl Recorder {
     /// stays byte-identical to pre-cascade reports.
     pub fn set_routing(&self, routing: BTreeMap<String, RouteUsage>) {
         if let Some(inner) = &self.inner {
-            // sfcheck:allow(panic-reachability) poisoned lock only re-raises a panic from another thread
-            inner.state.lock().expect("obs state poisoned").routing = routing;
+            lock_or_poison(&inner.state).routing = routing;
         }
     }
 
@@ -320,8 +315,7 @@ impl Recorder {
     /// deterministic; nanoseconds surface only in wall mode).
     pub fn set_work(&self, work: BTreeMap<String, global::WorkStat>) {
         if let Some(inner) = &self.inner {
-            // sfcheck:allow(panic-reachability) poisoned lock only re-raises a panic from another thread
-            inner.state.lock().expect("obs state poisoned").work = work;
+            lock_or_poison(&inner.state).work = work;
         }
     }
 
@@ -348,8 +342,7 @@ impl Recorder {
             map.insert((*k).to_string(), v.clone());
         }
         let line = JsonValue::Object(map).emit();
-        // sfcheck:allow(panic-reachability) poisoned lock only re-raises a panic from another thread
-        let mut state = inner.state.lock().expect("obs state poisoned");
+        let mut state = lock_or_poison(&inner.state);
         state.trace.push_str(&line);
         state.trace.push('\n');
         state.events += 1;
@@ -381,8 +374,7 @@ impl Recorder {
         };
         let end = self.now();
         self.emit(end, "span_end", &[("name", name.into())]);
-        // sfcheck:allow(panic-reachability) poisoned lock only re-raises a panic from another thread
-        let mut state = inner.state.lock().expect("obs state poisoned");
+        let mut state = lock_or_poison(&inner.state);
         let agg = state.spans.entry(name.to_string()).or_default();
         agg.count += 1;
         agg.total += end.saturating_sub(start);
@@ -394,13 +386,7 @@ impl Recorder {
     pub fn trace_jsonl(&self) -> String {
         match &self.inner {
             None => String::new(),
-            Some(inner) => inner
-                .state
-                .lock()
-                // sfcheck:allow(panic-reachability) poisoned lock only re-raises a panic from another thread
-                .expect("obs state poisoned")
-                .trace
-                .clone(),
+            Some(inner) => lock_or_poison(&inner.state).trace.clone(),
         }
     }
 
@@ -408,8 +394,7 @@ impl Recorder {
     pub fn events(&self) -> u64 {
         match &self.inner {
             None => 0,
-            // sfcheck:allow(panic-reachability) poisoned lock only re-raises a panic from another thread
-            Some(inner) => inner.state.lock().expect("obs state poisoned").events,
+            Some(inner) => lock_or_poison(&inner.state).events,
         }
     }
 
@@ -425,8 +410,7 @@ impl Recorder {
         let Some(inner) = &self.inner else {
             return JsonValue::Null;
         };
-        // sfcheck:allow(panic-reachability) poisoned lock only re-raises a panic from another thread
-        let state = inner.state.lock().expect("obs state poisoned");
+        let state = lock_or_poison(&inner.state);
         let wall = inner.mode == ClockMode::Wall;
 
         let counters = JsonValue::Object(

@@ -106,6 +106,21 @@ fn env_threads() -> Option<usize> {
         .filter(|&n| n > 0)
 }
 
+/// Acquire a mutex, treating poisoning as the panic it already is.
+///
+/// A poisoned `std::sync::Mutex` means another thread panicked while
+/// holding the guard; with this workspace's fail-fast pools (spawn
+/// panics re-raise at join) the only sound continuation is to re-raise
+/// here too. Keeping the `expect` in one audited place gives every
+/// caller a panic-free call site — and gives `sfcheck`'s lock pass a
+/// single fn to model: the marker below tells it a call to this fn
+/// acquires its first argument.
+// sfcheck:lock-helper
+pub fn lock_or_poison<T>(m: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    // sfcheck:allow(panic-reachability) poisoned lock only re-raises a panic from another thread
+    m.lock().expect("lock poisoned")
+}
+
 /// A scope in which borrowed-data tasks can be spawned; created by
 /// [`scope`]. Mirrors `std::thread::Scope` with panic-propagating joins.
 pub struct Scope<'scope, 'env: 'scope> {

@@ -150,6 +150,9 @@ pub struct StaticItem {
     pub name: String,
     /// True for `static mut`.
     pub mutable: bool,
+    /// Declared type, as written (empty when unparseable). The lock pass
+    /// reads this to spot `Mutex`/`RwLock`-typed process globals.
+    pub ty: String,
 }
 
 /// An item the parser does not model structurally.
@@ -333,6 +336,54 @@ pub struct LitExpr {
     pub pos: Pos,
 }
 
+/// Control-flow role of a [`SeqExpr`]. The parser tags the `Seq` nodes
+/// it builds for control-flow constructs so downstream passes (the CFG
+/// builder in particular) can recover branch/loop/early-exit structure
+/// without re-deriving it from token shapes. Plain expression runs and
+/// groups stay `Ctrl::None`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Ctrl {
+    /// Plain expression run, group, struct literal, or soup.
+    #[default]
+    None,
+    /// `if`/`if let` (children: cond, then-block, optional else).
+    If,
+    /// `while`/`while let` (children: cond, body-block).
+    While,
+    /// `for` (children: iterable, body-block; binds from the pattern).
+    For,
+    /// `loop` (children: body-block).
+    Loop,
+    /// `match` (children: scrutinee, then one `Arm` per arm).
+    Match,
+    /// One match arm (children: body; binds from the pattern).
+    Arm,
+    /// `return expr?` (children: the value, when present).
+    Return,
+    /// `break expr?`.
+    Break,
+    /// `continue`.
+    Continue,
+}
+
+impl Ctrl {
+    /// Short name for AST dumps (empty for `None`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Ctrl::None => "",
+            Ctrl::If => "if",
+            Ctrl::While => "while",
+            Ctrl::For => "for",
+            Ctrl::Loop => "loop",
+            Ctrl::Match => "match",
+            Ctrl::Arm => "arm",
+            Ctrl::Return => "return",
+            Ctrl::Break => "break",
+            Ctrl::Continue => "continue",
+        }
+    }
+}
+
 /// See [`Expr::Seq`].
 #[derive(Debug, Clone, Default)]
 pub struct SeqExpr {
@@ -340,6 +391,8 @@ pub struct SeqExpr {
     pub children: Vec<Expr>,
     /// Names bound by patterns scoped to this node.
     pub binds: Vec<String>,
+    /// Control-flow role (`Ctrl::None` for plain runs).
+    pub ctrl: Ctrl,
     /// Span of the run.
     pub span: Span,
     /// Position of the first token.
@@ -521,6 +574,9 @@ fn dump_item(item: &Item, depth: usize, out: &mut String) {
         }
         ItemKind::Static(s) => {
             let _ = write!(out, "static {} mut={}", s.name, s.mutable);
+            if !s.ty.is_empty() {
+                let _ = write!(out, " ty={}", s.ty);
+            }
         }
         ItemKind::Other(o) => {
             let _ = write!(out, "{} {}", o.keyword, o.name.as_deref().unwrap_or("?"));
@@ -640,11 +696,14 @@ fn dump_expr(e: &Expr, depth: usize, out: &mut String) {
         }
         Expr::Seq(s) => {
             pad(depth, out);
-            if s.binds.is_empty() {
-                out.push_str("seq\n");
-            } else {
-                let _ = writeln!(out, "seq binds=[{}]", s.binds.join(","));
+            out.push_str("seq");
+            if s.ctrl != Ctrl::None {
+                let _ = write!(out, " {}", s.ctrl.name());
             }
+            if !s.binds.is_empty() {
+                let _ = write!(out, " binds=[{}]", s.binds.join(","));
+            }
+            out.push('\n');
             for c in &s.children {
                 dump_expr(c, depth + 1, out);
             }

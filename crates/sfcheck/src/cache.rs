@@ -47,11 +47,11 @@ use crate::lints::{Finding, Waived, Waiver, LINT_IDS};
 use crate::resolve::Workspace;
 use crate::walker::SourceFile;
 
-/// Schema revision; bump when the cached shapes change. (v3.2: the
-/// `global_findings` bucket no longer holds `obs-volatile-discipline`
-/// findings — that pass always re-runs, so replaying a v3.1 bucket
-/// would double-count them.)
-const SCHEMA: &str = "v3.2";
+/// Schema revision; bump when the cached shapes change. (v4: the
+/// `global_findings` bucket now carries the lock-discipline findings,
+/// and the global fingerprint hashes lock-relevant files whole — see
+/// [`global_fingerprint`] — so older entries must not be replayed.)
+const SCHEMA: &str = "v4";
 
 static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
 
@@ -490,7 +490,35 @@ fn global_fingerprint(ws: &Workspace, manifests: &[SourceFile], man_hashes: &[u6
         acc.push_str(&hex(*h));
         acc.push('\n');
     }
+    // Lock footprint. A lock-order-inversion's two sides can live in
+    // files with no call path between them, so the component closure
+    // that bounds every other cross-file lint cannot bound the lock
+    // pass. Hash every lock-relevant file whole: any edit to one forces
+    // a full re-analysis, and edits elsewhere keep the partial path.
+    for f in &ws.files {
+        if lock_relevant(&f.text) {
+            acc.push_str("lock:");
+            acc.push_str(&f.rel_path);
+            acc.push_str(&hex(fnv1a(f.text.as_bytes())));
+            acc.push('\n');
+        }
+    }
     fnv1a(acc.as_bytes())
+}
+
+/// Could this file change what the lock pass computes anywhere?
+/// Deliberately lexical and over-approximate — a false `true` costs one
+/// full re-analysis, a false `false` would cost a stale finding.
+fn lock_relevant(text: &str) -> bool {
+    [
+        "Mutex",
+        "RwLock",
+        ".lock()",
+        "sfcheck:lock-helper",
+        "sfcheck:io-blocking",
+    ]
+    .iter()
+    .any(|needle| text.contains(needle))
 }
 
 /// Undirected connected components over files, induced by fn call edges.

@@ -14,10 +14,12 @@ pub mod ast;
 pub mod baseline;
 pub mod cache;
 pub mod callgraph;
+pub mod cfg;
 pub mod dataflow;
 pub mod fix;
 pub mod lexer;
 pub mod lints;
+pub mod locks;
 pub mod parser;
 pub mod report;
 pub mod resolve;
@@ -256,6 +258,7 @@ fn analyze(
     let mut global_by_file: BTreeMap<usize, Vec<Finding>> = plan.cached.clone();
     let mut fresh = dataflow::run_scoped(&ws, &cg, dirty);
     fresh.extend(taint::run(&ws, dirty));
+    fresh.extend(locks::run(&ws, &cg, dirty));
     for finding in fresh {
         if let Some(&i) = index_of.get(finding.file.as_str()) {
             global_by_file.entry(i).or_default().push(finding);

@@ -15,12 +15,19 @@
 //! | T1 | `determinism-taint` | no wall/env/thread/hash-order value reaches an output sink |
 //! | T2 | `seed-stream-collision` | every `seed_jump` stream claims a disjoint index range |
 //! | T3 | `obs-volatile-discipline` | volatile fields reach the report only under `volatile` |
+//! | L1 | `lock-order-inversion` | process-wide locks are acquired in one global order |
+//! | L2 | `double-lock` | no possibly-held non-reentrant lock is ever re-acquired |
+//! | L3 | `held-lock-blocking` | no lock guard lives across a blocking or pool boundary |
+//! | L4 | `guard-discipline` | every lock guard is bound, used, and dropped deliberately |
 //!
 //! F1–F3 are the cross-file dataflow lints ([`crate::dataflow`]); they run
 //! over the workspace symbol table and call graph rather than per-file
 //! tokens, but their findings waive identically. T1 and T3 are the
 //! interprocedural taint lints ([`crate::taint`]) and T2 the seed-stream
 //! registry ([`crate::streams`]), added in v3 — same waiver mechanism.
+//! L1–L4 are the CFG-level lock-discipline lints ([`crate::locks`]),
+//! added in v4: a per-fn control-flow graph tracks guard liveness and a
+//! call-graph summary propagates held-lock sets interprocedurally.
 //!
 //! Findings can be waived inline with a line comment:
 //!
@@ -40,11 +47,15 @@ use crate::lexer::{lex, Token, TokenKind};
 use crate::walker::{FileClass, SourceFile};
 
 /// Identifiers of every shipped lint, in report order.
-pub const LINT_IDS: [&str; 13] = [
+pub const LINT_IDS: [&str; 17] = [
     "determinism-taint",
+    "double-lock",
     "env-dependence",
+    "guard-discipline",
     "hash-collections",
+    "held-lock-blocking",
     "hermetic-manifest",
+    "lock-order-inversion",
     "obs-volatile-discipline",
     "panic-hygiene",
     "panic-reachability",

@@ -22,8 +22,9 @@
 //! for the accepted approximations).
 
 use crate::ast::{
-    Block, ClosureExpr, Expr, File, FnItem, ImplBlock, Item, ItemKind, LetStmt, LitExpr, MacroExpr,
-    ModItem, OtherItem, Param, PathExpr, Pos, SeqExpr, StaticItem, Stmt, UseItem, UseTarget,
+    Block, ClosureExpr, Ctrl, Expr, File, FnItem, ImplBlock, Item, ItemKind, LetStmt, LitExpr,
+    MacroExpr, ModItem, OtherItem, Param, PathExpr, Pos, SeqExpr, StaticItem, Stmt, UseItem,
+    UseTarget,
 };
 use crate::lexer::{Token, TokenKind};
 use std::collections::BTreeMap;
@@ -701,8 +702,38 @@ impl Parser {
             }
             _ => String::from("?"),
         };
+        // Declared type: everything between `:` and a depth-0 `=`/`;`.
+        let ty = if self.eat(":") {
+            let ty_start = self.i;
+            let mut depth = 0usize;
+            while let Some(t) = self.peek() {
+                match t.text.as_str() {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => {
+                        if depth == 0 {
+                            break;
+                        }
+                        depth -= 1;
+                    }
+                    "<" => {
+                        self.skip_angles();
+                        continue;
+                    }
+                    "=" | ";" if depth == 0 => break,
+                    _ => {}
+                }
+                self.i += 1;
+            }
+            let toks: Vec<&str> = self.code[ty_start..self.i]
+                .iter()
+                .map(|t| t.text.as_str())
+                .collect();
+            join_tokens(&toks)
+        } else {
+            String::new()
+        };
         self.skip_item_rest();
-        StaticItem { name, mutable }
+        StaticItem { name, mutable, ty }
     }
 
     // ---- statements and blocks -------------------------------------------
@@ -864,6 +895,7 @@ impl Parser {
                     e = Expr::Seq(SeqExpr {
                         children: vec![e, Expr::Block(b)],
                         binds: Vec::new(),
+                        ctrl: Ctrl::None,
                         span,
                         pos,
                     });
@@ -914,6 +946,7 @@ impl Parser {
             return Expr::Seq(SeqExpr {
                 children: Vec::new(),
                 binds: Vec::new(),
+                ctrl: Ctrl::None,
                 span: self.span_from(start),
                 pos,
             });
@@ -973,6 +1006,7 @@ impl Parser {
             Expr::Seq(SeqExpr {
                 children,
                 binds: Vec::new(),
+                ctrl: Ctrl::None,
                 span: self.span_from(start),
                 pos,
             })
@@ -1017,7 +1051,14 @@ impl Parser {
                 "loop" => {
                     self.i += 1;
                     if self.text() == "{" {
-                        Some(Expr::Block(self.parse_block()))
+                        let body = Expr::Block(self.parse_block());
+                        Some(Expr::Seq(SeqExpr {
+                            children: vec![body],
+                            binds: Vec::new(),
+                            ctrl: Ctrl::Loop,
+                            span: self.span_from(start),
+                            pos,
+                        }))
                     } else {
                         Some(self.empty_seq(start, pos))
                     }
@@ -1042,20 +1083,31 @@ impl Parser {
                         Some(self.empty_seq(start, pos))
                     }
                 }
-                "return" | "break" | "continue" | "yield" => {
+                kw @ ("return" | "break" | "continue" | "yield") => {
+                    let ctrl = match kw {
+                        "return" | "yield" => Ctrl::Return,
+                        "break" => Ctrl::Break,
+                        _ => Ctrl::Continue,
+                    };
                     self.i += 1;
                     // A value may follow; if a terminator follows, this is
                     // the whole operand.
-                    match self.peek() {
+                    let value = match self.peek() {
                         Some(n)
                             if !matches!(n.text.as_str(), ";" | "," | ")" | "]" | "}")
                                 && !terms.contains(&n.text.as_str()) =>
                         {
                             self.parse_operand(terms)
-                                .or_else(|| Some(self.empty_seq(start, pos)))
                         }
-                        _ => Some(self.empty_seq(start, pos)),
-                    }
+                        _ => None,
+                    };
+                    Some(Expr::Seq(SeqExpr {
+                        children: value.into_iter().collect(),
+                        binds: Vec::new(),
+                        ctrl,
+                        span: self.span_from(start),
+                        pos,
+                    }))
                 }
                 "let" => {
                     // Let-chain / malformed: consume the keyword as soup.
@@ -1112,6 +1164,7 @@ impl Parser {
         Expr::Seq(SeqExpr {
             children: Vec::new(),
             binds: Vec::new(),
+            ctrl: Ctrl::None,
             span: self.span_from(start),
             pos,
         })
@@ -1119,6 +1172,11 @@ impl Parser {
 
     /// `if`/`while`, including the `let`-pattern forms.
     fn parse_conditional(&mut self, start: u32, pos: Pos) -> Expr {
+        let ctrl = if self.is_ident("while") {
+            Ctrl::While
+        } else {
+            Ctrl::If
+        };
         self.i += 1; // if / while
         let mut binds = Vec::new();
         if self.is_ident("let") {
@@ -1141,6 +1199,7 @@ impl Parser {
         Expr::Seq(SeqExpr {
             children,
             binds,
+            ctrl,
             span: self.span_from(start),
             pos,
         })
@@ -1157,6 +1216,7 @@ impl Parser {
         Expr::Seq(SeqExpr {
             children,
             binds,
+            ctrl: Ctrl::For,
             span: self.span_from(start),
             pos,
         })
@@ -1193,6 +1253,7 @@ impl Parser {
                 children.push(Expr::Seq(SeqExpr {
                     children: vec![body],
                     binds,
+                    ctrl: Ctrl::Arm,
                     span: self.span_from(arm_start),
                     pos: arm_pos,
                 }));
@@ -1204,6 +1265,7 @@ impl Parser {
         Expr::Seq(SeqExpr {
             children,
             binds: Vec::new(),
+            ctrl: Ctrl::Match,
             span: self.span_from(start),
             pos,
         })
@@ -1347,6 +1409,7 @@ impl Parser {
             expr = Expr::Seq(SeqExpr {
                 children: vec![expr, Expr::Block(body)],
                 binds: Vec::new(),
+                ctrl: Ctrl::None,
                 span,
                 pos,
             });
@@ -1497,6 +1560,7 @@ impl Parser {
         Expr::Seq(SeqExpr {
             children,
             binds: Vec::new(),
+            ctrl: Ctrl::None,
             span: self.span_from(start),
             pos,
         })

@@ -25,7 +25,9 @@
 //!   (`format!("{threads}")`). Macros are plain transformations — never
 //!   a source or sink themselves — and tokens that parse as neither an
 //!   argument expression nor a `{ident}` interpolation stay a blind
-//!   spot.
+//!   spot. The interprocedural summaries see through rebindings: a
+//!   `let s = n;` between a parameter and a macro or sink argument does
+//!   not launder the parameter away ([`param_derived_bindings`]).
 //! - **sinks** — fns marked `// sfcheck:output-sink` (and the
 //!   `// sfcheck:metrics-report` recorder), plus any fn that forwards a
 //!   parameter to a sink (a positionless summary, also a fixpoint).
@@ -394,13 +396,17 @@ fn interpolated_idents(text: &str, names: &mut Vec<String>) {
     }
 }
 
-/// Does the expression mention a parameter of `id` (or `self`)? Macro
-/// arguments count both as parsed expressions (via the walk) and as
-/// `{ident}` interpolations inside literal arguments, so
-/// `format!("{text}")` forwards `text` like `format!("{}", text)` does.
-fn mentions_param(ws: &Workspace, id: FnId, e: &Expr) -> bool {
+/// Does the expression mention a parameter of `id` (or `self`), either
+/// directly or through a binding in `derived`? Macro arguments count
+/// both as parsed expressions (via the walk) and as `{ident}`
+/// interpolations inside literal arguments, so `format!("{text}")`
+/// forwards `text` like `format!("{}", text)` does — and so does
+/// `let s = text; format!("{}", s)`, via the derived set.
+fn mentions_param(ws: &Workspace, id: FnId, derived: &BTreeSet<String>, e: &Expr) -> bool {
     let info = &ws.fns[id];
-    let named = |head: &str| head == "self" || info.params.iter().any(|prm| prm.name == head);
+    let named = |head: &str| {
+        head == "self" || info.params.iter().any(|prm| prm.name == head) || derived.contains(head)
+    };
     let mut hit = false;
     e.walk(&mut |sub| match sub {
         Expr::Path(p) => {
@@ -428,6 +434,101 @@ fn mentions_param(ws: &Workspace, id: FnId, e: &Expr) -> bool {
     hit
 }
 
+/// Every `let` with an initializer anywhere in the body, as
+/// `(bound names, init)` pairs — including lets inside nested blocks,
+/// match/if-let arms, and closure bodies, matching the reach of
+/// [`mentions_param`]'s walk.
+fn collect_lets<'a>(b: &'a Block, out: &mut Vec<(Vec<&'a str>, &'a Expr)>) {
+    for stmt in &b.stmts {
+        match stmt {
+            Stmt::Let(l) => {
+                if let Some(init) = &l.init {
+                    let mut names: Vec<&str> = Vec::new();
+                    if l.name != "_" {
+                        names.push(l.name.as_str());
+                    }
+                    names.extend(l.bound.iter().map(String::as_str));
+                    if !names.is_empty() {
+                        out.push((names, init));
+                    }
+                    nested_lets(init, out);
+                }
+            }
+            Stmt::Expr(e) => nested_lets(e, out),
+            Stmt::Item(_) => {}
+        }
+    }
+}
+
+/// Descend one expression, recursing into each nested block via
+/// [`collect_lets`] — structural recursion, so no block is visited
+/// twice.
+fn nested_lets<'a>(e: &'a Expr, out: &mut Vec<(Vec<&'a str>, &'a Expr)>) {
+    match e {
+        Expr::Block(b) => collect_lets(b, out),
+        Expr::Closure(c) => nested_lets(&c.body, out),
+        Expr::Seq(s) => {
+            for child in &s.children {
+                nested_lets(child, out);
+            }
+        }
+        Expr::Call(c) => {
+            nested_lets(&c.callee, out);
+            for a in &c.args {
+                nested_lets(a, out);
+            }
+        }
+        Expr::MethodCall(m) => {
+            nested_lets(&m.recv, out);
+            for a in &m.args {
+                nested_lets(a, out);
+            }
+        }
+        Expr::Field(f) => nested_lets(&f.base, out),
+        Expr::Index(i) => {
+            nested_lets(&i.base, out);
+            nested_lets(&i.index, out);
+        }
+        Expr::Macro(m) => {
+            for a in &m.args {
+                nested_lets(a, out);
+            }
+        }
+        Expr::Lit(_) | Expr::Path(_) => {}
+    }
+}
+
+/// Bindings in `id`'s body that (transitively) derive from a parameter:
+/// `let s = n;` puts `s` in the set when `n` is a param, and
+/// `let t = s;` then follows. Computed as a fixpoint so declaration
+/// order never matters; the set feeds [`mentions_param`] so a rebinding
+/// cannot launder param-ness out of the summaries.
+fn param_derived_bindings(ws: &Workspace, id: FnId) -> BTreeSet<String> {
+    let Some(body) = ws.body_of(id) else {
+        return BTreeSet::new();
+    };
+    let mut lets: Vec<(Vec<&str>, &Expr)> = Vec::new();
+    collect_lets(body, &mut lets);
+    let mut derived = BTreeSet::new();
+    loop {
+        let mut changed = false;
+        for (names, init) in &lets {
+            if names.iter().all(|n| derived.contains(*n)) {
+                continue;
+            }
+            if mentions_param(ws, id, &derived, init) {
+                for n in names {
+                    changed |= derived.insert((*n).to_string());
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    derived
+}
+
 fn build_summaries(ws: &Workspace) -> Summaries {
     let n = ws.fns.len();
     let entries: BTreeSet<FnId> = ws.marked(PARALLEL_ENTRY).into_iter().collect();
@@ -438,6 +539,10 @@ fn build_summaries(ws: &Workspace) -> Summaries {
         entries,
         analyzed: vec![false; n],
     };
+    // Per-fn param-derived binding sets, computed once: both summary
+    // passes below ask "does this expression carry a parameter?", and
+    // the answer must see through `let s = n;` rebindings.
+    let mut derived: Vec<BTreeSet<String>> = vec![BTreeSet::new(); n];
     for id in 0..n {
         let info = &ws.fns[id];
         sums.sink[id] = info
@@ -447,8 +552,9 @@ fn build_summaries(ws: &Workspace) -> Summaries {
         sums.analyzed[id] =
             !info.is_test && ws.files[info.file].crate_dir != "obs" && ws.body_of(id).is_some();
         if sums.analyzed[id] {
+            derived[id] = param_derived_bindings(ws, id);
             if let Some(t) = ws.body_of(id).and_then(trailing_expr) {
-                sums.param_to_ret[id] = mentions_param(ws, id, t);
+                sums.param_to_ret[id] = mentions_param(ws, id, &derived[id], t);
             }
         }
     }
@@ -472,13 +578,17 @@ fn build_summaries(ws: &Workspace) -> Summaries {
                         let Expr::Path(p) = &*c.callee else { return };
                         (
                             resolve_path_call(ws, id, &p.segments),
-                            c.args.iter().any(|a| mentions_param(ws, id, a)),
+                            c.args
+                                .iter()
+                                .any(|a| mentions_param(ws, id, &derived[id], a)),
                         )
                     }
                     Expr::MethodCall(m) => (
                         resolve_method(ws, &m.method).into_iter().collect(),
-                        m.args.iter().any(|a| mentions_param(ws, id, a))
-                            || mentions_param(ws, id, &m.recv),
+                        m.args
+                            .iter()
+                            .any(|a| mentions_param(ws, id, &derived[id], a))
+                            || mentions_param(ws, id, &derived[id], &m.recv),
                     ),
                     _ => return,
                 };
@@ -881,6 +991,35 @@ mod tests {
              let line = fmt(threads);\nwrite_csv(&line);\n}",
         );
         assert_eq!(lints_of(&findings), ["determinism-taint"]);
+    }
+
+    #[test]
+    fn rebinding_does_not_launder_param_to_return_taint() {
+        // `fmt` copies its param into a local before formatting: the
+        // macro argument is a binding, not the param itself. The summary
+        // must still mark param_to_ret so `fmt(threads)` stays tainted.
+        let findings = run_on(
+            "use smartfeat_par::resolve_threads;\nuse smartfeat_frame::csv::write_csv;\n\
+             fn fmt(n: usize) -> String { let s = n; format!(\"{}\", s) }\n\
+             pub fn dump() {\nlet threads = resolve_threads(0);\n\
+             let line = fmt(threads);\nwrite_csv(&line);\n}",
+        );
+        assert_eq!(lints_of(&findings), ["determinism-taint"]);
+        assert!(findings[0].message.contains("thread-count"));
+    }
+
+    #[test]
+    fn rebinding_does_not_launder_param_to_sink_taint() {
+        // `emit` formats its param into a local before the sink call:
+        // the sink fixpoint must see `&line` as param-derived and mark
+        // `emit` sink-reaching, so the caller's `emit(threads)` fires.
+        let findings = run_on(
+            "use smartfeat_par::resolve_threads;\nuse smartfeat_frame::csv::write_csv;\n\
+             fn emit(n: usize) { let line = format!(\"{}\", n); write_csv(&line); }\n\
+             pub fn dump() {\nlet threads = resolve_threads(0);\nemit(threads);\n}",
+        );
+        assert_eq!(lints_of(&findings), ["determinism-taint"]);
+        assert!(findings[0].message.contains("emit"));
     }
 
     #[test]
